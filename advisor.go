@@ -1,0 +1,84 @@
+package amnesiadb
+
+import (
+	"amnesiadb/internal/advisor"
+	"amnesiadb/internal/engine"
+)
+
+// Advisor observes a table's query stream and recommends an amnesia
+// policy — the §2.2 statistics-collection programme. Create one with
+// Table.NewAdvisor, route queries through its Select/Aggregate wrappers,
+// then call Advise.
+type Advisor struct {
+	t   *Table
+	col string
+	c   *advisor.Collector
+}
+
+// NewAdvisor returns an advisor observing queries against column col.
+func (t *Table) NewAdvisor(col string) (*Advisor, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, err := advisor.NewCollector(t.tbl, col)
+	if err != nil {
+		return nil, err
+	}
+	return &Advisor{t: t, col: col, c: c}, nil
+}
+
+// Select runs the query through the table and records it.
+func (a *Advisor) Select(p Pred) (*Result, error) {
+	a.t.mu.Lock()
+	defer a.t.mu.Unlock()
+	res, err := a.t.ex.Select(a.col, p.expr(), engine.ScanActive)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi, _ := p.expr().Bounds()
+	a.c.ObserveRange(lo, hi, res.Rows)
+	return &Result{Rows: res.Rows, Values: res.Values}, nil
+}
+
+// Aggregate runs the aggregate through the table and records it.
+func (a *Advisor) Aggregate(p Pred) (Agg, error) {
+	a.t.mu.Lock()
+	defer a.t.mu.Unlock()
+	agg, err := a.t.ex.Aggregate(a.col, p.expr(), engine.ScanActive)
+	if err != nil {
+		return Agg{}, err
+	}
+	a.c.ObserveAggregate(agg.Rower)
+	return Agg{Count: agg.Rows, Sum: agg.Sum, Min: agg.Min, Max: agg.Max, Avg: agg.Avg}, nil
+}
+
+// Advice is the advisor's recommendation.
+type Advice struct {
+	// Strategy is the recommended policy strategy name.
+	Strategy string
+	// Reason explains the choice in one sentence.
+	Reason string
+	// Budget estimates the smallest affordable active-tuple budget for
+	// the target precision.
+	Budget int
+	// MeanSelectivity and FreshFocus summarise the observed workload.
+	MeanSelectivity float64
+	FreshFocus      float64
+}
+
+// Advise analyses the observed workload for the target precision
+// (0 < target <= 1) and returns a policy recommendation.
+func (a *Advisor) Advise(target float64) (Advice, error) {
+	a.t.mu.Lock()
+	defer a.t.mu.Unlock()
+	r, err := a.c.Analyze(target)
+	if err != nil {
+		return Advice{}, err
+	}
+	return Advice{
+		Strategy:        r.Strategy,
+		Reason:          r.Reason,
+		Budget:          r.AffordableBudget,
+		MeanSelectivity: r.MeanSelectivity,
+		FreshFocus:      r.FreshFocus,
+	}, nil
+}

@@ -1,0 +1,635 @@
+// Package amnesiadb is a columnar embedded database with built-in,
+// bounded-storage forgetting ("amnesia"), reproducing the system of
+// Kersten & Sidirourgos, "A Database System with Amnesia" (CIDR 2017).
+//
+// A Table holds append-only int64 columns. A Policy gives the table a
+// fixed active-tuple budget (and optionally a hard retention window) and
+// an amnesia strategy; every insert beyond the budget makes the table
+// semi-autonomously forget tuples, chosen by the strategy (fifo, uniform,
+// ante, rot, area, areav, decay, frequent, pairwise, distaligned).
+// Queries normally see only active tuples; the forgotten
+// ones can be scanned explicitly, demoted to a simulated cold tier,
+// collapsed into aggregate summaries, or physically vacuumed away — the
+// four fates of forgotten data the paper enumerates.
+//
+// A minimal session:
+//
+//	db := amnesiadb.Open(amnesiadb.Options{Seed: 42})
+//	t, _ := db.CreateTable("readings", "value")
+//	_ = t.SetPolicy(amnesiadb.Policy{Strategy: "rot", Budget: 10000})
+//	_ = t.InsertColumn("value", data)
+//	res, _ := t.Select("value", amnesiadb.Range(100, 200))
+package amnesiadb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"amnesiadb/internal/amnesia"
+	"amnesiadb/internal/coldstore"
+	"amnesiadb/internal/engine"
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/snapshot"
+	"amnesiadb/internal/sql"
+	"amnesiadb/internal/summary"
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+// Options configures a DB.
+type Options struct {
+	// Seed drives every stochastic amnesia decision; runs with equal
+	// seeds and equal operation sequences are bit-reproducible. A zero
+	// seed is valid and distinct from, say, 1.
+	Seed uint64
+}
+
+// DB is a collection of tables sharing one deterministic random stream.
+// DB and Table methods are safe for concurrent use; each table serialises
+// its operations with one mutex (queries update access frequencies, so
+// even reads mutate strategy-relevant state).
+type DB struct {
+	mu     sync.Mutex
+	src    *xrand.Source
+	tables map[string]*Table
+}
+
+// Open creates an empty in-memory database.
+func Open(opts Options) *DB {
+	return &DB{src: xrand.New(opts.Seed), tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a table with the given columns. Every column stores
+// int64 values. It fails if the name is taken.
+func (db *DB) CreateTable(name string, columns ...string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("amnesiadb: table %q already exists", name)
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("amnesiadb: table %q needs at least one column", name)
+	}
+	tbl := table.New(name, columns...)
+	t := &Table{
+		db:  db,
+		tbl: tbl,
+		ex:  engine.New(tbl),
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table, or false.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// TableNames lists tables in lexical order.
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Strategies lists the amnesia strategy names accepted in a Policy.
+func Strategies() []string { return amnesia.Names() }
+
+// QueryResult is the tabular output of DB.Query.
+type QueryResult struct {
+	// Columns are the output headers.
+	Columns []string
+	// Rows holds one value slice per row, aligned with Columns.
+	Rows [][]float64
+	// Ints flags columns whose values are exact integers (everything
+	// except AVG).
+	Ints []bool
+}
+
+// Query parses and executes one SQL SELECT over the database's tables,
+// seeing active tuples only. The supported dialect is the paper's §2.2
+// subspace: projection or a single aggregate (COUNT/SUM/AVG/MIN/MAX) over
+// one table, WHERE clauses comparing one integer attribute, AND/OR/NOT,
+// and LIMIT.
+func (db *DB) Query(q string) (*QueryResult, error) {
+	// The dialect is single-table, so at most one table lock is taken.
+	var locked *Table
+	defer func() {
+		if locked != nil {
+			locked.mu.Unlock()
+		}
+	}()
+	res, err := sql.Run(sql.CatalogFunc(func(name string) (*table.Table, error) {
+		db.mu.Lock()
+		t, ok := db.tables[name]
+		db.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("amnesiadb: unknown table %q", name)
+		}
+		t.mu.Lock()
+		locked = t
+		return t.tbl, nil
+	}), q)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Columns: res.Columns, Rows: res.Rows, Ints: res.Ints}, nil
+}
+
+// Policy binds an amnesia strategy and a storage budget to a table.
+type Policy struct {
+	// Strategy names the forgetting algorithm; see Strategies.
+	Strategy string
+	// Budget is the maximum number of active tuples. Zero disables
+	// amnesia (the table never forgets).
+	Budget int
+	// Column is the attribute consulted by value-aware strategies
+	// (pairwise, distaligned). Empty selects the table's first column.
+	Column string
+	// MaxAgeBatches, when positive, is a hard retention window: every
+	// tuple older than this many insert batches is forgotten on the next
+	// enforcement, regardless of budget headroom — the paper's
+	// "legally defined time frame". Zero disables age-based forgetting.
+	MaxAgeBatches int
+}
+
+// Table is a columnar table with optional amnesia. Obtain via
+// DB.CreateTable.
+type Table struct {
+	mu     sync.Mutex
+	db     *DB
+	tbl    *table.Table
+	ex     *engine.Exec
+	policy Policy
+	strat  amnesia.Strategy
+	cold   *coldstore.Store
+	book   *summary.Book
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.tbl.Name() }
+
+// Columns returns the column names in declaration order.
+func (t *Table) Columns() []string { return t.tbl.Columns() }
+
+// SetPolicy installs (or with a zero Policy removes) the amnesia policy.
+func (t *Table) SetPolicy(p Policy) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p.Budget < 0 {
+		return fmt.Errorf("amnesiadb: negative budget %d", p.Budget)
+	}
+	if p.MaxAgeBatches < 0 {
+		return fmt.Errorf("amnesiadb: negative MaxAgeBatches %d", p.MaxAgeBatches)
+	}
+	if p.Budget == 0 && p.MaxAgeBatches == 0 {
+		t.policy, t.strat = Policy{}, nil
+		return nil
+	}
+	if p.Budget == 0 {
+		// Pure retention-window policy: no budget strategy needed.
+		t.policy, t.strat = p, nil
+		return nil
+	}
+	col := p.Column
+	if col == "" {
+		col = t.tbl.Columns()[0]
+	}
+	strat, err := amnesia.New(p.Strategy, col, t.db.src.Split())
+	if err != nil {
+		return err
+	}
+	t.policy, t.strat = p, strat
+	return nil
+}
+
+// Policy returns the active policy; Budget 0 means amnesia is off.
+func (t *Table) Policy() Policy {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.policy
+}
+
+// Insert appends one batch of rows given as column-name -> values (all
+// slices the same length), then enforces the amnesia budget.
+func (t *Table) Insert(cols map[string][]int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := t.tbl.AppendBatch(cols); err != nil {
+		return err
+	}
+	return t.enforceBudgetLocked()
+}
+
+// InsertColumn appends a batch to a table, providing values for the named
+// column only; valid only for single-column tables.
+func (t *Table) InsertColumn(col string, vals []int64) error {
+	return t.Insert(map[string][]int64{col: vals})
+}
+
+// EnforceBudget applies the amnesia policy immediately, forgetting tuples
+// until the active count is within budget. It is called automatically by
+// Insert; manual calls are useful after policy changes.
+func (t *Table) EnforceBudget() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enforceBudgetLocked()
+}
+
+func (t *Table) enforceBudgetLocked() error {
+	if t.policy.MaxAgeBatches > 0 {
+		amnesia.ForgetOlderThan(t.tbl, t.policy.MaxAgeBatches)
+	}
+	if t.strat == nil {
+		return nil
+	}
+	over := t.tbl.ActiveCount() - t.policy.Budget
+	if over <= 0 {
+		return nil
+	}
+	t.strat.Forget(t.tbl, over)
+	if got := t.tbl.ActiveCount(); got != t.policy.Budget {
+		return fmt.Errorf("amnesiadb: budget enforcement left %d active, want %d", got, t.policy.Budget)
+	}
+	return nil
+}
+
+// Pred is an opaque query predicate over one column's values.
+type Pred struct{ e expr.Expr }
+
+// Range returns the predicate lo <= value < hi.
+func Range(lo, hi int64) Pred {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Pred{e: expr.NewRange(lo, hi)}
+}
+
+// All returns the always-true predicate (full column scan).
+func All() Pred { return Pred{e: expr.True{}} }
+
+// Eq returns the predicate value == v.
+func Eq(v int64) Pred { return Pred{e: expr.Cmp{Op: expr.EQ, Val: v}} }
+
+// Lt returns the predicate value < v.
+func Lt(v int64) Pred { return Pred{e: expr.Cmp{Op: expr.LT, Val: v}} }
+
+// Ge returns the predicate value >= v.
+func Ge(v int64) Pred { return Pred{e: expr.Cmp{Op: expr.GE, Val: v}} }
+
+// And combines two predicates conjunctively.
+func And(a, b Pred) Pred { return Pred{e: expr.And{L: a.e, R: b.e}} }
+
+// String renders the predicate in SQL-ish syntax.
+func (p Pred) String() string {
+	if p.e == nil {
+		return "TRUE"
+	}
+	return p.e.String()
+}
+
+func (p Pred) expr() expr.Expr {
+	if p.e == nil {
+		return expr.True{}
+	}
+	return p.e
+}
+
+// Result is the output of Select.
+type Result struct {
+	// Rows are tuple positions in insertion order.
+	Rows []int32
+	// Values are the matching attribute values, aligned with Rows.
+	Values []int64
+}
+
+// Count returns the number of matching tuples.
+func (r *Result) Count() int { return len(r.Rows) }
+
+// Select returns the active tuples of column col matching p. Access
+// frequencies are updated, feeding rot-style policies.
+func (t *Table) Select(col string, p Pred) (*Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	res, err := t.ex.Select(col, p.expr(), engine.ScanActive)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rows: res.Rows, Values: res.Values}, nil
+}
+
+// SelectWithForgotten performs the paper's explicit "complete scan": it
+// returns matches among all stored tuples, including forgotten ones.
+func (t *Table) SelectWithForgotten(col string, p Pred) (*Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	res, err := t.ex.Select(col, p.expr(), engine.ScanAll)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rows: res.Rows, Values: res.Values}, nil
+}
+
+// Agg holds aggregate query output.
+type Agg struct {
+	Count int
+	Sum   int64
+	Min   int64
+	Max   int64
+	Avg   float64
+}
+
+// ErrNoRows is returned by aggregates whose qualifying set is empty.
+var ErrNoRows = engine.ErrNoRows
+
+// Aggregate computes COUNT/SUM/AVG/MIN/MAX of col over active tuples
+// matching p. It returns ErrNoRows when nothing matches.
+func (t *Table) Aggregate(col string, p Pred) (Agg, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, err := t.ex.Aggregate(col, p.expr(), engine.ScanActive)
+	if err != nil {
+		return Agg{}, err
+	}
+	return Agg{Count: a.Rows, Sum: a.Sum, Min: a.Min, Max: a.Max, Avg: a.Avg}, nil
+}
+
+// Precision runs p in both scan modes and reports the §2.3 metrics:
+// rf tuples returned, mf tuples missed to amnesia, pf = rf/(rf+mf).
+func (t *Table) Precision(col string, p Pred) (rf, mf int, pf float64, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ex.Precision(col, p.expr())
+}
+
+// Stats summarises table state.
+type Stats struct {
+	Tuples    int // stored tuples, active + forgotten
+	Active    int
+	Forgotten int
+	Batches   int // insert batches so far
+	ColdTier  int // tuples resident in cold storage
+	Segments  int // summary segments absorbed
+}
+
+// Stats returns current counters.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.tbl.Stats()
+	out := Stats{Tuples: s.Tuples, Active: s.Active, Forgotten: s.Forgotten, Batches: s.Batches}
+	if t.cold != nil {
+		out.ColdTier = t.cold.Tuples()
+	}
+	if t.book != nil {
+		out.Segments = len(t.book.Segments())
+	}
+	return out
+}
+
+// ActivePerBatch returns, per insert batch, how many of its tuples are
+// still active and how many it contained — the amnesia-map data of the
+// paper's Figures 1 and 2.
+func (t *Table) ActivePerBatch() (active, total []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tbl.ActivePerBatch()
+}
+
+// Vacuum physically removes forgotten tuples (that have not been demoted)
+// and reclaims their storage. Summary segments survive; cold-tier
+// snapshots survive; positions are renumbered.
+func (t *Table) Vacuum() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tbl.Vacuum()
+	if t.book != nil {
+		t.book.Rebase()
+	}
+}
+
+// DemoteForgotten moves every forgotten tuple into the simulated cold
+// tier (AWS-Glacier-like cost model) and returns how many moved.
+func (t *Table) DemoteForgotten() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cold == nil {
+		t.cold = coldstore.New(t.tbl, coldstore.Glacier2016)
+	}
+	return t.cold.Demote()
+}
+
+// RecoverRange explicitly recovers cold tuples of column col with values
+// in [lo, hi), reactivating them. It returns the recovered positions and
+// the simulated retrieval latency.
+func (t *Table) RecoverRange(col string, lo, hi int64) ([]int, time.Duration, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cold == nil {
+		return nil, 0, fmt.Errorf("amnesiadb: table %q has no cold tier", t.Name())
+	}
+	return t.cold.RecoverRange(col, lo, hi)
+}
+
+// Bill reports accumulated cold-tier costs under the Glacier model.
+type Bill struct {
+	StoragePerYear float64 // USD per year at rest
+	RetrievalTotal float64 // USD spent on recoveries
+	Retrievals     int
+}
+
+// ColdBill returns the cold tier's cost summary; zero when no tuples were
+// ever demoted.
+func (t *Table) ColdBill() Bill {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cold == nil {
+		return Bill{}
+	}
+	b := t.cold.Bill()
+	return Bill{StoragePerYear: b.StoragePerYear, RetrievalTotal: b.RetrievalTotal, Retrievals: b.Retrievals}
+}
+
+// summaryEps is the quantile-sketch error bound summaries carry: ranks
+// answered within 1% of the absorbed population.
+const summaryEps = 0.01
+
+// Summarize collapses the current forgotten tuples of column col into one
+// aggregate segment (count/sum/min/max plus a quantile sketch) and
+// returns how many tuples were absorbed. Absorbed mass keeps contributing
+// to ApproxAvg and ForgottenQuantile even after a Vacuum.
+func (t *Table) Summarize(col string) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.book == nil {
+		b, err := summary.NewBookWithQuantiles(t.tbl, col, summaryEps)
+		if err != nil {
+			return 0, err
+		}
+		t.book = b
+	}
+	return t.book.Absorb(), nil
+}
+
+// ForgottenQuantile returns an approximate phi-quantile (phi in [0, 1])
+// of every value ever absorbed by Summarize — e.g. the median of the
+// deleted data. It errors before the first Summarize call.
+func (t *Table) ForgottenQuantile(phi float64) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.book == nil {
+		return 0, fmt.Errorf("amnesiadb: table %q has no summaries yet", t.Name())
+	}
+	return t.book.ForgottenQuantile(phi)
+}
+
+// GroupRow is one bucket of a grouped aggregation.
+type GroupRow struct {
+	// Key is the group key: the attribute value (width 0) or the
+	// bucket's lower bound.
+	Key   int64
+	Count int
+	Sum   int64
+	Min   int64
+	Max   int64
+	Avg   float64
+}
+
+// GroupBy aggregates col over active tuples matching p, grouped by exact
+// value when width is 0 or into equi-width buckets otherwise. Groups come
+// back in ascending key order; groups whose members were all forgotten
+// are absent entirely.
+func (t *Table) GroupBy(col string, p Pred, width int64) ([]GroupRow, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var groups []engine.Group
+	var err error
+	if width == 0 {
+		groups, err = t.ex.GroupByValue(col, p.expr(), engine.ScanActive)
+	} else {
+		groups, err = t.ex.GroupByBucket(col, p.expr(), engine.ScanActive, width)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupRow, len(groups))
+	for i, g := range groups {
+		out[i] = GroupRow{Key: g.Key, Count: g.Rows, Sum: g.Sum, Min: g.Min, Max: g.Max, Avg: g.Avg}
+	}
+	return out, nil
+}
+
+// JoinRow is one equi-join match between two tables.
+type JoinRow struct {
+	// LeftRow and RightRow are tuple positions in the two tables.
+	LeftRow, RightRow int32
+	// Key is the join key value.
+	Key int64
+}
+
+// Join computes the equi-join left.leftCol = right.rightCol over active
+// tuples, optionally restricted by a predicate on the join key. Both
+// tables must belong to this database.
+func (db *DB) Join(left *Table, leftCol string, right *Table, rightCol string, p Pred) ([]JoinRow, error) {
+	lockPair(left, right)
+	defer unlockPair(left, right)
+	res, err := engine.HashJoin(left.tbl, leftCol, right.tbl, rightCol, p.expr(), engine.ScanActive)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]JoinRow, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = JoinRow{LeftRow: r.Left, RightRow: r.Right, Key: r.Key}
+	}
+	return out, nil
+}
+
+// JoinPrecision reports the §2.3 metrics lifted to join pairs: pairs
+// returned over active tuples, pairs missed because either side forgot a
+// participant, and their ratio. Join precision compounds — it is roughly
+// the product of the two sides' tuple precision.
+func (db *DB) JoinPrecision(left *Table, leftCol string, right *Table, rightCol string, p Pred) (rf, mf int, pf float64, err error) {
+	lockPair(left, right)
+	defer unlockPair(left, right)
+	return engine.JoinPrecision(left.tbl, leftCol, right.tbl, rightCol, p.expr())
+}
+
+// lockPair acquires both table locks in a stable order so concurrent
+// joins cannot deadlock. Self-joins take the lock once.
+func lockPair(a, b *Table) {
+	if a == b {
+		a.mu.Lock()
+		return
+	}
+	if a.tbl.Name() > b.tbl.Name() {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	b.mu.Lock()
+}
+
+func unlockPair(a, b *Table) {
+	if a == b {
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Save serialises the table's full state — values, active bitmap, insert
+// batches, access frequencies — to w in a compact binary format. The
+// amnesia policy itself is configuration, not state, and is not saved.
+func (t *Table) Save(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return snapshot.Write(w, t.tbl)
+}
+
+// LoadTable restores a table previously written by Save into the
+// database under its saved name. The table arrives without a policy;
+// call SetPolicy to resume forgetting.
+func (db *DB) LoadTable(r io.Reader) (*Table, error) {
+	tbl, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[tbl.Name()]; dup {
+		return nil, fmt.Errorf("amnesiadb: table %q already exists", tbl.Name())
+	}
+	t := &Table{db: db, tbl: tbl, ex: engine.New(tbl)}
+	db.tables[tbl.Name()] = t
+	return t, nil
+}
+
+// ApproxAvg estimates AVG(col) over active tuples plus all summarised
+// segments — exact for the union, because sums are lossless.
+func (t *Table) ApproxAvg(col string) (float64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.book == nil {
+		a, err := t.ex.Aggregate(col, expr.True{}, engine.ScanActive)
+		if err != nil {
+			return 0, err
+		}
+		return a.Avg, nil
+	}
+	est, err := t.book.FullAvg()
+	if err != nil {
+		return 0, err
+	}
+	return est.Avg, nil
+}

@@ -1,0 +1,96 @@
+// Command amnesiabench sweeps the simulator's parameter space beyond the
+// paper's fixed configurations: strategy × distribution × volatility ×
+// database size, reporting final-batch precision for each cell. Use it to
+// explore where strategies cross over.
+//
+// Usage:
+//
+//	amnesiabench [-dbsize 1000] [-batches 10] [-queries 300] [-seed 1] \
+//	             [-strategies fifo,uniform,ante,rot,area] \
+//	             [-dists serial,uniform,normal,zipfian] \
+//	             [-volatility 0.1,0.2,0.5,0.8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"amnesiadb/internal/amnesia"
+	"amnesiadb/internal/dist"
+	"amnesiadb/internal/sim"
+)
+
+func main() {
+	var (
+		dbsize     = flag.Int("dbsize", 1000, "active tuple budget")
+		batches    = flag.Int("batches", 10, "update batches")
+		queries    = flag.Int("queries", 300, "queries per batch")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		strategies = flag.String("strategies", strings.Join(amnesia.Names(), ","), "comma-separated strategies")
+		dists      = flag.String("dists", "serial,uniform,normal,zipfian", "comma-separated distributions")
+		volatility = flag.String("volatility", "0.1,0.2,0.5,0.8", "comma-separated update percentages")
+	)
+	flag.Parse()
+
+	vols, err := parseFloats(*volatility)
+	if err != nil {
+		fatal(err)
+	}
+	var kinds []dist.Kind
+	for _, name := range strings.Split(*dists, ",") {
+		k, err := dist.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		kinds = append(kinds, k)
+	}
+	stratNames := strings.Split(*strategies, ",")
+
+	fmt.Println("strategy,distribution,volatility,final_precision,mean_precision")
+	for _, s := range stratNames {
+		s = strings.TrimSpace(s)
+		for _, d := range kinds {
+			for _, v := range vols {
+				cfg := sim.DefaultConfig()
+				cfg.DBSize = *dbsize
+				cfg.Batches = *batches
+				cfg.QueriesPerBatch = *queries
+				cfg.Seed = *seed
+				cfg.Strategy = s
+				cfg.Distribution = d
+				cfg.UpdatePerc = v
+				r, err := sim.Run(cfg)
+				if err != nil {
+					fatal(err)
+				}
+				ps := r.Series.Precisions()
+				var mean float64
+				for _, p := range ps {
+					mean += p
+				}
+				mean /= float64(len(ps))
+				fmt.Printf("%s,%s,%.2f,%.4f,%.4f\n", s, d, v, ps[len(ps)-1], mean)
+			}
+		}
+	}
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(csv, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "amnesiabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Command amnesiaserve runs an amnesiadb HTTP server.
+//
+//	amnesiaserve -addr :8080 -seed 1
+//
+// Endpoints (see internal/server): POST /query, POST /insert,
+// POST /policy, GET /stats, GET /tables, GET /precision.
+//
+//	curl -s localhost:8080/insert -d '{"table":"t","create":["a"],"columns":{"a":[1,2,3]}}'
+//	curl -s localhost:8080/policy -d '{"table":"t","strategy":"fifo","budget":2}'
+//	curl -s localhost:8080/query  -d '{"sql":"SELECT COUNT(*) FROM t"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"amnesiadb"
+	"amnesiadb/internal/server"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		seed = flag.Uint64("seed", 1, "seed for amnesia decisions")
+	)
+	flag.Parse()
+
+	db := amnesiadb.Open(amnesiadb.Options{Seed: *seed})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(db),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("amnesiaserve listening on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,68 @@
+package amnesiadb_test
+
+import (
+	"fmt"
+
+	"amnesiadb"
+)
+
+// ExampleDB shows the minimal lifecycle: create, set a policy, insert
+// past the budget, observe the forgetting.
+func ExampleDB() {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 42})
+	t, _ := db.CreateTable("readings", "value")
+	_ = t.SetPolicy(amnesiadb.Policy{Strategy: "fifo", Budget: 3})
+
+	_ = t.InsertColumn("value", []int64{10, 20, 30, 40, 50})
+
+	res, _ := t.Select("value", amnesiadb.All())
+	fmt.Println("active values:", res.Values)
+	s := t.Stats()
+	fmt.Printf("stored %d, active %d, forgotten %d\n", s.Tuples, s.Active, s.Forgotten)
+	// Output:
+	// active values: [30 40 50]
+	// stored 5, active 3, forgotten 2
+}
+
+// ExampleDB_Query shows the SQL dialect over an amnesiac table.
+func ExampleDB_Query() {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 1})
+	t, _ := db.CreateTable("t", "a")
+	_ = t.InsertColumn("a", []int64{1, 2, 3, 4, 5})
+
+	res, _ := db.Query("SELECT AVG(a) FROM t WHERE a >= 2 AND a < 5")
+	fmt.Printf("%s = %v\n", res.Columns[0], res.Rows[0][0])
+	// Output:
+	// AVG(a) = 3
+}
+
+// ExampleTable_Precision shows the paper's PF(Q) metric: how much of the
+// true answer amnesia cost a query.
+func ExampleTable_Precision() {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 1})
+	t, _ := db.CreateTable("t", "a")
+	_ = t.SetPolicy(amnesiadb.Policy{Strategy: "fifo", Budget: 2})
+	_ = t.InsertColumn("a", []int64{1, 2, 3, 4})
+
+	rf, mf, pf, _ := t.Precision("a", amnesiadb.All())
+	fmt.Printf("returned %d, missed %d, precision %.2f\n", rf, mf, pf)
+	// Output:
+	// returned 2, missed 2, precision 0.50
+}
+
+// ExampleTable_Summarize shows the summary fate: forgotten mass collapses
+// to segments, the all-time average survives a physical vacuum.
+func ExampleTable_Summarize() {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 1})
+	t, _ := db.CreateTable("t", "a")
+	_ = t.SetPolicy(amnesiadb.Policy{Strategy: "fifo", Budget: 2})
+	_ = t.InsertColumn("a", []int64{10, 20, 30, 40})
+
+	absorbed, _ := t.Summarize("a")
+	t.Vacuum()
+	avg, _ := t.ApproxAvg("a")
+	fmt.Printf("absorbed %d, stored now %d, all-time avg %.0f\n",
+		absorbed, t.Stats().Tuples, avg)
+	// Output:
+	// absorbed 2, stored now 2, all-time avg 25
+}

@@ -1,0 +1,96 @@
+// Privacy: §1's regulatory motivation — "observations that are
+// constrained by a Data Privacy Act should be forgotten within the
+// legally defined time frame."
+//
+//	go run ./examples/privacy
+//
+// A user-activity table keeps at most 90 days of events via FIFO amnesia
+// (the retention window), while aggregate summaries lawfully preserve
+// anonymous statistics. At the end the example vacuums and proves the
+// expired records are physically gone: even a complete scan (the
+// forgotten-data escape hatch) no longer sees them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amnesiadb"
+	"amnesiadb/internal/xrand"
+)
+
+const (
+	eventsPerDay  = 1_000
+	retentionDays = 90
+	simulatedDays = 365
+)
+
+func main() {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 4})
+	activity, err := db.CreateTable("activity", "day")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The legally defined time frame, expressed as a storage budget:
+	// FIFO forgets anything older than the newest 90 days of events.
+	err = activity.SetPolicy(amnesiadb.Policy{
+		Strategy: "fifo",
+		Budget:   retentionDays * eventsPerDay,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src := xrand.New(8)
+	_ = src
+	for day := 0; day < simulatedDays; day++ {
+		vals := make([]int64, eventsPerDay)
+		for i := range vals {
+			vals[i] = int64(day)
+		}
+		if err := activity.InsertColumn("day", vals); err != nil {
+			log.Fatal(err)
+		}
+		// Monthly compliance job: summarise (anonymous aggregates are
+		// retainable), then physically erase the expired records.
+		if day%30 == 29 {
+			if _, err := activity.Summarize("day"); err != nil {
+				log.Fatal(err)
+			}
+			activity.Vacuum()
+		}
+	}
+
+	s := activity.Stats()
+	fmt.Printf("after %d days: %d events stored, budget %d, %d summary segments\n",
+		simulatedDays, s.Tuples, activity.Policy().Budget, s.Segments)
+
+	// The active window holds only the last 90 days.
+	oldest, err := activity.Aggregate("day", amnesiadb.All())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("visible days: %d..%d (retention window %d days)\n",
+		oldest.Min, oldest.Max, retentionDays)
+
+	// Compliance proof: day 0 must be gone even from a complete scan of
+	// everything still physically stored.
+	ghost, err := activity.SelectWithForgotten("day", amnesiadb.Eq(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ghost.Count() == 0 {
+		fmt.Println("compliance check: day-0 records physically erased ✓")
+	} else {
+		fmt.Printf("compliance check FAILED: %d day-0 records still on disk\n", ghost.Count())
+	}
+
+	// Yet lawful anonymous statistics survive: the all-time average day
+	// index is reconstructible from the 32-byte segments.
+	avg, err := activity.ApproxAvg("day")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all-time mean day (from summaries): %.1f over %d total events\n",
+		avg, simulatedDays*eventsPerDay)
+}

@@ -1,0 +1,113 @@
+// Sensordb: the paper's §5 weather-database vision — domain-specific
+// amnesia where "data from areas that have constant weather patterns can
+// be forgotten in a few weeks time, where for areas that exhibit strange
+// meteorological phenomena the data should be kept for longer periods".
+//
+//	go run ./examples/sensordb
+//
+// Two stations feed one database: a boring station (near-constant
+// readings) and a volatile one. Each gets its own table and policy —
+// pairwise (average-preserving) forgetting with a tight budget for the
+// boring station, distribution-aligned forgetting with a generous budget
+// for the volatile one. The example shows the boring station's average
+// surviving aggressive forgetting while the volatile station keeps its
+// distribution shape.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"amnesiadb"
+	"amnesiadb/internal/xrand"
+)
+
+func main() {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 2024})
+	boring, err := db.CreateTable("station_constant", "temp_mc") // millidegrees
+	if err != nil {
+		log.Fatal(err)
+	}
+	volatile, err := db.CreateTable("station_volatile", "temp_mc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Constant weather: remember almost nothing, preserve the average.
+	if err := boring.SetPolicy(amnesiadb.Policy{Strategy: "pairwise", Budget: 2_000}); err != nil {
+		log.Fatal(err)
+	}
+	// Strange weather: keep far more, and keep the histogram aligned.
+	if err := volatile.SetPolicy(amnesiadb.Policy{Strategy: "distaligned", Budget: 40_000}); err != nil {
+		log.Fatal(err)
+	}
+
+	src := xrand.New(5)
+	var trueBoringSum, trueBoringN float64
+	volatileHighN := 0
+	const weeks = 8
+	for w := 0; w < weeks; w++ {
+		// Boring station: 18C with tiny noise.
+		b := make([]int64, 20_000)
+		for i := range b {
+			b[i] = 18_000 + src.Int63n(400) - 200
+			trueBoringSum += float64(b[i])
+			trueBoringN++
+		}
+		// Volatile station: bimodal — cold snaps and heat bursts.
+		v := make([]int64, 20_000)
+		for i := range v {
+			if src.Bool(0.25) {
+				v[i] = 35_000 + src.Int63n(3_000) // heat burst
+				volatileHighN++
+			} else {
+				v[i] = 5_000 + src.Int63n(3_000)
+			}
+		}
+		if err := boring.InsertColumn("temp_mc", b); err != nil {
+			log.Fatal(err)
+		}
+		if err := volatile.InsertColumn("temp_mc", v); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// How well did each policy preserve what matters?
+	bAgg, err := boring.Aggregate("temp_mc", amnesiadb.All())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueAvg := trueBoringSum / trueBoringN
+	fmt.Printf("boring station: %d/%d tuples kept (%.1f%%)\n",
+		bAgg.Count, weeks*20_000, 100*float64(bAgg.Count)/float64(weeks*20_000))
+	fmt.Printf("  true avg %.1f  remembered avg %.1f  drift %.3f%%\n",
+		trueAvg, bAgg.Avg, 100*math.Abs(bAgg.Avg-trueAvg)/trueAvg)
+
+	hot, err := volatile.Select("temp_mc", amnesiadb.Ge(30_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	vAgg, err := volatile.Aggregate("temp_mc", amnesiadb.All())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueHotFrac := float64(volatileHighN) / float64(weeks*20_000)
+	keptHotFrac := float64(hot.Count()) / float64(vAgg.Count)
+	fmt.Printf("volatile station: %d tuples kept; heat-burst share %.1f%% (true %.1f%%)\n",
+		vAgg.Count, 100*keptHotFrac, 100*trueHotFrac)
+
+	// Finally, reclaim the space: the boring station's forgotten mass
+	// collapses into summary segments before vacuuming.
+	absorbed, err := boring.Summarize("temp_mc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	boring.Vacuum()
+	approx, err := boring.ApproxAvg("temp_mc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after summarise(%d)+vacuum: all-time avg reconstructed as %.1f (true %.1f)\n",
+		absorbed, approx, trueAvg)
+}

@@ -1,0 +1,256 @@
+// Integration tests exercising flows that cross module boundaries: the
+// full simulator pipeline against facade-level behaviour, index
+// consistency under amnesia churn, the four fates of forgotten data
+// working together on one table, and SQL over an amnesiac store.
+package amnesiadb_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"amnesiadb"
+	"amnesiadb/internal/amnesia"
+	"amnesiadb/internal/index"
+	"amnesiadb/internal/sim"
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+// TestSimulatorAndFacadeAgree drives the same FIFO workload through the
+// low-level simulator and through the public facade and checks they
+// forget identically (the facade is a veneer, not a fork).
+func TestSimulatorAndFacadeAgree(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Strategy = "fifo"
+	cfg.QueriesPerBatch = 0
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db := amnesiadb.Open(amnesiadb.Options{Seed: cfg.Seed})
+	tb, err := db.CreateTable("t", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetPolicy(amnesiadb.Policy{Strategy: "fifo", Budget: cfg.DBSize}); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the same insert sizes (values differ; FIFO ignores them).
+	if err := tb.InsertColumn("a", make([]int64, cfg.DBSize)); err != nil {
+		t.Fatal(err)
+	}
+	step := int(cfg.UpdatePerc * float64(cfg.DBSize))
+	for b := 0; b < cfg.Batches; b++ {
+		if err := tb.InsertColumn("a", make([]int64, step)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fa, _ := tb.ActivePerBatch()
+	for i := range fa {
+		if fa[i] != res.MapActive[i] {
+			t.Fatalf("facade and simulator maps diverge at batch %d: %d vs %d", i, fa[i], res.MapActive[i])
+		}
+	}
+}
+
+// TestIndexConsistencyUnderChurn rebuilds and prunes indexes across many
+// amnesia rounds and checks BRIN, sorted index, and raw scans always
+// agree.
+func TestIndexConsistencyUnderChurn(t *testing.T) {
+	src := xrand.New(3)
+	tb := table.New("t", "a")
+	strat := amnesia.NewUniform(src.Split())
+	for round := 0; round < 8; round++ {
+		vals := make([]int64, 500)
+		for i := range vals {
+			vals[i] = src.Int63n(10000)
+		}
+		if _, err := tb.AppendSingleColumn(vals); err != nil {
+			t.Fatal(err)
+		}
+		if over := tb.ActiveCount() - 1000; over > 0 {
+			strat.Forget(tb, over)
+		}
+		brin, err := index.NewBRIN(tb, "a", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted, err := index.NewSorted(tb, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted.PruneForgotten(tb)
+		for q := 0; q < 20; q++ {
+			lo := src.Int63n(10000)
+			hi := lo + src.Int63n(2000)
+			bres, err := brin.Scan(tb, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sres := sorted.Scan(tb, lo, hi)
+			want := tb.MustColumn("a").ScanRangeActive(lo, hi, tb.Active(), nil)
+			if len(bres) != len(want) || len(sres) != len(want) {
+				t.Fatalf("round %d [%d,%d): brin=%d sorted=%d raw=%d", round, lo, hi, len(bres), len(sres), len(want))
+			}
+			for i := range want {
+				if bres[i] != want[i] || sres[i] != want[i] {
+					t.Fatalf("round %d: index row mismatch at %d", round, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFourFatesCompose runs mark → summarise → demote → vacuum on one
+// table and checks each fate's artefact stays coherent.
+func TestFourFatesCompose(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 11})
+	tb, err := db.CreateTable("t", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetPolicy(amnesiadb.Policy{Strategy: "fifo", Budget: 100}); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, 1000)
+	var sum float64
+	for i := range vals {
+		vals[i] = int64(i)
+		sum += float64(i)
+	}
+	trueAvg := sum / 1000
+	if err := tb.InsertColumn("a", vals); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fate 4 first: summarise the forgotten mass.
+	absorbed, err := tb.Summarize("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if absorbed != 900 {
+		t.Fatalf("absorbed %d", absorbed)
+	}
+	// Fate 3: also demote the same tuples to cold storage.
+	if moved := tb.DemoteForgotten(); moved != 900 {
+		t.Fatalf("demoted %d", moved)
+	}
+	// Fate 1 is the default (marked; complete scan still sees them).
+	all, err := tb.SelectWithForgotten("a", amnesiadb.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Count() != 1000 {
+		t.Fatalf("complete scan saw %d", all.Count())
+	}
+	// Fate: physically vacuum the hot store.
+	tb.Vacuum()
+	if tb.Stats().Tuples != 100 {
+		t.Fatalf("post-vacuum tuples = %d", tb.Stats().Tuples)
+	}
+	// The summary still reconstructs the all-time average exactly.
+	got, err := tb.ApproxAvg("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-trueAvg) > 1e-9 {
+		t.Fatalf("approx avg %v, want %v", got, trueAvg)
+	}
+	// And the cold tier still serves recovery... of tuples that were
+	// vacuumed from the hot store, the snapshot lives on in the cold
+	// tier's ledger.
+	if tb.Stats().ColdTier != 900 {
+		t.Fatalf("cold tier = %d", tb.Stats().ColdTier)
+	}
+}
+
+// TestSnapshotMidExperiment saves a table halfway through an amnesia run,
+// restores it, continues both, and checks the restored table's precision
+// metrics match the original exactly (the strategy state is external, so
+// the same policy+seed continues identically only when re-seeded — here
+// we assert restored state equality, then independent progress).
+func TestSnapshotMidExperiment(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 21})
+	tb, err := db.CreateTable("run", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetPolicy(amnesiadb.Policy{Strategy: "uniform", Budget: 300}); err != nil {
+		t.Fatal(err)
+	}
+	src := xrand.New(5)
+	for round := 0; round < 5; round++ {
+		vals := make([]int64, 200)
+		for i := range vals {
+			vals[i] = src.Int63n(100000)
+		}
+		if err := tb.InsertColumn("a", vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tb.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := amnesiadb.Open(amnesiadb.Options{Seed: 99})
+	back, err := db2.LoadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf1, mf1, pf1, err := tb.Precision("a", amnesiadb.Range(0, 50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf2, mf2, pf2, err := back.Precision("a", amnesiadb.Range(0, 50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf1 != rf2 || mf1 != mf2 || pf1 != pf2 {
+		t.Fatalf("restored precision differs: (%d,%d,%v) vs (%d,%d,%v)", rf2, mf2, pf2, rf1, mf1, pf1)
+	}
+	// The restored table accepts a policy and keeps forgetting.
+	if err := back.SetPolicy(amnesiadb.Policy{Strategy: "fifo", Budget: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.EnforceBudget(); err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats().Active != 100 {
+		t.Fatalf("restored table active = %d", back.Stats().Active)
+	}
+}
+
+// TestSQLOverAmnesiacStore checks the SQL layer and the facade policy
+// machinery compose: the same query's COUNT shrinks as the policy bites.
+func TestSQLOverAmnesiacStore(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 31})
+	tb, err := db.CreateTable("logs", "sev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.InsertColumn("sev", []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := db.Query("SELECT COUNT(*) FROM logs WHERE sev >= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Rows[0][0] != 6 {
+		t.Fatalf("pre-amnesia count = %v", before.Rows[0][0])
+	}
+	if err := tb.SetPolicy(amnesiadb.Policy{Strategy: "fifo", Budget: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.EnforceBudget(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.Query("SELECT COUNT(*) FROM logs WHERE sev >= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Rows[0][0] != 4 { // FIFO keeps 7,8,9,10
+		t.Fatalf("post-amnesia count = %v", after.Rows[0][0])
+	}
+}

@@ -1,0 +1,191 @@
+// Package advisor implements the §2.2 programme: "ideally, knowledge
+// about all queries and their frequency to be ran against a database
+// would make it possible to identify if and how long a tuple is active
+// before it can be safely forgotten. Collecting such statistics is a good
+// start to assess what data amnesia an application can afford."
+//
+// A Collector observes a query stream (ranges, aggregates, their
+// selectivities and the age of the tuples they touch) and produces a
+// Report: which amnesia strategy fits the workload, and how tight a
+// budget it can afford at a target precision.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"amnesiadb/internal/table"
+)
+
+// Collector accumulates workload statistics against one table.
+type Collector struct {
+	t   *table.Table
+	col string
+
+	queries      int64
+	aggregates   int64
+	sumSel       float64 // selectivity = touched / active
+	ageHist      []int64 // age (batches) of touched tuples, bucketed
+	touchedTotal int64
+	valueLo      int64 // observed query-range envelope
+	valueHi      int64
+	envelopeSet  bool
+}
+
+// ageBuckets is the resolution of the tuple-age histogram.
+const ageBuckets = 16
+
+// NewCollector returns a collector for the named column of t.
+func NewCollector(t *table.Table, col string) (*Collector, error) {
+	if _, err := t.Column(col); err != nil {
+		return nil, err
+	}
+	return &Collector{t: t, col: col, ageHist: make([]int64, ageBuckets)}, nil
+}
+
+// ObserveRange records one range query and the positions it returned.
+func (c *Collector) ObserveRange(lo, hi int64, rows []int32) {
+	c.queries++
+	c.observeRows(rows)
+	if !c.envelopeSet {
+		c.valueLo, c.valueHi, c.envelopeSet = lo, hi, true
+		return
+	}
+	if lo < c.valueLo {
+		c.valueLo = lo
+	}
+	if hi > c.valueHi {
+		c.valueHi = hi
+	}
+}
+
+// ObserveAggregate records one aggregate query and its contributing rows.
+func (c *Collector) ObserveAggregate(rows []int32) {
+	c.queries++
+	c.aggregates++
+	c.observeRows(rows)
+}
+
+func (c *Collector) observeRows(rows []int32) {
+	active := c.t.ActiveCount()
+	if active > 0 {
+		c.sumSel += float64(len(rows)) / float64(active)
+	}
+	current := c.t.Batches() - 1
+	span := current + 1
+	for _, r := range rows {
+		age := current - int(c.t.InsertBatch(int(r)))
+		b := 0
+		if span > 0 {
+			b = age * ageBuckets / span
+		}
+		if b >= ageBuckets {
+			b = ageBuckets - 1
+		}
+		c.ageHist[b]++
+		c.touchedTotal++
+	}
+}
+
+// Report is the advisor's output.
+type Report struct {
+	// Queries observed, and how many were aggregates.
+	Queries, Aggregates int64
+	// MeanSelectivity is the average fraction of active tuples a query
+	// touches.
+	MeanSelectivity float64
+	// FreshFocus is the fraction of touched tuples younger than a
+	// quarter of the table's lifetime: near 1 means the workload only
+	// cares about recent data.
+	FreshFocus float64
+	// Strategy is the recommended amnesia strategy.
+	Strategy string
+	// Reason explains the recommendation.
+	Reason string
+	// AffordableBudget estimates the smallest active-tuple budget that
+	// keeps expected precision above the target used in Analyze.
+	AffordableBudget int
+}
+
+// Analyze produces a recommendation for the observed workload. target is
+// the desired precision in (0, 1]; the affordable budget assumes the
+// recommended strategy concentrates retention on what the workload asks
+// for with the measured focus.
+func (c *Collector) Analyze(target float64) (Report, error) {
+	if c.queries == 0 {
+		return Report{}, fmt.Errorf("advisor: no queries observed")
+	}
+	if target <= 0 || target > 1 {
+		return Report{}, fmt.Errorf("advisor: target precision %v outside (0, 1]", target)
+	}
+	r := Report{Queries: c.queries, Aggregates: c.aggregates}
+	r.MeanSelectivity = c.sumSel / float64(c.queries)
+
+	// Fraction of touches landing in the youngest quarter of the
+	// age histogram.
+	var young, total int64
+	for b, n := range c.ageHist {
+		total += n
+		if b < ageBuckets/4 {
+			young += n
+		}
+	}
+	if total > 0 {
+		r.FreshFocus = float64(young) / float64(total)
+	}
+
+	aggShare := float64(c.aggregates) / float64(c.queries)
+	switch {
+	case r.FreshFocus > 0.9:
+		r.Strategy = "fifo"
+		r.Reason = "the workload touches almost exclusively fresh data; a sliding window loses nothing it asks for"
+	case aggShare > 0.8:
+		r.Strategy = "pairwise"
+		r.Reason = "the workload is aggregate-dominant; average-preserving forgetting keeps AVG exact at any budget"
+	case r.MeanSelectivity < 0.05:
+		r.Strategy = "rot"
+		r.Reason = "queries are narrow and repeated; access-frequency rot retains exactly the tuples the workload returns"
+	default:
+		r.Strategy = "distaligned"
+		r.Reason = "broad scans over all history; distribution-aligned forgetting keeps the active set representative"
+	}
+
+	// Expected precision under a focused strategy ~ budget covering the
+	// workload's touched mass: budget >= target * touched-per-query
+	// scaled to the active set. Conservatively: budget = target * active.
+	active := c.t.ActiveCount()
+	r.AffordableBudget = int(target * float64(active))
+	if r.FreshFocus > 0.9 {
+		// A window only needs the fresh fraction.
+		r.AffordableBudget = int(target * float64(active) / 4)
+	}
+	if r.AffordableBudget < 1 {
+		r.AffordableBudget = 1
+	}
+	return r, nil
+}
+
+// AgeProfile returns the touched-tuple age histogram (youngest bucket
+// first) normalised to fractions; useful for plotting "how far back does
+// this workload actually look".
+func (c *Collector) AgeProfile() []float64 {
+	out := make([]float64, ageBuckets)
+	if c.touchedTotal == 0 {
+		return out
+	}
+	for b, n := range c.ageHist {
+		out[b] = float64(n) / float64(c.touchedTotal)
+	}
+	return out
+}
+
+// TopAges returns the histogram buckets in descending touch order; for
+// debugging and reports.
+func (c *Collector) TopAges() []int {
+	idx := make([]int, ageBuckets)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return c.ageHist[idx[a]] > c.ageHist[idx[b]] })
+	return idx
+}

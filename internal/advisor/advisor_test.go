@@ -1,0 +1,196 @@
+package advisor
+
+import (
+	"testing"
+
+	"amnesiadb/internal/engine"
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+// build populates a table with nBatches x 100 serial tuples.
+func build(t *testing.T, nBatches int) *table.Table {
+	t.Helper()
+	tb := table.New("t", "a")
+	v := int64(0)
+	for b := 0; b < nBatches; b++ {
+		vals := make([]int64, 100)
+		for i := range vals {
+			vals[i] = v
+			v++
+		}
+		if _, err := tb.AppendSingleColumn(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestCollectorValidation(t *testing.T) {
+	tb := build(t, 1)
+	if _, err := NewCollector(tb, "zz"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	c, err := NewCollector(tb, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Analyze(0.9); err == nil {
+		t.Fatal("analysis without queries accepted")
+	}
+	c.ObserveRange(0, 1, nil)
+	if _, err := c.Analyze(0); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := c.Analyze(1.5); err == nil {
+		t.Fatal("target > 1 accepted")
+	}
+}
+
+func TestFreshWorkloadRecommendsFIFO(t *testing.T) {
+	tb := build(t, 10)
+	c, err := NewCollector(tb, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := engine.NewSilent(tb)
+	// Only query the newest batch's values (900..999).
+	for q := 0; q < 50; q++ {
+		res, err := ex.Select("a", expr.NewRange(900, 1000), engine.ScanActive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ObserveRange(900, 1000, res.Rows)
+	}
+	r, err := c.Analyze(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Strategy != "fifo" {
+		t.Fatalf("fresh workload recommended %q (%s)", r.Strategy, r.Reason)
+	}
+	if r.FreshFocus < 0.9 {
+		t.Fatalf("fresh focus = %v", r.FreshFocus)
+	}
+	// Window workloads afford tight budgets.
+	if r.AffordableBudget >= tb.ActiveCount() {
+		t.Fatalf("fifo budget not tightened: %d", r.AffordableBudget)
+	}
+}
+
+func TestAggregateWorkloadRecommendsPairwise(t *testing.T) {
+	tb := build(t, 5)
+	c, err := NewCollector(tb, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := engine.NewSilent(tb)
+	for q := 0; q < 20; q++ {
+		res, err := ex.Select("a", expr.True{}, engine.ScanActive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ObserveAggregate(res.Rows)
+	}
+	r, err := c.Analyze(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Strategy != "pairwise" {
+		t.Fatalf("aggregate workload recommended %q (%s)", r.Strategy, r.Reason)
+	}
+	if r.Aggregates != 20 {
+		t.Fatalf("aggregates = %d", r.Aggregates)
+	}
+}
+
+func TestNarrowRepeatedWorkloadRecommendsRot(t *testing.T) {
+	tb := build(t, 10)
+	c, err := NewCollector(tb, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := engine.NewSilent(tb)
+	// Narrow band in the middle of the history: old + tiny selectivity.
+	for q := 0; q < 50; q++ {
+		res, err := ex.Select("a", expr.NewRange(100, 110), engine.ScanActive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ObserveRange(100, 110, res.Rows)
+	}
+	r, err := c.Analyze(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Strategy != "rot" {
+		t.Fatalf("narrow workload recommended %q (%s)", r.Strategy, r.Reason)
+	}
+	if r.MeanSelectivity > 0.05 {
+		t.Fatalf("selectivity = %v", r.MeanSelectivity)
+	}
+}
+
+func TestBroadScansRecommendDistAligned(t *testing.T) {
+	tb := build(t, 10)
+	c, err := NewCollector(tb, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := engine.NewSilent(tb)
+	src := xrand.New(1)
+	for q := 0; q < 50; q++ {
+		lo := src.Int63n(500)
+		res, err := ex.Select("a", expr.NewRange(lo, lo+400), engine.ScanActive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ObserveRange(lo, lo+400, res.Rows)
+	}
+	r, err := c.Analyze(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Strategy != "distaligned" {
+		t.Fatalf("broad workload recommended %q (%s)", r.Strategy, r.Reason)
+	}
+}
+
+func TestAgeProfileSumsToOne(t *testing.T) {
+	tb := build(t, 4)
+	c, err := NewCollector(tb, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := engine.NewSilent(tb)
+	res, err := ex.Select("a", expr.True{}, engine.ScanActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ObserveRange(0, 1000, res.Rows)
+	var sum float64
+	for _, f := range c.AgeProfile() {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("age profile sums to %v", sum)
+	}
+	top := c.TopAges()
+	if len(top) != ageBuckets {
+		t.Fatalf("top ages = %v", top)
+	}
+}
+
+func TestAgeProfileEmpty(t *testing.T) {
+	tb := build(t, 1)
+	c, err := NewCollector(tb, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range c.AgeProfile() {
+		if f != 0 {
+			t.Fatal("empty profile nonzero")
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package amnesia implements the paper's controlled-forgetting strategies
+// (§3): the temporally biased FIFO, Uniform (reservoir-style) and
+// Anterograde algorithms, the query-based Rot algorithm with its
+// high-water-mark guard, the spatially biased Area ("mold") algorithm, and
+// the extensions sketched in §3.2 and §4.4 — Frequent (forget over-used
+// data), Pairwise (average-preserving forgetting) and DistAligned
+// (distribution-preserving forgetting).
+//
+// A Strategy is invoked after every update batch with the number of tuples
+// that must be forgotten to restore the storage budget (§2.1 keeps the
+// active set at exactly DBSIZE tuples). Strategies see only table metadata
+// — insertion order, access frequency, stored values — matching the
+// paper's requirement that amnesia be "closely tied with the DBMS itself".
+package amnesia
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+// Strategy selects tuples to forget.
+type Strategy interface {
+	// Name returns the paper's label for the algorithm (used in figure
+	// legends).
+	Name() string
+	// Forget marks up to n active tuples of t inactive and returns the
+	// number actually forgotten (less than n only when fewer than n
+	// tuples are active). Implementations must not reactivate tuples.
+	Forget(t *table.Table, n int) int
+}
+
+// New constructs a registered strategy by name. Names match the paper's
+// figure legends: fifo, uniform, ante, rot, area; extensions: areav
+// (value-space area), frequent, pairwise, distaligned. col is the
+// attribute column used by value-aware strategies; others ignore it.
+func New(name, col string, src *xrand.Source) (Strategy, error) {
+	switch name {
+	case "fifo":
+		return NewFIFO(), nil
+	case "uniform":
+		return NewUniform(src), nil
+	case "ante":
+		return NewAnterograde(src, DefaultAnteBias), nil
+	case "rot":
+		return NewRot(src, DefaultRotMinAge), nil
+	case "area":
+		return NewArea(src, DefaultAreaCount), nil
+	case "areav":
+		return NewAreaValue(src, col, DefaultAreaCount), nil
+	case "decay":
+		return NewDecay(src, DefaultDecayHalfLife), nil
+	case "frequent":
+		return NewFrequent(src), nil
+	case "pairwise":
+		return NewPairwise(src, col), nil
+	case "distaligned":
+		return NewDistAligned(src, col, DefaultAlignBins), nil
+	}
+	return nil, fmt.Errorf("amnesia: unknown strategy %q", name)
+}
+
+// Names lists the strategy names accepted by New, paper strategies first.
+func Names() []string {
+	return []string{"fifo", "uniform", "ante", "rot", "area", "areav", "decay", "frequent", "pairwise", "distaligned"}
+}
+
+// ForgetOlderThan marks inactive every active tuple whose age exceeds
+// maxAge batches (age 0 = the current batch) and returns how many were
+// forgotten. It is not a Strategy — it enforces a hard retention window
+// (the paper's §1 "forgotten within the legally defined time frame" and
+// the §5 vacuuming lineage) and composes with any budget strategy.
+func ForgetOlderThan(t *table.Table, maxAge int) int {
+	if maxAge < 0 {
+		panic("amnesia: ForgetOlderThan with negative maxAge")
+	}
+	current := int32(t.Batches() - 1)
+	n := 0
+	for _, i := range t.ActiveIndices() {
+		if current-t.InsertBatch(i) > int32(maxAge) {
+			t.Forget(i)
+			n++
+		}
+	}
+	return n
+}
+
+// clampBudget bounds n to the number of active tuples.
+func clampBudget(t *table.Table, n int) int {
+	if a := t.ActiveCount(); n > a {
+		return a
+	}
+	return n
+}
+
+// FIFO forgets the oldest active tuples first, so the active set is a
+// sliding buffer at the head of the timeline — the streaming-database
+// scenario of §3.1 and the canonical retrograde amnesia.
+type FIFO struct{}
+
+// NewFIFO returns the FIFO-amnesia strategy.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Strategy.
+func (*FIFO) Name() string { return "fifo" }
+
+// Forget implements Strategy.
+func (*FIFO) Forget(t *table.Table, n int) int {
+	n = clampBudget(t, n)
+	forgotten := 0
+	i := t.OldestActive()
+	for forgotten < n && i >= 0 {
+		t.Forget(i)
+		forgotten++
+		i = t.Active().NextSet(i + 1)
+	}
+	return forgotten
+}
+
+// Uniform forgets tuples chosen uniformly at random among the active set —
+// the reservoir-sampling-like baseline of §3.1. Every round each active
+// tuple has the same forgetting probability, so older tuples accumulate
+// more exposure and fade gradually.
+type Uniform struct {
+	src *xrand.Source
+}
+
+// NewUniform returns the Uniform-amnesia strategy.
+func NewUniform(src *xrand.Source) *Uniform {
+	if src == nil {
+		panic("amnesia: NewUniform with nil source")
+	}
+	return &Uniform{src: src}
+}
+
+// Name implements Strategy.
+func (*Uniform) Name() string { return "uniform" }
+
+// Forget implements Strategy.
+func (u *Uniform) Forget(t *table.Table, n int) int {
+	n = clampBudget(t, n)
+	if n == 0 {
+		return 0
+	}
+	active := t.ActiveIndices()
+	for _, k := range u.src.SampleK(n, len(active)) {
+		t.Forget(active[k])
+	}
+	return n
+}
+
+// DefaultAnteBias is the recency-bias exponent used by New for the
+// anterograde strategy. Higher values concentrate forgetting more sharply
+// on recently inserted tuples; 12 reproduces the Figure 1 shape (initial
+// load largely retained, updates forming the growing "black hole").
+const DefaultAnteBias = 12.0
+
+// Anterograde models the inability to accumulate new memories (§3.1):
+// forgetting probability grows steeply with recency of insertion, so
+// historical data is prioritised and "a new piece of information is only
+// remembered if it appears too often". The weight of the i-th active tuple
+// (in insertion order, rank r of a) is (r/a)^bias.
+type Anterograde struct {
+	src  *xrand.Source
+	bias float64
+}
+
+// NewAnterograde returns the anterograde strategy with the given recency
+// bias exponent (> 0).
+func NewAnterograde(src *xrand.Source, bias float64) *Anterograde {
+	if src == nil {
+		panic("amnesia: NewAnterograde with nil source")
+	}
+	if bias <= 0 {
+		panic("amnesia: NewAnterograde with non-positive bias")
+	}
+	return &Anterograde{src: src, bias: bias}
+}
+
+// Name implements Strategy.
+func (*Anterograde) Name() string { return "ante" }
+
+// Forget implements Strategy.
+func (a *Anterograde) Forget(t *table.Table, n int) int {
+	n = clampBudget(t, n)
+	if n == 0 {
+		return 0
+	}
+	active := t.ActiveIndices() // ascending = oldest first
+	w := make([]float64, len(active))
+	for r := range active {
+		rel := (float64(r) + 1) / float64(len(active))
+		w[r] = math.Pow(rel, a.bias)
+	}
+	for _, k := range weightedSampleK(a.src, w, n) {
+		t.Forget(active[k])
+	}
+	return n
+}
+
+// DefaultRotMinAge is the high-water-mark age (in batches) below which the
+// rot strategy refuses to forget a tuple, preventing it from degenerating
+// into anterograde behaviour (§3.2).
+const DefaultRotMinAge = 2
+
+// Rot is the query-based strategy of §3.2: tuples are forgotten with
+// probability inversely proportional to their access frequency, but only
+// once they have "been part of the database long enough" (the high-water
+// mark). Data the workload keeps returning stays; data nobody asks for
+// rots away.
+type Rot struct {
+	src    *xrand.Source
+	minAge int
+}
+
+// NewRot returns the rot strategy. minAge is the high-water mark in
+// batches; tuples younger than that are protected while older eligible
+// tuples remain.
+func NewRot(src *xrand.Source, minAge int) *Rot {
+	if src == nil {
+		panic("amnesia: NewRot with nil source")
+	}
+	if minAge < 0 {
+		panic("amnesia: NewRot with negative minAge")
+	}
+	return &Rot{src: src, minAge: minAge}
+}
+
+// Name implements Strategy.
+func (*Rot) Name() string { return "rot" }
+
+// Forget implements Strategy.
+func (r *Rot) Forget(t *table.Table, n int) int {
+	n = clampBudget(t, n)
+	if n == 0 {
+		return 0
+	}
+	current := int32(t.Batches() - 1)
+	active := t.ActiveIndices()
+	eligible := make([]int, 0, len(active))
+	for _, i := range active {
+		if int32(r.minAge) <= current-t.InsertBatch(i) {
+			eligible = append(eligible, i)
+		}
+	}
+	forgotten := 0
+	if len(eligible) > 0 {
+		k := n
+		if k > len(eligible) {
+			k = len(eligible)
+		}
+		w := make([]float64, len(eligible))
+		for j, i := range eligible {
+			w[j] = 1 / (1 + float64(t.AccessCount(i)))
+		}
+		for _, j := range weightedSampleK(r.src, w, k) {
+			t.Forget(eligible[j])
+		}
+		forgotten = k
+	}
+	// High-water mark exhausted: fall back to uniform over what remains
+	// so the storage budget is always met.
+	if forgotten < n {
+		rest := t.ActiveIndices()
+		for _, k := range r.src.SampleK(n-forgotten, len(rest)) {
+			t.Forget(rest[k])
+		}
+		forgotten = n
+	}
+	return forgotten
+}
+
+// Frequent is the "totally opposite approach" of §3.2's final paragraph:
+// forget data that has been accessed too often, on the theory that
+// anything consumed that many times has served its purpose and should be
+// transformed or summarised rather than linger in results.
+type Frequent struct {
+	src *xrand.Source
+}
+
+// NewFrequent returns the frequent-forget strategy.
+func NewFrequent(src *xrand.Source) *Frequent {
+	if src == nil {
+		panic("amnesia: NewFrequent with nil source")
+	}
+	return &Frequent{src: src}
+}
+
+// Name implements Strategy.
+func (*Frequent) Name() string { return "frequent" }
+
+// Forget implements Strategy.
+func (f *Frequent) Forget(t *table.Table, n int) int {
+	n = clampBudget(t, n)
+	if n == 0 {
+		return 0
+	}
+	active := t.ActiveIndices()
+	w := make([]float64, len(active))
+	for j, i := range active {
+		w[j] = 1 + float64(t.AccessCount(i))
+	}
+	for _, j := range weightedSampleK(f.src, w, n) {
+		t.Forget(active[j])
+	}
+	return n
+}
+
+// weightedSampleK draws k distinct indices from [0, len(w)) with
+// probability proportional to w[i], via the Efraimidis–Spirakis exponent
+// trick: each item gets key u^(1/w) and the k largest keys win. O(n log n)
+// worst case; exact weights, no rejection loops.
+func weightedSampleK(src *xrand.Source, w []float64, k int) []int {
+	if k > len(w) {
+		panic("amnesia: weightedSampleK with k > len(w)")
+	}
+	type kv struct {
+		key float64
+		idx int
+	}
+	keys := make([]kv, len(w))
+	for i, wi := range w {
+		if wi <= 0 {
+			// Zero-weight items get the worst possible key but stay
+			// eligible so the budget can always be met.
+			keys[i] = kv{key: -1, idx: i}
+			continue
+		}
+		u := src.Float64()
+		for u == 0 {
+			u = src.Float64()
+		}
+		keys[i] = kv{key: math.Pow(u, 1/wi), idx: i}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].key > keys[b].key })
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = keys[i].idx
+	}
+	return out
+}

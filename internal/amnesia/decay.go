@@ -1,0 +1,61 @@
+package amnesia
+
+import (
+	"math"
+
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+// DefaultDecayHalfLife is the memory half-life, in batches, used by New
+// for the decay strategy.
+const DefaultDecayHalfLife = 3.0
+
+// Decay is the human-forgetting heuristic §5 points to (Ebbinghaus-style
+// retention, following the spirit of Bahr & Wood [2] and Freedman &
+// Adams [6]): each tuple carries a memory strength that decays
+// exponentially with age and is reinforced by every access (rehearsal).
+// Tuples are forgotten with probability inversely proportional to their
+// current strength, combining the temporal bias of FIFO with the
+// query bias of rot in one curve:
+//
+//	strength(i) = (1 + accesses(i)) * 2^(-age(i)/halfLife)
+type Decay struct {
+	src      *xrand.Source
+	halfLife float64
+}
+
+// NewDecay returns the decay strategy with the given half-life in batches
+// (> 0).
+func NewDecay(src *xrand.Source, halfLife float64) *Decay {
+	if src == nil {
+		panic("amnesia: NewDecay with nil source")
+	}
+	if halfLife <= 0 {
+		panic("amnesia: NewDecay with non-positive half-life")
+	}
+	return &Decay{src: src, halfLife: halfLife}
+}
+
+// Name implements Strategy.
+func (*Decay) Name() string { return "decay" }
+
+// Forget implements Strategy.
+func (d *Decay) Forget(t *table.Table, n int) int {
+	n = clampBudget(t, n)
+	if n == 0 {
+		return 0
+	}
+	current := float64(t.Batches() - 1)
+	active := t.ActiveIndices()
+	w := make([]float64, len(active))
+	for j, i := range active {
+		age := current - float64(t.InsertBatch(i))
+		strength := (1 + float64(t.AccessCount(i))) * math.Exp2(-age/d.halfLife)
+		w[j] = 1 / strength
+	}
+	for _, j := range weightedSampleK(d.src, w, n) {
+		t.Forget(active[j])
+	}
+	return n
+}

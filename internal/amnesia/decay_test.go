@@ -1,0 +1,98 @@
+package amnesia
+
+import (
+	"testing"
+
+	"amnesiadb/internal/xrand"
+)
+
+func TestDecayRegistered(t *testing.T) {
+	s, err := New("decay", "a", xrand.New(1))
+	if err != nil || s.Name() != "decay" {
+		t.Fatalf("New(decay) = %v, %v", s, err)
+	}
+}
+
+func TestDecayPrefersOldColdTuples(t *testing.T) {
+	src := xrand.New(2)
+	oldCold, oldHot, fresh := 0, 0, 0
+	const trials = 200
+	for tr := 0; tr < trials; tr++ {
+		tb := mkTable(t, 6, 50) // batches 0..5
+		// Old but rehearsed: tuples 0..24 (batch 0) accessed heavily.
+		for i := 0; i < 25; i++ {
+			for k := 0; k < 200; k++ {
+				tb.Touch(i)
+			}
+		}
+		NewDecay(src.Split(), 2).Forget(tb, 100)
+		for i := 0; i < 25; i++ {
+			if !tb.IsActive(i) {
+				oldHot++
+			}
+		}
+		for i := 25; i < 100; i++ { // batches 0-1, cold
+			if !tb.IsActive(i) {
+				oldCold++
+			}
+		}
+		for i := 250; i < 300; i++ { // batch 5, cold but fresh
+			if !tb.IsActive(i) {
+				fresh++
+			}
+		}
+	}
+	oldHotRate := float64(oldHot) / (25 * trials)
+	oldColdRate := float64(oldCold) / (75 * trials)
+	freshRate := float64(fresh) / (50 * trials)
+	if oldColdRate < 2*oldHotRate {
+		t.Fatalf("rehearsal not protective: hot=%.3f cold=%.3f", oldHotRate, oldColdRate)
+	}
+	if oldColdRate < 2*freshRate {
+		t.Fatalf("age not decaying: oldCold=%.3f fresh=%.3f", oldColdRate, freshRate)
+	}
+}
+
+func TestDecayHalfLifeControlsTemporalBias(t *testing.T) {
+	// A short half-life must concentrate forgetting on old tuples far
+	// more than a long one.
+	bias := func(halfLife float64) float64 {
+		src := xrand.New(3)
+		oldN, newN := 0, 0
+		for tr := 0; tr < 100; tr++ {
+			tb := mkTable(t, 10, 30)
+			NewDecay(src.Split(), halfLife).Forget(tb, 100)
+			for i := 0; i < 150; i++ {
+				if !tb.IsActive(i) {
+					oldN++
+				}
+			}
+			for i := 150; i < 300; i++ {
+				if !tb.IsActive(i) {
+					newN++
+				}
+			}
+		}
+		return float64(oldN) / float64(oldN+newN)
+	}
+	short, long := bias(0.5), bias(50)
+	if short <= long {
+		t.Fatalf("short half-life old-bias %.3f not above long %.3f", short, long)
+	}
+}
+
+func TestDecayConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nil src":     func() { NewDecay(nil, 1) },
+		"halfLife<=0": func() { NewDecay(xrand.New(1), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,264 @@
+// Package compress implements the lightweight integer compression §4.4
+// proposes for postponing forgetting decisions: run-length encoding for
+// repetitive (skewed) data, delta+varint for sorted/serial data, and
+// frame-of-reference bit packing for bounded domains. A Codec compresses
+// a block of int64 values into bytes and back; Auto picks the cheapest
+// codec per block, which is how the FreezeColumn in this package shrinks
+// cold table regions instead of dropping them.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// MaxDecodedValues caps how many values a single Decompress call will
+// produce. Corrupt or hostile inputs can encode absurd run lengths or
+// counts in a handful of bytes; decoders fail cleanly instead of
+// exhausting memory. The limit is far above any legitimate block size.
+const MaxDecodedValues = 1 << 27
+
+// Codec compresses and decompresses blocks of int64 values.
+type Codec interface {
+	// Name identifies the codec in headers and stats.
+	Name() string
+	// Compress appends the encoded form of vals to dst.
+	Compress(dst []byte, vals []int64) []byte
+	// Decompress appends the decoded values to dst; the input must have
+	// been produced by the same codec.
+	Decompress(dst []int64, data []byte) ([]int64, error)
+}
+
+// RLE encodes runs of equal values as (varint value, varint runlength)
+// pairs. Ideal for Zipfian/low-cardinality data.
+type RLE struct{}
+
+// Name implements Codec.
+func (RLE) Name() string { return "rle" }
+
+// Compress implements Codec.
+func (RLE) Compress(dst []byte, vals []int64) []byte {
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		dst = binary.AppendVarint(dst, vals[i])
+		dst = binary.AppendUvarint(dst, uint64(j-i))
+		i = j
+	}
+	return dst
+}
+
+// Decompress implements Codec.
+func (RLE) Decompress(dst []int64, data []byte) ([]int64, error) {
+	for len(data) > 0 {
+		v, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("compress: rle: bad value varint")
+		}
+		data = data[n:]
+		run, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("compress: rle: bad run varint")
+		}
+		data = data[n:]
+		if run > MaxDecodedValues || len(dst)+int(run) > MaxDecodedValues {
+			return nil, fmt.Errorf("compress: rle: run of %d exceeds decode limit", run)
+		}
+		for k := uint64(0); k < run; k++ {
+			dst = append(dst, v)
+		}
+	}
+	return dst, nil
+}
+
+// Delta encodes the first value raw and every subsequent value as a
+// zigzag varint delta. Ideal for serial keys and timestamps.
+type Delta struct{}
+
+// Name implements Codec.
+func (Delta) Name() string { return "delta" }
+
+// Compress implements Codec.
+func (Delta) Compress(dst []byte, vals []int64) []byte {
+	if len(vals) == 0 {
+		return dst
+	}
+	dst = binary.AppendVarint(dst, vals[0])
+	for i := 1; i < len(vals); i++ {
+		dst = binary.AppendVarint(dst, vals[i]-vals[i-1])
+	}
+	return dst
+}
+
+// Decompress implements Codec.
+func (Delta) Decompress(dst []int64, data []byte) ([]int64, error) {
+	first := true
+	var prev int64
+	for len(data) > 0 {
+		d, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("compress: delta: bad varint")
+		}
+		data = data[n:]
+		if first {
+			prev = d
+			first = false
+		} else {
+			prev += d
+		}
+		dst = append(dst, prev)
+	}
+	return dst, nil
+}
+
+// FOR is frame-of-reference bit packing: the block minimum is stored
+// once, every value as a fixed-width offset. Ideal for dense bounded
+// domains (the simulator's 0..DOMAIN columns).
+type FOR struct{}
+
+// Name implements Codec.
+func (FOR) Name() string { return "for" }
+
+// Compress implements Codec.
+func (FOR) Compress(dst []byte, vals []int64) []byte {
+	if len(vals) == 0 {
+		return dst
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	width := bits.Len64(uint64(max - min)) // bits per offset; 0 for constant blocks
+	// The packing accumulator holds at most 7 spare bits, so widths above
+	// 57 would overflow it; such blocks gain nothing from packing anyway
+	// and are stored as raw 8-byte offsets (width sentinel 64).
+	if width > 57 {
+		width = 64
+	}
+	dst = binary.AppendVarint(dst, min)
+	dst = binary.AppendUvarint(dst, uint64(width))
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	if width == 64 {
+		for _, v := range vals {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v-min))
+		}
+		return dst
+	}
+	var acc uint64
+	nbits := 0
+	for _, v := range vals {
+		acc |= uint64(v-min) << nbits
+		nbits += width
+		for nbits >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+// Decompress implements Codec.
+func (FOR) Decompress(dst []int64, data []byte) ([]int64, error) {
+	if len(data) == 0 {
+		return dst, nil
+	}
+	min, n := binary.Varint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("compress: for: bad min varint")
+	}
+	data = data[n:]
+	w, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("compress: for: bad width varint")
+	}
+	data = data[n:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("compress: for: bad count varint")
+	}
+	data = data[n:]
+	if count > MaxDecodedValues {
+		return nil, fmt.Errorf("compress: for: count %d exceeds decode limit", count)
+	}
+	width := int(w)
+	if width == 0 {
+		for i := uint64(0); i < count; i++ {
+			dst = append(dst, min)
+		}
+		return dst, nil
+	}
+	if width == 64 {
+		if uint64(len(data)) < count*8 {
+			return nil, fmt.Errorf("compress: for: truncated raw payload")
+		}
+		for i := uint64(0); i < count; i++ {
+			dst = append(dst, min+int64(binary.LittleEndian.Uint64(data[i*8:])))
+		}
+		return dst, nil
+	}
+	if uint64(len(data))*8 < count*w {
+		return nil, fmt.Errorf("compress: for: truncated payload: %d bytes for %d x %d bits", len(data), count, width)
+	}
+	var acc uint64
+	nbits := 0
+	mask := uint64(1)<<width - 1
+	for i := uint64(0); i < count; i++ {
+		for nbits < width {
+			acc |= uint64(data[0]) << nbits
+			data = data[1:]
+			nbits += 8
+		}
+		dst = append(dst, min+int64(acc&mask))
+		acc >>= width
+		nbits -= width
+	}
+	return dst, nil
+}
+
+// codecByID maps header ids to codecs for Auto.
+var codecByID = map[byte]Codec{0: RLE{}, 1: Delta{}, 2: FOR{}}
+
+// Auto tries every codec per block and keeps the smallest encoding,
+// prefixing one id byte.
+type Auto struct{}
+
+// Name implements Codec.
+func (Auto) Name() string { return "auto" }
+
+// Compress implements Codec.
+func (Auto) Compress(dst []byte, vals []int64) []byte {
+	bestID := byte(0)
+	var best []byte
+	for id := byte(0); id < 3; id++ {
+		enc := codecByID[id].Compress(nil, vals)
+		if best == nil || len(enc) < len(best) {
+			best, bestID = enc, id
+		}
+	}
+	dst = append(dst, bestID)
+	return append(dst, best...)
+}
+
+// Decompress implements Codec.
+func (Auto) Decompress(dst []int64, data []byte) ([]int64, error) {
+	if len(data) == 0 {
+		return dst, nil
+	}
+	c, ok := codecByID[data[0]]
+	if !ok {
+		return nil, fmt.Errorf("compress: auto: unknown codec id %d", data[0])
+	}
+	return c.Decompress(dst, data[1:])
+}

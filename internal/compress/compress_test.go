@@ -1,0 +1,282 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amnesiadb/internal/xrand"
+)
+
+var codecs = []Codec{RLE{}, Delta{}, FOR{}, Auto{}}
+
+func roundTrip(t *testing.T, c Codec, vals []int64) {
+	t.Helper()
+	enc := c.Compress(nil, vals)
+	dec, err := c.Decompress(nil, enc)
+	if err != nil {
+		t.Fatalf("%s: %v", c.Name(), err)
+	}
+	if len(dec) != len(vals) {
+		t.Fatalf("%s: decoded %d values, want %d", c.Name(), len(dec), len(vals))
+	}
+	for i := range vals {
+		if dec[i] != vals[i] {
+			t.Fatalf("%s: value %d = %d, want %d", c.Name(), i, dec[i], vals[i])
+		}
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{5, 5, 5, 5},
+		{1, 2, 3, 4, 5},
+		{-10, 0, 10, -20, 1 << 40},
+		{7},
+	}
+	for _, c := range codecs {
+		for _, vals := range cases {
+			roundTrip(t, c, vals)
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	src := xrand.New(1)
+	for _, c := range codecs {
+		for trial := 0; trial < 20; trial++ {
+			n := src.Intn(2000)
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = src.Int63n(1 << 30)
+			}
+			roundTrip(t, c, vals)
+		}
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	for _, c := range codecs {
+		c := c
+		f := func(vals []int64) bool {
+			enc := c.Compress(nil, vals)
+			dec, err := c.Decompress(nil, enc)
+			if err != nil || len(dec) != len(vals) {
+				return false
+			}
+			for i := range vals {
+				if dec[i] != vals[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestRLEWinsOnRuns(t *testing.T) {
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = int64(i / 1000) // ten long runs
+	}
+	rle := RLE{}.Compress(nil, vals)
+	if len(rle) > 100 {
+		t.Fatalf("rle encoded runs to %d bytes", len(rle))
+	}
+	auto := Auto{}.Compress(nil, vals)
+	if auto[0] != 0 {
+		t.Fatalf("auto picked codec %d on run data, want rle", auto[0])
+	}
+}
+
+func TestDeltaWinsOnSerial(t *testing.T) {
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = int64(i) * 1000003 // large values, constant stride
+	}
+	delta := Delta{}.Compress(nil, vals)
+	forEnc := FOR{}.Compress(nil, vals)
+	if len(delta) >= len(forEnc) {
+		t.Fatalf("delta %d bytes not better than for %d on serial data", len(delta), len(forEnc))
+	}
+}
+
+func TestFORWinsOnBoundedRandom(t *testing.T) {
+	src := xrand.New(2)
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = src.Int63n(1024) // 10-bit domain
+	}
+	forEnc := FOR{}.Compress(nil, vals)
+	// 10 bits per value + header ≈ 12.5 KB; raw is 80 KB.
+	if len(forEnc) > 14000 {
+		t.Fatalf("for encoded 10-bit data to %d bytes", len(forEnc))
+	}
+	rle := RLE{}.Compress(nil, vals)
+	if len(forEnc) >= len(rle) {
+		t.Fatalf("for %d bytes not better than rle %d on bounded random data", len(forEnc), len(rle))
+	}
+}
+
+func TestFORConstantBlock(t *testing.T) {
+	vals := []int64{42, 42, 42, 42, 42}
+	enc := FOR{}.Compress(nil, vals)
+	if len(enc) > 4 {
+		t.Fatalf("constant block took %d bytes", len(enc))
+	}
+	roundTrip(t, FOR{}, vals)
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := (Auto{}).Decompress(nil, []byte{99}); err == nil {
+		t.Fatal("unknown codec id accepted")
+	}
+	if _, err := (FOR{}).Decompress(nil, []byte{2, 8, 200}); err == nil {
+		t.Fatal("truncated FOR payload accepted")
+	}
+}
+
+func TestFreezeRoundTrip(t *testing.T) {
+	src := xrand.New(3)
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = src.Int63n(100000)
+	}
+	f := Freeze(vals, nil, 1024)
+	if f.Len() != len(vals) {
+		t.Fatalf("frozen len = %d", f.Len())
+	}
+	back, err := f.Thaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if back[i] != vals[i] {
+			t.Fatalf("thawed value %d = %d, want %d", i, back[i], vals[i])
+		}
+	}
+}
+
+func TestFrozenGet(t *testing.T) {
+	vals := []int64{10, 20, 30, 40, 50}
+	f := Freeze(vals, nil, 2)
+	for i, w := range vals {
+		got, err := f.Get(i)
+		if err != nil || got != w {
+			t.Fatalf("Get(%d) = %d, %v", i, got, err)
+		}
+	}
+	if _, err := f.Get(5); err == nil {
+		t.Fatal("out-of-range Get accepted")
+	}
+	if _, err := f.Get(-1); err == nil {
+		t.Fatal("negative Get accepted")
+	}
+}
+
+func TestFrozenScanMatchesNaive(t *testing.T) {
+	src := xrand.New(4)
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = src.Int63n(1000)
+	}
+	f := Freeze(vals, nil, 256)
+	for _, r := range [][2]int64{{0, 1000}, {100, 200}, {999, 1000}, {500, 500}} {
+		got, err := f.ScanRange(r[0], r[1], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []int32
+		for i, v := range vals {
+			if v >= r[0] && v < r[1] {
+				want = append(want, int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("scan [%d,%d): %d rows, want %d", r[0], r[1], len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("scan [%d,%d): row %d = %d, want %d", r[0], r[1], i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFrozenAggregate(t *testing.T) {
+	vals := []int64{10, 20, 30, 40, 50}
+	f := Freeze(vals, nil, 2)
+	count, sum, min, max, ok, err := f.Aggregate(20, 50)
+	if err != nil || !ok {
+		t.Fatalf("aggregate failed: %v %v", ok, err)
+	}
+	if count != 3 || sum != 90 || min != 20 || max != 40 {
+		t.Fatalf("agg = %d %d %d %d", count, sum, min, max)
+	}
+	_, _, _, _, ok, err = f.Aggregate(1000, 2000)
+	if err != nil || ok {
+		t.Fatal("empty aggregate misreported")
+	}
+}
+
+func TestFrozenCompressionRatioOnSkewedData(t *testing.T) {
+	// The §4.4 promise: cold skewed data shrinks a lot. Zipf data with
+	// heavy duplication should compress well beyond 2x.
+	src := xrand.New(5)
+	z := xrand.NewZipf(src, 1000, 1.2)
+	vals := make([]int64, 100000)
+	for i := range vals {
+		vals[i] = int64(z.Next())
+	}
+	f := Freeze(vals, nil, 0)
+	if f.Ratio() < 2 {
+		t.Fatalf("skewed data ratio = %.2f, want > 2", f.Ratio())
+	}
+	if f.CompressedBytes() >= len(vals)*8 {
+		t.Fatal("compression did not shrink")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	src := xrand.New(1)
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = src.Int63n(100000)
+	}
+	for _, c := range codecs {
+		b.Run(c.Name(), func(b *testing.B) {
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				buf = c.Compress(buf[:0], vals)
+			}
+			b.SetBytes(int64(len(vals) * 8))
+		})
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := xrand.New(1)
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = src.Int63n(100000)
+	}
+	for _, c := range codecs {
+		b.Run(c.Name(), func(b *testing.B) {
+			enc := c.Compress(nil, vals)
+			var out []int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				out, err = c.Decompress(out[:0], enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(vals) * 8))
+		})
+	}
+}

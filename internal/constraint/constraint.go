@@ -1,0 +1,186 @@
+// Package constraint answers §5's open question: "Semantic database
+// integrity creates another challenge for amnesia strategies. ... Should
+// forgetting a key value be forbidden unless it is not referenced any
+// more? Or should we cascade by forgetting all related tuples?"
+//
+// A ForeignKey links a child table's column to a parent table's key
+// column and enforces one of the two semantics the paper poses: Restrict
+// (a referenced key cannot be forgotten) or Cascade (forgetting a key
+// also forgets every referencing child tuple). A Guard wraps any amnesia
+// strategy so its choices respect the constraint.
+package constraint
+
+import (
+	"fmt"
+
+	"amnesiadb/internal/amnesia"
+	"amnesiadb/internal/table"
+)
+
+// Action selects the forget semantics of a foreign key.
+type Action int
+
+const (
+	// Restrict forbids forgetting a parent key that is still referenced
+	// by at least one active child tuple.
+	Restrict Action = iota
+	// Cascade forgets all active child tuples referencing a forgotten
+	// parent key.
+	Cascade
+)
+
+// String names the action.
+func (a Action) String() string {
+	if a == Cascade {
+		return "cascade"
+	}
+	return "restrict"
+}
+
+// ForeignKey declares child.childCol references parent.parentCol.
+type ForeignKey struct {
+	Parent    *table.Table
+	ParentCol string
+	Child     *table.Table
+	ChildCol  string
+	OnForget  Action
+}
+
+// Validate checks the declaration (columns exist) and, for data already
+// loaded, referential integrity of the active tuples.
+func (fk *ForeignKey) Validate() error {
+	if _, err := fk.Parent.Column(fk.ParentCol); err != nil {
+		return fmt.Errorf("constraint: parent: %w", err)
+	}
+	if _, err := fk.Child.Column(fk.ChildCol); err != nil {
+		return fmt.Errorf("constraint: child: %w", err)
+	}
+	keys := fk.activeParentKeys()
+	cc := fk.Child.MustColumn(fk.ChildCol)
+	for _, i := range fk.Child.ActiveIndices() {
+		if !keys[cc.Get(i)] {
+			return fmt.Errorf("constraint: child tuple %d references missing key %d", i, cc.Get(i))
+		}
+	}
+	return nil
+}
+
+// activeParentKeys returns the set of key values with at least one active
+// parent tuple.
+func (fk *ForeignKey) activeParentKeys() map[int64]bool {
+	pc := fk.Parent.MustColumn(fk.ParentCol)
+	keys := make(map[int64]bool)
+	for _, i := range fk.Parent.ActiveIndices() {
+		keys[pc.Get(i)] = true
+	}
+	return keys
+}
+
+// referencedKeys returns the set of key values referenced by active child
+// tuples.
+func (fk *ForeignKey) referencedKeys() map[int64]bool {
+	cc := fk.Child.MustColumn(fk.ChildCol)
+	keys := make(map[int64]bool)
+	for _, i := range fk.Child.ActiveIndices() {
+		keys[cc.Get(i)] = true
+	}
+	return keys
+}
+
+// Enforce repairs the constraint after the parent table has forgotten
+// tuples. Under Cascade it forgets orphaned child tuples and returns how
+// many. Under Restrict it *re-remembers* parent tuples whose keys are
+// still referenced (the "forbidden unless not referenced" semantics) and
+// returns how many were restored.
+func (fk *ForeignKey) Enforce() int {
+	switch fk.OnForget {
+	case Cascade:
+		keys := fk.activeParentKeys()
+		cc := fk.Child.MustColumn(fk.ChildCol)
+		n := 0
+		for _, i := range fk.Child.ActiveIndices() {
+			if !keys[cc.Get(i)] {
+				fk.Child.Forget(i)
+				n++
+			}
+		}
+		return n
+	case Restrict:
+		referenced := fk.referencedKeys()
+		active := fk.activeParentKeys()
+		pc := fk.Parent.MustColumn(fk.ParentCol)
+		n := 0
+		for _, i := range fk.Parent.ForgottenIndices() {
+			k := pc.Get(i)
+			if referenced[k] && !active[k] {
+				fk.Parent.Remember(i)
+				active[k] = true
+				n++
+			}
+		}
+		return n
+	default:
+		panic(fmt.Sprintf("constraint: invalid action %d", int(fk.OnForget)))
+	}
+}
+
+// Guard wraps an amnesia strategy so every Forget call on the parent
+// table is followed by constraint enforcement. Under Restrict the guard
+// retries with additional forgetting of unreferenced tuples so the budget
+// is still met whenever enough unreferenced tuples exist.
+type Guard struct {
+	inner amnesia.Strategy
+	fk    *ForeignKey
+	// Cascaded accumulates child tuples forgotten by cascades.
+	Cascaded int
+	// Restored accumulates parent tuples saved by restricts.
+	Restored int
+}
+
+// NewGuard wraps inner with fk's semantics.
+func NewGuard(inner amnesia.Strategy, fk *ForeignKey) *Guard {
+	if inner == nil || fk == nil {
+		panic("constraint: NewGuard with nil argument")
+	}
+	return &Guard{inner: inner, fk: fk}
+}
+
+// Name implements amnesia.Strategy.
+func (g *Guard) Name() string { return g.inner.Name() + "+" + g.fk.OnForget.String() }
+
+// Forget implements amnesia.Strategy against the parent table. The t
+// argument must be the foreign key's parent table.
+func (g *Guard) Forget(t *table.Table, n int) int {
+	if t != g.fk.Parent {
+		panic("constraint: Guard.Forget called with a table other than the parent")
+	}
+	target := t.ActiveCount() - n
+	if target < 0 {
+		target = 0
+	}
+	forgotten := 0
+	// Under Restrict, enforcement resurrects referenced keys, so iterate:
+	// each round forgets the remaining overage; strictly decreasing
+	// overage guarantees termination, and a round that makes no progress
+	// means every remaining active tuple is referenced — stop there.
+	for attempt := 0; attempt < 64; attempt++ {
+		over := t.ActiveCount() - target
+		if over <= 0 {
+			break
+		}
+		forgotten += g.inner.Forget(t, over)
+		fixed := g.fk.Enforce()
+		switch g.fk.OnForget {
+		case Cascade:
+			g.Cascaded += fixed
+			return forgotten // cascade never reactivates; done in one round
+		case Restrict:
+			g.Restored += fixed
+			if fixed >= over {
+				// No net progress: the active set is fully referenced.
+				return forgotten - fixed
+			}
+		}
+	}
+	return t.Len() - t.ActiveCount() // net effect on the parent
+}

@@ -1,0 +1,208 @@
+package constraint
+
+import (
+	"testing"
+
+	"amnesiadb/internal/amnesia"
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+// pair builds parent keys 0..nKeys-1 and children referencing key i%nKeys.
+func pair(t *testing.T, nKeys, nChildren int, action Action) (*table.Table, *table.Table, *ForeignKey) {
+	t.Helper()
+	parent := table.New("parent", "id")
+	keys := make([]int64, nKeys)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	if _, err := parent.AppendSingleColumn(keys); err != nil {
+		t.Fatal(err)
+	}
+	child := table.New("child", "pid")
+	refs := make([]int64, nChildren)
+	for i := range refs {
+		refs[i] = int64(i % nKeys)
+	}
+	if _, err := child.AppendSingleColumn(refs); err != nil {
+		t.Fatal(err)
+	}
+	fk := &ForeignKey{Parent: parent, ParentCol: "id", Child: child, ChildCol: "pid", OnForget: action}
+	if err := fk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return parent, child, fk
+}
+
+func TestValidateCatchesBadColumnsAndOrphans(t *testing.T) {
+	parent := table.New("p", "id")
+	child := table.New("c", "pid")
+	if _, err := parent.AppendSingleColumn([]int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := child.AppendSingleColumn([]int64{2}); err != nil {
+		t.Fatal(err)
+	}
+	fk := &ForeignKey{Parent: parent, ParentCol: "zz", Child: child, ChildCol: "pid"}
+	if err := fk.Validate(); err == nil {
+		t.Fatal("bad parent column accepted")
+	}
+	fk = &ForeignKey{Parent: parent, ParentCol: "id", Child: child, ChildCol: "zz"}
+	if err := fk.Validate(); err == nil {
+		t.Fatal("bad child column accepted")
+	}
+	fk = &ForeignKey{Parent: parent, ParentCol: "id", Child: child, ChildCol: "pid"}
+	if err := fk.Validate(); err == nil {
+		t.Fatal("orphan child accepted")
+	}
+}
+
+func TestCascadeForgetsOrphans(t *testing.T) {
+	parent, child, fk := pair(t, 5, 20, Cascade)
+	parent.Forget(2) // key 2 vanishes
+	n := fk.Enforce()
+	if n != 4 { // children 2, 7, 12, 17
+		t.Fatalf("cascaded %d children, want 4", n)
+	}
+	cc := child.MustColumn("pid")
+	for _, i := range child.ActiveIndices() {
+		if cc.Get(i) == 2 {
+			t.Fatal("active child still references forgotten key")
+		}
+	}
+}
+
+func TestRestrictRestoresReferencedKeys(t *testing.T) {
+	parent, _, fk := pair(t, 5, 20, Restrict)
+	parent.Forget(2)
+	n := fk.Enforce()
+	if n != 1 {
+		t.Fatalf("restored %d, want 1", n)
+	}
+	if !parent.IsActive(2) {
+		t.Fatal("referenced key not restored")
+	}
+}
+
+func TestRestrictAllowsUnreferencedForgetting(t *testing.T) {
+	// Key 4 has no children when children reference only 0..2.
+	parent := table.New("parent", "id")
+	if _, err := parent.AppendSingleColumn([]int64{0, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	child := table.New("child", "pid")
+	if _, err := child.AppendSingleColumn([]int64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	fk := &ForeignKey{Parent: parent, ParentCol: "id", Child: child, ChildCol: "pid", OnForget: Restrict}
+	parent.Forget(4)
+	if n := fk.Enforce(); n != 0 {
+		t.Fatalf("restored %d unreferenced keys", n)
+	}
+	if parent.IsActive(4) {
+		t.Fatal("unreferenced key resurrected")
+	}
+}
+
+func TestGuardCascadeMeetsBudget(t *testing.T) {
+	parent, child, fk := pair(t, 100, 400, Cascade)
+	g := NewGuard(amnesia.NewUniform(xrand.New(1)), fk)
+	got := g.Forget(parent, 30)
+	if got != 30 {
+		t.Fatalf("guard forgot %d, want 30", got)
+	}
+	if parent.ActiveCount() != 70 {
+		t.Fatalf("parent active = %d", parent.ActiveCount())
+	}
+	if g.Cascaded != 120 { // 4 children per forgotten key
+		t.Fatalf("cascaded %d children, want 120", g.Cascaded)
+	}
+	// No orphans remain.
+	if err := fk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = child
+}
+
+func TestGuardRestrictMeetsBudgetWhenPossible(t *testing.T) {
+	// 100 keys, children reference only keys 0..9: 90 keys are free to
+	// forget, so a budget of 50 is satisfiable.
+	parent := table.New("parent", "id")
+	keys := make([]int64, 100)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	if _, err := parent.AppendSingleColumn(keys); err != nil {
+		t.Fatal(err)
+	}
+	child := table.New("child", "pid")
+	refs := make([]int64, 50)
+	for i := range refs {
+		refs[i] = int64(i % 10)
+	}
+	if _, err := child.AppendSingleColumn(refs); err != nil {
+		t.Fatal(err)
+	}
+	fk := &ForeignKey{Parent: parent, ParentCol: "id", Child: child, ChildCol: "pid", OnForget: Restrict}
+	g := NewGuard(amnesia.NewUniform(xrand.New(2)), fk)
+	g.Forget(parent, 50)
+	if parent.ActiveCount() != 50 {
+		t.Fatalf("parent active = %d, want 50", parent.ActiveCount())
+	}
+	// All 10 referenced keys must have survived.
+	pc := parent.MustColumn("id")
+	alive := map[int64]bool{}
+	for _, i := range parent.ActiveIndices() {
+		alive[pc.Get(i)] = true
+	}
+	for k := int64(0); k < 10; k++ {
+		if !alive[k] {
+			t.Fatalf("referenced key %d was forgotten", k)
+		}
+	}
+}
+
+func TestGuardRestrictStopsWhenEverythingReferenced(t *testing.T) {
+	// Every key referenced: the guard cannot meet the budget and must
+	// terminate with the parent intact.
+	parent, _, fk := pair(t, 10, 10, Restrict)
+	g := NewGuard(amnesia.NewUniform(xrand.New(3)), fk)
+	g.Forget(parent, 5)
+	if parent.ActiveCount() != 10 {
+		t.Fatalf("restrict-blocked guard left active = %d, want 10", parent.ActiveCount())
+	}
+	if g.Restored == 0 {
+		t.Fatal("no restores recorded")
+	}
+}
+
+func TestGuardName(t *testing.T) {
+	_, _, fk := pair(t, 2, 2, Cascade)
+	g := NewGuard(amnesia.NewFIFO(), fk)
+	if g.Name() != "fifo+cascade" {
+		t.Fatalf("name = %q", g.Name())
+	}
+}
+
+func TestGuardPanics(t *testing.T) {
+	parent, _, fk := pair(t, 2, 2, Cascade)
+	other := table.New("other", "x")
+	g := NewGuard(amnesia.NewFIFO(), fk)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("foreign table accepted")
+			}
+		}()
+		g.Forget(other, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil inner accepted")
+			}
+		}()
+		NewGuard(nil, fk)
+	}()
+	_ = parent
+}

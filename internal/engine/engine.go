@@ -1,0 +1,223 @@
+// Package engine executes queries against tables while honouring the
+// active/forgotten distinction that defines a database with amnesia.
+//
+// Two scan modes mirror the paper's §1 discussion of what happens to
+// forgotten data: ScanActive skips forgotten tuples (the "stop indexing"
+// fate — fast path, incomplete answers), while ScanAll fetches everything
+// still physically present (a "complete scan will fetch all data").
+// Running the same query in both modes is how the simulator computes the
+// precision metrics of §2.3 without a reference database.
+package engine
+
+import (
+	"errors"
+	"math"
+
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/table"
+)
+
+// ScanMode selects which tuples a query sees.
+type ScanMode int
+
+const (
+	// ScanActive evaluates the query over active tuples only. This is
+	// the normal operating mode of a database with amnesia.
+	ScanActive ScanMode = iota
+	// ScanAll evaluates the query over every tuple still stored,
+	// including forgotten ones. The paper allows this as an explicit,
+	// slow "complete scan" escape hatch and the metrics layer uses it
+	// as ground truth.
+	ScanAll
+)
+
+// String returns a short label for the mode.
+func (m ScanMode) String() string {
+	if m == ScanAll {
+		return "all"
+	}
+	return "active"
+}
+
+// ErrNoRows is returned by aggregate queries whose qualifying set is empty.
+var ErrNoRows = errors.New("engine: aggregate over empty row set")
+
+// Result is the output of a selection query.
+type Result struct {
+	// Rows holds the positions of qualifying tuples in insertion order.
+	Rows []int32
+	// Values holds the attribute values of those tuples.
+	Values []int64
+}
+
+// Count returns the number of qualifying tuples, RF(Q) in the paper when
+// run under ScanActive.
+func (r *Result) Count() int { return len(r.Rows) }
+
+// Exec is a query executor bound to one table. The zero value is unusable;
+// construct with New.
+type Exec struct {
+	t     *table.Table
+	touch bool
+}
+
+// New returns an executor for t that records access frequencies (Touch)
+// for tuples returned by ScanActive selections — the feedback loop
+// query-based amnesia (§3.2) depends on.
+func New(t *table.Table) *Exec { return &Exec{t: t, touch: true} }
+
+// NewSilent returns an executor that does not update access frequencies.
+// Metric ground-truth scans use it so that measuring precision does not
+// perturb rot-style strategies.
+func NewSilent(t *table.Table) *Exec { return &Exec{t: t} }
+
+// Table returns the executor's table.
+func (e *Exec) Table() *table.Table { return e.t }
+
+// Select returns the tuples of column col satisfying pred under the given
+// scan mode.
+func (e *Exec) Select(col string, pred expr.Expr, mode ScanMode) (*Result, error) {
+	c, err := e.t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi, exact := pred.Bounds()
+	res := &Result{}
+	var rows []int32
+	if mode == ScanActive {
+		rows = c.ScanRangeActive(lo, hi, e.t.Active(), nil)
+	} else {
+		rows = c.ScanRange(lo, hi, nil)
+	}
+	for _, r := range rows {
+		v := c.Get(int(r))
+		if !exact && !pred.Eval(v) {
+			continue
+		}
+		res.Rows = append(res.Rows, r)
+		res.Values = append(res.Values, v)
+	}
+	if e.touch && mode == ScanActive {
+		e.t.TouchMany(res.Rows)
+	}
+	return res, nil
+}
+
+// AggKind enumerates the aggregate functions of §2.2.
+type AggKind int
+
+// Aggregate functions.
+const (
+	Count AggKind = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// String returns the SQL name of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return "AGG?"
+	}
+}
+
+// AggResult carries every aggregate so one scan serves any AggKind.
+type AggResult struct {
+	Rows  int
+	Sum   int64
+	Min   int64
+	Max   int64
+	Avg   float64
+	Rower []int32 // positions contributing to the aggregate
+}
+
+// Value returns the requested aggregate as a float64.
+func (a *AggResult) Value(k AggKind) float64 {
+	switch k {
+	case Count:
+		return float64(a.Rows)
+	case Sum:
+		return float64(a.Sum)
+	case Avg:
+		return a.Avg
+	case Min:
+		return float64(a.Min)
+	case Max:
+		return float64(a.Max)
+	default:
+		panic("engine: invalid aggregate kind")
+	}
+}
+
+// Aggregate computes COUNT/SUM/AVG/MIN/MAX of column col over tuples
+// satisfying pred under the given scan mode. It returns ErrNoRows when no
+// tuple qualifies.
+func (e *Exec) Aggregate(col string, pred expr.Expr, mode ScanMode) (*AggResult, error) {
+	sel, err := e.selectNoTouch(col, pred, mode)
+	if err != nil {
+		return nil, err
+	}
+	if len(sel.Rows) == 0 {
+		return nil, ErrNoRows
+	}
+	agg := &AggResult{Min: math.MaxInt64, Max: math.MinInt64, Rower: sel.Rows}
+	for _, v := range sel.Values {
+		agg.Rows++
+		agg.Sum += v
+		if v < agg.Min {
+			agg.Min = v
+		}
+		if v > agg.Max {
+			agg.Max = v
+		}
+	}
+	agg.Avg = float64(agg.Sum) / float64(agg.Rows)
+	if e.touch && mode == ScanActive {
+		e.t.TouchMany(sel.Rows)
+	}
+	return agg, nil
+}
+
+// selectNoTouch is Select without the frequency feedback, used internally
+// so Aggregate controls when Touch happens.
+func (e *Exec) selectNoTouch(col string, pred expr.Expr, mode ScanMode) (*Result, error) {
+	saved := e.touch
+	e.touch = false
+	res, err := e.Select(col, pred, mode)
+	e.touch = saved
+	return res, err
+}
+
+// Precision runs pred in both scan modes and returns RF(Q) (active
+// matches), MF(Q) (matches lost to amnesia among stored tuples), and the
+// query precision PF(Q) = RF/(RF+MF) as defined in §2.3. When the query
+// range is empty in both modes, precision is reported as 1 (nothing was
+// asked for, nothing was missed).
+func (e *Exec) Precision(col string, pred expr.Expr) (rf, mf int, pf float64, err error) {
+	act, err := e.Select(col, pred, ScanActive)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	all, err := e.selectNoTouch(col, pred, ScanAll)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rf = act.Count()
+	mf = all.Count() - rf
+	if rf+mf == 0 {
+		return 0, 0, 1, nil
+	}
+	return rf, mf, float64(rf) / float64(rf+mf), nil
+}

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+func tbl(t *testing.T, vals ...int64) *table.Table {
+	t.Helper()
+	tb := table.New("t", "a")
+	if _, err := tb.AppendSingleColumn(vals); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestSelectActiveSkipsForgotten(t *testing.T) {
+	tb := tbl(t, 10, 20, 30, 40)
+	tb.Forget(1)
+	ex := New(tb)
+	res, err := ex.Select("a", expr.NewRange(0, 100), ScanActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 3 {
+		t.Fatalf("active select returned %d rows", res.Count())
+	}
+	for _, r := range res.Rows {
+		if r == 1 {
+			t.Fatal("forgotten row leaked into active scan")
+		}
+	}
+}
+
+func TestSelectAllSeesForgotten(t *testing.T) {
+	tb := tbl(t, 10, 20, 30)
+	tb.Forget(0)
+	ex := New(tb)
+	res, err := ex.Select("a", expr.NewRange(0, 100), ScanAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 3 {
+		t.Fatalf("full select returned %d rows", res.Count())
+	}
+}
+
+func TestSelectUnknownColumn(t *testing.T) {
+	ex := New(tbl(t, 1))
+	if _, err := ex.Select("zz", expr.True{}, ScanActive); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestSelectNonExactPredicateRechecks(t *testing.T) {
+	// NE has inexact bounds, so the engine must re-evaluate per row.
+	tb := tbl(t, 1, 2, 3)
+	ex := New(tb)
+	res, err := ex.Select("a", expr.Cmp{Op: expr.NE, Val: 2}, ScanActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 {
+		t.Fatalf("NE select returned %v", res.Values)
+	}
+	for _, v := range res.Values {
+		if v == 2 {
+			t.Fatal("NE predicate leaked excluded value")
+		}
+	}
+}
+
+func TestSelectTouchesAccessCounts(t *testing.T) {
+	tb := tbl(t, 5, 15, 25)
+	ex := New(tb)
+	if _, err := ex.Select("a", expr.NewRange(10, 30), ScanActive); err != nil {
+		t.Fatal(err)
+	}
+	if tb.AccessCount(0) != 0 || tb.AccessCount(1) != 1 || tb.AccessCount(2) != 1 {
+		t.Fatalf("access counts = %d %d %d", tb.AccessCount(0), tb.AccessCount(1), tb.AccessCount(2))
+	}
+}
+
+func TestScanAllDoesNotTouch(t *testing.T) {
+	tb := tbl(t, 5)
+	ex := New(tb)
+	if _, err := ex.Select("a", expr.True{}, ScanAll); err != nil {
+		t.Fatal(err)
+	}
+	if tb.AccessCount(0) != 0 {
+		t.Fatal("ScanAll updated access counts")
+	}
+}
+
+func TestSilentExecutorDoesNotTouch(t *testing.T) {
+	tb := tbl(t, 5)
+	ex := NewSilent(tb)
+	if _, err := ex.Select("a", expr.True{}, ScanActive); err != nil {
+		t.Fatal(err)
+	}
+	if tb.AccessCount(0) != 0 {
+		t.Fatal("silent executor updated access counts")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	tb := tbl(t, 10, 20, 30, 40)
+	ex := New(tb)
+	agg, err := ex.Aggregate("a", expr.NewRange(15, 45), ScanActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Rows != 3 || agg.Sum != 90 || agg.Min != 20 || agg.Max != 40 {
+		t.Fatalf("agg = %+v", agg)
+	}
+	if math.Abs(agg.Avg-30) > 1e-9 {
+		t.Fatalf("avg = %v", agg.Avg)
+	}
+	if agg.Value(Count) != 3 || agg.Value(Sum) != 90 || agg.Value(Avg) != 30 ||
+		agg.Value(Min) != 20 || agg.Value(Max) != 40 {
+		t.Fatal("Value accessors disagree")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	tb := tbl(t, 1)
+	ex := New(tb)
+	_, err := ex.Aggregate("a", expr.NewRange(100, 200), ScanActive)
+	if !errors.Is(err, ErrNoRows) {
+		t.Fatalf("err = %v, want ErrNoRows", err)
+	}
+}
+
+func TestAggregateRespectsAmnesia(t *testing.T) {
+	tb := tbl(t, 10, 1000)
+	tb.Forget(1)
+	ex := New(tb)
+	agg, err := ex.Aggregate("a", expr.True{}, ScanActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Avg != 10 {
+		t.Fatalf("avg over active = %v, want 10", agg.Avg)
+	}
+	all, err := ex.Aggregate("a", expr.True{}, ScanAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Avg != 505 {
+		t.Fatalf("avg over all = %v, want 505", all.Avg)
+	}
+}
+
+func TestAggregateTouches(t *testing.T) {
+	tb := tbl(t, 10, 20)
+	ex := New(tb)
+	if _, err := ex.Aggregate("a", expr.True{}, ScanActive); err != nil {
+		t.Fatal(err)
+	}
+	if tb.AccessCount(0) != 1 || tb.AccessCount(1) != 1 {
+		t.Fatal("aggregate did not touch contributing tuples")
+	}
+}
+
+func TestPrecisionDefinition(t *testing.T) {
+	// 4 stored matches, 1 forgotten: PF = 3/4.
+	tb := tbl(t, 1, 2, 3, 4, 100)
+	tb.Forget(2)
+	ex := New(tb)
+	rf, mf, pf, err := ex.Precision("a", expr.NewRange(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf != 3 || mf != 1 {
+		t.Fatalf("rf=%d mf=%d", rf, mf)
+	}
+	if math.Abs(pf-0.75) > 1e-12 {
+		t.Fatalf("pf = %v", pf)
+	}
+}
+
+func TestPrecisionEmptyRangeIsOne(t *testing.T) {
+	tb := tbl(t, 1, 2)
+	ex := New(tb)
+	_, _, pf, err := ex.Precision("a", expr.NewRange(50, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf != 1 {
+		t.Fatalf("empty-range precision = %v", pf)
+	}
+}
+
+func TestPrecisionGroundTruthDoesNotTouch(t *testing.T) {
+	tb := tbl(t, 5)
+	tb.Forget(0)
+	ex := New(tb)
+	if _, _, _, err := ex.Precision("a", expr.True{}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.AccessCount(0) != 0 {
+		t.Fatal("precision ground-truth scan touched forgotten tuple")
+	}
+}
+
+func TestPropertyPrecisionInUnitInterval(t *testing.T) {
+	src := xrand.New(5)
+	f := func(vals []int64, forget []uint8, lo int64, width uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i := range vals {
+			vals[i] &= 0xffff // keep ranges plausible
+		}
+		tb := table.New("t", "a")
+		if _, err := tb.AppendSingleColumn(vals); err != nil {
+			return false
+		}
+		for _, fi := range forget {
+			tb.Forget(int(fi) % len(vals))
+		}
+		ex := New(tb)
+		lo &= 0xffff
+		rf, mf, pf, err := ex.Precision("a", expr.NewRange(lo, lo+int64(width)))
+		if err != nil {
+			return false
+		}
+		_ = src
+		return rf >= 0 && mf >= 0 && pf >= 0 && pf <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelectActive(b *testing.B) {
+	src := xrand.New(1)
+	tb := table.New("t", "a")
+	vals := make([]int64, 1<<18)
+	for i := range vals {
+		vals[i] = src.Int63n(1 << 18)
+	}
+	if _, err := tb.AppendSingleColumn(vals); err != nil {
+		b.Fatal(err)
+	}
+	ex := NewSilent(tb)
+	pred := expr.NewRange(1000, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Select("a", pred, ScanActive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

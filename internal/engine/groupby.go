@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"amnesiadb/internal/expr"
+)
+
+// Group is one bucket of a grouped aggregation.
+type Group struct {
+	// Key is the group's value: for GroupByValue the attribute value
+	// itself, for GroupByBucket the bucket's lower bound.
+	Key int64
+	// Agg carries COUNT/SUM/AVG/MIN/MAX over the group's members.
+	Rows int
+	Sum  int64
+	Min  int64
+	Max  int64
+	Avg  float64
+}
+
+// GroupByValue aggregates column col grouped by its exact values over
+// tuples satisfying pred under mode, returning groups in ascending key
+// order. With amnesia active, whole groups can silently vanish when all
+// their members are forgotten — the grouped flavour of incomplete
+// results.
+func (e *Exec) GroupByValue(col string, pred expr.Expr, mode ScanMode) ([]Group, error) {
+	return e.groupBy(col, pred, mode, 0)
+}
+
+// GroupByBucket aggregates column col into equi-width buckets of the
+// given width (> 0), the typical form of the paper's "aggregated
+// summaries over scientific data".
+func (e *Exec) GroupByBucket(col string, pred expr.Expr, mode ScanMode, width int64) ([]Group, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("engine: bucket width %d must be positive", width)
+	}
+	return e.groupBy(col, pred, mode, width)
+}
+
+func (e *Exec) groupBy(col string, pred expr.Expr, mode ScanMode, width int64) ([]Group, error) {
+	sel, err := e.selectNoTouch(col, pred, mode)
+	if err != nil {
+		return nil, err
+	}
+	byKey := make(map[int64]*Group)
+	for _, v := range sel.Values {
+		key := v
+		if width > 0 {
+			key = v / width * width
+			if v < 0 && v%width != 0 {
+				key -= width // floor division for negatives
+			}
+		}
+		g, ok := byKey[key]
+		if !ok {
+			g = &Group{Key: key, Min: math.MaxInt64, Max: math.MinInt64}
+			byKey[key] = g
+		}
+		g.Rows++
+		g.Sum += v
+		if v < g.Min {
+			g.Min = v
+		}
+		if v > g.Max {
+			g.Max = v
+		}
+	}
+	out := make([]Group, 0, len(byKey))
+	for _, g := range byKey {
+		g.Avg = float64(g.Sum) / float64(g.Rows)
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	if e.touch && mode == ScanActive {
+		e.t.TouchMany(sel.Rows)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/table"
+)
+
+// JoinRow is one equi-join match: positions into the left and right
+// tables plus the join key.
+type JoinRow struct {
+	Left  int32
+	Right int32
+	Key   int64
+}
+
+// JoinResult is the output of HashJoin.
+type JoinResult struct {
+	Rows []JoinRow
+}
+
+// Count returns the number of joined pairs.
+func (r *JoinResult) Count() int { return len(r.Rows) }
+
+// HashJoin computes the equi-join left.leftCol = right.rightCol over
+// tuples visible under mode, completing the SELECT-PROJECT-JOIN subspace
+// of §2.2. An optional predicate restricts the join key. The smaller side
+// is always the build side; output order is probe-side position order.
+//
+// In a database with amnesia, join results silently shrink as either
+// side forgets matching tuples — JoinPrecision quantifies that loss.
+func HashJoin(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, mode ScanMode) (*JoinResult, error) {
+	lc, err := left.Column(leftCol)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := right.Column(rightCol)
+	if err != nil {
+		return nil, err
+	}
+	if pred == nil {
+		pred = expr.True{}
+	}
+	collect := func(t *table.Table, colName string) ([]int32, error) {
+		ex := NewSilent(t)
+		res, err := ex.Select(colName, pred, mode)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rows, nil
+	}
+	lRows, err := collect(left, leftCol)
+	if err != nil {
+		return nil, err
+	}
+	rRows, err := collect(right, rightCol)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build on the smaller side.
+	swap := len(lRows) > len(rRows)
+	buildRows, probeRows := lRows, rRows
+	buildCol, probeCol := lc, rc
+	if swap {
+		buildRows, probeRows = rRows, lRows
+		buildCol, probeCol = rc, lc
+	}
+	ht := make(map[int64][]int32, len(buildRows))
+	for _, r := range buildRows {
+		k := buildCol.Get(int(r))
+		ht[k] = append(ht[k], r)
+	}
+	out := &JoinResult{}
+	for _, p := range probeRows {
+		k := probeCol.Get(int(p))
+		for _, b := range ht[k] {
+			row := JoinRow{Key: k}
+			if swap {
+				row.Left, row.Right = p, b
+			} else {
+				row.Left, row.Right = b, p
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// JoinPrecision runs the join under ScanActive and ScanAll and reports
+// the §2.3 metrics lifted to join results: pairs returned, pairs missed
+// because at least one side forgot its tuple, and the precision ratio.
+func JoinPrecision(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr) (rf, mf int, pf float64, err error) {
+	act, err := HashJoin(left, leftCol, right, rightCol, pred, ScanActive)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	all, err := HashJoin(left, leftCol, right, rightCol, pred, ScanAll)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rf = act.Count()
+	mf = all.Count() - rf
+	if rf+mf == 0 {
+		return 0, 0, 1, nil
+	}
+	return rf, mf, float64(rf) / float64(rf+mf), nil
+}

@@ -1,0 +1,218 @@
+// Package expr models the predicate subspace the paper carves out of
+// SELECT-PROJECT-JOIN (§2.2): comparisons and half-open ranges over a
+// single integer attribute, with conjunction, disjunction and negation.
+// Every expression can report a bounding interval so the engine can push
+// the predicate into zone-map-pruned column scans.
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Expr is a boolean predicate over one attribute value.
+type Expr interface {
+	// Eval reports whether value v satisfies the predicate.
+	Eval(v int64) bool
+	// Bounds returns a half-open interval [lo, hi) that contains every
+	// satisfying value. exact reports whether the predicate is precisely
+	// membership in that interval, enabling a pure range scan with no
+	// per-row re-check.
+	Bounds() (lo, hi int64, exact bool)
+	// String renders the predicate in SQL-ish syntax.
+	String() string
+}
+
+// Range is the predicate lo <= v < hi.
+type Range struct {
+	Lo, Hi int64
+}
+
+// NewRange returns the predicate lo <= v < hi. It panics if lo > hi.
+func NewRange(lo, hi int64) Range {
+	if lo > hi {
+		panic(fmt.Sprintf("expr: inverted range [%d, %d)", lo, hi))
+	}
+	return Range{Lo: lo, Hi: hi}
+}
+
+// Eval implements Expr.
+func (r Range) Eval(v int64) bool { return v >= r.Lo && v < r.Hi }
+
+// Bounds implements Expr.
+func (r Range) Bounds() (int64, int64, bool) { return r.Lo, r.Hi, true }
+
+// String implements Expr.
+func (r Range) String() string { return fmt.Sprintf("attr >= %d AND attr < %d", r.Lo, r.Hi) }
+
+// Op enumerates comparison operators.
+type Op int
+
+// Comparison operators.
+const (
+	LT Op = iota // <
+	LE           // <=
+	GT           // >
+	GE           // >=
+	EQ           // =
+	NE           // <>
+)
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Cmp is the predicate "attr <op> Val".
+type Cmp struct {
+	Op  Op
+	Val int64
+}
+
+// Eval implements Expr.
+func (c Cmp) Eval(v int64) bool {
+	switch c.Op {
+	case LT:
+		return v < c.Val
+	case LE:
+		return v <= c.Val
+	case GT:
+		return v > c.Val
+	case GE:
+		return v >= c.Val
+	case EQ:
+		return v == c.Val
+	case NE:
+		return v != c.Val
+	default:
+		panic(fmt.Sprintf("expr: invalid op %d", int(c.Op)))
+	}
+}
+
+// Bounds implements Expr.
+func (c Cmp) Bounds() (int64, int64, bool) {
+	switch c.Op {
+	case LT:
+		return math.MinInt64, c.Val, true
+	case LE:
+		return math.MinInt64, satInc(c.Val), true
+	case GT:
+		return satInc(c.Val), math.MaxInt64, c.Val != math.MaxInt64
+	case GE:
+		return c.Val, math.MaxInt64, false // MaxInt64 itself can satisfy; interval is open
+	case EQ:
+		return c.Val, satInc(c.Val), c.Val != math.MaxInt64
+	case NE:
+		return math.MinInt64, math.MaxInt64, false
+	default:
+		panic(fmt.Sprintf("expr: invalid op %d", int(c.Op)))
+	}
+}
+
+// String implements Expr.
+func (c Cmp) String() string { return fmt.Sprintf("attr %s %d", c.Op, c.Val) }
+
+func satInc(v int64) int64 {
+	if v == math.MaxInt64 {
+		return v
+	}
+	return v + 1
+}
+
+// And is the conjunction of its children.
+type And struct {
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (a And) Eval(v int64) bool { return a.L.Eval(v) && a.R.Eval(v) }
+
+// Bounds implements Expr.
+func (a And) Bounds() (int64, int64, bool) {
+	llo, lhi, lex := a.L.Bounds()
+	rlo, rhi, rex := a.R.Bounds()
+	lo, hi := max64(llo, rlo), min64(lhi, rhi)
+	if lo > hi {
+		lo, hi = 0, 0
+	}
+	return lo, hi, lex && rex
+}
+
+// String implements Expr.
+func (a And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is the disjunction of its children.
+type Or struct {
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (o Or) Eval(v int64) bool { return o.L.Eval(v) || o.R.Eval(v) }
+
+// Bounds implements Expr.
+func (o Or) Bounds() (int64, int64, bool) {
+	llo, lhi, _ := o.L.Bounds()
+	rlo, rhi, _ := o.R.Bounds()
+	return min64(llo, rlo), max64(lhi, rhi), false
+}
+
+// String implements Expr.
+func (o Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not negates its child.
+type Not struct {
+	X Expr
+}
+
+// Eval implements Expr.
+func (n Not) Eval(v int64) bool { return !n.X.Eval(v) }
+
+// Bounds implements Expr. The complement of an interval is unbounded, so
+// Not never prunes.
+func (n Not) Bounds() (int64, int64, bool) {
+	return math.MinInt64, math.MaxInt64, false
+}
+
+// String implements Expr.
+func (n Not) String() string { return fmt.Sprintf("NOT %s", n.X) }
+
+// True is the always-satisfied predicate (a full scan).
+type True struct{}
+
+// Eval implements Expr.
+func (True) Eval(int64) bool { return true }
+
+// Bounds implements Expr.
+func (True) Bounds() (int64, int64, bool) { return math.MinInt64, math.MaxInt64, false }
+
+// String implements Expr.
+func (True) String() string { return "TRUE" }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

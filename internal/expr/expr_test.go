@@ -1,0 +1,172 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeEval(t *testing.T) {
+	r := NewRange(10, 20)
+	cases := map[int64]bool{9: false, 10: true, 15: true, 19: true, 20: false}
+	for v, want := range cases {
+		if r.Eval(v) != want {
+			t.Fatalf("Range.Eval(%d) = %v", v, !want)
+		}
+	}
+}
+
+func TestRangePanicsInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted range did not panic")
+		}
+	}()
+	NewRange(5, 4)
+}
+
+func TestCmpEval(t *testing.T) {
+	cases := []struct {
+		op   Op
+		val  int64
+		in   int64
+		want bool
+	}{
+		{LT, 5, 4, true}, {LT, 5, 5, false},
+		{LE, 5, 5, true}, {LE, 5, 6, false},
+		{GT, 5, 6, true}, {GT, 5, 5, false},
+		{GE, 5, 5, true}, {GE, 5, 4, false},
+		{EQ, 5, 5, true}, {EQ, 5, 4, false},
+		{NE, 5, 4, true}, {NE, 5, 5, false},
+	}
+	for _, c := range cases {
+		got := Cmp{Op: c.op, Val: c.val}.Eval(c.in)
+		if got != c.want {
+			t.Fatalf("Cmp{%v %d}.Eval(%d) = %v", c.op, c.val, c.in, got)
+		}
+	}
+}
+
+func TestBoundsContainSatisfyingValues(t *testing.T) {
+	exprs := []Expr{
+		NewRange(3, 9),
+		Cmp{LT, 5},
+		Cmp{LE, 5},
+		Cmp{GT, 5},
+		Cmp{GE, 5},
+		Cmp{EQ, 5},
+		Cmp{NE, 5},
+		And{NewRange(0, 10), Cmp{GE, 5}},
+		Or{NewRange(0, 3), NewRange(7, 9)},
+		Not{NewRange(2, 4)},
+		True{},
+	}
+	for _, e := range exprs {
+		lo, hi, _ := e.Bounds()
+		for v := int64(-20); v <= 20; v++ {
+			if e.Eval(v) && (v < lo || v >= hi) {
+				// hi == MaxInt64 is treated as inclusive infinity
+				if !(hi == math.MaxInt64 && v >= lo) {
+					t.Fatalf("%s: satisfying value %d outside bounds [%d, %d)", e, v, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundsExactMeansEquivalence(t *testing.T) {
+	exprs := []Expr{
+		NewRange(3, 9),
+		Cmp{LT, 5},
+		Cmp{LE, 5},
+		Cmp{EQ, 5},
+		And{NewRange(0, 10), NewRange(5, 20)},
+	}
+	for _, e := range exprs {
+		lo, hi, exact := e.Bounds()
+		if !exact {
+			continue
+		}
+		for v := int64(-20); v <= 20; v++ {
+			inBounds := v >= lo && v < hi
+			if e.Eval(v) != inBounds {
+				t.Fatalf("%s claims exact bounds [%d,%d) but disagrees at %d", e, lo, hi, v)
+			}
+		}
+	}
+}
+
+func TestAndBoundsIntersect(t *testing.T) {
+	e := And{NewRange(0, 10), NewRange(5, 20)}
+	lo, hi, exact := e.Bounds()
+	if lo != 5 || hi != 10 || !exact {
+		t.Fatalf("And bounds = [%d, %d) exact=%v", lo, hi, exact)
+	}
+}
+
+func TestAndDisjointBoundsEmpty(t *testing.T) {
+	e := And{NewRange(0, 5), NewRange(10, 20)}
+	lo, hi, _ := e.Bounds()
+	if lo != hi {
+		t.Fatalf("disjoint And bounds = [%d, %d)", lo, hi)
+	}
+	for v := int64(-5); v < 25; v++ {
+		if e.Eval(v) {
+			t.Fatalf("disjoint And satisfied at %d", v)
+		}
+	}
+}
+
+func TestOrBoundsUnion(t *testing.T) {
+	e := Or{NewRange(0, 3), NewRange(7, 9)}
+	lo, hi, exact := e.Bounds()
+	if lo != 0 || hi != 9 || exact {
+		t.Fatalf("Or bounds = [%d, %d) exact=%v", lo, hi, exact)
+	}
+}
+
+func TestNotEval(t *testing.T) {
+	e := Not{NewRange(2, 4)}
+	if e.Eval(2) || e.Eval(3) || !e.Eval(4) || !e.Eval(1) {
+		t.Fatal("Not evaluation wrong")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := map[string]Expr{
+		"attr >= 1 AND attr < 5":     NewRange(1, 5),
+		"attr <= 9":                  Cmp{LE, 9},
+		"(attr > 1 AND attr < 5)":    And{Cmp{GT, 1}, Cmp{LT, 5}},
+		"(attr = 1 OR attr <> 2)":    Or{Cmp{EQ, 1}, Cmp{NE, 2}},
+		"NOT attr >= 0 AND attr < 1": Not{NewRange(0, 1)},
+		"TRUE":                       True{},
+	}
+	for want, e := range cases {
+		if got := e.String(); got != want {
+			t.Fatalf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	f := func(lo1, w1, lo2, w2 int32, v int64) bool {
+		a := NewRange(int64(lo1), int64(lo1)+int64(abs32(w1)))
+		b := NewRange(int64(lo2), int64(lo2)+int64(abs32(w2)))
+		lhs := Not{And{a, b}}.Eval(v)
+		rhs := Or{Not{a}, Not{b}}.Eval(v)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		if v == math.MinInt32 {
+			return math.MaxInt32
+		}
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,158 @@
+// Package histogram provides equi-width histograms and the
+// distribution-distance measures amnesiadb uses to quantify how far an
+// amnesiac active set has drifted from the full data distribution — the
+// concern behind §4.4's "we attempt to forget tuples that do not change
+// the data distribution for all active records" and the paper's remark
+// that the data distribution itself evolves as tuples are ingested and
+// forgotten.
+package histogram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hist is a fixed-bucket equi-width histogram over [0, max].
+type Hist struct {
+	counts []int64
+	total  int64
+	width  float64
+	max    int64
+}
+
+// New returns a histogram with buckets bins over the value range
+// [0, max]. It panics if bins < 1 or max < 0.
+func New(bins int, max int64) *Hist {
+	if bins < 1 {
+		panic("histogram: need at least one bin")
+	}
+	if max < 0 {
+		panic("histogram: negative max")
+	}
+	return &Hist{
+		counts: make([]int64, bins),
+		width:  float64(max+1) / float64(bins),
+		max:    max,
+	}
+}
+
+// FromValues builds a histogram of vals with the given bin count; the
+// range is [0, max(vals)] (or [0,0] for empty input).
+func FromValues(vals []int64, bins int) *Hist {
+	var max int64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	h := New(bins, max)
+	for _, v := range vals {
+		h.Add(v)
+	}
+	return h
+}
+
+// Bins returns the bucket count.
+func (h *Hist) Bins() int { return len(h.counts) }
+
+// Total returns the number of values added.
+func (h *Hist) Total() int64 { return h.total }
+
+// Add counts one value. Values outside [0, max] clamp to the edge
+// buckets.
+func (h *Hist) Add(v int64) {
+	h.counts[h.bin(v)]++
+	h.total++
+}
+
+// Remove un-counts a previously added value; it panics if the bucket is
+// already empty (a sign the caller's bookkeeping broke).
+func (h *Hist) Remove(v int64) {
+	b := h.bin(v)
+	if h.counts[b] == 0 {
+		panic(fmt.Sprintf("histogram: removing from empty bin %d", b))
+	}
+	h.counts[b]--
+	h.total--
+}
+
+func (h *Hist) bin(v int64) int {
+	if v < 0 {
+		return 0
+	}
+	b := int(float64(v) / h.width)
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	return b
+}
+
+// Count returns bucket b's tally.
+func (h *Hist) Count(b int) int64 { return h.counts[b] }
+
+// Fraction returns bucket b's share of the mass, 0 for an empty
+// histogram.
+func (h *Hist) Fraction(b int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[b]) / float64(h.total)
+}
+
+// sameShape panics unless the two histograms are comparable.
+func (h *Hist) sameShape(o *Hist) {
+	if len(h.counts) != len(o.counts) {
+		panic(fmt.Sprintf("histogram: bin mismatch %d vs %d", len(h.counts), len(o.counts)))
+	}
+}
+
+// TVDistance returns the total-variation distance between the two
+// normalised histograms: ½·Σ|p_i − q_i| ∈ [0, 1]. 0 means identical
+// shapes, 1 disjoint support.
+func (h *Hist) TVDistance(o *Hist) float64 {
+	h.sameShape(o)
+	var d float64
+	for b := range h.counts {
+		d += math.Abs(h.Fraction(b) - o.Fraction(b))
+	}
+	return d / 2
+}
+
+// ChiSquare returns Pearson's chi-square statistic of h against the
+// expected shape of o, scaled by h's total. Buckets empty in o are
+// skipped (no expectation).
+func (h *Hist) ChiSquare(o *Hist) float64 {
+	h.sameShape(o)
+	var x float64
+	for b := range h.counts {
+		exp := o.Fraction(b) * float64(h.total)
+		if exp == 0 {
+			continue
+		}
+		d := float64(h.counts[b]) - exp
+		x += d * d / exp
+	}
+	return x
+}
+
+// KSStatistic returns the Kolmogorov–Smirnov statistic (max CDF gap)
+// between the two normalised histograms, ∈ [0, 1].
+func (h *Hist) KSStatistic(o *Hist) float64 {
+	h.sameShape(o)
+	var cdfH, cdfO, max float64
+	for b := range h.counts {
+		cdfH += h.Fraction(b)
+		cdfO += o.Fraction(b)
+		if d := math.Abs(cdfH - cdfO); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy.
+func (h *Hist) Clone() *Hist {
+	c := &Hist{counts: make([]int64, len(h.counts)), total: h.total, width: h.width, max: h.max}
+	copy(c.counts, h.counts)
+	return c
+}

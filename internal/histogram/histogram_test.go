@@ -1,0 +1,163 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amnesiadb/internal/xrand"
+)
+
+func TestAddCountFraction(t *testing.T) {
+	h := New(4, 99) // buckets of width 25
+	h.Add(0)
+	h.Add(24)
+	h.Add(25)
+	h.Add(99)
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Count(0) != 2 || h.Count(1) != 1 || h.Count(3) != 1 {
+		t.Fatalf("counts = %d %d %d %d", h.Count(0), h.Count(1), h.Count(2), h.Count(3))
+	}
+	if h.Fraction(0) != 0.5 {
+		t.Fatalf("fraction = %v", h.Fraction(0))
+	}
+}
+
+func TestClamping(t *testing.T) {
+	h := New(4, 99)
+	h.Add(-5)
+	h.Add(1000)
+	if h.Count(0) != 1 || h.Count(3) != 1 {
+		t.Fatal("clamping wrong")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := New(2, 9)
+	h.Add(3)
+	h.Remove(3)
+	if h.Total() != 0 || h.Count(0) != 0 {
+		t.Fatal("remove failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing from empty bin did not panic")
+		}
+	}()
+	h.Remove(3)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bins=0":  func() { New(0, 10) },
+		"max=-1":  func() { New(4, -1) },
+		"binMism": func() { New(4, 10).TVDistance(New(5, 10)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDistancesIdentical(t *testing.T) {
+	src := xrand.New(1)
+	h := New(16, 999)
+	for i := 0; i < 10000; i++ {
+		h.Add(src.Int63n(1000))
+	}
+	o := h.Clone()
+	if d := h.TVDistance(o); d != 0 {
+		t.Fatalf("TV distance of identical = %v", d)
+	}
+	if d := h.KSStatistic(o); d != 0 {
+		t.Fatalf("KS of identical = %v", d)
+	}
+}
+
+func TestDistancesDisjoint(t *testing.T) {
+	a, b := New(4, 99), New(4, 99)
+	a.Add(0)
+	b.Add(99)
+	if d := a.TVDistance(b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("TV of disjoint = %v", d)
+	}
+	if d := a.KSStatistic(b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("KS of disjoint = %v", d)
+	}
+}
+
+func TestTVDistanceOrdersDrift(t *testing.T) {
+	// A sample missing 40% of one mode must be further from the truth
+	// than a sample missing 10%.
+	src := xrand.New(2)
+	truth := New(8, 999)
+	mild := New(8, 999)
+	severe := New(8, 999)
+	for i := 0; i < 50000; i++ {
+		v := src.Int63n(1000)
+		truth.Add(v)
+		low := v < 500
+		if !low || src.Bool(0.9) {
+			mild.Add(v)
+		}
+		if !low || src.Bool(0.6) {
+			severe.Add(v)
+		}
+	}
+	if truth.TVDistance(severe) <= truth.TVDistance(mild) {
+		t.Fatalf("TV ordering broken: severe %v <= mild %v",
+			truth.TVDistance(severe), truth.TVDistance(mild))
+	}
+}
+
+func TestChiSquareZeroForProportionalSample(t *testing.T) {
+	truth := New(4, 99)
+	sample := New(4, 99)
+	for b := 0; b < 100; b++ {
+		truth.Add(int64(b))
+		truth.Add(int64(b))
+		sample.Add(int64(b)) // exactly half of every bucket
+	}
+	if x := sample.ChiSquare(truth); x > 1e-9 {
+		t.Fatalf("proportional sample chi2 = %v", x)
+	}
+}
+
+func TestFromValues(t *testing.T) {
+	h := FromValues([]int64{0, 10, 20, 30}, 4)
+	if h.Total() != 4 || h.Bins() != 4 {
+		t.Fatalf("h = %+v", h)
+	}
+	empty := FromValues(nil, 4)
+	if empty.Total() != 0 {
+		t.Fatal("empty FromValues wrong")
+	}
+}
+
+func TestPropertyDistanceBoundsAndSymmetry(t *testing.T) {
+	f := func(aRaw, bRaw []uint16) bool {
+		a, b := New(8, 1<<16), New(8, 1<<16)
+		for _, v := range aRaw {
+			a.Add(int64(v))
+		}
+		for _, v := range bRaw {
+			b.Add(int64(v))
+		}
+		tv, ks := a.TVDistance(b), a.KSStatistic(b)
+		if tv < 0 || tv > 1+1e-12 || ks < 0 || ks > 1+1e-12 {
+			return false
+		}
+		return math.Abs(tv-b.TVDistance(a)) < 1e-12 &&
+			math.Abs(ks-b.KSStatistic(a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package metrics implements the information-precision metrics of §2.3:
+// per-query RF(Q), MF(Q) and PF(Q), and the batch-level error margin E,
+// plus the time series the evaluation figures are drawn from.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Query records the outcome of one query against the amnesiac database.
+type Query struct {
+	// RF is the number of tuples in the (active-only) result.
+	RF int
+	// MF is the number of tuples missed because they were forgotten.
+	MF int
+}
+
+// Precision returns PF(Q) = RF/(RF+MF); an empty query (RF+MF == 0) is
+// perfectly precise by convention — nothing was asked for, nothing missed.
+func (q Query) Precision() float64 {
+	if q.RF+q.MF == 0 {
+		return 1
+	}
+	return float64(q.RF) / float64(q.RF+q.MF)
+}
+
+// Batch accumulates the metrics of one batch of queries (the paper fires
+// 1000 queries per batch and reports averages).
+type Batch struct {
+	queries  int
+	sumRF    int64
+	sumMF    int64
+	sumPF    float64
+	aggErr   float64 // accumulated relative error of aggregate answers
+	aggCount int
+}
+
+// Observe folds one query outcome into the batch.
+func (b *Batch) Observe(q Query) {
+	b.queries++
+	b.sumRF += int64(q.RF)
+	b.sumMF += int64(q.MF)
+	b.sumPF += q.Precision()
+}
+
+// ObserveAggregate folds in the relative error of one aggregate query:
+// |approx-exact| / |exact| (or 0 when both are 0, 1 when only exact is 0...
+// the caller provides the two values and this computes a bounded error).
+func (b *Batch) ObserveAggregate(approx, exact float64) {
+	var rel float64
+	switch {
+	case exact == 0 && approx == 0:
+		rel = 0
+	case exact == 0:
+		rel = 1
+	default:
+		rel = math.Abs(approx-exact) / math.Abs(exact)
+	}
+	b.aggErr += rel
+	b.aggCount++
+}
+
+// Queries returns the number of observations so far.
+func (b *Batch) Queries() int { return b.queries }
+
+// MeanPrecision returns the average PF over observed queries, 1 when no
+// queries were observed.
+func (b *Batch) MeanPrecision() float64 {
+	if b.queries == 0 {
+		return 1
+	}
+	return b.sumPF / float64(b.queries)
+}
+
+// ErrorMargin returns the paper's E = avg(RF) / avg(RF+MF) over the batch,
+// 1 when no queries were observed or no tuples were requested.
+func (b *Batch) ErrorMargin() float64 {
+	if b.queries == 0 || b.sumRF+b.sumMF == 0 {
+		return 1
+	}
+	return float64(b.sumRF) / float64(b.sumRF+b.sumMF)
+}
+
+// MeanAggregateError returns the mean relative error of aggregate answers
+// observed in this batch, 0 when none were observed.
+func (b *Batch) MeanAggregateError() float64 {
+	if b.aggCount == 0 {
+		return 0
+	}
+	return b.aggErr / float64(b.aggCount)
+}
+
+// Point is one figure sample: a batch index with its summary metrics.
+type Point struct {
+	Batch        int
+	Precision    float64 // mean PF
+	ErrorMargin  float64 // E
+	AggregateErr float64 // mean relative aggregate error
+}
+
+// Series is a named sequence of per-batch points — one figure line.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point built from the batch summary.
+func (s *Series) Add(batch int, b *Batch) {
+	s.Points = append(s.Points, Point{
+		Batch:        batch,
+		Precision:    b.MeanPrecision(),
+		ErrorMargin:  b.ErrorMargin(),
+		AggregateErr: b.MeanAggregateError(),
+	})
+}
+
+// Precisions returns just the precision column of the series.
+func (s *Series) Precisions() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Precision
+	}
+	return out
+}
+
+// Validate checks the §2.3 invariants: every precision and error margin in
+// [0, 1], batches ascending. It returns a descriptive error on violation;
+// experiments call it before emitting figures.
+func (s *Series) Validate() error {
+	last := -1
+	for _, p := range s.Points {
+		if p.Precision < 0 || p.Precision > 1 {
+			return fmt.Errorf("metrics: series %s batch %d precision %v outside [0,1]", s.Name, p.Batch, p.Precision)
+		}
+		if p.ErrorMargin < 0 || p.ErrorMargin > 1 {
+			return fmt.Errorf("metrics: series %s batch %d error margin %v outside [0,1]", s.Name, p.Batch, p.ErrorMargin)
+		}
+		if p.Batch <= last {
+			return fmt.Errorf("metrics: series %s batches not ascending at %d", s.Name, p.Batch)
+		}
+		last = p.Batch
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryPrecision(t *testing.T) {
+	cases := []struct {
+		q    Query
+		want float64
+	}{
+		{Query{RF: 3, MF: 1}, 0.75},
+		{Query{RF: 0, MF: 5}, 0},
+		{Query{RF: 5, MF: 0}, 1},
+		{Query{}, 1}, // empty query is vacuously precise
+	}
+	for _, c := range cases {
+		if got := c.q.Precision(); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Precision(%+v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBatchAverages(t *testing.T) {
+	b := &Batch{}
+	b.Observe(Query{RF: 1, MF: 1}) // PF 0.5
+	b.Observe(Query{RF: 3, MF: 1}) // PF 0.75
+	if b.Queries() != 2 {
+		t.Fatalf("Queries = %d", b.Queries())
+	}
+	if got := b.MeanPrecision(); math.Abs(got-0.625) > 1e-12 {
+		t.Fatalf("MeanPrecision = %v", got)
+	}
+	// E = sum(RF)/sum(RF+MF) = 4/6
+	if got := b.ErrorMargin(); math.Abs(got-4.0/6.0) > 1e-12 {
+		t.Fatalf("ErrorMargin = %v", got)
+	}
+}
+
+func TestEmptyBatchConventions(t *testing.T) {
+	b := &Batch{}
+	if b.MeanPrecision() != 1 || b.ErrorMargin() != 1 || b.MeanAggregateError() != 0 {
+		t.Fatalf("empty batch: %v %v %v", b.MeanPrecision(), b.ErrorMargin(), b.MeanAggregateError())
+	}
+}
+
+func TestObserveAggregate(t *testing.T) {
+	b := &Batch{}
+	b.ObserveAggregate(90, 100) // rel err 0.1
+	b.ObserveAggregate(110, 100)
+	if got := b.MeanAggregateError(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MeanAggregateError = %v", got)
+	}
+}
+
+func TestObserveAggregateZeroExact(t *testing.T) {
+	b := &Batch{}
+	b.ObserveAggregate(0, 0)
+	if b.MeanAggregateError() != 0 {
+		t.Fatal("0/0 aggregate error should be 0")
+	}
+	b2 := &Batch{}
+	b2.ObserveAggregate(5, 0)
+	if b2.MeanAggregateError() != 1 {
+		t.Fatal("nonzero/0 aggregate error should be capped at 1")
+	}
+}
+
+func TestSeriesAddAndValidate(t *testing.T) {
+	s := &Series{Name: "fifo"}
+	for i := 0; i < 3; i++ {
+		b := &Batch{}
+		b.Observe(Query{RF: 1, MF: i})
+		s.Add(i, b)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ps := s.Precisions()
+	if len(ps) != 3 || ps[0] != 1 || ps[1] != 0.5 {
+		t.Fatalf("Precisions = %v", ps)
+	}
+}
+
+func TestValidateCatchesBadSeries(t *testing.T) {
+	bad := []*Series{
+		{Name: "p>1", Points: []Point{{Batch: 0, Precision: 1.5, ErrorMargin: 1}}},
+		{Name: "e<0", Points: []Point{{Batch: 0, Precision: 1, ErrorMargin: -0.1}}},
+		{Name: "order", Points: []Point{
+			{Batch: 1, Precision: 1, ErrorMargin: 1},
+			{Batch: 1, Precision: 1, ErrorMargin: 1},
+		}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("series %s validated", s.Name)
+		}
+	}
+}
+
+func TestPropertyPrecisionBounds(t *testing.T) {
+	f := func(rf, mf uint16) bool {
+		p := Query{RF: int(rf), MF: int(mf)}.Precision()
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBatchEBetweenMinMaxPF(t *testing.T) {
+	// The error margin is a ratio of sums, hence bounded by the extreme
+	// per-query precisions.
+	f := func(qs []struct{ RF, MF uint8 }) bool {
+		if len(qs) == 0 {
+			return true
+		}
+		b := &Batch{}
+		min, max := 1.0, 0.0
+		any := false
+		for _, q := range qs {
+			query := Query{RF: int(q.RF), MF: int(q.MF)}
+			b.Observe(query)
+			if q.RF == 0 && q.MF == 0 {
+				continue
+			}
+			any = true
+			p := query.Precision()
+			if p < min {
+				min = p
+			}
+			if p > max {
+				max = p
+			}
+		}
+		if !any {
+			return b.ErrorMargin() == 1
+		}
+		e := b.ErrorMargin()
+		return e >= min-1e-12 && e <= max+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package micromodel implements §5's most adventurous counter to
+// forgetting: "replacing portions of the database by micro-models"
+// (Mühleisen, Kersten & Manegold, "Capturing the laws of (data) nature",
+// CIDR 2015). A Model replaces a set of forgotten tuples by piecewise
+// least-squares linear fits over insertion position plus a per-segment
+// value histogram, a few dozen bytes per segment. The model answers
+// point reconstructions and range-count/sum estimates for data that no
+// longer exists.
+package micromodel
+
+import (
+	"fmt"
+	"math"
+
+	"amnesiadb/internal/table"
+)
+
+// Segment is one linear micro-model: over positions [StartPos, EndPos]
+// the value is approximated by Intercept + Slope*(pos-StartPos); the
+// histogram summarises the value distribution for range estimation.
+type Segment struct {
+	StartPos, EndPos int
+	Count            int
+	Intercept, Slope float64
+	RMSE             float64
+	Min, Max         int64
+	hist             []int // equi-width buckets over [Min, Max]
+}
+
+// DefaultSegmentSize is the number of tuples folded into one segment.
+const DefaultSegmentSize = 256
+
+// DefaultHistBuckets is the per-segment histogram resolution.
+const DefaultHistBuckets = 8
+
+// Model is a piecewise-linear replacement for forgotten tuples of one
+// column.
+type Model struct {
+	col      string
+	segments []Segment
+}
+
+// Fit builds a model over the currently forgotten tuples of column col,
+// in insertion order, using segments of segSize tuples (DefaultSegmentSize
+// when <= 0). Typically followed by table.Vacuum: the tuples die, the
+// model remains.
+func Fit(t *table.Table, col string, segSize int) (*Model, error) {
+	c, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	idx := t.ForgottenIndices()
+	m := &Model{col: col}
+	for start := 0; start < len(idx); start += segSize {
+		end := start + segSize
+		if end > len(idx) {
+			end = len(idx)
+		}
+		m.segments = append(m.segments, fitSegment(c, idx[start:end]))
+	}
+	return m, nil
+}
+
+// fitSegment least-squares fits value against relative position and
+// builds the value histogram.
+func fitSegment(c interface{ Get(int) int64 }, idx []int) Segment {
+	n := float64(len(idx))
+	seg := Segment{
+		StartPos: idx[0],
+		EndPos:   idx[len(idx)-1],
+		Count:    len(idx),
+		Min:      math.MaxInt64,
+		Max:      math.MinInt64,
+	}
+	var sx, sy, sxx, sxy float64
+	for i, pos := range idx {
+		v := c.Get(pos)
+		if v < seg.Min {
+			seg.Min = v
+		}
+		if v > seg.Max {
+			seg.Max = v
+		}
+		x, y := float64(i), float64(v)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	denom := n*sxx - sx*sx
+	if denom != 0 {
+		seg.Slope = (n*sxy - sx*sy) / denom
+		seg.Intercept = (sy - seg.Slope*sx) / n
+	} else {
+		seg.Intercept = sy / n
+	}
+	var sse float64
+	seg.hist = make([]int, DefaultHistBuckets)
+	width := float64(seg.Max-seg.Min) + 1
+	for i, pos := range idx {
+		v := c.Get(pos)
+		r := float64(v) - (seg.Intercept + seg.Slope*float64(i))
+		sse += r * r
+		b := int(float64(v-seg.Min) / width * DefaultHistBuckets)
+		if b >= DefaultHistBuckets {
+			b = DefaultHistBuckets - 1
+		}
+		seg.hist[b]++
+	}
+	seg.RMSE = math.Sqrt(sse / n)
+	return seg
+}
+
+// Segments returns the fitted segments.
+func (m *Model) Segments() []Segment { return m.segments }
+
+// SizeBytes is the model footprint: ~6 scalars + histogram per segment.
+func (m *Model) SizeBytes() int {
+	return len(m.segments) * (6*8 + DefaultHistBuckets*4)
+}
+
+// Count returns the number of tuples the model stands in for.
+func (m *Model) Count() int {
+	n := 0
+	for _, s := range m.segments {
+		n += s.Count
+	}
+	return n
+}
+
+// EstimateAt reconstructs the value of the forgotten tuple that was the
+// i-th (0-based) tuple absorbed into the model.
+func (m *Model) EstimateAt(i int) (float64, error) {
+	if i < 0 {
+		return 0, fmt.Errorf("micromodel: negative index %d", i)
+	}
+	for _, s := range m.segments {
+		if i < s.Count {
+			return s.Intercept + s.Slope*float64(i), nil
+		}
+		i -= s.Count
+	}
+	return 0, fmt.Errorf("micromodel: index beyond modelled tuples")
+}
+
+// EstimateRangeCount estimates how many modelled tuples had values in
+// [lo, hi), interpolating uniformly within histogram buckets.
+func (m *Model) EstimateRangeCount(lo, hi int64) float64 {
+	var total float64
+	for _, s := range m.segments {
+		total += s.estimateCount(lo, hi)
+	}
+	return total
+}
+
+func (s *Segment) estimateCount(lo, hi int64) float64 {
+	if hi <= s.Min || lo > s.Max {
+		return 0
+	}
+	width := (float64(s.Max-s.Min) + 1) / DefaultHistBuckets
+	var est float64
+	for b, cnt := range s.hist {
+		if cnt == 0 {
+			continue
+		}
+		bLo := float64(s.Min) + float64(b)*width
+		bHi := bLo + width
+		oLo := math.Max(bLo, float64(lo))
+		oHi := math.Min(bHi, float64(hi))
+		if oHi <= oLo {
+			continue
+		}
+		est += float64(cnt) * (oHi - oLo) / width
+	}
+	return est
+}
+
+// EstimateRangeSum estimates the sum of modelled values in [lo, hi) using
+// bucket midpoints.
+func (m *Model) EstimateRangeSum(lo, hi int64) float64 {
+	var total float64
+	for _, s := range m.segments {
+		width := (float64(s.Max-s.Min) + 1) / DefaultHistBuckets
+		for b, cnt := range s.hist {
+			if cnt == 0 {
+				continue
+			}
+			bLo := float64(s.Min) + float64(b)*width
+			bHi := bLo + width
+			oLo := math.Max(bLo, float64(lo))
+			oHi := math.Min(bHi, float64(hi))
+			if oHi <= oLo {
+				continue
+			}
+			frac := (oHi - oLo) / width
+			total += float64(cnt) * frac * (oLo + oHi) / 2
+		}
+	}
+	return total
+}
+
+// MeanRMSE reports the average per-segment fit error — the model's own
+// quality signal, which a DBMS would use to decide whether modelling or
+// summarising a region loses less information.
+func (m *Model) MeanRMSE() float64 {
+	if len(m.segments) == 0 {
+		return 0
+	}
+	var s float64
+	for _, seg := range m.segments {
+		s += seg.RMSE
+	}
+	return s / float64(len(m.segments))
+}

@@ -1,0 +1,179 @@
+package micromodel
+
+import (
+	"math"
+	"testing"
+
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+func forgetAll(t *testing.T, vals []int64) *table.Table {
+	t.Helper()
+	tb := table.New("t", "a")
+	if _, err := tb.AppendSingleColumn(vals); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		tb.Forget(i)
+	}
+	return tb
+}
+
+func TestFitLinearDataExactly(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(3*i + 7)
+	}
+	tb := forgetAll(t, vals)
+	m, err := Fit(tb, "a", 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments()) != 4 || m.Count() != 1000 {
+		t.Fatalf("segments=%d count=%d", len(m.Segments()), m.Count())
+	}
+	if rmse := m.MeanRMSE(); rmse > 1e-6 {
+		t.Fatalf("linear fit RMSE = %v", rmse)
+	}
+	for _, i := range []int{0, 1, 500, 999} {
+		got, err := m.EstimateAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-float64(3*i+7)) > 1e-6 {
+			t.Fatalf("EstimateAt(%d) = %v, want %d", i, got, 3*i+7)
+		}
+	}
+}
+
+func TestEstimateAtErrors(t *testing.T) {
+	tb := forgetAll(t, []int64{1, 2, 3})
+	m, err := Fit(tb, "a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EstimateAt(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := m.EstimateAt(3); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestFitUnknownColumn(t *testing.T) {
+	tb := forgetAll(t, []int64{1})
+	if _, err := Fit(tb, "zz", 10); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestRangeCountOnUniformData(t *testing.T) {
+	src := xrand.New(1)
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = src.Int63n(1000)
+	}
+	tb := forgetAll(t, vals)
+	m, err := Fit(tb, "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int64{{0, 1000}, {100, 300}, {900, 1000}} {
+		var exact int
+		for _, v := range vals {
+			if v >= r[0] && v < r[1] {
+				exact++
+			}
+		}
+		est := m.EstimateRangeCount(r[0], r[1])
+		if math.Abs(est-float64(exact)) > float64(exact)*0.15+50 {
+			t.Fatalf("range [%d,%d): estimate %.0f vs exact %d", r[0], r[1], est, exact)
+		}
+	}
+}
+
+func TestRangeSumOnUniformData(t *testing.T) {
+	src := xrand.New(2)
+	vals := make([]int64, 10000)
+	var exactSum float64
+	for i := range vals {
+		vals[i] = src.Int63n(1000)
+		exactSum += float64(vals[i])
+	}
+	tb := forgetAll(t, vals)
+	m, err := Fit(tb, "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := m.EstimateRangeSum(0, 1000)
+	if math.Abs(est-exactSum)/exactSum > 0.05 {
+		t.Fatalf("sum estimate %.0f vs exact %.0f", est, exactSum)
+	}
+}
+
+func TestModelOnlyCoversForgotten(t *testing.T) {
+	tb := table.New("t", "a")
+	if _, err := tb.AppendSingleColumn([]int64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	tb.Forget(1)
+	tb.Forget(3)
+	m, err := Fit(tb, "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 2 {
+		t.Fatalf("modelled %d tuples, want 2", m.Count())
+	}
+}
+
+func TestModelSurvivesVacuum(t *testing.T) {
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tb := forgetAll(t, vals)
+	m, err := Fit(tb, "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Vacuum()
+	if tb.Len() != 0 {
+		t.Fatal("vacuum left tuples")
+	}
+	got, err := m.EstimateAt(250)
+	if err != nil || math.Abs(got-250) > 1e-6 {
+		t.Fatalf("post-vacuum estimate = %v, %v", got, err)
+	}
+}
+
+func TestSizeDrasticallySmaller(t *testing.T) {
+	vals := make([]int64, 100000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tb := forgetAll(t, vals)
+	m, err := Fit(tb, "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := len(vals) * 8
+	if m.SizeBytes() > raw/20 {
+		t.Fatalf("model %d bytes vs raw %d — not drastic", m.SizeBytes(), raw)
+	}
+}
+
+func TestEmptyForgottenSet(t *testing.T) {
+	tb := table.New("t", "a")
+	if _, err := tb.AppendSingleColumn([]int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(tb, "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 0 || m.EstimateRangeCount(0, 10) != 0 {
+		t.Fatal("empty model misbehaved")
+	}
+}

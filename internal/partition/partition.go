@@ -1,0 +1,207 @@
+// Package partition implements §4.4's closing proposal: "it might be
+// worth to study amnesia in the context of adaptive partitioning. Each
+// partition can then be tuned to provide the best precision for a subset
+// of the workload."
+//
+// A Set splits one logical attribute domain into contiguous value-range
+// partitions, each holding its own table, amnesia strategy and budget.
+// Inserts are routed by value; queries fan out to the partitions whose
+// ranges intersect the predicate. Adapt() rebalances the budgets toward
+// the partitions the workload actually queries, which is the "tuned to
+// provide the best precision for a subset of the workload" loop.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"amnesiadb/internal/amnesia"
+	"amnesiadb/internal/engine"
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+// Partition is one value-range shard.
+type Partition struct {
+	// Lo and Hi bound the shard's value range [Lo, Hi).
+	Lo, Hi int64
+	// Budget is the shard's active-tuple allowance.
+	Budget int
+
+	tbl    *table.Table
+	ex     *engine.Exec
+	strat  amnesia.Strategy
+	hits   int64 // queries that touched this shard since the last Adapt
+	column string
+}
+
+// Table exposes the shard's underlying table (read-only use).
+func (p *Partition) Table() *table.Table { return p.tbl }
+
+// Hits returns the query count since the last Adapt.
+func (p *Partition) Hits() int64 { return p.hits }
+
+// Set is a partitioned single-column store with per-partition amnesia.
+type Set struct {
+	column string
+	parts  []*Partition
+	src    *xrand.Source
+}
+
+// New builds a Set over [0, domain) split into n equal-width partitions,
+// each with the given strategy and an equal share of totalBudget.
+func New(column string, domain int64, n int, strategy string, totalBudget int, src *xrand.Source) (*Set, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("partition: need at least one partition, got %d", n)
+	}
+	if domain <= 0 {
+		return nil, fmt.Errorf("partition: domain %d must be positive", domain)
+	}
+	if totalBudget < n {
+		return nil, fmt.Errorf("partition: budget %d below one tuple per partition", totalBudget)
+	}
+	s := &Set{column: column, src: src}
+	width := (domain + int64(n) - 1) / int64(n)
+	for i := 0; i < n; i++ {
+		lo := int64(i) * width
+		hi := lo + width
+		if hi > domain {
+			hi = domain
+		}
+		tbl := table.New(fmt.Sprintf("p%d", i), column)
+		strat, err := amnesia.New(strategy, column, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		s.parts = append(s.parts, &Partition{
+			Lo: lo, Hi: hi,
+			Budget: totalBudget / n,
+			tbl:    tbl,
+			ex:     engine.New(tbl),
+			strat:  strat,
+			column: column,
+		})
+	}
+	return s, nil
+}
+
+// Partitions returns the shards in value order.
+func (s *Set) Partitions() []*Partition { return s.parts }
+
+// locate returns the shard owning value v.
+func (s *Set) locate(v int64) (*Partition, error) {
+	i := sort.Search(len(s.parts), func(i int) bool { return v < s.parts[i].Hi })
+	if i == len(s.parts) || v < s.parts[i].Lo {
+		return nil, fmt.Errorf("partition: value %d outside domain", v)
+	}
+	return s.parts[i], nil
+}
+
+// Insert routes a batch of values to their shards and enforces each
+// affected shard's budget.
+func (s *Set) Insert(vals []int64) error {
+	byPart := make(map[*Partition][]int64)
+	for _, v := range vals {
+		p, err := s.locate(v)
+		if err != nil {
+			return err
+		}
+		byPart[p] = append(byPart[p], v)
+	}
+	for p, vs := range byPart {
+		if _, err := p.tbl.AppendSingleColumn(vs); err != nil {
+			return err
+		}
+		if over := p.tbl.ActiveCount() - p.Budget; over > 0 {
+			p.strat.Forget(p.tbl, over)
+		}
+	}
+	return nil
+}
+
+// Select returns matching active values across all shards intersecting
+// [lo, hi), recording per-shard workload hits for Adapt.
+func (s *Set) Select(lo, hi int64) ([]int64, error) {
+	var out []int64
+	for _, p := range s.parts {
+		if p.Hi <= lo || p.Lo >= hi {
+			continue
+		}
+		p.hits++
+		res, err := p.ex.Select(s.column, expr.NewRange(lo, hi), engine.ScanActive)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.Values...)
+	}
+	return out, nil
+}
+
+// Precision aggregates the §2.3 metrics across the shards that intersect
+// [lo, hi).
+func (s *Set) Precision(lo, hi int64) (rf, mf int, pf float64, err error) {
+	for _, p := range s.parts {
+		if p.Hi <= lo || p.Lo >= hi {
+			continue
+		}
+		r, m, _, err := p.ex.Precision(s.column, expr.NewRange(lo, hi))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		rf += r
+		mf += m
+	}
+	if rf+mf == 0 {
+		return 0, 0, 1, nil
+	}
+	return rf, mf, float64(rf) / float64(rf+mf), nil
+}
+
+// Stats sums tuple counts over all shards.
+func (s *Set) Stats() table.Stats {
+	var out table.Stats
+	for _, p := range s.parts {
+		st := p.tbl.Stats()
+		out.Tuples += st.Tuples
+		out.Active += st.Active
+		out.Forgotten += st.Forgotten
+		out.Batches += st.Batches
+	}
+	return out
+}
+
+// Adapt reallocates the total budget proportionally to each shard's query
+// hits since the last call (plus one smoothing hit each, so unqueried
+// shards keep a trickle), then enforces the new budgets and resets the
+// counters. This is the adaptive loop of §4.4: hot partitions grow, cold
+// ones shrink, and precision follows the workload.
+func (s *Set) Adapt() {
+	total := 0
+	var weight int64
+	for _, p := range s.parts {
+		total += p.Budget
+		weight += p.hits + 1
+	}
+	remaining := total
+	for i, p := range s.parts {
+		var share int
+		if i == len(s.parts)-1 {
+			share = remaining // avoid rounding loss
+		} else {
+			share = int(int64(total) * (p.hits + 1) / weight)
+			if share < 1 {
+				share = 1
+			}
+			if share > remaining-(len(s.parts)-1-i) {
+				share = remaining - (len(s.parts) - 1 - i)
+			}
+		}
+		remaining -= share
+		p.Budget = share
+		p.hits = 0
+		if over := p.tbl.ActiveCount() - p.Budget; over > 0 {
+			p.strat.Forget(p.tbl, over)
+		}
+	}
+}

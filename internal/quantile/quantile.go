@@ -1,0 +1,119 @@
+// Package quantile implements the Greenwald–Khanna ε-approximate
+// streaming quantile sketch. Summaries of forgotten data (§1 keeps only
+// min/max/avg) can carry one of these to answer median/percentile
+// queries over tuples that no longer exist, at a few hundred bytes per
+// absorbed region — a middle ground between the paper's "few aggregated
+// values" and its §5 micro-models.
+package quantile
+
+import (
+	"fmt"
+	"math"
+)
+
+// tuple is one GK summary entry: value v, gap g to the previous entry's
+// minimum rank, and rank uncertainty delta.
+type tuple struct {
+	v     int64
+	g     int64
+	delta int64
+}
+
+// Sketch is an ε-approximate quantile summary: Query(phi) returns a value
+// whose rank is within ε·n of phi·n. The zero value is unusable; call New.
+type Sketch struct {
+	eps     float64
+	n       int64
+	entries []tuple // sorted by v
+}
+
+// New returns a sketch with the given error bound (0 < eps < 1).
+func New(eps float64) *Sketch {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("quantile: eps %v outside (0, 1)", eps))
+	}
+	return &Sketch{eps: eps}
+}
+
+// Count returns how many values the sketch has absorbed.
+func (s *Sketch) Count() int64 { return s.n }
+
+// Entries returns the current summary size (for space accounting; the
+// GK bound is O(log(εn)/ε)).
+func (s *Sketch) Entries() int { return len(s.entries) }
+
+// SizeBytes estimates the sketch footprint: three 8-byte words per entry.
+func (s *Sketch) SizeBytes() int { return len(s.entries) * 24 }
+
+// Insert adds one value to the sketch.
+func (s *Sketch) Insert(v int64) {
+	// Find insertion position (first entry with value >= v).
+	pos := 0
+	for pos < len(s.entries) && s.entries[pos].v < v {
+		pos++
+	}
+	var delta int64
+	if pos > 0 && pos < len(s.entries) {
+		delta = int64(2*s.eps*float64(s.n)) - 1
+		if delta < 0 {
+			delta = 0
+		}
+	}
+	s.entries = append(s.entries, tuple{})
+	copy(s.entries[pos+1:], s.entries[pos:])
+	s.entries[pos] = tuple{v: v, g: 1, delta: delta}
+	s.n++
+	if s.n%int64(1/(2*s.eps)) == 0 {
+		s.compress()
+	}
+}
+
+// compress merges adjacent entries whose combined uncertainty stays
+// within the 2εn band.
+func (s *Sketch) compress() {
+	if len(s.entries) < 3 {
+		return
+	}
+	limit := int64(2 * s.eps * float64(s.n))
+	out := s.entries[:1]
+	for i := 1; i < len(s.entries)-1; i++ {
+		e := s.entries[i]
+		next := &s.entries[i+1]
+		if e.g+next.g+next.delta <= limit {
+			next.g += e.g
+			continue
+		}
+		out = append(out, e)
+	}
+	out = append(out, s.entries[len(s.entries)-1])
+	s.entries = out
+}
+
+// Query returns a value whose rank is within ε·n of phi·n, for
+// phi ∈ [0, 1]. It returns an error when the sketch is empty.
+func (s *Sketch) Query(phi float64) (int64, error) {
+	if s.n == 0 {
+		return 0, fmt.Errorf("quantile: empty sketch")
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := int64(math.Ceil(phi * float64(s.n)))
+	bound := int64(math.Ceil(s.eps * float64(s.n)))
+	var rmin int64
+	for i, e := range s.entries {
+		rmin += e.g
+		rmax := rmin + e.delta
+		if target-rmin <= bound && rmax-target <= bound {
+			return e.v, nil
+		}
+		_ = i
+	}
+	return s.entries[len(s.entries)-1].v, nil
+}
+
+// Median is Query(0.5).
+func (s *Sketch) Median() (int64, error) { return s.Query(0.5) }

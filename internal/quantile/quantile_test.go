@@ -1,0 +1,154 @@
+package quantile
+
+import (
+	"sort"
+	"testing"
+
+	"amnesiadb/internal/xrand"
+)
+
+// exactRank returns the true rank (1-based) of value v in sorted vals.
+func checkQuantiles(t *testing.T, s *Sketch, vals []int64, eps float64) {
+	t.Helper()
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := float64(len(sorted))
+	for _, phi := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got, err := s.Query(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// rank of got in sorted data
+		lo := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= got })
+		hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > got })
+		target := phi * n
+		slack := eps*n + 1
+		if float64(hi) < target-slack || float64(lo) > target+slack {
+			t.Fatalf("phi=%.2f: value %d has rank [%d,%d], want within %.0f of %.0f",
+				phi, got, lo, hi, slack, target)
+		}
+	}
+}
+
+func TestSketchUniform(t *testing.T) {
+	src := xrand.New(1)
+	s := New(0.01)
+	vals := make([]int64, 20000)
+	for i := range vals {
+		vals[i] = src.Int63n(1 << 30)
+		s.Insert(vals[i])
+	}
+	checkQuantiles(t, s, vals, 0.01)
+}
+
+func TestSketchSorted(t *testing.T) {
+	s := New(0.01)
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = int64(i)
+		s.Insert(vals[i])
+	}
+	checkQuantiles(t, s, vals, 0.01)
+}
+
+func TestSketchReverseSorted(t *testing.T) {
+	s := New(0.01)
+	var vals []int64
+	for i := 9999; i >= 0; i-- {
+		vals = append(vals, int64(i))
+		s.Insert(int64(i))
+	}
+	checkQuantiles(t, s, vals, 0.01)
+}
+
+func TestSketchSkewed(t *testing.T) {
+	src := xrand.New(2)
+	z := xrand.NewZipf(src, 1000, 1.1)
+	s := New(0.02)
+	vals := make([]int64, 20000)
+	for i := range vals {
+		vals[i] = int64(z.Next())
+		s.Insert(vals[i])
+	}
+	checkQuantiles(t, s, vals, 0.02)
+}
+
+func TestSketchDuplicates(t *testing.T) {
+	s := New(0.01)
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(i % 3)
+		s.Insert(vals[i])
+	}
+	checkQuantiles(t, s, vals, 0.01)
+}
+
+func TestSketchCompressBoundsSpace(t *testing.T) {
+	src := xrand.New(3)
+	s := New(0.01)
+	for i := 0; i < 100000; i++ {
+		s.Insert(src.Int63n(1 << 40))
+	}
+	// GK space is O(log(eps*n)/eps); allow a generous constant.
+	if s.Entries() > 4000 {
+		t.Fatalf("sketch grew to %d entries for 100k inserts", s.Entries())
+	}
+	if s.SizeBytes() != s.Entries()*24 {
+		t.Fatal("size accounting wrong")
+	}
+	if s.Count() != 100000 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := New(0.01)
+	if _, err := s.Query(0.5); err == nil {
+		t.Fatal("empty query succeeded")
+	}
+}
+
+func TestMedianSmall(t *testing.T) {
+	s := New(0.1)
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		s.Insert(v)
+	}
+	m, err := s.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 3 || m > 7 {
+		t.Fatalf("median of {1,3,5,7,9} = %d", m)
+	}
+}
+
+func TestPhiClamping(t *testing.T) {
+	s := New(0.1)
+	s.Insert(42)
+	for _, phi := range []float64{-1, 0, 1, 2} {
+		if v, err := s.Query(phi); err != nil || v != 42 {
+			t.Fatalf("Query(%v) = %d, %v", phi, v, err)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("eps=%v did not panic", eps)
+				}
+			}()
+			New(eps)
+		}()
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	src := xrand.New(1)
+	s := New(0.01)
+	for i := 0; i < b.N; i++ {
+		s.Insert(src.Int63n(1 << 40))
+	}
+}

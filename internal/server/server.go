@@ -1,0 +1,181 @@
+// Package server exposes an amnesiadb instance over HTTP, turning the
+// embedded library into the small network-facing DBMS the paper
+// envisions operating "with limited tuning knobs". Endpoints:
+//
+//	POST /query      {"sql": "SELECT ..."}            -> rows as JSON
+//	POST /insert     {"table": "t", "columns": {...}} -> new stats
+//	POST /policy     {"table": "t", "strategy": "rot", "budget": 1000}
+//	GET  /stats?table=t
+//	GET  /tables
+//	GET  /precision?table=t&col=a&lo=0&hi=100
+//
+// All responses are JSON; errors use HTTP status codes with a JSON body
+// {"error": "..."}.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"amnesiadb"
+)
+
+// Server routes HTTP requests to a DB.
+type Server struct {
+	db  *amnesiadb.DB
+	mux *http.ServeMux
+}
+
+// New returns a Server wrapping db.
+func New(db *amnesiadb.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /insert", s.handleInsert)
+	s.mux.HandleFunc("POST /policy", s.handlePolicy)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /tables", s.handleTables)
+	s.mux.HandleFunc("GET /precision", s.handlePrecision)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+type queryRequest struct {
+	SQL string `json:"sql"`
+}
+
+type queryResponse struct {
+	Columns []string    `json:"columns"`
+	Rows    [][]float64 `json:"rows"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	res, err := s.db.Query(req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if res.Rows == nil {
+		res.Rows = [][]float64{}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{Columns: res.Columns, Rows: res.Rows})
+}
+
+type insertRequest struct {
+	Table string `json:"table"`
+	// Create lists column names to create the table on first use.
+	Create  []string           `json:"create,omitempty"`
+	Columns map[string][]int64 `json:"columns"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	t, ok := s.db.Table(req.Table)
+	if !ok {
+		if len(req.Create) == 0 {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown table %q (pass create to make it)", req.Table))
+			return
+		}
+		var err error
+		t, err = s.db.CreateTable(req.Table, req.Create...)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if err := t.Insert(req.Columns); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Stats())
+}
+
+type policyRequest struct {
+	Table    string `json:"table"`
+	Strategy string `json:"strategy"`
+	Budget   int    `json:"budget"`
+	Column   string `json:"column,omitempty"`
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	var req policyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	t, ok := s.db.Table(req.Table)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown table %q", req.Table))
+		return
+	}
+	p := amnesiadb.Policy{Strategy: req.Strategy, Budget: req.Budget, Column: req.Column}
+	if err := t.SetPolicy(p); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := t.EnforceBudget(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Stats())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.db.Table(r.URL.Query().Get("table"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown table %q", r.URL.Query().Get("table")))
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Stats())
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.db.TableNames())
+}
+
+func (s *Server) handlePrecision(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	t, ok := s.db.Table(q.Get("table"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown table %q", q.Get("table")))
+		return
+	}
+	col := q.Get("col")
+	if col == "" {
+		col = t.Columns()[0]
+	}
+	lo, err1 := strconv.ParseInt(q.Get("lo"), 10, 64)
+	hi, err2 := strconv.ParseInt(q.Get("hi"), 10, 64)
+	if err1 != nil || err2 != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("lo and hi must be integers"))
+		return
+	}
+	rf, mf, pf, err := t.Precision(col, amnesiadb.Range(lo, hi))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"returned": rf, "missed": mf, "precision": pf})
+}

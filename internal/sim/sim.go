@@ -1,0 +1,305 @@
+// Package sim is the Data Amnesia Simulator of §2: it drives a columnar
+// table through the paper's query-dominant loop — a batch of queries, a
+// batch of inserts, then an amnesia step that restores the storage budget
+// — while collecting the precision metrics and amnesia maps of the
+// evaluation section.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"amnesiadb/internal/amnesia"
+	"amnesiadb/internal/dist"
+	"amnesiadb/internal/engine"
+	"amnesiadb/internal/metrics"
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/workload"
+	"amnesiadb/internal/xrand"
+)
+
+// QueryKind selects the workload fired at each batch boundary.
+type QueryKind int
+
+const (
+	// RangeQueries fires the Figure 3 range template.
+	RangeQueries QueryKind = iota
+	// AggQueries fires SELECT AVG(a) FROM t (§4.3).
+	AggQueries
+	// AggRangeQueries fires AVG with a range predicate (§4.3's "daily
+	// life" variant).
+	AggRangeQueries
+)
+
+// String names the workload kind.
+func (k QueryKind) String() string {
+	switch k {
+	case RangeQueries:
+		return "range"
+	case AggQueries:
+		return "avg"
+	case AggRangeQueries:
+		return "avg-range"
+	default:
+		return fmt.Sprintf("QueryKind(%d)", int(k))
+	}
+}
+
+// Config parameterises one simulation run. The zero value is not valid;
+// use DefaultConfig as the base.
+type Config struct {
+	// DBSize is the constant active-tuple budget (paper: dbsize=1000).
+	DBSize int
+	// UpdatePerc is the per-batch volatility: each update batch inserts
+	// UpdatePerc*DBSize fresh tuples and the strategy must forget as
+	// many (paper: upd-perc 0.20 for the maps, 0.80 for Figure 3).
+	UpdatePerc float64
+	// Batches is the number of update batches after the initial load.
+	Batches int
+	// QueriesPerBatch is the size of each query batch (paper: 1000).
+	QueriesPerBatch int
+	// Distribution generates attribute values.
+	Distribution dist.Kind
+	// Domain is the exclusive upper bound of generated values.
+	Domain int64
+	// Strategy names the amnesia algorithm (see amnesia.Names).
+	Strategy string
+	// Queries selects the workload template.
+	Queries QueryKind
+	// Selectivity overrides the range window width when > 0.
+	Selectivity float64
+	// Candidates selects where range-query centre values come from
+	// (default: the paper's active-tuple sampling).
+	Candidates workload.CandidateMode
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's base parameters: dbsize 1000, 10
+// batches, 1000 queries per batch, uniform data over a domain of 100k.
+func DefaultConfig() Config {
+	return Config{
+		DBSize:          1000,
+		UpdatePerc:      0.20,
+		Batches:         10,
+		QueriesPerBatch: 1000,
+		Distribution:    dist.Uniform,
+		Domain:          100000,
+		Strategy:        "uniform",
+		Queries:         RangeQueries,
+		Seed:            1,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.DBSize <= 0:
+		return fmt.Errorf("sim: DBSize %d must be positive", c.DBSize)
+	case c.UpdatePerc <= 0 || c.UpdatePerc > 1:
+		return fmt.Errorf("sim: UpdatePerc %v outside (0, 1]", c.UpdatePerc)
+	case c.Batches < 0:
+		return fmt.Errorf("sim: Batches %d negative", c.Batches)
+	case c.QueriesPerBatch < 0:
+		return fmt.Errorf("sim: QueriesPerBatch %d negative", c.QueriesPerBatch)
+	case c.Domain <= 0:
+		return fmt.Errorf("sim: Domain %d must be positive", c.Domain)
+	case c.Selectivity < 0 || c.Selectivity > 1:
+		return fmt.Errorf("sim: Selectivity %v outside [0, 1]", c.Selectivity)
+	}
+	return nil
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	Config Config
+	// Series holds per-batch precision metrics (batch index 1..Batches;
+	// queries are fired before each amnesia step, matching §2.3).
+	Series metrics.Series
+	// MapActive[b] / MapTotal[b] give the amnesia map of Figures 1-2:
+	// how many tuples of insertion batch b (0 = initial load) are still
+	// active at the end of the run.
+	MapActive []int
+	MapTotal  []int
+	// Final table statistics.
+	Stats table.Stats
+}
+
+// ActivePercent returns the amnesia-map y-axis: the percentage of each
+// insertion batch still active at the end of the run.
+func (r *Result) ActivePercent() []float64 {
+	out := make([]float64, len(r.MapActive))
+	for i := range out {
+		if r.MapTotal[i] > 0 {
+			out[i] = 100 * float64(r.MapActive[i]) / float64(r.MapTotal[i])
+		}
+	}
+	return out
+}
+
+// Runner executes simulation runs. It holds no cross-run state.
+type Runner struct{}
+
+// Run executes one simulation described by cfg.
+func (Runner) Run(cfg Config) (*Result, error) {
+	return Run(cfg)
+}
+
+// Run executes one simulation described by cfg and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed)
+	dataSrc := root.Split()
+	strategySrc := root.Split()
+	querySrc := root.Split()
+
+	const col = "a"
+	tb := table.New("t", col)
+	gen := dist.NewGenerator(cfg.Distribution, cfg.Domain, dataSrc)
+	strat, err := amnesia.New(cfg.Strategy, col, strategySrc)
+	if err != nil {
+		return nil, err
+	}
+	ex := engine.New(tb)
+
+	rangeGen := workload.NewRangeGen(querySrc, col)
+	rangeGen.Candidates = cfg.Candidates
+	if cfg.Selectivity > 0 {
+		rangeGen.Selectivity = cfg.Selectivity
+	}
+	aggGen := workload.NewAggGen(querySrc, col, cfg.Queries == AggRangeQueries)
+	aggGen.RangeGen().Candidates = cfg.Candidates
+	if cfg.Selectivity > 0 {
+		aggGen.RangeGen().Selectivity = cfg.Selectivity
+	}
+
+	// Initial load: the database starts full at DBSIZE (timeline point 0).
+	if _, err := tb.AppendSingleColumn(gen.Batch(nil, cfg.DBSize)); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Config: cfg, Series: metrics.Series{Name: cfg.Strategy}}
+	updateSize := int(cfg.UpdatePerc * float64(cfg.DBSize))
+	if updateSize < 1 {
+		updateSize = 1
+	}
+
+	for b := 1; b <= cfg.Batches; b++ {
+		// 1. Query batch (feeds access frequencies and metrics).
+		if cfg.QueriesPerBatch > 0 {
+			var batch *metrics.Batch
+			switch cfg.Queries {
+			case RangeQueries:
+				batch, err = workload.RunRangeBatch(ex, rangeGen, cfg.QueriesPerBatch)
+			case AggQueries, AggRangeQueries:
+				batch, err = workload.RunAggBatch(ex, aggGen, cfg.QueriesPerBatch)
+			default:
+				err = fmt.Errorf("sim: invalid query kind %d", int(cfg.Queries))
+			}
+			if err != nil {
+				return nil, err
+			}
+			res.Series.Add(b, batch)
+		}
+
+		// 2. Update batch: insert F fresh tuples.
+		if _, err := tb.AppendSingleColumn(gen.Batch(nil, updateSize)); err != nil {
+			return nil, err
+		}
+
+		// 3. Amnesia: restore the storage budget exactly.
+		over := tb.ActiveCount() - cfg.DBSize
+		if over > 0 {
+			strat.Forget(tb, over)
+		}
+		if got := tb.ActiveCount(); got != cfg.DBSize {
+			return nil, fmt.Errorf("sim: budget invariant broken after batch %d: active %d != dbsize %d", b, got, cfg.DBSize)
+		}
+	}
+
+	if err := res.Series.Validate(); err != nil {
+		return nil, err
+	}
+	res.MapActive, res.MapTotal = tb.ActivePerBatch()
+	res.Stats = tb.Stats()
+	return res, nil
+}
+
+// RunAll executes the same configuration once per strategy name, returning
+// results in the given order. It is the engine behind the multi-line
+// figures.
+func RunAll(cfg Config, strategies []string) ([]*Result, error) {
+	out := make([]*Result, 0, len(strategies))
+	for _, s := range strategies {
+		c := cfg
+		c.Strategy = s
+		r, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("sim: strategy %s: %w", s, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SeedStats aggregates one configuration over multiple seeds: per batch,
+// the mean and sample standard deviation of precision. A single seed per
+// figure is the paper's practice; multi-seed runs put honest error bars
+// on the reproduction.
+type SeedStats struct {
+	Config  Config
+	Seeds   int
+	Batches []int
+	Mean    []float64
+	StdDev  []float64
+}
+
+// RunSeeds executes cfg with seeds cfg.Seed, cfg.Seed+1, ...,
+// cfg.Seed+n-1 and aggregates the precision series. It requires n >= 1
+// and a workload (QueriesPerBatch > 0).
+func RunSeeds(cfg Config, n int) (*SeedStats, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: RunSeeds needs at least one seed, got %d", n)
+	}
+	if cfg.QueriesPerBatch == 0 {
+		return nil, fmt.Errorf("sim: RunSeeds needs a query workload")
+	}
+	var sum, sumSq []float64
+	st := &SeedStats{Config: cfg, Seeds: n}
+	for s := 0; s < n; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(s)
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		ps := r.Series.Precisions()
+		if sum == nil {
+			sum = make([]float64, len(ps))
+			sumSq = make([]float64, len(ps))
+			for _, p := range r.Series.Points {
+				st.Batches = append(st.Batches, p.Batch)
+			}
+		}
+		for i, p := range ps {
+			sum[i] += p
+			sumSq[i] += p * p
+		}
+	}
+	st.Mean = make([]float64, len(sum))
+	st.StdDev = make([]float64, len(sum))
+	for i := range sum {
+		m := sum[i] / float64(n)
+		st.Mean[i] = m
+		if n > 1 {
+			variance := (sumSq[i] - float64(n)*m*m) / float64(n-1)
+			if variance < 0 {
+				variance = 0
+			}
+			st.StdDev[i] = math.Sqrt(variance)
+		}
+	}
+	return st, nil
+}

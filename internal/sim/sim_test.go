@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"amnesiadb/internal/amnesia"
+	"amnesiadb/internal/dist"
+	"amnesiadb/internal/workload"
+)
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.QueriesPerBatch = 50
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.DBSize = 0 },
+		func(c *Config) { c.UpdatePerc = 0 },
+		func(c *Config) { c.UpdatePerc = 1.5 },
+		func(c *Config) { c.Batches = -1 },
+		func(c *Config) { c.QueriesPerBatch = -1 },
+		func(c *Config) { c.Domain = 0 },
+		func(c *Config) { c.Selectivity = -0.1 },
+	}
+	for i, mutate := range bads {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestRunBudgetInvariant(t *testing.T) {
+	for _, s := range amnesia.Names() {
+		cfg := fastConfig()
+		cfg.Strategy = s
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if res.Stats.Active != cfg.DBSize {
+			t.Fatalf("%s: final active %d != dbsize %d", s, res.Stats.Active, cfg.DBSize)
+		}
+		wantTotal := cfg.DBSize + cfg.Batches*int(cfg.UpdatePerc*float64(cfg.DBSize))
+		if res.Stats.Tuples != wantTotal {
+			t.Fatalf("%s: stored %d tuples, want %d", s, res.Stats.Tuples, wantTotal)
+		}
+	}
+}
+
+func TestRunSeriesShape(t *testing.T) {
+	cfg := fastConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series.Points) != cfg.Batches {
+		t.Fatalf("series has %d points, want %d", len(res.Series.Points), cfg.Batches)
+	}
+	if err := res.Series.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := fastConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series.Points {
+		if a.Series.Points[i] != b.Series.Points[i] {
+			t.Fatalf("batch %d diverged: %+v vs %+v", i, a.Series.Points[i], b.Series.Points[i])
+		}
+	}
+	for i := range a.MapActive {
+		if a.MapActive[i] != b.MapActive[i] {
+			t.Fatalf("map diverged at %d", i)
+		}
+	}
+}
+
+func TestRunSeedChangesOutcome(t *testing.T) {
+	cfg := fastConfig()
+	a, _ := Run(cfg)
+	cfg.Seed = 999
+	b, _ := Run(cfg)
+	same := true
+	for i := range a.MapActive {
+		if a.MapActive[i] != b.MapActive[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical amnesia maps")
+	}
+}
+
+func TestAmnesiaMapFIFOShape(t *testing.T) {
+	// FIFO keeps only the newest tuples: early batches fully dark, the
+	// final stretch fully bright.
+	cfg := fastConfig()
+	cfg.Strategy = "fifo"
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := res.ActivePercent()
+	if pct[0] != 0 {
+		t.Fatalf("fifo: initial batch %f%% active, want 0", pct[0])
+	}
+	if last := pct[len(pct)-1]; last != 100 {
+		t.Fatalf("fifo: newest batch %f%% active, want 100", last)
+	}
+}
+
+func TestAmnesiaMapAnteShape(t *testing.T) {
+	// Anterograde protects history: batch 0 bright, updates dark.
+	cfg := fastConfig()
+	cfg.Strategy = "ante"
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := res.ActivePercent()
+	mid := 0.0
+	for _, p := range pct[1 : len(pct)-1] {
+		mid += p
+	}
+	mid /= float64(len(pct) - 2)
+	if pct[0] < 80 {
+		t.Fatalf("ante: initial batch only %.1f%% active", pct[0])
+	}
+	if mid > pct[0]/2 {
+		t.Fatalf("ante: update batches too bright (%.1f%% vs initial %.1f%%)", mid, pct[0])
+	}
+}
+
+func TestAmnesiaMapUniformMonotoneTrend(t *testing.T) {
+	// Uniform amnesia: newer batches had fewer forgetting opportunities,
+	// so activity should trend upward along the timeline.
+	cfg := fastConfig()
+	cfg.Strategy = "uniform"
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := res.ActivePercent()
+	first, last := pct[0], pct[len(pct)-1]
+	if last <= first {
+		t.Fatalf("uniform map not brightening: first %.1f%%, last %.1f%%", first, last)
+	}
+}
+
+func TestQueryKindsRun(t *testing.T) {
+	for _, k := range []QueryKind{RangeQueries, AggQueries, AggRangeQueries} {
+		cfg := fastConfig()
+		cfg.Queries = k
+		cfg.QueriesPerBatch = 20
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+	}
+}
+
+func TestQueryKindStrings(t *testing.T) {
+	if RangeQueries.String() != "range" || AggQueries.String() != "avg" ||
+		AggRangeQueries.String() != "avg-range" {
+		t.Fatal("QueryKind strings wrong")
+	}
+	if !strings.HasPrefix(QueryKind(42).String(), "QueryKind(") {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestRunAllOrders(t *testing.T) {
+	cfg := fastConfig()
+	cfg.QueriesPerBatch = 10
+	names := []string{"fifo", "uniform"}
+	out, err := RunAll(cfg, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Series.Name != "fifo" || out[1].Series.Name != "uniform" {
+		t.Fatalf("RunAll order wrong")
+	}
+}
+
+func TestRunAllUnknownStrategy(t *testing.T) {
+	if _, err := RunAll(fastConfig(), []string{"nope"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestAllDistributionsRun(t *testing.T) {
+	for _, d := range dist.Kinds {
+		cfg := fastConfig()
+		cfg.Distribution = d
+		cfg.Strategy = "rot"
+		cfg.QueriesPerBatch = 30
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+	}
+}
+
+func TestPrecisionDecaysOverTime(t *testing.T) {
+	// The headline observation of §4.2: precision drops as more is
+	// forgotten. Check first-batch precision >= last-batch precision for
+	// the uniform baseline under high volatility.
+	cfg := fastConfig()
+	cfg.UpdatePerc = 0.8
+	cfg.Strategy = "uniform"
+	cfg.QueriesPerBatch = 200
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := res.Series.Precisions()
+	if ps[0] < ps[len(ps)-1] {
+		t.Fatalf("precision rose over time: %v", ps)
+	}
+	if ps[len(ps)-1] > 0.8 {
+		t.Fatalf("final precision %v implausibly high at 80%% volatility", ps[len(ps)-1])
+	}
+}
+
+func TestCandidateModesChangeWorkload(t *testing.T) {
+	// Under zipfian data with the areav strategy, active-candidate
+	// queries avoid the value holes while uniform candidates do not, so
+	// the measured precision must differ meaningfully between modes.
+	run := func(m workload.CandidateMode) float64 {
+		cfg := fastConfig()
+		cfg.Distribution = dist.Zipf
+		cfg.Strategy = "areav"
+		cfg.UpdatePerc = 0.8
+		cfg.QueriesPerBatch = 200
+		cfg.Candidates = m
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := res.Series.Precisions()
+		return ps[len(ps)-1]
+	}
+	active := run(workload.CandidateActive)
+	uniform := run(workload.CandidateUniform)
+	if active <= uniform {
+		t.Fatalf("active-candidate precision %v not above uniform %v under areav", active, uniform)
+	}
+}
+
+func TestRunSeedsStats(t *testing.T) {
+	cfg := fastConfig()
+	cfg.QueriesPerBatch = 100
+	st, err := RunSeeds(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seeds != 5 || len(st.Mean) != cfg.Batches || len(st.StdDev) != cfg.Batches {
+		t.Fatalf("stats shape = %+v", st)
+	}
+	// First batch is always perfect precision: mean 1, sd 0.
+	if st.Mean[0] != 1 || st.StdDev[0] != 0 {
+		t.Fatalf("batch 1 stats = %v ± %v", st.Mean[0], st.StdDev[0])
+	}
+	// Later batches: mean in (0,1), sd small but nonzero across seeds.
+	last := len(st.Mean) - 1
+	if st.Mean[last] <= 0 || st.Mean[last] >= 1 {
+		t.Fatalf("final mean = %v", st.Mean[last])
+	}
+	if st.StdDev[last] <= 0 || st.StdDev[last] > 0.2 {
+		t.Fatalf("final sd = %v", st.StdDev[last])
+	}
+	for _, b := range st.Batches {
+		if b < 1 || b > cfg.Batches {
+			t.Fatalf("batches = %v", st.Batches)
+		}
+	}
+}
+
+func TestRunSeedsValidation(t *testing.T) {
+	cfg := fastConfig()
+	if _, err := RunSeeds(cfg, 0); err == nil {
+		t.Fatal("zero seeds accepted")
+	}
+	cfg.QueriesPerBatch = 0
+	if _, err := RunSeeds(cfg, 2); err == nil {
+		t.Fatal("workload-free RunSeeds accepted")
+	}
+}
+
+func TestZeroBatchesJustLoads(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Batches = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series.Points) != 0 || res.Stats.Active != cfg.DBSize {
+		t.Fatalf("zero-batch run wrong: %+v", res.Stats)
+	}
+}

@@ -1,0 +1,146 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+
+	"amnesiadb/internal/engine"
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/table"
+)
+
+// Result is the tabular output of Run.
+type Result struct {
+	// Columns are the output column headers.
+	Columns []string
+	// Rows holds one slice per result row, aligned with Columns.
+	// Aggregate results have exactly one row.
+	Rows [][]float64
+	// Ints is true per column when values are exact integers (projection
+	// columns, COUNT/SUM/MIN/MAX); AVG reports a float.
+	Ints []bool
+}
+
+// Catalog resolves table names; the amnesiadb facade and the tests both
+// satisfy it.
+type Catalog interface {
+	// LookupTable returns the named table or an error.
+	LookupTable(name string) (*table.Table, error)
+}
+
+// CatalogFunc adapts a function to Catalog.
+type CatalogFunc func(name string) (*table.Table, error)
+
+// LookupTable implements Catalog.
+func (f CatalogFunc) LookupTable(name string) (*table.Table, error) { return f(name) }
+
+// Run parses and executes one SELECT against the catalog, querying active
+// tuples only (the amnesiac view).
+func Run(cat Catalog, query string) (*Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(cat, q)
+}
+
+// Exec executes a parsed query.
+func Exec(cat Catalog, q *Query) (*Result, error) {
+	t, err := cat.LookupTable(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	ex := engine.New(t)
+	pred := q.Where
+	if pred == nil {
+		pred = expr.True{}
+	}
+
+	if q.Aggregate != nil {
+		return execAggregate(t, ex, q, pred)
+	}
+
+	cols := q.Columns
+	if q.Star {
+		cols = t.Columns()
+	}
+	for _, c := range cols {
+		if _, err := t.Column(c); err != nil {
+			return nil, err
+		}
+	}
+	// The predicate runs over WhereCol (or the first projected column
+	// for predicate-free queries).
+	scanCol := q.WhereCol
+	if scanCol == "" {
+		scanCol = cols[0]
+	}
+	sel, err := ex.Select(scanCol, pred, engine.ScanActive)
+	if err != nil {
+		return nil, err
+	}
+	rows := sel.Rows
+	if q.OrderBy != "" {
+		oc, err := t.Column(q.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		rows = append([]int32(nil), rows...)
+		sort.SliceStable(rows, func(i, j int) bool {
+			a, b := oc.Get(int(rows[i])), oc.Get(int(rows[j]))
+			if q.OrderDesc {
+				return a > b
+			}
+			return a < b
+		})
+	}
+	res := &Result{Columns: cols, Ints: make([]bool, len(cols))}
+	for i := range res.Ints {
+		res.Ints[i] = true
+	}
+	for n, rowPos := range rows {
+		if q.Limit > 0 && n >= q.Limit {
+			break
+		}
+		row := make([]float64, len(cols))
+		for ci, cn := range cols {
+			row[ci] = float64(t.MustColumn(cn).Get(int(rowPos)))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func execAggregate(t *table.Table, ex *engine.Exec, q *Query, pred expr.Expr) (*Result, error) {
+	kind := *q.Aggregate
+	col := q.AggregateCol
+	if col == "*" {
+		// COUNT(*): count over the predicate column, or any column for
+		// predicate-free counting.
+		col = q.WhereCol
+		if col == "" {
+			col = t.Columns()[0]
+		}
+	} else if _, err := t.Column(col); err != nil {
+		return nil, err
+	}
+	if q.WhereCol != "" && q.AggregateCol != "*" && q.WhereCol != q.AggregateCol {
+		return nil, fmt.Errorf("sql: aggregate column %q must match WHERE column %q in the single-attribute subspace", q.AggregateCol, q.WhereCol)
+	}
+	header := fmt.Sprintf("%s(%s)", kind, q.AggregateCol)
+	agg, err := ex.Aggregate(col, pred, engine.ScanActive)
+	if err == engine.ErrNoRows {
+		if kind == engine.Count {
+			return &Result{Columns: []string{header}, Rows: [][]float64{{0}}, Ints: []bool{true}}, nil
+		}
+		return nil, err
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns: []string{header},
+		Rows:    [][]float64{{agg.Value(kind)}},
+		Ints:    []bool{kind != engine.Avg},
+	}, nil
+}

@@ -1,0 +1,117 @@
+// Package sql implements a small SQL front-end for the query subspace the
+// paper carves out (§2.2): single-table SELECT with projection or one of
+// the aggregates COUNT/SUM/AVG/MIN/MAX, and WHERE clauses built from
+// integer comparisons combined with AND/OR/NOT. It exists so the examples
+// and the shell can talk to amnesiadb the way the paper's prose does:
+//
+//	SELECT AVG(a) FROM t
+//	SELECT a FROM t WHERE a >= 10 AND a < 20
+//	SELECT COUNT(*) FROM t WHERE NOT (a = 5 OR a > 100)
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkNumber
+	tkSymbol  // ( ) , *
+	tkOp      // = <> < <= > >=
+	tkKeyword // SELECT FROM WHERE AND OR NOT + aggregate names
+)
+
+// token is one lexical unit.
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers as written
+	pos  int    // byte offset, for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"LIMIT": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
+}
+
+// lex tokenises the input or returns a positioned error.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '*':
+			out = append(out, token{kind: tkSymbol, text: string(c), pos: i})
+			i++
+		case c == '=':
+			out = append(out, token{kind: tkOp, text: "=", pos: i})
+			i++
+		case c == '<':
+			switch {
+			case i+1 < len(input) && input[i+1] == '=':
+				out = append(out, token{kind: tkOp, text: "<=", pos: i})
+				i += 2
+			case i+1 < len(input) && input[i+1] == '>':
+				out = append(out, token{kind: tkOp, text: "<>", pos: i})
+				i += 2
+			default:
+				out = append(out, token{kind: tkOp, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				out = append(out, token{kind: tkOp, text: ">=", pos: i})
+				i += 2
+			} else {
+				out = append(out, token{kind: tkOp, text: ">", pos: i})
+				i++
+			}
+		case c == '!' && i+1 < len(input) && input[i+1] == '=':
+			out = append(out, token{kind: tkOp, text: "<>", pos: i})
+			i += 2
+		case c == '-' || c >= '0' && c <= '9':
+			start := i
+			i++
+			for i < len(input) && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+			if input[start] == '-' && i == start+1 {
+				return nil, fmt.Errorf("sql: stray '-' at offset %d", start)
+			}
+			out = append(out, token{kind: tkNumber, text: input[start:i], pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(input) && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			if up := strings.ToUpper(word); keywords[up] {
+				out = append(out, token{kind: tkKeyword, text: up, pos: start})
+			} else {
+				out = append(out, token{kind: tkIdent, text: word, pos: start})
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tkEOF, pos: len(input)})
+	return out, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,268 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"amnesiadb/internal/engine"
+	"amnesiadb/internal/expr"
+)
+
+// Query is the parsed form of a SELECT statement.
+type Query struct {
+	// Columns to project; empty when Aggregate is set or Star is true.
+	Columns []string
+	// Star is SELECT *.
+	Star bool
+	// Aggregate is set for SELECT AGG(col): the function and its column
+	// (column "*" for COUNT(*)).
+	Aggregate    *engine.AggKind
+	AggregateCol string
+	// Table is the FROM target.
+	Table string
+	// Where is the predicate over the single queried attribute (nil for
+	// no WHERE clause). WhereCol names that attribute.
+	Where    expr.Expr
+	WhereCol string
+	// OrderBy names the column to sort result rows by; empty keeps
+	// insertion order. OrderDesc reverses the order.
+	OrderBy   string
+	OrderDesc bool
+	// Limit caps result rows; 0 means no limit.
+	Limit int
+}
+
+// Parse turns one SELECT statement into a Query.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tkEOF, "") {
+		return nil, p.errf("trailing input starting with %q", p.cur().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) eat(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text, what string) (token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.i++
+		return t, nil
+	}
+	return token{}, p.errf("expected %s, found %q", what, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*Query, error) {
+	if _, err := p.expect(tkKeyword, "SELECT", "SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if err := p.parseSelectList(q); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "FROM", "FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(tkIdent, "", "table name")
+	if err != nil {
+		return nil, err
+	}
+	q.Table = tbl.text
+	if p.eat(tkKeyword, "WHERE") {
+		e, col, err := p.parseOr("")
+		if err != nil {
+			return nil, err
+		}
+		q.Where, q.WhereCol = e, col
+	}
+	if p.eat(tkKeyword, "ORDER") {
+		if _, err := p.expect(tkKeyword, "BY", "BY"); err != nil {
+			return nil, err
+		}
+		id, err := p.expect(tkIdent, "", "column name")
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = id.text
+		if p.eat(tkKeyword, "DESC") {
+			q.OrderDesc = true
+		} else {
+			p.eat(tkKeyword, "ASC")
+		}
+	}
+	if p.eat(tkKeyword, "LIMIT") {
+		n, err := p.expect(tkNumber, "", "limit count")
+		if err != nil {
+			return nil, err
+		}
+		lim, err := strconv.Atoi(n.text)
+		if err != nil || lim < 0 {
+			return nil, p.errf("bad LIMIT %q", n.text)
+		}
+		q.Limit = lim
+	}
+	return q, nil
+}
+
+// aggKinds maps keyword to engine aggregate.
+var aggKinds = map[string]engine.AggKind{
+	"COUNT": engine.Count, "SUM": engine.Sum, "AVG": engine.Avg,
+	"MIN": engine.Min, "MAX": engine.Max,
+}
+
+func (p *parser) parseSelectList(q *Query) error {
+	if p.eat(tkSymbol, "*") {
+		q.Star = true
+		return nil
+	}
+	if t := p.cur(); t.kind == tkKeyword {
+		if kind, ok := aggKinds[t.text]; ok {
+			p.i++
+			if _, err := p.expect(tkSymbol, "(", "("); err != nil {
+				return err
+			}
+			var col string
+			if p.eat(tkSymbol, "*") {
+				if kind != engine.Count {
+					return p.errf("only COUNT accepts *")
+				}
+				col = "*"
+			} else {
+				id, err := p.expect(tkIdent, "", "column name")
+				if err != nil {
+					return err
+				}
+				col = id.text
+			}
+			if _, err := p.expect(tkSymbol, ")", ")"); err != nil {
+				return err
+			}
+			q.Aggregate, q.AggregateCol = &kind, col
+			return nil
+		}
+	}
+	for {
+		id, err := p.expect(tkIdent, "", "column name")
+		if err != nil {
+			return err
+		}
+		q.Columns = append(q.Columns, id.text)
+		if !p.eat(tkSymbol, ",") {
+			return nil
+		}
+	}
+}
+
+// parseOr handles OR-chains; col threads the single attribute the WHERE
+// clause is allowed to reference (§2.2's one-attribute subspace).
+func (p *parser) parseOr(col string) (expr.Expr, string, error) {
+	left, col, err := p.parseAnd(col)
+	if err != nil {
+		return nil, "", err
+	}
+	for p.eat(tkKeyword, "OR") {
+		right, c, err := p.parseAnd(col)
+		if err != nil {
+			return nil, "", err
+		}
+		col = c
+		left = expr.Or{L: left, R: right}
+	}
+	return left, col, nil
+}
+
+func (p *parser) parseAnd(col string) (expr.Expr, string, error) {
+	left, col, err := p.parseUnary(col)
+	if err != nil {
+		return nil, "", err
+	}
+	for p.eat(tkKeyword, "AND") {
+		right, c, err := p.parseUnary(col)
+		if err != nil {
+			return nil, "", err
+		}
+		col = c
+		left = expr.And{L: left, R: right}
+	}
+	return left, col, nil
+}
+
+func (p *parser) parseUnary(col string) (expr.Expr, string, error) {
+	if p.eat(tkKeyword, "NOT") {
+		inner, c, err := p.parseUnary(col)
+		if err != nil {
+			return nil, "", err
+		}
+		return expr.Not{X: inner}, c, nil
+	}
+	if p.eat(tkSymbol, "(") {
+		inner, c, err := p.parseOr(col)
+		if err != nil {
+			return nil, "", err
+		}
+		if _, err := p.expect(tkSymbol, ")", ")"); err != nil {
+			return nil, "", err
+		}
+		return inner, c, nil
+	}
+	return p.parseComparison(col)
+}
+
+// cmpOps maps operator text to expr.Op.
+var cmpOps = map[string]expr.Op{
+	"=": expr.EQ, "<>": expr.NE, "<": expr.LT, "<=": expr.LE, ">": expr.GT, ">=": expr.GE,
+}
+
+func (p *parser) parseComparison(col string) (expr.Expr, string, error) {
+	id, err := p.expect(tkIdent, "", "column name")
+	if err != nil {
+		return nil, "", err
+	}
+	if col != "" && id.text != col {
+		return nil, "", p.errf("WHERE may reference only one attribute (%q), found %q", col, id.text)
+	}
+	opTok, err := p.expect(tkOp, "", "comparison operator")
+	if err != nil {
+		return nil, "", err
+	}
+	numTok, err := p.expect(tkNumber, "", "integer literal")
+	if err != nil {
+		return nil, "", err
+	}
+	v, err := strconv.ParseInt(numTok.text, 10, 64)
+	if err != nil {
+		return nil, "", p.errf("bad integer %q", numTok.text)
+	}
+	return expr.Cmp{Op: cmpOps[opTok.text], Val: v}, id.text, nil
+}

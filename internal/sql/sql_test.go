@@ -1,0 +1,301 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"amnesiadb/internal/engine"
+	"amnesiadb/internal/table"
+)
+
+func catalog(t *testing.T, vals ...int64) Catalog {
+	t.Helper()
+	tb := table.New("t", "a")
+	if len(vals) > 0 {
+		if _, err := tb.AppendSingleColumn(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return CatalogFunc(func(name string) (*table.Table, error) {
+		if name != "t" {
+			return nil, fmt.Errorf("unknown table %q", name)
+		}
+		return tb, nil
+	})
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a FROM t WHERE a >= -5 AND a <> 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.text)
+	}
+	want := "SELECT a FROM t WHERE a >= -5 AND a <> 10 "
+	if got := strings.Join(kinds, " "); got != want {
+		t.Fatalf("lex = %q, want %q", got, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"a ; b", "a - b", "€"} {
+		if _, err := lex(bad); err == nil {
+			t.Fatalf("lex(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseProjection(t *testing.T) {
+	q, err := Parse("SELECT a, b FROM events WHERE a < 5 LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Columns) != 2 || q.Columns[0] != "a" || q.Columns[1] != "b" {
+		t.Fatalf("columns = %v", q.Columns)
+	}
+	if q.Table != "events" || q.Limit != 3 || q.Where == nil || q.WhereCol != "a" {
+		t.Fatalf("query = %+v", q)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	q, err := Parse("select * from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Star {
+		t.Fatal("star not set")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	cases := map[string]engine.AggKind{
+		"SELECT COUNT(*) FROM t": engine.Count,
+		"SELECT SUM(a) FROM t":   engine.Sum,
+		"SELECT AVG(a) FROM t":   engine.Avg,
+		"SELECT MIN(a) FROM t":   engine.Min,
+		"SELECT MAX(a) FROM t":   engine.Max,
+	}
+	for src, want := range cases {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if q.Aggregate == nil || *q.Aggregate != want {
+			t.Fatalf("%s parsed to %+v", src, q)
+		}
+	}
+}
+
+func TestParsePrecedenceAndParens(t *testing.T) {
+	// NOT binds tighter than AND, AND tighter than OR.
+	q, err := Parse("SELECT a FROM t WHERE a < 2 OR a > 5 AND NOT a = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate: 1 -> true; 6 -> true; 7 -> false (7>5 but NOT 7=7 fails); 3 -> false.
+	checks := map[int64]bool{1: true, 6: true, 7: false, 3: false}
+	for v, want := range checks {
+		if got := q.Where.Eval(v); got != want {
+			t.Fatalf("Eval(%d) = %v, want %v", v, got, want)
+		}
+	}
+	q2, err := Parse("SELECT a FROM t WHERE (a < 2 OR a > 5) AND NOT a = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Where.Eval(7) {
+		t.Fatal("parenthesised Eval(7) = true")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a",
+		"SELECT a FROM t WHERE a >",
+		"SELECT a FROM t WHERE a > b",
+		"SELECT a FROM t WHERE a > 1 AND b < 2", // two attributes
+		"SELECT SUM(*) FROM t",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t garbage",
+		"INSERT INTO t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestRunProjection(t *testing.T) {
+	cat := catalog(t, 5, 15, 25, 35)
+	res, err := Run(cat, "SELECT a FROM t WHERE a >= 10 AND a < 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != 15 || res.Rows[1][0] != 25 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "a" || !res.Ints[0] {
+		t.Fatalf("meta = %+v", res)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	cat := catalog(t, 1, 2, 3, 4, 5)
+	res, err := Run(cat, "SELECT a FROM t LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	cat := catalog(t, 30, 10, 20)
+	res, err := Run(cat, "SELECT a FROM t ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != 10 || res.Rows[1][0] != 20 || res.Rows[2][0] != 30 {
+		t.Fatalf("asc rows = %v", res.Rows)
+	}
+	res, err = Run(cat, "SELECT a FROM t ORDER BY a DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != 30 || res.Rows[1][0] != 20 {
+		t.Fatalf("desc rows = %v", res.Rows)
+	}
+	res, err = Run(cat, "SELECT a FROM t ORDER BY a ASC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != 10 {
+		t.Fatalf("asc-limit rows = %v", res.Rows)
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	cat := catalog(t, 1)
+	for _, bad := range []string{
+		"SELECT a FROM t ORDER a",
+		"SELECT a FROM t ORDER BY",
+		"SELECT a FROM t ORDER BY zz",
+	} {
+		if _, err := Run(cat, bad); err == nil {
+			t.Fatalf("Run(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	cat := catalog(t, 10, 20, 30)
+	cases := map[string]float64{
+		"SELECT COUNT(*) FROM t":              3,
+		"SELECT SUM(a) FROM t":                60,
+		"SELECT AVG(a) FROM t":                20,
+		"SELECT MIN(a) FROM t":                10,
+		"SELECT MAX(a) FROM t":                30,
+		"SELECT COUNT(*) FROM t WHERE a > 10": 2,
+		"SELECT AVG(a) FROM t WHERE a <= 20":  15,
+	}
+	for src, want := range cases {
+		res, err := Run(cat, src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if len(res.Rows) != 1 || math.Abs(res.Rows[0][0]-want) > 1e-9 {
+			t.Fatalf("%s = %v, want %v", src, res.Rows, want)
+		}
+	}
+}
+
+func TestRunCountEmptyIsZero(t *testing.T) {
+	cat := catalog(t, 1)
+	res, err := Run(cat, "SELECT COUNT(*) FROM t WHERE a > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != 0 {
+		t.Fatalf("empty count = %v", res.Rows[0][0])
+	}
+}
+
+func TestRunAvgEmptyErrors(t *testing.T) {
+	cat := catalog(t, 1)
+	if _, err := Run(cat, "SELECT AVG(a) FROM t WHERE a > 100"); err == nil {
+		t.Fatal("empty AVG succeeded")
+	}
+}
+
+func TestRunRespectsAmnesia(t *testing.T) {
+	tb := table.New("t", "a")
+	if _, err := tb.AppendSingleColumn([]int64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	tb.Forget(0)
+	tb.Forget(1)
+	cat := CatalogFunc(func(string) (*table.Table, error) { return tb, nil })
+	res, err := Run(cat, "SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != 2 {
+		t.Fatalf("amnesiac count = %v, want 2", res.Rows[0][0])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cat := catalog(t, 1)
+	for _, src := range []string{
+		"SELECT a FROM missing",
+		"SELECT zz FROM t",
+		"SELECT SUM(zz) FROM t",
+		"SELECT SUM(a) FROM t WHERE zz > 1",
+	} {
+		if _, err := Run(cat, src); err == nil {
+			t.Fatalf("Run(%q) succeeded", src)
+		}
+	}
+}
+
+func TestRunAggregateColumnMismatch(t *testing.T) {
+	tb := table.New("t", "a", "b")
+	if _, err := tb.AppendBatch(map[string][]int64{"a": {1}, "b": {2}}); err != nil {
+		t.Fatal(err)
+	}
+	cat := CatalogFunc(func(string) (*table.Table, error) { return tb, nil })
+	if _, err := Run(cat, "SELECT SUM(b) FROM t WHERE a > 0"); err == nil {
+		t.Fatal("cross-column aggregate accepted in single-attribute subspace")
+	}
+}
+
+func TestRunMultiColumnProjection(t *testing.T) {
+	tb := table.New("t", "ts", "val")
+	err := func() error {
+		_, err := tb.AppendBatch(map[string][]int64{"ts": {1, 2, 3}, "val": {10, 20, 30}})
+		return err
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := CatalogFunc(func(string) (*table.Table, error) { return tb, nil })
+	res, err := Run(cat, "SELECT ts, val FROM t WHERE ts >= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1] != 20 || res.Rows[1][0] != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

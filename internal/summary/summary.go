@@ -1,0 +1,171 @@
+// Package summary implements the fourth fate of forgotten data from §1:
+// "keep a summary, i.e., a few aggregated values (min, max, avg) of all
+// the forgotten data. This will reduce the storage drastically but the
+// DBMS will only be able to answer specific aggregation queries." Each
+// absorbed batch of forgotten tuples collapses into one Segment holding
+// count/sum/min/max per column; approximate aggregate answers combine the
+// live table with the segments.
+package summary
+
+import (
+	"fmt"
+	"math"
+
+	"amnesiadb/internal/engine"
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/quantile"
+	"amnesiadb/internal/table"
+)
+
+// Segment summarises one absorbed batch of forgotten tuples for one
+// column.
+type Segment struct {
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+}
+
+// Avg returns the mean of the absorbed values.
+func (s Segment) Avg() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Book accumulates segments for one table column and answers approximate
+// aggregates over live + summarised data.
+type Book struct {
+	t        *table.Table
+	col      string
+	segments []Segment
+	absorbed map[int]bool // positions already folded into a segment
+	sketch   *quantile.Sketch
+}
+
+// NewBook returns an empty summary book over column col of t.
+func NewBook(t *table.Table, col string) (*Book, error) {
+	if _, err := t.Column(col); err != nil {
+		return nil, err
+	}
+	return &Book{t: t, col: col, absorbed: make(map[int]bool)}, nil
+}
+
+// NewBookWithQuantiles returns a Book that additionally feeds every
+// absorbed value into an ε-approximate quantile sketch, so percentile
+// questions about deleted data stay answerable (see ForgottenQuantile).
+func NewBookWithQuantiles(t *table.Table, col string, eps float64) (*Book, error) {
+	b, err := NewBook(t, col)
+	if err != nil {
+		return nil, err
+	}
+	b.sketch = quantile.New(eps)
+	return b, nil
+}
+
+// Absorb folds every currently forgotten, not-yet-absorbed tuple into a
+// new segment and returns the number of tuples absorbed (0 adds no
+// segment). After absorbing, callers typically Vacuum the table; the
+// segment preserves the aggregate footprint of the lost tuples.
+func (b *Book) Absorb() int {
+	c := b.t.MustColumn(b.col)
+	seg := Segment{Min: math.MaxInt64, Max: math.MinInt64}
+	n := 0
+	for _, i := range b.t.ForgottenIndices() {
+		if b.absorbed[i] {
+			continue
+		}
+		v := c.Get(i)
+		seg.Count++
+		seg.Sum += v
+		if v < seg.Min {
+			seg.Min = v
+		}
+		if v > seg.Max {
+			seg.Max = v
+		}
+		if b.sketch != nil {
+			b.sketch.Insert(v)
+		}
+		b.absorbed[i] = true
+		n++
+	}
+	if n > 0 {
+		b.segments = append(b.segments, seg)
+	}
+	return n
+}
+
+// ForgottenQuantile returns an approximate phi-quantile (phi in [0, 1])
+// of every value absorbed so far — the median of the deleted data, say.
+// It errors when the book was built without quantiles (NewBook) or
+// nothing has been absorbed.
+func (b *Book) ForgottenQuantile(phi float64) (int64, error) {
+	if b.sketch == nil {
+		return 0, fmt.Errorf("summary: book has no quantile sketch; use NewBookWithQuantiles")
+	}
+	return b.sketch.Query(phi)
+}
+
+// Rebase must be called after the table has been vacuumed: compaction
+// recycles tuple positions, so the absorbed-position set is invalidated.
+// Segments are unaffected — they carry no positions.
+func (b *Book) Rebase() { b.absorbed = make(map[int]bool) }
+
+// Segments returns a copy of the absorbed segments in absorption order.
+func (b *Book) Segments() []Segment { return append([]Segment(nil), b.segments...) }
+
+// SizeBytes is the summary footprint: four 8-byte values per segment —
+// the "reduce the storage drastically" half of the trade-off.
+func (b *Book) SizeBytes() int { return len(b.segments) * 32 }
+
+// Estimate holds an approximate aggregate combining live and summarised
+// data, with the bounds the summaries can still guarantee.
+type Estimate struct {
+	// Count is the exact number of contributing tuples (live + absorbed).
+	Count int64
+	// Avg is the reconstructed mean over live + absorbed tuples.
+	Avg float64
+	// Min/Max are exact for the union of live and absorbed data.
+	Min, Max int64
+	// LiveCount is how many contributors are still queryable exactly.
+	LiveCount int64
+}
+
+// FullAvg estimates SELECT AVG(col) FROM t over the union of active tuples
+// and all absorbed segments. Range-predicated queries cannot be answered
+// from segments (only full aggregates survive summarisation); use the
+// engine for those.
+func (b *Book) FullAvg() (Estimate, error) {
+	ex := engine.NewSilent(b.t)
+	est := Estimate{Min: math.MaxInt64, Max: math.MinInt64}
+	var sum int64
+	agg, err := ex.Aggregate(b.col, expr.True{}, engine.ScanActive)
+	switch err {
+	case nil:
+		est.Count = int64(agg.Rows)
+		est.LiveCount = int64(agg.Rows)
+		sum = agg.Sum
+		est.Min, est.Max = agg.Min, agg.Max
+	case engine.ErrNoRows:
+		// Only summaries remain.
+	default:
+		return Estimate{}, err
+	}
+	for _, s := range b.segments {
+		est.Count += s.Count
+		sum += s.Sum
+		if s.Min < est.Min {
+			est.Min = s.Min
+		}
+		if s.Max > est.Max {
+			est.Max = s.Max
+		}
+	}
+	if est.Count == 0 {
+		return Estimate{}, fmt.Errorf("summary: nothing to aggregate in %s.%s", b.t.Name(), b.col)
+	}
+	est.Avg = float64(sum) / float64(est.Count)
+	return est, nil
+}

@@ -1,0 +1,231 @@
+package summary
+
+import (
+	"math"
+	"testing"
+
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+func tbl(t *testing.T, vals ...int64) *table.Table {
+	t.Helper()
+	tb := table.New("t", "a")
+	if _, err := tb.AppendSingleColumn(vals); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestAbsorbBuildsSegment(t *testing.T) {
+	tb := tbl(t, 10, 20, 30, 40)
+	tb.Forget(1)
+	tb.Forget(3)
+	b, err := NewBook(tb, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := b.Absorb(); n != 2 {
+		t.Fatalf("absorbed %d, want 2", n)
+	}
+	segs := b.Segments()
+	if len(segs) != 1 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	s := segs[0]
+	if s.Count != 2 || s.Sum != 60 || s.Min != 20 || s.Max != 40 {
+		t.Fatalf("segment = %+v", s)
+	}
+	if s.Avg() != 30 {
+		t.Fatalf("segment avg = %v", s.Avg())
+	}
+}
+
+func TestAbsorbIdempotentPerTuple(t *testing.T) {
+	tb := tbl(t, 1, 2, 3)
+	tb.Forget(0)
+	b, _ := NewBook(tb, "a")
+	b.Absorb()
+	if n := b.Absorb(); n != 0 {
+		t.Fatalf("re-absorb took %d tuples", n)
+	}
+	if len(b.Segments()) != 1 {
+		t.Fatalf("empty re-absorb added a segment: %d", len(b.Segments()))
+	}
+	tb.Forget(2)
+	if n := b.Absorb(); n != 1 {
+		t.Fatalf("incremental absorb took %d", n)
+	}
+	if len(b.Segments()) != 2 {
+		t.Fatalf("segments = %d", len(b.Segments()))
+	}
+}
+
+func TestNewBookUnknownColumn(t *testing.T) {
+	tb := tbl(t, 1)
+	if _, err := NewBook(tb, "zz"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestFullAvgExactWhenNothingForgotten(t *testing.T) {
+	tb := tbl(t, 10, 20, 30)
+	b, _ := NewBook(tb, "a")
+	est, err := b.FullAvg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Avg != 20 || est.Count != 3 || est.LiveCount != 3 {
+		t.Fatalf("estimate = %+v", est)
+	}
+}
+
+func TestFullAvgReconstructsForgottenMass(t *testing.T) {
+	// The whole point of summarisation: AVG over live+segments equals
+	// the AVG over the original data exactly (sums are lossless).
+	src := xrand.New(1)
+	vals := make([]int64, 1000)
+	var sum int64
+	for i := range vals {
+		vals[i] = src.Int63n(10000)
+		sum += vals[i]
+	}
+	trueAvg := float64(sum) / 1000
+	tb := tbl(t, vals...)
+	for i := 0; i < 1000; i += 2 {
+		tb.Forget(i)
+	}
+	b, _ := NewBook(tb, "a")
+	b.Absorb()
+	tb.Vacuum() // summaries must survive physical removal
+	est, err := b.FullAvg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Count != 1000 {
+		t.Fatalf("count = %d", est.Count)
+	}
+	if math.Abs(est.Avg-trueAvg) > 1e-9 {
+		t.Fatalf("avg = %v, want %v", est.Avg, trueAvg)
+	}
+	if est.LiveCount != 500 {
+		t.Fatalf("live count = %d", est.LiveCount)
+	}
+}
+
+func TestRebaseAfterVacuum(t *testing.T) {
+	// Vacuum recycles positions; without Rebase a new tuple landing on
+	// an absorbed position would be skipped.
+	tb := tbl(t, 10, 20, 30)
+	tb.Forget(0)
+	b, _ := NewBook(tb, "a")
+	b.Absorb()
+	tb.Vacuum()
+	b.Rebase()
+	// Old position 0 is now occupied by the value 20.
+	tb.Forget(0)
+	if n := b.Absorb(); n != 1 {
+		t.Fatalf("post-rebase absorb took %d, want 1", n)
+	}
+	segs := b.Segments()
+	if len(segs) != 2 || segs[1].Sum != 20 {
+		t.Fatalf("segments = %+v", segs)
+	}
+}
+
+func TestFullAvgOnlySegments(t *testing.T) {
+	tb := tbl(t, 10, 30)
+	tb.Forget(0)
+	tb.Forget(1)
+	b, _ := NewBook(tb, "a")
+	b.Absorb()
+	est, err := b.FullAvg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Avg != 20 || est.LiveCount != 0 {
+		t.Fatalf("estimate = %+v", est)
+	}
+}
+
+func TestFullAvgNothingAnywhere(t *testing.T) {
+	tb := table.New("t", "a")
+	b, _ := NewBook(tb, "a")
+	if _, err := b.FullAvg(); err == nil {
+		t.Fatal("empty aggregate succeeded")
+	}
+}
+
+func TestMinMaxSpanLiveAndSegments(t *testing.T) {
+	tb := tbl(t, 50, 1, 99, 60)
+	tb.Forget(1) // min lives in a segment
+	tb.Forget(2) // max lives in a segment
+	b, _ := NewBook(tb, "a")
+	b.Absorb()
+	est, err := b.FullAvg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Min != 1 || est.Max != 99 {
+		t.Fatalf("min/max = %d/%d", est.Min, est.Max)
+	}
+}
+
+func TestForgottenQuantile(t *testing.T) {
+	src := xrand.New(9)
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = src.Int63n(100000)
+	}
+	tb := tbl(t, vals...)
+	for i := range vals {
+		tb.Forget(i)
+	}
+	b, err := NewBookWithQuantiles(tb, "a", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Absorb()
+	med, err := b.ForgottenQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform over [0, 100000): median ~50000 within eps*n ranks.
+	if med < 45000 || med > 55000 {
+		t.Fatalf("median of deleted data = %d", med)
+	}
+	p99, err := b.ForgottenQuantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p99 < 95000 {
+		t.Fatalf("p99 of deleted data = %d", p99)
+	}
+}
+
+func TestForgottenQuantileWithoutSketch(t *testing.T) {
+	tb := tbl(t, 1)
+	b, _ := NewBook(tb, "a")
+	if _, err := b.ForgottenQuantile(0.5); err == nil {
+		t.Fatal("sketch-less quantile succeeded")
+	}
+}
+
+func TestSizeBytesDrasticallySmaller(t *testing.T) {
+	// §1: summaries "reduce the storage drastically". 10k forgotten
+	// tuples collapse to one 32-byte segment.
+	src := xrand.New(2)
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = src.Int63n(1000)
+	}
+	tb := tbl(t, vals...)
+	for i := range vals {
+		tb.Forget(i)
+	}
+	b, _ := NewBook(tb, "a")
+	b.Absorb()
+	if b.SizeBytes() != 32 {
+		t.Fatalf("summary size = %d bytes", b.SizeBytes())
+	}
+}

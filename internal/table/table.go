@@ -1,0 +1,265 @@
+// Package table binds columns to the per-tuple metadata the amnesia
+// machinery needs: the batch each tuple arrived in (the paper's timeline),
+// its access frequency (for query-based amnesia, §3.2), and an active bit
+// (§2.1: "For each table T, we keep a record of active and forgotten
+// tuples"). Forgetting marks tuples inactive; Vacuum physically removes
+// them, which is the most radical of the four fates §1 enumerates.
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"amnesiadb/internal/bitvec"
+	"amnesiadb/internal/column"
+)
+
+// Table is a fixed-schema collection of int64 columns plus tuple metadata.
+// All columns have identical length. Table is not safe for concurrent
+// mutation.
+type Table struct {
+	name    string
+	colName []string
+	cols    []*column.Int64
+	byName  map[string]int
+
+	active      *bitvec.Vector
+	insertBatch []int32  // batch id each tuple arrived in
+	accessCount []uint32 // times the tuple appeared in a query result
+	batches     int      // number of batches appended so far
+}
+
+// New creates an empty table with the given column names. It panics on an
+// empty or duplicated column list.
+func New(name string, columns ...string) *Table {
+	if len(columns) == 0 {
+		panic("table: New with no columns")
+	}
+	t := &Table{
+		name:    name,
+		colName: append([]string(nil), columns...),
+		byName:  make(map[string]int, len(columns)),
+		active:  bitvec.New(0),
+	}
+	for i, c := range columns {
+		if _, dup := t.byName[c]; dup {
+			panic(fmt.Sprintf("table: duplicate column %q", c))
+		}
+		t.byName[c] = i
+		t.cols = append(t.cols, column.New())
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the column names in declaration order.
+func (t *Table) Columns() []string { return append([]string(nil), t.colName...) }
+
+// Column returns the storage for the named column, or an error if unknown.
+func (t *Table) Column(name string) (*column.Int64, error) {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("table %s: unknown column %q", t.name, name)
+	}
+	return t.cols[i], nil
+}
+
+// MustColumn is Column but panics on unknown names; for internal call sites
+// where the schema is static.
+func (t *Table) MustColumn(name string) *column.Int64 {
+	c, err := t.Column(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the total number of tuples, active and forgotten.
+func (t *Table) Len() int { return len(t.insertBatch) }
+
+// ActiveCount returns the number of active tuples.
+func (t *Table) ActiveCount() int { return t.active.Count() }
+
+// ForgottenCount returns the number of forgotten tuples still stored.
+func (t *Table) ForgottenCount() int { return t.Len() - t.ActiveCount() }
+
+// Batches returns the number of update batches appended so far.
+func (t *Table) Batches() int { return t.batches }
+
+// Active exposes the activity bitmap. Callers must not mutate it directly;
+// use Forget/Remember so metadata stays consistent. Strategies and scans
+// read it.
+func (t *Table) Active() *bitvec.Vector { return t.active }
+
+// InsertBatch returns the batch id tuple i arrived in.
+func (t *Table) InsertBatch(i int) int32 { return t.insertBatch[i] }
+
+// AccessCount returns the query access frequency of tuple i.
+func (t *Table) AccessCount(i int) uint32 { return t.accessCount[i] }
+
+// AppendBatch appends one update batch. vals maps column name to a slice of
+// equal length; every schema column must be present. New tuples arrive
+// active. The assigned batch id is returned.
+func (t *Table) AppendBatch(vals map[string][]int64) (int, error) {
+	if len(vals) != len(t.cols) {
+		return 0, fmt.Errorf("table %s: batch has %d columns, schema has %d", t.name, len(vals), len(t.cols))
+	}
+	n := -1
+	for _, name := range t.colName {
+		vs, ok := vals[name]
+		if !ok {
+			return 0, fmt.Errorf("table %s: batch missing column %q", t.name, name)
+		}
+		if n == -1 {
+			n = len(vs)
+		} else if len(vs) != n {
+			return 0, fmt.Errorf("table %s: ragged batch: column %q has %d values, want %d", t.name, name, len(vs), n)
+		}
+	}
+	batch := t.batches
+	t.batches++
+	for i, name := range t.colName {
+		t.cols[i].AppendSlice(vals[name])
+	}
+	old := t.Len()
+	for i := 0; i < n; i++ {
+		t.insertBatch = append(t.insertBatch, int32(batch))
+		t.accessCount = append(t.accessCount, 0)
+	}
+	t.active.GrowSet(old + n)
+	return batch, nil
+}
+
+// AppendSingleColumn is a convenience for the simulator's one-column tables.
+func (t *Table) AppendSingleColumn(vs []int64) (int, error) {
+	if len(t.colName) != 1 {
+		return 0, fmt.Errorf("table %s: AppendSingleColumn on %d-column schema", t.name, len(t.colName))
+	}
+	return t.AppendBatch(map[string][]int64{t.colName[0]: vs})
+}
+
+// Forget marks tuple i inactive. Forgetting an already-forgotten tuple is a
+// no-op. It panics if i is out of range.
+func (t *Table) Forget(i int) { t.active.Clear(i) }
+
+// ForgetMany marks all given tuples inactive.
+func (t *Table) ForgetMany(idx []int) {
+	for _, i := range idx {
+		t.active.Clear(i)
+	}
+}
+
+// Remember reactivates tuple i (used by cold-storage recovery).
+func (t *Table) Remember(i int) { t.active.Set(i) }
+
+// IsActive reports whether tuple i is active.
+func (t *Table) IsActive(i int) bool { return t.active.Test(i) }
+
+// Touch increments the access count of tuple i, saturating at the uint32
+// ceiling. Query execution calls this for every tuple returned.
+func (t *Table) Touch(i int) {
+	if t.accessCount[i] != ^uint32(0) {
+		t.accessCount[i]++
+	}
+}
+
+// TouchMany increments the access count for each listed tuple.
+func (t *Table) TouchMany(idx []int32) {
+	for _, i := range idx {
+		t.Touch(int(i))
+	}
+}
+
+// ActiveIndices returns the positions of all active tuples in insertion
+// order.
+func (t *Table) ActiveIndices() []int { return t.active.SetIndices() }
+
+// ForgottenIndices returns the positions of all forgotten tuples.
+func (t *Table) ForgottenIndices() []int { return t.active.ClearIndices() }
+
+// Stats summarises the table for reporting and strategy decisions.
+type Stats struct {
+	Tuples    int
+	Active    int
+	Forgotten int
+	Batches   int
+}
+
+// Stats returns current counters.
+func (t *Table) Stats() Stats {
+	a := t.ActiveCount()
+	return Stats{Tuples: t.Len(), Active: a, Forgotten: t.Len() - a, Batches: t.batches}
+}
+
+// Vacuum physically removes forgotten tuples from every column and from the
+// metadata arrays, compacting storage. It returns the remapping from old to
+// new positions (-1 for removed tuples). This implements the paper's "as
+// radical as to delete all data being forgotten".
+func (t *Table) Vacuum() []int32 {
+	keep := t.active
+	var remap []int32
+	for _, c := range t.cols {
+		remap = c.Compact(keep)
+	}
+	nActive := keep.Count()
+	newBatch := make([]int32, 0, nActive)
+	newAccess := make([]uint32, 0, nActive)
+	for i := 0; i < t.Len(); i++ {
+		if keep.Test(i) {
+			newBatch = append(newBatch, t.insertBatch[i])
+			newAccess = append(newAccess, t.accessCount[i])
+		}
+	}
+	t.insertBatch = newBatch
+	t.accessCount = newAccess
+	t.active = bitvec.NewSet(nActive)
+	return remap
+}
+
+// ActivePerBatch returns, for each batch id, (active, total) tuple counts.
+// This is the raw series behind the paper's amnesia maps (Figures 1 and 2).
+func (t *Table) ActivePerBatch() (active, total []int) {
+	active = make([]int, t.batches)
+	total = make([]int, t.batches)
+	for i, b := range t.insertBatch {
+		total[b]++
+		if t.active.Test(i) {
+			active[b]++
+		}
+	}
+	return active, total
+}
+
+// OldestActive returns the position of the oldest (lowest index) active
+// tuple, or -1 when none are active.
+func (t *Table) OldestActive() int { return t.active.NextSet(0) }
+
+// ActiveValueQuantiles returns the q evenly spaced quantile values of the
+// named column over active tuples (q >= 1); used by distribution-aligned
+// amnesia. Returns nil when no tuples are active.
+func (t *Table) ActiveValueQuantiles(col string, q int) ([]int64, error) {
+	c, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	idx := t.ActiveIndices()
+	if len(idx) == 0 {
+		return nil, nil
+	}
+	vals := make([]int64, len(idx))
+	for i, r := range idx {
+		vals[i] = c.Get(r)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	out := make([]int64, q)
+	for i := 0; i < q; i++ {
+		pos := (i + 1) * len(vals) / (q + 1)
+		if pos >= len(vals) {
+			pos = len(vals) - 1
+		}
+		out[i] = vals[pos]
+	}
+	return out, nil
+}

@@ -1,0 +1,278 @@
+package table
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amnesiadb/internal/xrand"
+)
+
+func single(t *testing.T, batches ...[]int64) *Table {
+	t.Helper()
+	tb := New("t", "a")
+	for _, b := range batches {
+		if _, err := tb.AppendSingleColumn(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestNewValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no columns": func() { New("t") },
+		"dup column": func() { New("t", "a", "a") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAppendBatchGrowsActive(t *testing.T) {
+	tb := single(t, []int64{1, 2, 3}, []int64{4, 5})
+	if tb.Len() != 5 || tb.ActiveCount() != 5 {
+		t.Fatalf("len=%d active=%d", tb.Len(), tb.ActiveCount())
+	}
+	if tb.Batches() != 2 {
+		t.Fatalf("batches = %d", tb.Batches())
+	}
+	if tb.InsertBatch(0) != 0 || tb.InsertBatch(3) != 1 {
+		t.Fatalf("insertBatch wrong: %d %d", tb.InsertBatch(0), tb.InsertBatch(3))
+	}
+}
+
+func TestAppendBatchErrors(t *testing.T) {
+	tb := New("t", "a", "b")
+	if _, err := tb.AppendBatch(map[string][]int64{"a": {1}}); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if _, err := tb.AppendBatch(map[string][]int64{"a": {1}, "c": {2}}); err == nil {
+		t.Fatal("wrong column name accepted")
+	}
+	if _, err := tb.AppendBatch(map[string][]int64{"a": {1, 2}, "b": {3}}); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+	if _, err := tb.AppendSingleColumn([]int64{1}); err == nil {
+		t.Fatal("AppendSingleColumn on 2-column table accepted")
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	tb := New("t", "a", "b")
+	if _, err := tb.Column("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Column("zz"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	cols := tb.Columns()
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Fatalf("Columns = %v", cols)
+	}
+}
+
+func TestForgetRememberCounts(t *testing.T) {
+	tb := single(t, []int64{1, 2, 3, 4})
+	tb.Forget(1)
+	tb.Forget(2)
+	if tb.ActiveCount() != 2 || tb.ForgottenCount() != 2 {
+		t.Fatalf("active=%d forgotten=%d", tb.ActiveCount(), tb.ForgottenCount())
+	}
+	if tb.IsActive(1) || !tb.IsActive(0) {
+		t.Fatal("IsActive wrong")
+	}
+	tb.Remember(1)
+	if tb.ActiveCount() != 3 {
+		t.Fatalf("active after Remember = %d", tb.ActiveCount())
+	}
+	tb.Forget(1)
+	tb.Forget(1) // double-forget is a no-op
+	if tb.ForgottenCount() != 2 {
+		t.Fatalf("double forget changed count: %d", tb.ForgottenCount())
+	}
+}
+
+func TestTouchSaturates(t *testing.T) {
+	tb := single(t, []int64{9})
+	for i := 0; i < 5; i++ {
+		tb.Touch(0)
+	}
+	if tb.AccessCount(0) != 5 {
+		t.Fatalf("access count = %d", tb.AccessCount(0))
+	}
+	tb.TouchMany([]int32{0, 0})
+	if tb.AccessCount(0) != 7 {
+		t.Fatalf("access count after TouchMany = %d", tb.AccessCount(0))
+	}
+}
+
+func TestActiveForgottenIndices(t *testing.T) {
+	tb := single(t, []int64{1, 2, 3, 4, 5})
+	tb.ForgetMany([]int{0, 4})
+	a := tb.ActiveIndices()
+	f := tb.ForgottenIndices()
+	if len(a) != 3 || a[0] != 1 || a[2] != 3 {
+		t.Fatalf("ActiveIndices = %v", a)
+	}
+	if len(f) != 2 || f[0] != 0 || f[1] != 4 {
+		t.Fatalf("ForgottenIndices = %v", f)
+	}
+}
+
+func TestActivePerBatch(t *testing.T) {
+	tb := single(t, []int64{1, 2}, []int64{3, 4, 5})
+	tb.Forget(0)
+	tb.Forget(4)
+	active, total := tb.ActivePerBatch()
+	if total[0] != 2 || total[1] != 3 {
+		t.Fatalf("total = %v", total)
+	}
+	if active[0] != 1 || active[1] != 2 {
+		t.Fatalf("active = %v", active)
+	}
+}
+
+func TestVacuumCompactsEverything(t *testing.T) {
+	tb := single(t, []int64{10, 20}, []int64{30, 40, 50})
+	tb.Touch(2)
+	tb.Touch(2)
+	tb.ForgetMany([]int{0, 3})
+	remap := tb.Vacuum()
+	if tb.Len() != 3 || tb.ActiveCount() != 3 {
+		t.Fatalf("post-vacuum len=%d active=%d", tb.Len(), tb.ActiveCount())
+	}
+	c := tb.MustColumn("a")
+	want := []int64{20, 30, 50}
+	for i, w := range want {
+		if c.Get(i) != w {
+			t.Fatalf("value %d = %d, want %d", i, c.Get(i), w)
+		}
+	}
+	// metadata must move with the tuples
+	if tb.InsertBatch(0) != 0 || tb.InsertBatch(1) != 1 {
+		t.Fatalf("insert batches = %d %d", tb.InsertBatch(0), tb.InsertBatch(1))
+	}
+	if tb.AccessCount(1) != 2 {
+		t.Fatalf("access count moved wrong: %d", tb.AccessCount(1))
+	}
+	if remap[0] != -1 || remap[2] != 1 || remap[4] != 2 {
+		t.Fatalf("remap = %v", remap)
+	}
+}
+
+func TestOldestActive(t *testing.T) {
+	tb := single(t, []int64{1, 2, 3})
+	if tb.OldestActive() != 0 {
+		t.Fatalf("OldestActive = %d", tb.OldestActive())
+	}
+	tb.Forget(0)
+	tb.Forget(1)
+	if tb.OldestActive() != 2 {
+		t.Fatalf("OldestActive = %d", tb.OldestActive())
+	}
+	tb.Forget(2)
+	if tb.OldestActive() != -1 {
+		t.Fatalf("OldestActive on empty = %d", tb.OldestActive())
+	}
+}
+
+func TestActiveValueQuantiles(t *testing.T) {
+	tb := single(t, []int64{50, 10, 40, 20, 30})
+	qs, err := tb.ActiveValueQuantiles("a", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sorted: 10 20 30 40 50; quartile positions 1, 2, 3 -> 20, 30, 40
+	if len(qs) != 3 || qs[0] != 20 || qs[1] != 30 || qs[2] != 40 {
+		t.Fatalf("quantiles = %v", qs)
+	}
+	if _, err := tb.ActiveValueQuantiles("nope", 2); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestActiveValueQuantilesEmpty(t *testing.T) {
+	tb := single(t, []int64{1})
+	tb.Forget(0)
+	qs, err := tb.ActiveValueQuantiles("a", 4)
+	if err != nil || qs != nil {
+		t.Fatalf("empty quantiles = %v, %v", qs, err)
+	}
+}
+
+func TestPropertyForgetNeverChangesLen(t *testing.T) {
+	f := func(vals []int64, forget []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tb := New("t", "a")
+		if _, err := tb.AppendSingleColumn(vals); err != nil {
+			return false
+		}
+		for _, fi := range forget {
+			tb.Forget(int(fi) % len(vals))
+		}
+		return tb.Len() == len(vals) &&
+			tb.ActiveCount()+tb.ForgottenCount() == tb.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyVacuumKeepsActiveValues(t *testing.T) {
+	src := xrand.New(77)
+	f := func(vals []int64, forget []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tb := New("t", "a")
+		if _, err := tb.AppendSingleColumn(vals); err != nil {
+			return false
+		}
+		for _, fi := range forget {
+			tb.Forget(int(fi) % len(vals))
+		}
+		var want []int64
+		for i, v := range vals {
+			if tb.IsActive(i) {
+				want = append(want, v)
+			}
+		}
+		tb.Vacuum()
+		if tb.Len() != len(want) {
+			return false
+		}
+		c := tb.MustColumn("a")
+		for i, w := range want {
+			if c.Get(i) != w {
+				return false
+			}
+		}
+		_ = src
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppendBatch(b *testing.B) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	b.ResetTimer()
+	tb := New("t", "a")
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.AppendSingleColumn(vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

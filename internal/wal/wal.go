@@ -1,0 +1,313 @@
+// Package wal implements a write-ahead log for amnesiadb tables:
+// length-prefixed, CRC-32-guarded records for inserts, forgets, explicit
+// remembers and vacuums. Replaying a log reproduces the table state
+// bit-for-bit (including amnesia decisions, which are logged as plain
+// forget records — the log captures *what* was forgotten, not why, so
+// replay needs no strategy or seed).
+//
+// Snapshots (package snapshot) capture a moment; the WAL captures the
+// journey — together they give point-in-time recovery: restore the last
+// snapshot, replay the tail of the log.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"amnesiadb/internal/table"
+)
+
+// recordKind tags log records.
+type recordKind byte
+
+const (
+	recInsert recordKind = iota + 1
+	recForget
+	recRemember
+	recVacuum
+)
+
+// ErrTruncated reports a partial trailing record; everything before it
+// replayed fine. Callers treat it as a clean crash boundary.
+var ErrTruncated = errors.New("wal: truncated trailing record")
+
+// ErrCorrupt reports a record whose checksum failed.
+var ErrCorrupt = errors.New("wal: checksum mismatch")
+
+// Writer appends records to a log stream.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// record frames and writes one payload: kind, length, payload, crc.
+func (l *Writer) record(kind recordKind, payload []byte) error {
+	var hdr [1 + 4]byte
+	hdr[0] = byte(kind)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := l.w.Write(sum[:]); err != nil {
+		return err
+	}
+	return l.w.Flush()
+}
+
+// Insert logs one batch: per schema column, the values appended.
+// Columns must arrive in schema order on every call.
+func (l *Writer) Insert(cols []string, vals map[string][]int64) error {
+	b := l.buf[:0]
+	b = binary.AppendUvarint(b, uint64(len(cols)))
+	for _, c := range cols {
+		vs, ok := vals[c]
+		if !ok {
+			return fmt.Errorf("wal: insert missing column %q", c)
+		}
+		b = binary.AppendUvarint(b, uint64(len(c)))
+		b = append(b, c...)
+		b = binary.AppendUvarint(b, uint64(len(vs)))
+		for _, v := range vs {
+			b = binary.AppendVarint(b, v)
+		}
+	}
+	l.buf = b
+	return l.record(recInsert, b)
+}
+
+// Forget logs tuple positions marked inactive.
+func (l *Writer) Forget(positions []int) error {
+	return l.positions(recForget, positions)
+}
+
+// Remember logs tuple positions reactivated (cold-storage recovery).
+func (l *Writer) Remember(positions []int) error {
+	return l.positions(recRemember, positions)
+}
+
+func (l *Writer) positions(kind recordKind, positions []int) error {
+	b := l.buf[:0]
+	b = binary.AppendUvarint(b, uint64(len(positions)))
+	prev := 0
+	for _, p := range positions {
+		b = binary.AppendVarint(b, int64(p-prev)) // delta encoding
+		prev = p
+	}
+	l.buf = b
+	return l.record(kind, b)
+}
+
+// Vacuum logs a physical compaction point.
+func (l *Writer) Vacuum() error { return l.record(recVacuum, nil) }
+
+// Replay applies every record in r to t, which must be a freshly created
+// table with the same schema the log was written against. On a truncated
+// tail it returns ErrTruncated after applying all complete records; on a
+// checksum failure it returns ErrCorrupt.
+func Replay(r io.Reader, t *table.Table) error {
+	br := bufio.NewReader(r)
+	for {
+		kind, payload, err := readRecord(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := apply(t, kind, payload); err != nil {
+			return err
+		}
+	}
+}
+
+func readRecord(br *bufio.Reader) (recordKind, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, ErrTruncated
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return 0, nil, ErrTruncated
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > 1<<30 {
+		return 0, nil, fmt.Errorf("wal: implausible record length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, ErrTruncated
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return 0, nil, ErrTruncated
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	if crc.Sum32() != binary.LittleEndian.Uint32(sum[:]) {
+		return 0, nil, ErrCorrupt
+	}
+	return recordKind(hdr[0]), payload, nil
+}
+
+func apply(t *table.Table, kind recordKind, payload []byte) error {
+	switch kind {
+	case recInsert:
+		vals, err := decodeInsert(payload)
+		if err != nil {
+			return err
+		}
+		_, err = t.AppendBatch(vals)
+		return err
+	case recForget, recRemember:
+		positions, err := decodePositions(payload)
+		if err != nil {
+			return err
+		}
+		for _, p := range positions {
+			if p < 0 || p >= t.Len() {
+				return fmt.Errorf("wal: position %d outside table of %d tuples", p, t.Len())
+			}
+			if kind == recForget {
+				t.Forget(p)
+			} else {
+				t.Remember(p)
+			}
+		}
+		return nil
+	case recVacuum:
+		t.Vacuum()
+		return nil
+	default:
+		return fmt.Errorf("wal: unknown record kind %d", kind)
+	}
+}
+
+func decodeInsert(b []byte) (map[string][]int64, error) {
+	nCols, b, err := uvar(b)
+	if err != nil {
+		return nil, err
+	}
+	if nCols > 1<<16 {
+		return nil, fmt.Errorf("wal: implausible column count %d", nCols)
+	}
+	out := make(map[string][]int64, nCols)
+	for c := uint64(0); c < nCols; c++ {
+		nameLen, rest, err := uvar(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		if uint64(len(b)) < nameLen {
+			return nil, fmt.Errorf("wal: short column name")
+		}
+		name := string(b[:nameLen])
+		b = b[nameLen:]
+		count, rest, err := uvar(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		vs := make([]int64, 0, count)
+		for i := uint64(0); i < count; i++ {
+			v, n := binary.Varint(b)
+			if n <= 0 {
+				return nil, fmt.Errorf("wal: bad value varint")
+			}
+			b = b[n:]
+			vs = append(vs, v)
+		}
+		out[name] = vs
+	}
+	return out, nil
+}
+
+func decodePositions(b []byte) ([]int, error) {
+	count, b, err := uvar(b)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<30 {
+		return nil, fmt.Errorf("wal: implausible position count %d", count)
+	}
+	out := make([]int, 0, count)
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		d, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("wal: bad position varint")
+		}
+		b = b[n:]
+		prev += d
+		out = append(out, int(prev))
+	}
+	return out, nil
+}
+
+func uvar(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wal: bad uvarint")
+	}
+	return v, b[n:], nil
+}
+
+// Recorder wraps a table so that every mutation is logged before being
+// applied — the write-ahead discipline. Reads go to the table directly.
+type Recorder struct {
+	t   *table.Table
+	log *Writer
+}
+
+// NewRecorder returns a Recorder logging t's mutations to w.
+func NewRecorder(t *table.Table, w io.Writer) *Recorder {
+	return &Recorder{t: t, log: NewWriter(w)}
+}
+
+// Table returns the wrapped table for reads.
+func (r *Recorder) Table() *table.Table { return r.t }
+
+// AppendBatch logs then applies an insert.
+func (r *Recorder) AppendBatch(vals map[string][]int64) (int, error) {
+	if err := r.log.Insert(r.t.Columns(), vals); err != nil {
+		return 0, err
+	}
+	return r.t.AppendBatch(vals)
+}
+
+// ForgetMany logs then applies forgetting.
+func (r *Recorder) ForgetMany(positions []int) error {
+	if err := r.log.Forget(positions); err != nil {
+		return err
+	}
+	r.t.ForgetMany(positions)
+	return nil
+}
+
+// Vacuum logs then applies compaction.
+func (r *Recorder) Vacuum() error {
+	if err := r.log.Vacuum(); err != nil {
+		return err
+	}
+	r.t.Vacuum()
+	return nil
+}

@@ -1,0 +1,203 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+func sameTables(t *testing.T, a, b *table.Table) {
+	t.Helper()
+	if a.Len() != b.Len() || a.ActiveCount() != b.ActiveCount() || a.Batches() != b.Batches() {
+		t.Fatalf("shape differs: len %d/%d active %d/%d batches %d/%d",
+			a.Len(), b.Len(), a.ActiveCount(), b.ActiveCount(), a.Batches(), b.Batches())
+	}
+	for _, cn := range a.Columns() {
+		ca, cb := a.MustColumn(cn), b.MustColumn(cn)
+		for i := 0; i < a.Len(); i++ {
+			if ca.Get(i) != cb.Get(i) {
+				t.Fatalf("column %s row %d differs", cn, i)
+			}
+		}
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.IsActive(i) != b.IsActive(i) {
+			t.Fatalf("active bit %d differs", i)
+		}
+	}
+}
+
+func TestReplayReproducesTable(t *testing.T) {
+	var buf bytes.Buffer
+	src := xrand.New(1)
+	tb := table.New("t", "a", "b")
+	rec := NewRecorder(tb, &buf)
+
+	for round := 0; round < 10; round++ {
+		n := 50 + src.Intn(50)
+		a := make([]int64, n)
+		b := make([]int64, n)
+		for i := range a {
+			a[i] = src.Int63n(1000)
+			b[i] = src.Int63n(1000)
+		}
+		if _, err := rec.AppendBatch(map[string][]int64{"a": a, "b": b}); err != nil {
+			t.Fatal(err)
+		}
+		var forget []int
+		for i := 0; i < tb.Len(); i++ {
+			if tb.IsActive(i) && src.Bool(0.1) {
+				forget = append(forget, i)
+			}
+		}
+		if err := rec.ForgetMany(forget); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	replayed := table.New("t", "a", "b")
+	if err := Replay(&buf, replayed); err != nil {
+		t.Fatal(err)
+	}
+	sameTables(t, tb, replayed)
+}
+
+func TestReplayWithVacuum(t *testing.T) {
+	var buf bytes.Buffer
+	tb := table.New("t", "a")
+	rec := NewRecorder(tb, &buf)
+	if _, err := rec.AppendBatch(map[string][]int64{"a": {1, 2, 3, 4, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.ForgetMany([]int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.AppendBatch(map[string][]int64{"a": {6}}); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed := table.New("t", "a")
+	if err := Replay(&buf, replayed); err != nil {
+		t.Fatal(err)
+	}
+	sameTables(t, tb, replayed)
+}
+
+func TestRememberRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Insert([]string{"a"}, map[string][]int64{"a": {1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Forget([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Remember([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	tb := table.New("t", "a")
+	if err := Replay(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	if tb.IsActive(0) || !tb.IsActive(1) {
+		t.Fatal("remember record not applied")
+	}
+}
+
+func TestReplayTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	tb := table.New("t", "a")
+	rec := NewRecorder(tb, &buf)
+	if _, err := rec.AppendBatch(map[string][]int64{"a": {1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.ForgetMany([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop into the middle of the second record.
+	cut := full[:len(full)-3]
+	replayed := table.New("t", "a")
+	err := Replay(bytes.NewReader(cut), replayed)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	// The complete first record must have been applied.
+	if replayed.Len() != 3 || replayed.ActiveCount() != 3 {
+		t.Fatalf("prefix not applied: len=%d", replayed.Len())
+	}
+}
+
+func TestReplayCorruptRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Insert([]string{"a"}, map[string][]int64{"a": {1}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[7] ^= 0xff // flip a payload byte
+	err := Replay(bytes.NewReader(b), table.New("t", "a"))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReplayRejectsBadPositions(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Forget([]int{5}); err != nil { // forget before any insert
+		t.Fatal(err)
+	}
+	if err := Replay(&buf, table.New("t", "a")); err == nil {
+		t.Fatal("out-of-range forget accepted")
+	}
+}
+
+func TestInsertMissingColumn(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Insert([]string{"a", "b"}, map[string][]int64{"a": {1}}); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestEmptyLogReplaysToEmptyTable(t *testing.T) {
+	tb := table.New("t", "a")
+	if err := Replay(bytes.NewReader(nil), tb); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 0 {
+		t.Fatal("phantom tuples")
+	}
+}
+
+func TestSnapshotPlusWalPointInTime(t *testing.T) {
+	// The recovery story: snapshot at batch 5, WAL for the tail, replay
+	// both and land exactly at the final state. Snapshot replay is
+	// exercised in package snapshot; here the log alone reproduces the
+	// suffix applied to a restored prefix — we emulate the restore by
+	// replaying the full log from scratch and comparing against the
+	// live table after extra operations.
+	var log bytes.Buffer
+	tb := table.New("t", "a")
+	rec := NewRecorder(tb, &log)
+	for i := 0; i < 5; i++ {
+		if _, err := rec.AppendBatch(map[string][]int64{"a": {int64(i), int64(i * 10)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.ForgetMany([]int{0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	replayed := table.New("t", "a")
+	if err := Replay(bytes.NewReader(log.Bytes()), replayed); err != nil {
+		t.Fatal(err)
+	}
+	sameTables(t, tb, replayed)
+}

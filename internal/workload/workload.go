@@ -1,0 +1,205 @@
+// Package workload generates the paper's query workloads (§2.2, §4.2): the
+// range-query template
+//
+//	WHERE attr >= v - S/2*RANGE AND attr < v + S/2*RANGE
+//
+// with candidate value v drawn from the data seen so far and a selectivity
+// factor S, plus the aggregate template SELECT AVG(a) FROM t [WHERE range].
+package workload
+
+import (
+	"fmt"
+
+	"amnesiadb/internal/engine"
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/metrics"
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+// DefaultSelectivity is the ±1% window of Figure 3's query generator
+// ("attr >= v - 0.01*RANGE and attr < v + 0.01*RANGE"), i.e. a total
+// width of 2% of the observed value range.
+const DefaultSelectivity = 0.02
+
+// CandidateMode selects where the range-query centre value v comes from.
+// The paper's §4.2 generator "selects a candidate value v from all active
+// tuples"; the same section also stresses that the workload "addresses all
+// tuples ever inserted", so all three readings are provided.
+type CandidateMode int
+
+const (
+	// CandidateActive draws v as the value of a uniformly chosen active
+	// tuple — the paper's literal generator. Queries then follow the
+	// data distribution of what the database still remembers.
+	CandidateActive CandidateMode = iota
+	// CandidateStored draws v from a uniformly chosen stored tuple,
+	// active or forgotten — "all data being inserted".
+	CandidateStored
+	// CandidateUniform draws v uniformly over [0, max]; the
+	// distribution-agnostic upper bound on amnesia damage.
+	CandidateUniform
+)
+
+// String names the mode.
+func (m CandidateMode) String() string {
+	switch m {
+	case CandidateActive:
+		return "active"
+	case CandidateStored:
+		return "stored"
+	case CandidateUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("CandidateMode(%d)", int(m))
+	}
+}
+
+// RangeGen produces range predicates over a table column following §4.2:
+// a candidate value v (see CandidateMode) with the window
+// [v - S/2*RANGE, v + S/2*RANGE), where RANGE is the maximum value seen up
+// to the latest update batch.
+type RangeGen struct {
+	src *xrand.Source
+	col string
+	// Selectivity is the fraction of the observed value range covered by
+	// each query (total window width).
+	Selectivity float64
+	// Candidates selects the source of the centre value v.
+	Candidates CandidateMode
+}
+
+// NewRangeGen returns a generator with the paper's default ±1% window and
+// active-tuple candidates.
+func NewRangeGen(src *xrand.Source, col string) *RangeGen {
+	if src == nil {
+		panic("workload: NewRangeGen with nil source")
+	}
+	return &RangeGen{src: src, col: col, Selectivity: DefaultSelectivity}
+}
+
+// Next returns the next range predicate for t. The boolean is false when
+// the table holds no values (or, under CandidateActive, no active tuples).
+func (g *RangeGen) Next(t *table.Table) (expr.Range, bool) {
+	c, err := t.Column(g.col)
+	if err != nil {
+		panic(err)
+	}
+	max, ok := c.MaxValue()
+	if !ok {
+		return expr.Range{}, false
+	}
+	var v int64
+	switch g.Candidates {
+	case CandidateActive:
+		// Rejection-sample an active tuple; the active fraction in a
+		// budgeted table keeps this cheap. Fall back to any stored
+		// tuple if nothing is active.
+		if t.ActiveCount() == 0 {
+			return expr.Range{}, false
+		}
+		for {
+			i := g.src.Intn(c.Len())
+			if t.IsActive(i) {
+				v = c.Get(i)
+				break
+			}
+		}
+	case CandidateStored:
+		v = c.Get(g.src.Intn(c.Len()))
+	case CandidateUniform:
+		v = g.src.Int63n(max + 1)
+	default:
+		panic(fmt.Sprintf("workload: invalid candidate mode %d", int(g.Candidates)))
+	}
+	half := int64(g.Selectivity / 2 * float64(max))
+	lo := v - half
+	hi := v + half + 1 // at least the candidate value itself
+	if lo < 0 {
+		lo = 0
+	}
+	return expr.NewRange(lo, hi), true
+}
+
+// AggGen produces AVG aggregate queries (§4.3), optionally restricted by a
+// range predicate drawn from an embedded RangeGen. With Predicated false it
+// generates the paper's SELECT AVG(a) FROM t.
+type AggGen struct {
+	rg *RangeGen
+	// Predicated selects between full-table AVG (false) and AVG over a
+	// generated range (true) — the two §4.3 variants.
+	Predicated bool
+}
+
+// NewAggGen returns an aggregate-query generator over col.
+func NewAggGen(src *xrand.Source, col string, predicated bool) *AggGen {
+	return &AggGen{rg: NewRangeGen(src, col), Predicated: predicated}
+}
+
+// RangeGen exposes the embedded range generator so callers can tune its
+// selectivity and candidate mode.
+func (g *AggGen) RangeGen() *RangeGen { return g.rg }
+
+// Next returns the predicate of the next aggregate query.
+func (g *AggGen) Next(t *table.Table) (expr.Expr, bool) {
+	if !g.Predicated {
+		return expr.True{}, true
+	}
+	return g.rg.Next(t)
+}
+
+// RunRangeBatch fires n range queries at the executor, folding precision
+// metrics into a batch summary. Active-scan results update access
+// frequencies (feeding rot-style strategies), ground truth is collected
+// silently.
+func RunRangeBatch(ex *engine.Exec, g *RangeGen, n int) (*metrics.Batch, error) {
+	b := &metrics.Batch{}
+	for i := 0; i < n; i++ {
+		pred, ok := g.Next(ex.Table())
+		if !ok {
+			return nil, fmt.Errorf("workload: table %s has no data", ex.Table().Name())
+		}
+		rf, mf, _, err := ex.Precision(g.col, pred)
+		if err != nil {
+			return nil, err
+		}
+		b.Observe(metrics.Query{RF: rf, MF: mf})
+	}
+	return b, nil
+}
+
+// RunAggBatch fires n AVG queries, recording both tuple-level precision
+// and the relative error of the average itself against the ScanAll ground
+// truth.
+func RunAggBatch(ex *engine.Exec, g *AggGen, n int) (*metrics.Batch, error) {
+	b := &metrics.Batch{}
+	col := g.rg.col
+	for i := 0; i < n; i++ {
+		pred, ok := g.Next(ex.Table())
+		if !ok {
+			return nil, fmt.Errorf("workload: table %s has no data", ex.Table().Name())
+		}
+		approx, errA := ex.Aggregate(col, pred, engine.ScanActive)
+		exact, errE := ex.Aggregate(col, pred, engine.ScanAll)
+		switch {
+		case errE == engine.ErrNoRows:
+			// Nothing qualifies anywhere: vacuously precise.
+			b.Observe(metrics.Query{})
+			continue
+		case errE != nil:
+			return nil, errE
+		}
+		if errA == engine.ErrNoRows {
+			// Everything in range was forgotten.
+			b.Observe(metrics.Query{RF: 0, MF: exact.Rows})
+			b.ObserveAggregate(0, exact.Avg)
+			continue
+		}
+		if errA != nil {
+			return nil, errA
+		}
+		b.Observe(metrics.Query{RF: approx.Rows, MF: exact.Rows - approx.Rows})
+		b.ObserveAggregate(approx.Avg, exact.Avg)
+	}
+	return b, nil
+}

@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"testing"
+
+	"amnesiadb/internal/engine"
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+func tbl(t *testing.T, vals ...int64) *table.Table {
+	t.Helper()
+	tb := table.New("t", "a")
+	if _, err := tb.AppendSingleColumn(vals); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func seq(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+func TestRangeGenWindowWidth(t *testing.T) {
+	tb := tbl(t, seq(10001)...) // max = 10000
+	g := NewRangeGen(xrand.New(1), "a")
+	for i := 0; i < 1000; i++ {
+		pred, ok := g.Next(tb)
+		if !ok {
+			t.Fatal("no predicate for populated table")
+		}
+		width := pred.Hi - pred.Lo
+		// ±1% of max=10000 → window ≤ 201 (+1 for the candidate), and
+		// clamping at 0 can shrink it.
+		if width < 1 || width > 202 {
+			t.Fatalf("window width %d out of expected envelope", width)
+		}
+		if pred.Lo < 0 {
+			t.Fatalf("negative lower bound %d", pred.Lo)
+		}
+	}
+}
+
+func TestRangeGenCoversWholeDomain(t *testing.T) {
+	// Under CandidateUniform, candidate values must span 0..max.
+	tb := tbl(t, seq(1000)...)
+	g := NewRangeGen(xrand.New(2), "a")
+	g.Candidates = CandidateUniform
+	lowSeen, highSeen := false, false
+	for i := 0; i < 2000; i++ {
+		pred, _ := g.Next(tb)
+		if pred.Lo < 100 {
+			lowSeen = true
+		}
+		if pred.Hi > 900 {
+			highSeen = true
+		}
+	}
+	if !lowSeen || !highSeen {
+		t.Fatalf("candidates not spanning domain: low=%v high=%v", lowSeen, highSeen)
+	}
+}
+
+func TestCandidateActiveFollowsRetainedData(t *testing.T) {
+	// Forget all high values; active-candidate queries must centre on
+	// the retained low values only.
+	tb := tbl(t, seq(1000)...)
+	for i := 500; i < 1000; i++ {
+		tb.Forget(i)
+	}
+	g := NewRangeGen(xrand.New(20), "a")
+	g.Candidates = CandidateActive
+	for i := 0; i < 500; i++ {
+		pred, ok := g.Next(tb)
+		if !ok {
+			t.Fatal("no predicate")
+		}
+		// centre = (lo+hi)/2; all candidates are < 500, window ±10.
+		if pred.Lo > 500 {
+			t.Fatalf("active candidate window [%d,%d) centred on forgotten value", pred.Lo, pred.Hi)
+		}
+	}
+}
+
+func TestCandidateStoredSeesForgotten(t *testing.T) {
+	tb := tbl(t, seq(1000)...)
+	for i := 0; i < 999; i++ {
+		tb.Forget(i)
+	}
+	g := NewRangeGen(xrand.New(21), "a")
+	g.Candidates = CandidateStored
+	low := false
+	for i := 0; i < 300; i++ {
+		pred, _ := g.Next(tb)
+		if pred.Lo < 400 {
+			low = true
+			break
+		}
+	}
+	if !low {
+		t.Fatal("stored candidates never visited forgotten values")
+	}
+}
+
+func TestCandidateActiveNoActiveTuples(t *testing.T) {
+	tb := tbl(t, 1, 2, 3)
+	for i := 0; i < 3; i++ {
+		tb.Forget(i)
+	}
+	g := NewRangeGen(xrand.New(22), "a")
+	if _, ok := g.Next(tb); ok {
+		t.Fatal("predicate generated with zero active tuples")
+	}
+}
+
+func TestCandidateModeStrings(t *testing.T) {
+	if CandidateActive.String() != "active" || CandidateStored.String() != "stored" ||
+		CandidateUniform.String() != "uniform" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestRangeGenEmptyTable(t *testing.T) {
+	tb := table.New("t", "a")
+	g := NewRangeGen(xrand.New(3), "a")
+	if _, ok := g.Next(tb); ok {
+		t.Fatal("predicate generated for empty table")
+	}
+}
+
+func TestRangeGenSelectivityKnob(t *testing.T) {
+	tb := tbl(t, seq(10001)...)
+	g := NewRangeGen(xrand.New(4), "a")
+	g.Selectivity = 0.5
+	maxWidth := int64(0)
+	for i := 0; i < 500; i++ {
+		pred, _ := g.Next(tb)
+		if w := pred.Hi - pred.Lo; w > maxWidth {
+			maxWidth = w
+		}
+	}
+	if maxWidth < 4000 {
+		t.Fatalf("selectivity 0.5 produced max window %d; knob ignored", maxWidth)
+	}
+}
+
+func TestAggGenUnpredicated(t *testing.T) {
+	tb := tbl(t, 1, 2, 3)
+	g := NewAggGen(xrand.New(5), "a", false)
+	pred, ok := g.Next(tb)
+	if !ok {
+		t.Fatal("no aggregate predicate")
+	}
+	if _, isTrue := pred.(expr.True); !isTrue {
+		t.Fatalf("unpredicated aggregate returned %T", pred)
+	}
+}
+
+func TestAggGenPredicated(t *testing.T) {
+	tb := tbl(t, seq(1000)...)
+	g := NewAggGen(xrand.New(6), "a", true)
+	pred, ok := g.Next(tb)
+	if !ok {
+		t.Fatal("no aggregate predicate")
+	}
+	if _, isRange := pred.(expr.Range); !isRange {
+		t.Fatalf("predicated aggregate returned %T", pred)
+	}
+}
+
+func TestRunRangeBatchFullDatabasePerfect(t *testing.T) {
+	tb := tbl(t, seq(500)...)
+	ex := engine.New(tb)
+	b, err := RunRangeBatch(ex, NewRangeGen(xrand.New(7), "a"), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Queries() != 200 {
+		t.Fatalf("observed %d queries", b.Queries())
+	}
+	if b.MeanPrecision() != 1 {
+		t.Fatalf("precision with no amnesia = %v", b.MeanPrecision())
+	}
+}
+
+func TestRunRangeBatchDetectsAmnesia(t *testing.T) {
+	tb := tbl(t, seq(500)...)
+	for i := 0; i < 250; i++ {
+		tb.Forget(i * 2)
+	}
+	ex := engine.New(tb)
+	b, err := RunRangeBatch(ex, NewRangeGen(xrand.New(8), "a"), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.MeanPrecision()
+	if p < 0.3 || p > 0.7 {
+		t.Fatalf("half-forgotten precision = %v, want ~0.5", p)
+	}
+}
+
+func TestRunRangeBatchEmptyTableErrors(t *testing.T) {
+	ex := engine.New(table.New("t", "a"))
+	if _, err := RunRangeBatch(ex, NewRangeGen(xrand.New(9), "a"), 1); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestRunRangeBatchFeedsAccessCounts(t *testing.T) {
+	tb := tbl(t, seq(100)...)
+	ex := engine.New(tb)
+	if _, err := RunRangeBatch(ex, NewRangeGen(xrand.New(10), "a"), 500); err != nil {
+		t.Fatal(err)
+	}
+	touched := 0
+	for i := 0; i < tb.Len(); i++ {
+		if tb.AccessCount(i) > 0 {
+			touched++
+		}
+	}
+	if touched == 0 {
+		t.Fatal("range workload did not feed access frequencies")
+	}
+}
+
+func TestRunAggBatchNoAmnesiaZeroError(t *testing.T) {
+	tb := tbl(t, seq(300)...)
+	ex := engine.New(tb)
+	b, err := RunAggBatch(ex, NewAggGen(xrand.New(11), "a", false), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MeanAggregateError() != 0 || b.MeanPrecision() != 1 {
+		t.Fatalf("no-amnesia agg: err=%v pf=%v", b.MeanAggregateError(), b.MeanPrecision())
+	}
+}
+
+func TestRunAggBatchSkewedForgettingShiftsAvg(t *testing.T) {
+	// Forget all high values: AVG over active must drift and the batch
+	// must report a nonzero aggregate error.
+	tb := tbl(t, seq(1000)...)
+	for i := 500; i < 1000; i++ {
+		tb.Forget(i)
+	}
+	ex := engine.New(tb)
+	b, err := RunAggBatch(ex, NewAggGen(xrand.New(12), "a", false), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MeanAggregateError() < 0.3 {
+		t.Fatalf("aggregate error %v too small for half-forgotten data", b.MeanAggregateError())
+	}
+}
+
+func TestRunAggBatchAllForgottenRange(t *testing.T) {
+	// Predicated AVG where some ranges are fully forgotten must not
+	// error out; it reports full miss instead.
+	tb := tbl(t, seq(1000)...)
+	for i := 0; i < 1000; i++ {
+		tb.Forget(i)
+	}
+	ex := engine.New(tb)
+	g := NewAggGen(xrand.New(13), "a", true)
+	g.RangeGen().Candidates = CandidateStored
+	b, err := RunAggBatch(ex, g, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MeanPrecision() > 0.01 {
+		t.Fatalf("fully forgotten table precision = %v", b.MeanPrecision())
+	}
+}

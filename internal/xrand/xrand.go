@@ -1,0 +1,121 @@
+// Package xrand provides the deterministic pseudo-random machinery used by
+// every stochastic component of amnesiadb: a splitmix64/xoshiro-style source,
+// uniform and bounded integer draws, Box-Muller normal variates, a Zipfian
+// sampler, Fisher-Yates shuffles, and Vitter reservoir sampling.
+//
+// The package exists so that experiment results are bit-reproducible across
+// Go releases; math/rand's generator and its stream assignment have changed
+// between versions, while this implementation is frozen.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic 64-bit PRNG based on splitmix64. The zero value
+// is a valid source seeded with 0; use New to seed explicitly.
+//
+// splitmix64 passes BigCrush, has a full 2^64 period over its state, and is
+// trivially seedable — properties that matter more here than raw speed.
+type Source struct {
+	state    uint64
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a Source seeded with seed. Distinct seeds yield independent
+// streams for all practical purposes.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Split returns a new Source derived from s such that the child stream is
+// decorrelated from the parent's subsequent output. Useful for giving each
+// simulator component its own stream from one experiment seed.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next value of the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative int64.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Lemire's nearly-divisionless bounded rejection is used to avoid modulo
+// bias without a division in the common case.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	// Lemire 2019: multiply-shift with rejection on the low word.
+	v := s.Uint64()
+	hi, lo := bits.Mul64(v, n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = bits.Mul64(v, n)
+		}
+	}
+	return hi
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (s *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n called with n <= 0")
+	}
+	return int64(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// NormFloat64 returns a standard-normal variate via the Box-Muller
+// transform. One spare variate is cached so consecutive calls consume one
+// uniform pair per two results.
+func (s *Source) NormFloat64() float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return s.spare
+	}
+	var u, v, r2 float64
+	for {
+		u = 2*s.Float64() - 1
+		v = 2*s.Float64() - 1
+		r2 = u*u + v*v
+		if r2 > 0 && r2 < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(r2) / r2)
+	s.spare = v * f
+	s.hasSpare = true
+	return u * f
+}

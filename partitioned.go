@@ -1,0 +1,100 @@
+package amnesiadb
+
+import (
+	"fmt"
+	"sync"
+
+	"amnesiadb/internal/partition"
+)
+
+// PartitionedTable is a single-column store split into contiguous
+// value-range shards, each with its own amnesia budget — the §4.4
+// adaptive-partitioning vision. Budgets can follow the workload via
+// Adapt. Obtain via DB.CreatePartitionedTable.
+type PartitionedTable struct {
+	mu   sync.Mutex
+	name string
+	set  *partition.Set
+}
+
+// CreatePartitionedTable creates a partitioned single-column table over
+// the value domain [0, domain), split into parts equal-width shards that
+// share totalBudget active tuples under the named strategy.
+func (db *DB) CreatePartitionedTable(name, column string, domain int64, parts int, strategy string, totalBudget int) (*PartitionedTable, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("amnesiadb: table %q already exists", name)
+	}
+	set, err := partition.New(column, domain, parts, strategy, totalBudget, db.src.Split())
+	if err != nil {
+		return nil, err
+	}
+	// Partitioned tables live outside the flat-table catalog (no SQL
+	// access), but the name is still reserved so the namespaces cannot
+	// collide confusingly.
+	db.tables[name] = &Table{db: db}
+	return &PartitionedTable{name: name, set: set}, nil
+}
+
+// Name returns the table name.
+func (p *PartitionedTable) Name() string { return p.name }
+
+// Insert routes values to their shards and enforces per-shard budgets.
+func (p *PartitionedTable) Insert(vals []int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.set.Insert(vals)
+}
+
+// Select returns active values in [lo, hi) across the relevant shards,
+// recording workload hits for Adapt.
+func (p *PartitionedTable) Select(lo, hi int64) ([]int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.set.Select(lo, hi)
+}
+
+// Precision reports the §2.3 metrics over [lo, hi) across shards.
+func (p *PartitionedTable) Precision(lo, hi int64) (rf, mf int, pf float64, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.set.Precision(lo, hi)
+}
+
+// Adapt reallocates the total budget toward the shards the workload has
+// been querying, then re-enforces the new budgets.
+func (p *PartitionedTable) Adapt() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.set.Adapt()
+}
+
+// PartitionInfo describes one shard's state.
+type PartitionInfo struct {
+	Lo, Hi int64
+	Budget int
+	Active int
+	Stored int
+}
+
+// Partitions returns per-shard state in value order.
+func (p *PartitionedTable) Partitions() []PartitionInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	parts := p.set.Partitions()
+	out := make([]PartitionInfo, len(parts))
+	for i, sp := range parts {
+		st := sp.Table().Stats()
+		out[i] = PartitionInfo{Lo: sp.Lo, Hi: sp.Hi, Budget: sp.Budget, Active: st.Active, Stored: st.Tuples}
+	}
+	return out
+}
+
+// Stats sums the shard counters.
+func (p *PartitionedTable) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.set.Stats()
+	return Stats{Tuples: st.Tuples, Active: st.Active, Forgotten: st.Forgotten, Batches: st.Batches}
+}

@@ -1,0 +1,101 @@
+package amnesiadb
+
+import (
+	"testing"
+
+	"amnesiadb/internal/xrand"
+)
+
+func TestPartitionedTableLifecycle(t *testing.T) {
+	db := Open(Options{Seed: 1})
+	pt, err := db.CreatePartitionedTable("pt", "a", 1000, 4, "uniform", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Name() != "pt" {
+		t.Fatalf("name = %q", pt.Name())
+	}
+	src := xrand.New(2)
+	vals := make([]int64, 2000)
+	for i := range vals {
+		vals[i] = src.Int63n(1000)
+	}
+	if err := pt.Insert(vals); err != nil {
+		t.Fatal(err)
+	}
+	s := pt.Stats()
+	if s.Tuples != 2000 || s.Active > 400 {
+		t.Fatalf("stats = %+v", s)
+	}
+	got, err := pt.Select(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != s.Active {
+		t.Fatalf("full select = %d values, active = %d", len(got), s.Active)
+	}
+	rf, mf, pf, err := pt.Precision(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf+mf != 2000 || pf <= 0 || pf > 1 {
+		t.Fatalf("precision rf=%d mf=%d pf=%v", rf, mf, pf)
+	}
+}
+
+func TestPartitionedAdaptMovesBudget(t *testing.T) {
+	db := Open(Options{Seed: 3})
+	pt, err := db.CreatePartitionedTable("pt", "a", 1000, 4, "uniform", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := xrand.New(4)
+	vals := make([]int64, 3000)
+	for i := range vals {
+		vals[i] = src.Int63n(1000)
+	}
+	if err := pt.Insert(vals); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 40; q++ {
+		if _, err := pt.Select(750, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pt.Adapt()
+	parts := pt.Partitions()
+	hot := parts[3]
+	if hot.Budget <= parts[0].Budget {
+		t.Fatalf("hot shard budget %d not above cold %d", hot.Budget, parts[0].Budget)
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Budget
+		if p.Active > p.Budget {
+			t.Fatalf("shard over budget: %+v", p)
+		}
+	}
+	if total != 400 {
+		t.Fatalf("budget total drifted: %d", total)
+	}
+}
+
+func TestPartitionedNameCollision(t *testing.T) {
+	db := Open(Options{Seed: 5})
+	if _, err := db.CreateTable("x", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreatePartitionedTable("x", "a", 100, 2, "fifo", 10); err == nil {
+		t.Fatal("name collision accepted")
+	}
+	if _, err := db.CreatePartitionedTable("y", "a", 100, 2, "bogus", 10); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+	// Reserved name also blocks flat tables.
+	if _, err := db.CreatePartitionedTable("z", "a", 100, 2, "fifo", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("z", "a"); err == nil {
+		t.Fatal("flat table over partitioned name accepted")
+	}
+}
