@@ -12,6 +12,17 @@
 // collapsed into aggregate summaries, or physically vacuumed away — the
 // four fates of forgotten data the paper enumerates.
 //
+// Execution is vectorized in the MonetDB lineage the paper comes from:
+// queries run batch-at-a-time over selection vectors (fixed-size position
+// + value buffers filled by zone-map-pruned column scan kernels), with
+// predicates applied by compacting kernels and aggregates folded in one
+// fused pass. Reads run in parallel: Select, Aggregate, GroupBy,
+// Precision and SQL queries take a shared lock, while inserts, policy
+// enforcement and maintenance are exclusive. The access-frequency
+// feedback that query-based amnesia (§3.2) needs is accumulated per
+// query and flushed as one synchronized batch, so it survives read
+// concurrency without serialising scans.
+//
 // A minimal session:
 //
 //	db := amnesiadb.Open(amnesiadb.Options{Seed: 42})
@@ -48,13 +59,34 @@ type Options struct {
 }
 
 // DB is a collection of tables sharing one deterministic random stream.
-// DB and Table methods are safe for concurrent use; each table serialises
-// its operations with one mutex (queries update access frequencies, so
-// even reads mutate strategy-relevant state).
+// DB and Table methods are safe for concurrent use. Reads and writes are
+// split: inserts, policy changes and maintenance take a table's exclusive
+// lock, while queries run under a shared read lock, so concurrent
+// ScanActive readers proceed in parallel. Queries still update access
+// frequencies — the strategy-relevant feedback of §3.2 — but those
+// touches are accumulated per query by the vectorized engine and flushed
+// in one internally synchronized batch, keeping the read path contention
+// to one short critical section per query.
 type DB struct {
-	mu     sync.Mutex
-	src    *xrand.Source
+	mu     sync.RWMutex
 	tables map[string]*Table
+
+	// srcMu guards src: strategy construction splits the shared seed
+	// stream, and SetPolicy runs under its table's lock only, so two
+	// tables installing policies concurrently must not race on the
+	// source. srcMu is a leaf lock — never acquire others while holding
+	// it.
+	srcMu sync.Mutex
+	src   *xrand.Source
+}
+
+// splitSrc derives a child random stream from the database seed. The
+// draw order over the life of the process determines the stream, so
+// single-threaded runs with equal seeds stay bit-reproducible.
+func (db *DB) splitSrc() *xrand.Source {
+	db.srcMu.Lock()
+	defer db.srcMu.Unlock()
+	return db.src.Split()
 }
 
 // Open creates an empty in-memory database.
@@ -85,16 +117,16 @@ func (db *DB) CreateTable(name string, columns ...string) (*Table, error) {
 
 // Table returns the named table, or false.
 func (db *DB) Table(name string) (*Table, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[name]
 	return t, ok
 }
 
 // TableNames lists tables in lexical order.
 func (db *DB) TableNames() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		out = append(out, n)
@@ -124,20 +156,22 @@ type QueryResult struct {
 // and LIMIT.
 func (db *DB) Query(q string) (*QueryResult, error) {
 	// The dialect is single-table, so at most one table lock is taken.
+	// SELECT never mutates table structure, so a shared read lock
+	// suffices and concurrent SQL queries run in parallel.
 	var locked *Table
 	defer func() {
 		if locked != nil {
-			locked.mu.Unlock()
+			locked.mu.RUnlock()
 		}
 	}()
 	res, err := sql.Run(sql.CatalogFunc(func(name string) (*table.Table, error) {
-		db.mu.Lock()
+		db.mu.RLock()
 		t, ok := db.tables[name]
-		db.mu.Unlock()
+		db.mu.RUnlock()
 		if !ok {
 			return nil, fmt.Errorf("amnesiadb: unknown table %q", name)
 		}
-		t.mu.Lock()
+		t.mu.RLock()
 		locked = t
 		return t.tbl, nil
 	}), q)
@@ -165,9 +199,11 @@ type Policy struct {
 }
 
 // Table is a columnar table with optional amnesia. Obtain via
-// DB.CreateTable.
+// DB.CreateTable. Queries take mu as readers; structural mutation and
+// anything that reads access frequencies (policy enforcement, snapshots)
+// takes it exclusively.
 type Table struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	db     *DB
 	tbl    *table.Table
 	ex     *engine.Exec
@@ -206,7 +242,7 @@ func (t *Table) SetPolicy(p Policy) error {
 	if col == "" {
 		col = t.tbl.Columns()[0]
 	}
-	strat, err := amnesia.New(p.Strategy, col, t.db.src.Split())
+	strat, err := amnesia.New(p.Strategy, col, t.db.splitSrc())
 	if err != nil {
 		return err
 	}
@@ -216,8 +252,8 @@ func (t *Table) SetPolicy(p Policy) error {
 
 // Policy returns the active policy; Budget 0 means amnesia is off.
 func (t *Table) Policy() Policy {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.policy
 }
 
@@ -320,8 +356,8 @@ func (r *Result) Count() int { return len(r.Rows) }
 // Select returns the active tuples of column col matching p. Access
 // frequencies are updated, feeding rot-style policies.
 func (t *Table) Select(col string, p Pred) (*Result, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	res, err := t.ex.Select(col, p.expr(), engine.ScanActive)
 	if err != nil {
 		return nil, err
@@ -332,8 +368,8 @@ func (t *Table) Select(col string, p Pred) (*Result, error) {
 // SelectWithForgotten performs the paper's explicit "complete scan": it
 // returns matches among all stored tuples, including forgotten ones.
 func (t *Table) SelectWithForgotten(col string, p Pred) (*Result, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	res, err := t.ex.Select(col, p.expr(), engine.ScanAll)
 	if err != nil {
 		return nil, err
@@ -356,8 +392,8 @@ var ErrNoRows = engine.ErrNoRows
 // Aggregate computes COUNT/SUM/AVG/MIN/MAX of col over active tuples
 // matching p. It returns ErrNoRows when nothing matches.
 func (t *Table) Aggregate(col string, p Pred) (Agg, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	a, err := t.ex.Aggregate(col, p.expr(), engine.ScanActive)
 	if err != nil {
 		return Agg{}, err
@@ -368,8 +404,8 @@ func (t *Table) Aggregate(col string, p Pred) (Agg, error) {
 // Precision runs p in both scan modes and reports the §2.3 metrics:
 // rf tuples returned, mf tuples missed to amnesia, pf = rf/(rf+mf).
 func (t *Table) Precision(col string, p Pred) (rf, mf int, pf float64, err error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.ex.Precision(col, p.expr())
 }
 
@@ -385,8 +421,8 @@ type Stats struct {
 
 // Stats returns current counters.
 func (t *Table) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	s := t.tbl.Stats()
 	out := Stats{Tuples: s.Tuples, Active: s.Active, Forgotten: s.Forgotten, Batches: s.Batches}
 	if t.cold != nil {
@@ -402,8 +438,8 @@ func (t *Table) Stats() Stats {
 // still active and how many it contained — the amnesia-map data of the
 // paper's Figures 1 and 2.
 func (t *Table) ActivePerBatch() (active, total []int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.tbl.ActivePerBatch()
 }
 
@@ -452,8 +488,8 @@ type Bill struct {
 // ColdBill returns the cold tier's cost summary; zero when no tuples were
 // ever demoted.
 func (t *Table) ColdBill() Bill {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.cold == nil {
 		return Bill{}
 	}
@@ -486,8 +522,8 @@ func (t *Table) Summarize(col string) (int, error) {
 // of every value ever absorbed by Summarize — e.g. the median of the
 // deleted data. It errors before the first Summarize call.
 func (t *Table) ForgottenQuantile(phi float64) (int64, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.book == nil {
 		return 0, fmt.Errorf("amnesiadb: table %q has no summaries yet", t.Name())
 	}
@@ -511,8 +547,8 @@ type GroupRow struct {
 // back in ascending key order; groups whose members were all forgotten
 // are absent entirely.
 func (t *Table) GroupBy(col string, p Pred, width int64) ([]GroupRow, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var groups []engine.Group
 	var err error
 	if width == 0 {
@@ -565,27 +601,29 @@ func (db *DB) JoinPrecision(left *Table, leftCol string, right *Table, rightCol 
 	return engine.JoinPrecision(left.tbl, leftCol, right.tbl, rightCol, p.expr())
 }
 
-// lockPair acquires both table locks in a stable order so concurrent
-// joins cannot deadlock. Self-joins take the lock once.
+// lockPair acquires both tables' read locks in a stable order. Joins are
+// read-only (their executors are silent), so shared locks suffice and
+// concurrent joins and selects on the same tables proceed in parallel.
+// Self-joins take the lock once.
 func lockPair(a, b *Table) {
 	if a == b {
-		a.mu.Lock()
+		a.mu.RLock()
 		return
 	}
 	if a.tbl.Name() > b.tbl.Name() {
 		a, b = b, a
 	}
-	a.mu.Lock()
-	b.mu.Lock()
+	a.mu.RLock()
+	b.mu.RLock()
 }
 
 func unlockPair(a, b *Table) {
 	if a == b {
-		a.mu.Unlock()
+		a.mu.RUnlock()
 		return
 	}
-	a.mu.Unlock()
-	b.mu.Unlock()
+	a.mu.RUnlock()
+	b.mu.RUnlock()
 }
 
 // Save serialises the table's full state — values, active bitmap, insert
@@ -618,8 +656,8 @@ func (db *DB) LoadTable(r io.Reader) (*Table, error) {
 // ApproxAvg estimates AVG(col) over active tuples plus all summarised
 // segments — exact for the union, because sums are lossless.
 func (t *Table) ApproxAvg(col string) (float64, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.book == nil {
 		a, err := t.ex.Aggregate(col, expr.True{}, engine.ScanActive)
 		if err != nil {

@@ -84,6 +84,75 @@ func TestConcurrentFacadeUse(t *testing.T) {
 	}
 }
 
+// TestParallelReaders exercises the RWMutex read path: a static table
+// serves many concurrent readers mixing Select, SQL, GroupBy, Aggregate
+// and Precision. Every reader must see the identical result set (no
+// writer runs), and the access-frequency feedback must come out exact —
+// proof that batched TouchMany flushes survive read parallelism.
+func TestParallelReaders(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 7})
+	tb, err := db.CreateTable("r", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := xrand.New(3)
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = src.Int63n(10000)
+	}
+	if err := tb.InsertColumn("a", vals); err != nil {
+		t.Fatal(err)
+	}
+	pred := amnesiadb.Range(1000, 9000)
+	want, err := tb.Select("a", pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	const rounds = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				res, err := tb.Select("a", pred)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Count() != want.Count() {
+					t.Errorf("reader saw %d rows, want %d", res.Count(), want.Count())
+					return
+				}
+				if _, err := db.Query("SELECT a FROM r WHERE a >= 1000 AND a < 9000 LIMIT 5"); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := tb.Aggregate("a", pred); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := tb.GroupBy("a", pred, 1000); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, _, err := tb.Precision("a", pred); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
 // TestConcurrentTableCreation checks the catalog itself is race-free.
 func TestConcurrentTableCreation(t *testing.T) {
 	db := amnesiadb.Open(amnesiadb.Options{Seed: 2})

@@ -1,0 +1,3 @@
+module amnesiadb
+
+go 1.24

@@ -1,0 +1,82 @@
+package column
+
+import (
+	"fmt"
+	"math"
+
+	"amnesiadb/internal/bitvec"
+)
+
+// ScanBatch is the vectorized scan kernel: starting at row position start,
+// it fills the caller-provided parallel buffers sel (positions) and val
+// (values) with rows satisfying lo <= v < hi (hi == math.MaxInt64 means
+// no upper bound, per the expr.Bounds convention) — restricted to rows whose
+// bit is set in active when active is non-nil — until the buffers are
+// full or the column is exhausted. It returns the number of rows
+// produced and the position scanning should resume from (next == Len
+// when the column is exhausted). Zone maps skip whole blocks; the kernel
+// allocates nothing, so a tight caller loop reuses one batch for the
+// entire scan.
+//
+// sel and val must have equal length; that length is the batch size.
+func (c *Int64) ScanBatch(lo, hi int64, active *bitvec.Vector, start int, sel []int32, val []int64) (n, next int) {
+	if len(sel) != len(val) {
+		panic(fmt.Sprintf("column: ScanBatch buffers disagree: %d positions, %d values", len(sel), len(val)))
+	}
+	if active != nil && active.Len() < len(c.data) {
+		panic(fmt.Sprintf("column: active bitmap %d bits for %d rows", active.Len(), len(c.data)))
+	}
+	if start < 0 {
+		start = 0
+	}
+	unbounded := hi == math.MaxInt64
+	i := start
+	for i < len(c.data) && n < len(sel) {
+		b := i / c.blockSize
+		blockEnd := (b + 1) * c.blockSize
+		if blockEnd > len(c.data) {
+			blockEnd = len(c.data)
+		}
+		if !c.zones[b].Contains(lo, hi) {
+			i = blockEnd
+			continue
+		}
+		// The inner loop is the hot path: contiguous block rows, bounds
+		// hoisted, no function calls besides the bit test.
+		if active == nil {
+			for ; i < blockEnd && n < len(sel); i++ {
+				if v := c.data[i]; v >= lo && (v < hi || unbounded) {
+					sel[n] = int32(i)
+					val[n] = v
+					n++
+				}
+			}
+		} else {
+			for ; i < blockEnd && n < len(sel); i++ {
+				if v := c.data[i]; v >= lo && (v < hi || unbounded) && active.Test(i) {
+					sel[n] = int32(i)
+					val[n] = v
+					n++
+				}
+			}
+		}
+	}
+	return n, i
+}
+
+// Gather fills out with the values at the given row positions and returns
+// it, growing out only when its capacity is insufficient. It panics on an
+// out-of-range position.
+func (c *Int64) Gather(rows []int32, out []int64) []int64 {
+	if cap(out) < len(rows) {
+		out = make([]int64, len(rows))
+	}
+	out = out[:len(rows)]
+	for i, r := range rows {
+		if r < 0 || int(r) >= len(c.data) {
+			panic(fmt.Sprintf("column: gather row %d out of range [0, %d)", r, len(c.data)))
+		}
+		out[i] = c.data[r]
+	}
+	return out
+}

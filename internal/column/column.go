@@ -24,10 +24,12 @@ type ZoneMap struct {
 	Min, Max int64
 }
 
-// Contains reports whether the half-open value interval [lo, hi) can
-// intersect the block.
+// Contains reports whether the value interval [lo, hi) can intersect
+// the block. A hi of math.MaxInt64 is treated as inclusive infinity —
+// the expr.Bounds convention — since a half-open interval could never
+// admit MaxInt64 itself.
 func (z ZoneMap) Contains(lo, hi int64) bool {
-	return z.Max >= lo && z.Min < hi
+	return z.Max >= lo && (z.Min < hi || hi == math.MaxInt64)
 }
 
 // Int64 is an append-only column of int64 values with per-block zone maps.
@@ -109,6 +111,7 @@ func (c *Int64) Values() []int64 { return c.data }
 // lo <= v < hi, using zone maps to skip non-intersecting blocks, and returns
 // the extended slice.
 func (c *Int64) ScanRange(lo, hi int64, sel []int32) []int32 {
+	unbounded := hi == math.MaxInt64
 	for b := 0; b < len(c.zones); b++ {
 		if !c.zones[b].Contains(lo, hi) {
 			continue
@@ -119,7 +122,7 @@ func (c *Int64) ScanRange(lo, hi int64, sel []int32) []int32 {
 			end = len(c.data)
 		}
 		for i := start; i < end; i++ {
-			if v := c.data[i]; v >= lo && v < hi {
+			if v := c.data[i]; v >= lo && (v < hi || unbounded) {
 				sel = append(sel, int32(i))
 			}
 		}
@@ -133,6 +136,7 @@ func (c *Int64) ScanRangeActive(lo, hi int64, active *bitvec.Vector, sel []int32
 	if active.Len() < len(c.data) {
 		panic(fmt.Sprintf("column: active bitmap %d bits for %d rows", active.Len(), len(c.data)))
 	}
+	unbounded := hi == math.MaxInt64
 	for b := 0; b < len(c.zones); b++ {
 		if !c.zones[b].Contains(lo, hi) {
 			continue
@@ -143,7 +147,7 @@ func (c *Int64) ScanRangeActive(lo, hi int64, active *bitvec.Vector, sel []int32
 			end = len(c.data)
 		}
 		for i := start; i < end; i++ {
-			if v := c.data[i]; v >= lo && v < hi && active.Test(i) {
+			if v := c.data[i]; v >= lo && (v < hi || unbounded) && active.Test(i) {
 				sel = append(sel, int32(i))
 			}
 		}
@@ -155,6 +159,7 @@ func (c *Int64) ScanRangeActive(lo, hi int64, active *bitvec.Vector, sel []int32
 // non-nil only rows with their bit set are counted.
 func (c *Int64) CountRange(lo, hi int64, active *bitvec.Vector) int {
 	n := 0
+	unbounded := hi == math.MaxInt64
 	for b := 0; b < len(c.zones); b++ {
 		if !c.zones[b].Contains(lo, hi) {
 			continue
@@ -165,7 +170,7 @@ func (c *Int64) CountRange(lo, hi int64, active *bitvec.Vector) int {
 			end = len(c.data)
 		}
 		for i := start; i < end; i++ {
-			if v := c.data[i]; v >= lo && v < hi && (active == nil || active.Test(i)) {
+			if v := c.data[i]; v >= lo && (v < hi || unbounded) && (active == nil || active.Test(i)) {
 				n++
 			}
 		}
@@ -178,6 +183,7 @@ func (c *Int64) CountRange(lo, hi int64, active *bitvec.Vector) int {
 // ok is false and the other results are zero values.
 func (c *Int64) AggregateRange(lo, hi int64, active *bitvec.Vector) (count int, sum, min, max int64, ok bool) {
 	min, max = math.MaxInt64, math.MinInt64
+	unbounded := hi == math.MaxInt64
 	for b := 0; b < len(c.zones); b++ {
 		if !c.zones[b].Contains(lo, hi) {
 			continue
@@ -189,7 +195,7 @@ func (c *Int64) AggregateRange(lo, hi int64, active *bitvec.Vector) (count int, 
 		}
 		for i := start; i < end; i++ {
 			v := c.data[i]
-			if v < lo || v >= hi {
+			if v < lo || (v >= hi && !unbounded) {
 				continue
 			}
 			if active != nil && !active.Test(i) {

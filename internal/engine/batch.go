@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"sync"
+
+	"amnesiadb/internal/bitvec"
+	"amnesiadb/internal/column"
+	"amnesiadb/internal/expr"
+)
+
+// BatchSize is the number of tuples a vectorized kernel processes per
+// invocation. It matches column.DefaultBlockSize so one batch covers one
+// zone-mapped block: small enough that the selection and value buffers
+// stay cache-resident, large enough to amortise per-batch overhead.
+const BatchSize = 1024
+
+// Batch is the unit of vectorized execution: a selection vector of tuple
+// positions and the parallel value vector filled by the column scan
+// kernel. Operators consume the two slices directly; kernels compact
+// them in place, so no per-tuple allocation happens anywhere between
+// storage and operator output.
+type Batch struct {
+	// Sel holds tuple positions (the selection vector).
+	Sel []int32
+	// Val holds the attribute values parallel to Sel.
+	Val []int64
+}
+
+// batchPool recycles batches across queries. Executors are shared by
+// concurrent readers, so scratch space is pooled per scan rather than
+// stored on the Exec.
+var batchPool = sync.Pool{
+	New: func() any {
+		return &Batch{Sel: make([]int32, BatchSize), Val: make([]int64, BatchSize)}
+	},
+}
+
+// GetBatch returns a full-size batch from the pool.
+func GetBatch() *Batch { return batchPool.Get().(*Batch) }
+
+// PutBatch returns a batch obtained from GetBatch to the pool.
+func PutBatch(b *Batch) {
+	b.Sel = b.Sel[:BatchSize]
+	b.Val = b.Val[:BatchSize]
+	batchPool.Put(b)
+}
+
+// scanBatches drives the batch pipeline for one predicate scan: the
+// column kernel fills a pooled batch with rows inside the predicate's
+// bounding interval, the vectorized filter removes bounds-inexact
+// mismatches, and fn consumes each non-empty batch. The selection and
+// value slices passed to fn are only valid during the call.
+func (e *Exec) scanBatches(c *column.Int64, pred expr.Expr, mode ScanMode, fn func(sel []int32, val []int64)) {
+	lo, hi, exact := pred.Bounds()
+	var active *bitvec.Vector
+	if mode == ScanActive {
+		active = e.t.Active()
+	}
+	b := GetBatch()
+	defer PutBatch(b)
+	for pos := 0; pos < c.Len(); {
+		var n int
+		n, pos = c.ScanBatch(lo, hi, active, pos, b.Sel, b.Val)
+		if n == 0 {
+			continue
+		}
+		if !exact {
+			n = expr.Filter(pred, b.Sel, b.Val, n)
+		}
+		if n > 0 {
+			fn(b.Sel[:n], b.Val[:n])
+		}
+	}
+}
+
+// countMatches returns the number of rows satisfying pred under mode
+// without materializing positions or values — the counting fast path
+// Precision uses for its ground-truth pass.
+func (e *Exec) countMatches(c *column.Int64, pred expr.Expr, mode ScanMode) int {
+	lo, hi, exact := pred.Bounds()
+	if exact {
+		var active *bitvec.Vector
+		if mode == ScanActive {
+			active = e.t.Active()
+		}
+		return c.CountRange(lo, hi, active)
+	}
+	n := 0
+	e.scanBatches(c, pred, mode, func(sel []int32, val []int64) { n += len(sel) })
+	return n
+}

@@ -1,18 +1,34 @@
 // Package engine executes queries against tables while honouring the
 // active/forgotten distinction that defines a database with amnesia.
 //
+// Execution is vectorized: every operator consumes fixed-size batches
+// (BatchSize tuples) produced by the column scan kernels rather than one
+// tuple at a time. A Batch pairs a selection vector of tuple positions
+// with the parallel value vector; the column kernel fills it with rows
+// inside the predicate's bounding interval, expr.Filter compacts it in
+// place for bounds-inexact predicates, and operators fold each batch
+// into their running state. Aggregates are computed in one fused pass
+// with no intermediate row materialization, and scratch batches come
+// from a pool, so steady-state scans allocate only their output.
+//
 // Two scan modes mirror the paper's §1 discussion of what happens to
 // forgotten data: ScanActive skips forgotten tuples (the "stop indexing"
 // fate — fast path, incomplete answers), while ScanAll fetches everything
 // still physically present (a "complete scan will fetch all data").
 // Running the same query in both modes is how the simulator computes the
 // precision metrics of §2.3 without a reference database.
+//
+// Executors are safe for concurrent readers: scans take no locks and
+// share no mutable state, and the access-frequency touches feeding
+// query-based amnesia (§3.2) are accumulated per query and flushed with
+// one internally synchronized TouchMany call.
 package engine
 
 import (
 	"errors"
 	"math"
 
+	"amnesiadb/internal/bitvec"
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/table"
 )
@@ -55,7 +71,8 @@ type Result struct {
 func (r *Result) Count() int { return len(r.Rows) }
 
 // Exec is a query executor bound to one table. The zero value is unusable;
-// construct with New.
+// construct with New. An Exec holds no per-query state, so one executor
+// may serve any number of concurrent read-only queries.
 type Exec struct {
 	t     *table.Table
 	touch bool
@@ -75,29 +92,60 @@ func NewSilent(t *table.Table) *Exec { return &Exec{t: t} }
 func (e *Exec) Table() *table.Table { return e.t }
 
 // Select returns the tuples of column col satisfying pred under the given
-// scan mode.
+// scan mode. The result accumulates batch by batch; the touched-row
+// feedback is flushed once at the end of the scan.
 func (e *Exec) Select(col string, pred expr.Expr, mode ScanMode) (*Result, error) {
+	return e.selectTouching(col, pred, mode, e.touch)
+}
+
+// selectTouching is Select with an explicit touch decision, so internal
+// callers (Aggregate, GroupBy, Precision ground truth) control the
+// feedback without mutating shared executor state.
+func (e *Exec) selectTouching(col string, pred expr.Expr, mode ScanMode, touch bool) (*Result, error) {
 	c, err := e.t.Column(col)
 	if err != nil {
 		return nil, err
 	}
+	// The scan kernel fills pooled batches directly; the chunks are then
+	// concatenated once into an exactly-sized result. One pass over the
+	// data, two output allocations, no append-doubling churn.
 	lo, hi, exact := pred.Bounds()
-	res := &Result{}
-	var rows []int32
+	var active *bitvec.Vector
 	if mode == ScanActive {
-		rows = c.ScanRangeActive(lo, hi, e.t.Active(), nil)
-	} else {
-		rows = c.ScanRange(lo, hi, nil)
+		active = e.t.Active()
 	}
-	for _, r := range rows {
-		v := c.Get(int(r))
-		if !exact && !pred.Eval(v) {
+	var chunks []*Batch
+	defer func() {
+		for _, b := range chunks {
+			PutBatch(b)
+		}
+	}()
+	total := 0
+	for pos := 0; pos < c.Len(); {
+		b := GetBatch()
+		var n int
+		n, pos = c.ScanBatch(lo, hi, active, pos, b.Sel, b.Val)
+		if n > 0 && !exact {
+			n = expr.Filter(pred, b.Sel, b.Val, n)
+		}
+		if n == 0 {
+			PutBatch(b)
 			continue
 		}
-		res.Rows = append(res.Rows, r)
-		res.Values = append(res.Values, v)
+		b.Sel, b.Val = b.Sel[:n], b.Val[:n]
+		chunks = append(chunks, b)
+		total += n
 	}
-	if e.touch && mode == ScanActive {
+	res := &Result{}
+	if total > 0 {
+		res.Rows = make([]int32, 0, total)
+		res.Values = make([]int64, 0, total)
+		for _, b := range chunks {
+			res.Rows = append(res.Rows, b.Sel...)
+			res.Values = append(res.Values, b.Val...)
+		}
+	}
+	if touch && mode == ScanActive {
 		e.t.TouchMany(res.Rows)
 	}
 	return res, nil
@@ -135,12 +183,17 @@ func (k AggKind) String() string {
 
 // AggResult carries every aggregate so one scan serves any AggKind.
 type AggResult struct {
-	Rows  int
-	Sum   int64
-	Min   int64
-	Max   int64
-	Avg   float64
-	Rower []int32 // positions contributing to the aggregate
+	Rows int
+	Sum  int64
+	Min  int64
+	Max  int64
+	Avg  float64
+	// Rower holds the positions contributing to the aggregate. It is
+	// collected only on the access-frequency feedback path — a touching
+	// executor scanning active tuples — where the advisor and the §3.2
+	// strategies consume it; silent and ground-truth (ScanAll) aggregates
+	// leave it nil so the fused pass allocates nothing per row.
+	Rower []int32
 }
 
 // Value returns the requested aggregate as a float64.
@@ -162,60 +215,58 @@ func (a *AggResult) Value(k AggKind) float64 {
 }
 
 // Aggregate computes COUNT/SUM/AVG/MIN/MAX of column col over tuples
-// satisfying pred under the given scan mode. It returns ErrNoRows when no
-// tuple qualifies.
+// satisfying pred under the given scan mode, folding every batch into the
+// running aggregate in one fused pass — no intermediate Result is built.
+// It returns ErrNoRows when no tuple qualifies.
 func (e *Exec) Aggregate(col string, pred expr.Expr, mode ScanMode) (*AggResult, error) {
-	sel, err := e.selectNoTouch(col, pred, mode)
+	c, err := e.t.Column(col)
 	if err != nil {
 		return nil, err
 	}
-	if len(sel.Rows) == 0 {
+	touching := e.touch && mode == ScanActive
+	agg := &AggResult{Min: math.MaxInt64, Max: math.MinInt64}
+	e.scanBatches(c, pred, mode, func(sel []int32, val []int64) {
+		if touching {
+			agg.Rower = append(agg.Rower, sel...)
+		}
+		agg.Rows += len(val)
+		for _, v := range val {
+			agg.Sum += v
+			if v < agg.Min {
+				agg.Min = v
+			}
+			if v > agg.Max {
+				agg.Max = v
+			}
+		}
+	})
+	if agg.Rows == 0 {
 		return nil, ErrNoRows
 	}
-	agg := &AggResult{Min: math.MaxInt64, Max: math.MinInt64, Rower: sel.Rows}
-	for _, v := range sel.Values {
-		agg.Rows++
-		agg.Sum += v
-		if v < agg.Min {
-			agg.Min = v
-		}
-		if v > agg.Max {
-			agg.Max = v
-		}
-	}
 	agg.Avg = float64(agg.Sum) / float64(agg.Rows)
-	if e.touch && mode == ScanActive {
-		e.t.TouchMany(sel.Rows)
+	if touching {
+		e.t.TouchMany(agg.Rower)
 	}
 	return agg, nil
 }
 
-// selectNoTouch is Select without the frequency feedback, used internally
-// so Aggregate controls when Touch happens.
-func (e *Exec) selectNoTouch(col string, pred expr.Expr, mode ScanMode) (*Result, error) {
-	saved := e.touch
-	e.touch = false
-	res, err := e.Select(col, pred, mode)
-	e.touch = saved
-	return res, err
-}
-
 // Precision runs pred in both scan modes and returns RF(Q) (active
 // matches), MF(Q) (matches lost to amnesia among stored tuples), and the
-// query precision PF(Q) = RF/(RF+MF) as defined in §2.3. When the query
-// range is empty in both modes, precision is reported as 1 (nothing was
-// asked for, nothing was missed).
+// query precision PF(Q) = RF/(RF+MF) as defined in §2.3. The ground-truth
+// pass reuses the batch pipeline in counting mode, so it materializes
+// nothing. When the query range is empty in both modes, precision is
+// reported as 1 (nothing was asked for, nothing was missed).
 func (e *Exec) Precision(col string, pred expr.Expr) (rf, mf int, pf float64, err error) {
+	c, err := e.t.Column(col)
+	if err != nil {
+		return 0, 0, 0, err
+	}
 	act, err := e.Select(col, pred, ScanActive)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	all, err := e.selectNoTouch(col, pred, ScanAll)
-	if err != nil {
-		return 0, 0, 0, err
-	}
 	rf = act.Count()
-	mf = all.Count() - rf
+	mf = e.countMatches(c, pred, ScanAll) - rf
 	if rf+mf == 0 {
 		return 0, 0, 1, nil
 	}

@@ -40,42 +40,51 @@ func (e *Exec) GroupByBucket(col string, pred expr.Expr, mode ScanMode, width in
 	return e.groupBy(col, pred, mode, width)
 }
 
+// groupBy folds each scan batch straight into the group hash table; rows
+// are only retained when the access-frequency feedback needs them.
 func (e *Exec) groupBy(col string, pred expr.Expr, mode ScanMode, width int64) ([]Group, error) {
-	sel, err := e.selectNoTouch(col, pred, mode)
+	c, err := e.t.Column(col)
 	if err != nil {
 		return nil, err
 	}
+	touching := e.touch && mode == ScanActive
+	var touched []int32
 	byKey := make(map[int64]*Group)
-	for _, v := range sel.Values {
-		key := v
-		if width > 0 {
-			key = v / width * width
-			if v < 0 && v%width != 0 {
-				key -= width // floor division for negatives
+	e.scanBatches(c, pred, mode, func(sel []int32, val []int64) {
+		if touching {
+			touched = append(touched, sel...)
+		}
+		for _, v := range val {
+			key := v
+			if width > 0 {
+				key = v / width * width
+				if v < 0 && v%width != 0 {
+					key -= width // floor division for negatives
+				}
+			}
+			g, ok := byKey[key]
+			if !ok {
+				g = &Group{Key: key, Min: math.MaxInt64, Max: math.MinInt64}
+				byKey[key] = g
+			}
+			g.Rows++
+			g.Sum += v
+			if v < g.Min {
+				g.Min = v
+			}
+			if v > g.Max {
+				g.Max = v
 			}
 		}
-		g, ok := byKey[key]
-		if !ok {
-			g = &Group{Key: key, Min: math.MaxInt64, Max: math.MinInt64}
-			byKey[key] = g
-		}
-		g.Rows++
-		g.Sum += v
-		if v < g.Min {
-			g.Min = v
-		}
-		if v > g.Max {
-			g.Max = v
-		}
-	}
+	})
 	out := make([]Group, 0, len(byKey))
 	for _, g := range byKey {
 		g.Avg = float64(g.Sum) / float64(g.Rows)
 		out = append(out, *g)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	if e.touch && mode == ScanActive {
-		e.t.TouchMany(sel.Rows)
+	if touching {
+		e.t.TouchMany(touched)
 	}
 	return out, nil
 }

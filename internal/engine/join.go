@@ -23,56 +23,44 @@ func (r *JoinResult) Count() int { return len(r.Rows) }
 
 // HashJoin computes the equi-join left.leftCol = right.rightCol over
 // tuples visible under mode, completing the SELECT-PROJECT-JOIN subspace
-// of §2.2. An optional predicate restricts the join key. The smaller side
-// is always the build side; output order is probe-side position order.
+// of §2.2. An optional predicate restricts the join key. Both sides are
+// collected by the vectorized scan pipeline, whose value vectors double
+// as the join keys — no per-tuple column access happens during build or
+// probe. The smaller side is always the build side; output order is
+// probe-side position order.
 //
 // In a database with amnesia, join results silently shrink as either
 // side forgets matching tuples — JoinPrecision quantifies that loss.
 func HashJoin(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, mode ScanMode) (*JoinResult, error) {
-	lc, err := left.Column(leftCol)
-	if err != nil {
-		return nil, err
-	}
-	rc, err := right.Column(rightCol)
-	if err != nil {
-		return nil, err
-	}
 	if pred == nil {
 		pred = expr.True{}
 	}
-	collect := func(t *table.Table, colName string) ([]int32, error) {
-		ex := NewSilent(t)
-		res, err := ex.Select(colName, pred, mode)
-		if err != nil {
-			return nil, err
-		}
-		return res.Rows, nil
+	collect := func(t *table.Table, colName string) (*Result, error) {
+		return NewSilent(t).Select(colName, pred, mode)
 	}
-	lRows, err := collect(left, leftCol)
+	l, err := collect(left, leftCol)
 	if err != nil {
 		return nil, err
 	}
-	rRows, err := collect(right, rightCol)
+	r, err := collect(right, rightCol)
 	if err != nil {
 		return nil, err
 	}
 
 	// Build on the smaller side.
-	swap := len(lRows) > len(rRows)
-	buildRows, probeRows := lRows, rRows
-	buildCol, probeCol := lc, rc
+	swap := l.Count() > r.Count()
+	build, probe := l, r
 	if swap {
-		buildRows, probeRows = rRows, lRows
-		buildCol, probeCol = rc, lc
+		build, probe = r, l
 	}
-	ht := make(map[int64][]int32, len(buildRows))
-	for _, r := range buildRows {
-		k := buildCol.Get(int(r))
-		ht[k] = append(ht[k], r)
+	ht := make(map[int64][]int32, build.Count())
+	for i, row := range build.Rows {
+		k := build.Values[i]
+		ht[k] = append(ht[k], row)
 	}
 	out := &JoinResult{}
-	for _, p := range probeRows {
-		k := probeCol.Get(int(p))
+	for i, p := range probe.Rows {
+		k := probe.Values[i]
 		for _, b := range ht[k] {
 			row := JoinRow{Key: k}
 			if swap {

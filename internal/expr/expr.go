@@ -14,10 +14,12 @@ import (
 type Expr interface {
 	// Eval reports whether value v satisfies the predicate.
 	Eval(v int64) bool
-	// Bounds returns a half-open interval [lo, hi) that contains every
-	// satisfying value. exact reports whether the predicate is precisely
-	// membership in that interval, enabling a pure range scan with no
-	// per-row re-check.
+	// Bounds returns an interval [lo, hi) that contains every satisfying
+	// value, where hi == math.MaxInt64 means "no upper bound, MaxInt64
+	// included" (a half-open interval could never admit MaxInt64 itself;
+	// the scan kernels honour the same convention). exact reports whether
+	// the predicate is precisely membership in that interval, enabling a
+	// pure range scan with no per-row re-check.
 	Bounds() (lo, hi int64, exact bool)
 	// String renders the predicate in SQL-ish syntax.
 	String() string
@@ -39,8 +41,10 @@ func NewRange(lo, hi int64) Range {
 // Eval implements Expr.
 func (r Range) Eval(v int64) bool { return v >= r.Lo && v < r.Hi }
 
-// Bounds implements Expr.
-func (r Range) Bounds() (int64, int64, bool) { return r.Lo, r.Hi, true }
+// Bounds implements Expr. A range reaching MaxInt64 is inexact: the
+// scan's unbounded upper end would include MaxInt64, which the half-open
+// predicate excludes, so a per-row re-check is required.
+func (r Range) Bounds() (int64, int64, bool) { return r.Lo, r.Hi, r.Hi != math.MaxInt64 }
 
 // String implements Expr.
 func (r Range) String() string { return fmt.Sprintf("attr >= %d AND attr < %d", r.Lo, r.Hi) }
@@ -108,13 +112,15 @@ func (c Cmp) Eval(v int64) bool {
 func (c Cmp) Bounds() (int64, int64, bool) {
 	switch c.Op {
 	case LT:
-		return math.MinInt64, c.Val, true
+		// v < MaxInt64 cannot be expressed exactly: a MaxInt64 upper
+		// bound means unbounded-inclusive to the scan kernels.
+		return math.MinInt64, c.Val, c.Val != math.MaxInt64
 	case LE:
 		return math.MinInt64, satInc(c.Val), true
 	case GT:
 		return satInc(c.Val), math.MaxInt64, c.Val != math.MaxInt64
 	case GE:
-		return c.Val, math.MaxInt64, false // MaxInt64 itself can satisfy; interval is open
+		return c.Val, math.MaxInt64, true // MaxInt64 upper bound is inclusive
 	case EQ:
 		return c.Val, satInc(c.Val), c.Val != math.MaxInt64
 	case NE:
@@ -197,8 +203,9 @@ type True struct{}
 // Eval implements Expr.
 func (True) Eval(int64) bool { return true }
 
-// Bounds implements Expr.
-func (True) Bounds() (int64, int64, bool) { return math.MinInt64, math.MaxInt64, false }
+// Bounds implements Expr. The unbounded-inclusive interval is exactly
+// the always-true predicate, so full scans skip the filter kernel.
+func (True) Bounds() (int64, int64, bool) { return math.MinInt64, math.MaxInt64, true }
 
 // String implements Expr.
 func (True) String() string { return "TRUE" }

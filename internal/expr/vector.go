@@ -1,0 +1,119 @@
+package expr
+
+// Filter is the vectorized predicate kernel: it compacts the first n
+// entries of the parallel selection/value buffers in place, keeping only
+// rows whose value satisfies e, and returns the new count. Concrete
+// predicate shapes (Range, Cmp, True, And, Or, Not) run as tight
+// monomorphic loops over the value slice; unknown Expr implementations
+// fall back to one interface call per row.
+//
+// The engine calls Filter once per batch after the column scan kernel has
+// applied the predicate's bounding interval, so Filter only runs for
+// predicates whose Bounds are inexact.
+func Filter(e Expr, sel []int32, val []int64, n int) int {
+	switch p := e.(type) {
+	case True:
+		return n
+	case Range:
+		k := 0
+		for i := 0; i < n; i++ {
+			if v := val[i]; v >= p.Lo && v < p.Hi {
+				sel[k], val[k] = sel[i], val[i]
+				k++
+			}
+		}
+		return k
+	case Cmp:
+		return filterCmp(p, sel, val, n)
+	case And:
+		n = Filter(p.L, sel, val, n)
+		return Filter(p.R, sel, val, n)
+	case Or:
+		// Disjunctions do not decompose into sequential passes; evaluate
+		// the whole predicate per row, still over the flat buffers.
+		k := 0
+		for i := 0; i < n; i++ {
+			if p.L.Eval(val[i]) || p.R.Eval(val[i]) {
+				sel[k], val[k] = sel[i], val[i]
+				k++
+			}
+		}
+		return k
+	case Not:
+		k := 0
+		for i := 0; i < n; i++ {
+			if !p.X.Eval(val[i]) {
+				sel[k], val[k] = sel[i], val[i]
+				k++
+			}
+		}
+		return k
+	default:
+		k := 0
+		for i := 0; i < n; i++ {
+			if e.Eval(val[i]) {
+				sel[k], val[k] = sel[i], val[i]
+				k++
+			}
+		}
+		return k
+	}
+}
+
+// filterCmp runs one branch-free-comparison loop per operator so the
+// operator switch happens once per batch, not once per row.
+func filterCmp(c Cmp, sel []int32, val []int64, n int) int {
+	k := 0
+	switch c.Op {
+	case LT:
+		for i := 0; i < n; i++ {
+			if val[i] < c.Val {
+				sel[k], val[k] = sel[i], val[i]
+				k++
+			}
+		}
+	case LE:
+		for i := 0; i < n; i++ {
+			if val[i] <= c.Val {
+				sel[k], val[k] = sel[i], val[i]
+				k++
+			}
+		}
+	case GT:
+		for i := 0; i < n; i++ {
+			if val[i] > c.Val {
+				sel[k], val[k] = sel[i], val[i]
+				k++
+			}
+		}
+	case GE:
+		for i := 0; i < n; i++ {
+			if val[i] >= c.Val {
+				sel[k], val[k] = sel[i], val[i]
+				k++
+			}
+		}
+	case EQ:
+		for i := 0; i < n; i++ {
+			if val[i] == c.Val {
+				sel[k], val[k] = sel[i], val[i]
+				k++
+			}
+		}
+	case NE:
+		for i := 0; i < n; i++ {
+			if val[i] != c.Val {
+				sel[k], val[k] = sel[i], val[i]
+				k++
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			if c.Eval(val[i]) {
+				sel[k], val[k] = sel[i], val[i]
+				k++
+			}
+		}
+	}
+	return k
+}

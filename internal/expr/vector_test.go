@@ -1,0 +1,87 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"amnesiadb/internal/xrand"
+)
+
+// oddExpr is an Expr the Filter type switch does not know, forcing the
+// interface fallback path.
+type oddExpr struct{}
+
+func (oddExpr) Eval(v int64) bool            { return v%2 != 0 }
+func (oddExpr) Bounds() (int64, int64, bool) { return math.MinInt64, math.MaxInt64, false }
+func (oddExpr) String() string               { return "odd" }
+
+// TestFilterMatchesEval compacts a pseudo-random batch through Filter for
+// every predicate shape and checks the result equals row-at-a-time Eval.
+func TestFilterMatchesEval(t *testing.T) {
+	exprs := []Expr{
+		True{},
+		NewRange(-50, 50),
+		NewRange(10, 10), // empty
+		Cmp{Op: LT, Val: 0},
+		Cmp{Op: LE, Val: 17},
+		Cmp{Op: GT, Val: -3},
+		Cmp{Op: GE, Val: 90},
+		Cmp{Op: EQ, Val: 5},
+		Cmp{Op: NE, Val: 5},
+		And{L: Cmp{Op: GE, Val: -20}, R: Cmp{Op: LT, Val: 20}},
+		And{L: NewRange(-100, 100), R: Cmp{Op: NE, Val: 0}},
+		Or{L: Cmp{Op: LT, Val: -80}, R: Cmp{Op: GT, Val: 80}},
+		Not{X: NewRange(-10, 10)},
+		Not{X: Or{L: Cmp{Op: EQ, Val: 1}, R: Cmp{Op: EQ, Val: 2}}},
+		oddExpr{},
+		And{L: oddExpr{}, R: Cmp{Op: GT, Val: 0}},
+	}
+	src := xrand.New(99)
+	const n = 512
+	baseSel := make([]int32, n)
+	baseVal := make([]int64, n)
+	for i := 0; i < n; i++ {
+		baseSel[i] = int32(i * 2)
+		baseVal[i] = src.Int63n(201) - 100
+	}
+	for _, e := range exprs {
+		t.Run(e.String(), func(t *testing.T) {
+			sel := append([]int32(nil), baseSel...)
+			val := append([]int64(nil), baseVal...)
+			k := Filter(e, sel, val, n)
+
+			var wantSel []int32
+			var wantVal []int64
+			for i := 0; i < n; i++ {
+				if e.Eval(baseVal[i]) {
+					wantSel = append(wantSel, baseSel[i])
+					wantVal = append(wantVal, baseVal[i])
+				}
+			}
+			if k != len(wantSel) {
+				t.Fatalf("Filter kept %d rows, want %d", k, len(wantSel))
+			}
+			for i := 0; i < k; i++ {
+				if sel[i] != wantSel[i] || val[i] != wantVal[i] {
+					t.Fatalf("row %d: got (%d, %d), want (%d, %d)", i, sel[i], val[i], wantSel[i], wantVal[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFilterPartialBatch checks Filter honours n and ignores buffer tails.
+func TestFilterPartialBatch(t *testing.T) {
+	sel := []int32{0, 1, 2, 3, 4, 5}
+	val := []int64{10, 20, 30, 40, 50, 60}
+	k := Filter(Cmp{Op: GE, Val: 20}, sel, val, 3)
+	if k != 2 {
+		t.Fatalf("kept %d rows, want 2", k)
+	}
+	if sel[0] != 1 || sel[1] != 2 || val[0] != 20 || val[1] != 30 {
+		t.Fatalf("compacted buffers wrong: %v %v", sel[:k], val[:k])
+	}
+	if sel[3] != 3 || val[5] != 60 {
+		t.Fatal("Filter wrote past n")
+	}
+}

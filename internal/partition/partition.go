@@ -14,6 +14,7 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"amnesiadb/internal/amnesia"
 	"amnesiadb/internal/engine"
@@ -29,10 +30,13 @@ type Partition struct {
 	// Budget is the shard's active-tuple allowance.
 	Budget int
 
-	tbl    *table.Table
-	ex     *engine.Exec
-	strat  amnesia.Strategy
-	hits   int64 // queries that touched this shard since the last Adapt
+	tbl   *table.Table
+	ex    *engine.Exec
+	strat amnesia.Strategy
+	// hits counts queries that touched this shard since the last Adapt.
+	// It is atomic so concurrent readers can record workload feedback
+	// without the set's exclusive lock.
+	hits   atomic.Int64
 	column string
 }
 
@@ -40,7 +44,7 @@ type Partition struct {
 func (p *Partition) Table() *table.Table { return p.tbl }
 
 // Hits returns the query count since the last Adapt.
-func (p *Partition) Hits() int64 { return p.hits }
+func (p *Partition) Hits() int64 { return p.hits.Load() }
 
 // Set is a partitioned single-column store with per-partition amnesia.
 type Set struct {
@@ -121,14 +125,17 @@ func (s *Set) Insert(vals []int64) error {
 }
 
 // Select returns matching active values across all shards intersecting
-// [lo, hi), recording per-shard workload hits for Adapt.
+// [lo, hi), recording per-shard workload hits for Adapt. Like the flat
+// engine's scans, Select is safe for concurrent readers: hit counters
+// are atomic and the per-shard executors touch access frequencies
+// through the table's internal synchronisation.
 func (s *Set) Select(lo, hi int64) ([]int64, error) {
 	var out []int64
 	for _, p := range s.parts {
 		if p.Hi <= lo || p.Lo >= hi {
 			continue
 		}
-		p.hits++
+		p.hits.Add(1)
 		res, err := p.ex.Select(s.column, expr.NewRange(lo, hi), engine.ScanActive)
 		if err != nil {
 			return nil, err
@@ -181,7 +188,7 @@ func (s *Set) Adapt() {
 	var weight int64
 	for _, p := range s.parts {
 		total += p.Budget
-		weight += p.hits + 1
+		weight += p.hits.Load() + 1
 	}
 	remaining := total
 	for i, p := range s.parts {
@@ -189,7 +196,7 @@ func (s *Set) Adapt() {
 		if i == len(s.parts)-1 {
 			share = remaining // avoid rounding loss
 		} else {
-			share = int(int64(total) * (p.hits + 1) / weight)
+			share = int(int64(total) * (p.hits.Load() + 1) / weight)
 			if share < 1 {
 				share = 1
 			}
@@ -199,7 +206,7 @@ func (s *Set) Adapt() {
 		}
 		remaining -= share
 		p.Budget = share
-		p.hits = 0
+		p.hits.Store(0)
 		if over := p.tbl.ActiveCount() - p.Budget; over > 0 {
 			p.strat.Forget(p.tbl, over)
 		}

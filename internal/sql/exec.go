@@ -85,28 +85,47 @@ func Exec(cat Catalog, q *Query) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append([]int32(nil), rows...)
-		sort.SliceStable(rows, func(i, j int) bool {
-			a, b := oc.Get(int(rows[i])), oc.Get(int(rows[j]))
+		// Gather the sort keys once so the comparator works over a flat
+		// slice instead of re-reading the column per comparison.
+		keys := oc.Gather(rows, nil)
+		perm := make([]int, len(rows))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(i, j int) bool {
 			if q.OrderDesc {
-				return a > b
+				return keys[perm[i]] > keys[perm[j]]
 			}
-			return a < b
+			return keys[perm[i]] < keys[perm[j]]
 		})
+		ordered := make([]int32, len(rows))
+		for i, p := range perm {
+			ordered[i] = rows[p]
+		}
+		rows = ordered
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
 	}
 	res := &Result{Columns: cols, Ints: make([]bool, len(cols))}
 	for i := range res.Ints {
 		res.Ints[i] = true
 	}
-	for n, rowPos := range rows {
-		if q.Limit > 0 && n >= q.Limit {
-			break
+	if len(rows) == 0 {
+		return res, nil
+	}
+	// Materialize column-at-a-time: one Gather per projected column over
+	// the post-limit selection vector, then transpose into output rows.
+	res.Rows = make([][]float64, len(rows))
+	for i := range res.Rows {
+		res.Rows[i] = make([]float64, len(cols))
+	}
+	var vals []int64
+	for ci, cn := range cols {
+		vals = t.MustColumn(cn).Gather(rows, vals)
+		for ri, v := range vals {
+			res.Rows[ri][ci] = float64(v)
 		}
-		row := make([]float64, len(cols))
-		for ci, cn := range cols {
-			row[ci] = float64(t.MustColumn(cn).Get(int(rowPos)))
-		}
-		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }

@@ -9,14 +9,22 @@ package table
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"amnesiadb/internal/bitvec"
 	"amnesiadb/internal/column"
 )
 
 // Table is a fixed-schema collection of int64 columns plus tuple metadata.
-// All columns have identical length. Table is not safe for concurrent
-// mutation.
+// All columns have identical length.
+//
+// Concurrency contract: structural mutation (appends, forgetting,
+// vacuuming) requires external exclusive locking, but any number of
+// concurrent readers may scan the table — and those readers may call
+// Touch/TouchMany, which serialise the access-frequency updates behind
+// an internal mutex. That split is what lets the facade run ScanActive
+// queries under a shared read lock while preserving the §3.2
+// query-based-amnesia feedback loop.
 type Table struct {
 	name    string
 	colName []string
@@ -24,9 +32,15 @@ type Table struct {
 	byName  map[string]int
 
 	active      *bitvec.Vector
-	insertBatch []int32  // batch id each tuple arrived in
+	insertBatch []int32 // batch id each tuple arrived in
+	batches     int     // number of batches appended so far
+
+	// touchMu guards accessCount against concurrent readers flushing
+	// their touch buffers. Readers of accessCount (strategies, snapshots)
+	// run under the facade's exclusive lock, so they need no extra
+	// synchronisation here.
+	touchMu     sync.Mutex
 	accessCount []uint32 // times the tuple appeared in a query result
-	batches     int      // number of batches appended so far
 }
 
 // New creates an empty table with the given column names. It panics on an
@@ -158,17 +172,32 @@ func (t *Table) Remember(i int) { t.active.Set(i) }
 func (t *Table) IsActive(i int) bool { return t.active.Test(i) }
 
 // Touch increments the access count of tuple i, saturating at the uint32
-// ceiling. Query execution calls this for every tuple returned.
+// ceiling. It is safe to call from concurrent readers.
 func (t *Table) Touch(i int) {
-	if t.accessCount[i] != ^uint32(0) {
-		t.accessCount[i]++
-	}
+	t.touchMu.Lock()
+	t.touchOne(i)
+	t.touchMu.Unlock()
 }
 
-// TouchMany increments the access count for each listed tuple.
+// TouchMany increments the access count for each listed tuple. Query
+// execution accumulates the positions a query returned and flushes them
+// here in one call, so concurrent readers contend on the touch mutex
+// once per query instead of once per tuple.
 func (t *Table) TouchMany(idx []int32) {
+	if len(idx) == 0 {
+		return
+	}
+	t.touchMu.Lock()
 	for _, i := range idx {
-		t.Touch(int(i))
+		t.touchOne(int(i))
+	}
+	t.touchMu.Unlock()
+}
+
+// touchOne is the lock-free core of Touch; callers hold touchMu.
+func (t *Table) touchOne(i int) {
+	if t.accessCount[i] != ^uint32(0) {
+		t.accessCount[i]++
 	}
 }
 

@@ -11,8 +11,13 @@ import (
 // value-range shards, each with its own amnesia budget — the §4.4
 // adaptive-partitioning vision. Budgets can follow the workload via
 // Adapt. Obtain via DB.CreatePartitionedTable.
+//
+// Like Table, reads (Select, Precision, Stats, Partitions) run under a
+// shared lock and proceed in parallel; Insert and Adapt are exclusive.
+// Workload hit counters are atomic, so parallel selects still feed the
+// Adapt loop.
 type PartitionedTable struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	name string
 	set  *partition.Set
 }
@@ -26,7 +31,7 @@ func (db *DB) CreatePartitionedTable(name, column string, domain int64, parts in
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("amnesiadb: table %q already exists", name)
 	}
-	set, err := partition.New(column, domain, parts, strategy, totalBudget, db.src.Split())
+	set, err := partition.New(column, domain, parts, strategy, totalBudget, db.splitSrc())
 	if err != nil {
 		return nil, err
 	}
@@ -50,15 +55,15 @@ func (p *PartitionedTable) Insert(vals []int64) error {
 // Select returns active values in [lo, hi) across the relevant shards,
 // recording workload hits for Adapt.
 func (p *PartitionedTable) Select(lo, hi int64) ([]int64, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.set.Select(lo, hi)
 }
 
 // Precision reports the §2.3 metrics over [lo, hi) across shards.
 func (p *PartitionedTable) Precision(lo, hi int64) (rf, mf int, pf float64, err error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.set.Precision(lo, hi)
 }
 
@@ -80,8 +85,8 @@ type PartitionInfo struct {
 
 // Partitions returns per-shard state in value order.
 func (p *PartitionedTable) Partitions() []PartitionInfo {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	parts := p.set.Partitions()
 	out := make([]PartitionInfo, len(parts))
 	for i, sp := range parts {
@@ -93,8 +98,8 @@ func (p *PartitionedTable) Partitions() []PartitionInfo {
 
 // Stats sums the shard counters.
 func (p *PartitionedTable) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	st := p.set.Stats()
 	return Stats{Tuples: st.Tuples, Active: st.Active, Forgotten: st.Forgotten, Batches: st.Batches}
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package amnesiadb_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// Scale tests skip themselves under the detector: its ~10x slowdown on
+// million-tuple loops adds nothing to race coverage the concurrency
+// tests don't already provide.
+const raceEnabled = false

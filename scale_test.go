@@ -15,6 +15,9 @@ func TestScaleMillionTuples(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale test skipped in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("scale test skipped under the race detector")
+	}
 	for _, strat := range []string{"fifo", "uniform", "ante", "rot", "area", "areav", "decay"} {
 		t.Run(strat, func(t *testing.T) {
 			db := amnesiadb.Open(amnesiadb.Options{Seed: 1})
