@@ -16,9 +16,12 @@
 // queries run batch-at-a-time over selection vectors (fixed-size position
 // + value buffers filled by zone-map-pruned column scan kernels), with
 // predicates applied by compacting kernels and aggregates folded in one
-// fused pass. Reads run in parallel: Select, Aggregate, GroupBy,
-// Precision and SQL queries take a shared lock, while inserts, policy
-// enforcement and maintenance are exclusive. The access-frequency
+// fused pass. Reads run in parallel twice over: across queries —
+// Select, Aggregate, GroupBy, Precision and SQL queries take a shared
+// lock, while inserts, policy enforcement and maintenance are exclusive
+// — and within one query, where large scans split into block-range
+// morsels executed by GOMAXPROCS workers and merged back in insertion
+// order (see Options.Parallelism). The access-frequency
 // feedback that query-based amnesia (§3.2) needs is accumulated per
 // query and flushed as one synchronized batch, so it survives read
 // concurrency without serialising scans.
@@ -56,6 +59,13 @@ type Options struct {
 	// seeds and equal operation sequences are bit-reproducible. A zero
 	// seed is valid and distinct from, say, 1.
 	Seed uint64
+	// Parallelism is the intra-query parallelism knob applied to every
+	// table's executor: 0 (default) auto-parallelises large scans
+	// across GOMAXPROCS morsel workers and keeps small scans serial;
+	// 1 forces all scans serial; n > 1 forces n workers. Results are
+	// identical at every setting — rows stay in insertion order and
+	// aggregates are exact — only the core count changes.
+	Parallelism int
 }
 
 // DB is a collection of tables sharing one deterministic random stream.
@@ -70,6 +80,9 @@ type Options struct {
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// par is Options.Parallelism, stamped onto every executor built for
+	// this database (tables, SQL runs, partition shards).
+	par int
 
 	// srcMu guards src: strategy construction splits the shared seed
 	// stream, and SetPolicy runs under its table's lock only, so two
@@ -91,7 +104,11 @@ func (db *DB) splitSrc() *xrand.Source {
 
 // Open creates an empty in-memory database.
 func Open(opts Options) *DB {
-	return &DB{src: xrand.New(opts.Seed), tables: make(map[string]*Table)}
+	par := opts.Parallelism
+	if par < 0 {
+		par = 0
+	}
+	return &DB{src: xrand.New(opts.Seed), tables: make(map[string]*Table), par: par}
 }
 
 // CreateTable adds a table with the given columns. Every column stores
@@ -106,10 +123,12 @@ func (db *DB) CreateTable(name string, columns ...string) (*Table, error) {
 		return nil, fmt.Errorf("amnesiadb: table %q needs at least one column", name)
 	}
 	tbl := table.New(name, columns...)
+	ex := engine.New(tbl)
+	ex.SetParallelism(db.par)
 	t := &Table{
 		db:  db,
 		tbl: tbl,
-		ex:  engine.New(tbl),
+		ex:  ex,
 	}
 	db.tables[name] = t
 	return t, nil
@@ -164,7 +183,7 @@ func (db *DB) Query(q string) (*QueryResult, error) {
 			locked.mu.RUnlock()
 		}
 	}()
-	res, err := sql.Run(sql.CatalogFunc(func(name string) (*table.Table, error) {
+	res, err := sql.RunOpts(sql.CatalogFunc(func(name string) (*table.Table, error) {
 		db.mu.RLock()
 		t, ok := db.tables[name]
 		db.mu.RUnlock()
@@ -174,7 +193,7 @@ func (db *DB) Query(q string) (*QueryResult, error) {
 		t.mu.RLock()
 		locked = t
 		return t.tbl, nil
-	}), q)
+	}), q, sql.Opts{Parallelism: db.par})
 	if err != nil {
 		return nil, err
 	}
@@ -648,7 +667,9 @@ func (db *DB) LoadTable(r io.Reader) (*Table, error) {
 	if _, dup := db.tables[tbl.Name()]; dup {
 		return nil, fmt.Errorf("amnesiadb: table %q already exists", tbl.Name())
 	}
-	t := &Table{db: db, tbl: tbl, ex: engine.New(tbl)}
+	ex := engine.New(tbl)
+	ex.SetParallelism(db.par)
+	t := &Table{db: db, tbl: tbl, ex: ex}
 	db.tables[tbl.Name()] = t
 	return t, nil
 }

@@ -9,6 +9,13 @@
 //	             [-strategies fifo,uniform,ante,rot,area] \
 //	             [-dists serial,uniform,normal,zipfian] \
 //	             [-volatility 0.1,0.2,0.5,0.8]
+//
+// With -scan N it instead micro-benchmarks the engine's scan path over
+// an N-row table, serial and morsel-parallel, printing one JSON line
+// per cell (rows/sec, allocs/op, workers) so CI can track the perf
+// trajectory machine-readably:
+//
+//	amnesiabench -scan 4000000 [-workers 0]
 package main
 
 import (
@@ -32,8 +39,17 @@ func main() {
 		strategies = flag.String("strategies", strings.Join(amnesia.Names(), ","), "comma-separated strategies")
 		dists      = flag.String("dists", "serial,uniform,normal,zipfian", "comma-separated distributions")
 		volatility = flag.String("volatility", "0.1,0.2,0.5,0.8", "comma-separated update percentages")
+		scanRows   = flag.Int("scan", 0, "run the scan micro-benchmark over this many rows instead of the sweep")
+		workers    = flag.Int("workers", 0, "parallelism knob for -scan (0 = auto/GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *scanRows > 0 {
+		if err := runScanBench(*scanRows, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	vols, err := parseFloats(*volatility)
 	if err != nil {

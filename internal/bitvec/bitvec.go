@@ -41,6 +41,12 @@ func NewSet(n int) *Vector {
 // Len returns the logical length in bits.
 func (v *Vector) Len() int { return v.n }
 
+// Word returns the i'th 64-bit word: bit b of the result is bit
+// i*64 + b of the vector. Bits at or beyond Len are always zero. The
+// scan kernels use Word to intersect a block's row range with the
+// active bitmap one word at a time instead of one Test call per row.
+func (v *Vector) Word(i int) uint64 { return v.words[i] }
+
 // check panics when i is out of [0, n).
 func (v *Vector) check(i int) {
 	if i < 0 || i >= v.n {
@@ -91,11 +97,26 @@ func (v *Vector) Grow(n int) {
 }
 
 // GrowSet extends the vector to length n bits with the new bits set.
+// The fill runs word-parallel, so appending a large batch of active
+// tuples costs O(words), not O(bits).
 func (v *Vector) GrowSet(n int) {
 	old := v.n
 	v.Grow(n)
-	for i := old; i < n; i++ {
-		v.Set(i)
+	if n <= old {
+		return
+	}
+	first, last := old/wordBits, (n-1)/wordBits
+	for wi := first; wi <= last; wi++ {
+		w := ^uint64(0)
+		if wi == first {
+			w <<= uint(old) % wordBits
+		}
+		if wi == last {
+			if r := n % wordBits; r != 0 {
+				w &= (1 << uint(r)) - 1
+			}
+		}
+		v.words[wi] |= w
 	}
 }
 

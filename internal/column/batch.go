@@ -3,6 +3,7 @@ package column
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"amnesiadb/internal/bitvec"
 )
@@ -20,6 +21,17 @@ import (
 //
 // sel and val must have equal length; that length is the batch size.
 func (c *Int64) ScanBatch(lo, hi int64, active *bitvec.Vector, start int, sel []int32, val []int64) (n, next int) {
+	return c.ScanBatchRange(lo, hi, active, start, len(c.data), sel, val)
+}
+
+// ScanBatchRange is ScanBatch bounded to the row interval [start, end):
+// the morsel-driven parallel scan hands each worker a contiguous run of
+// blocks as [start, end) so workers share the column with no coordination
+// beyond their disjoint ranges. end is clamped to Len. Active-restricted
+// scans intersect each block's row range with the bitmap one 64-bit word
+// at a time (bitvec.Word) and iterate only the set bits, so wholly
+// forgotten spans cost one load instead of 64 Test calls.
+func (c *Int64) ScanBatchRange(lo, hi int64, active *bitvec.Vector, start, end int, sel []int32, val []int64) (n, next int) {
 	if len(sel) != len(val) {
 		panic(fmt.Sprintf("column: ScanBatch buffers disagree: %d positions, %d values", len(sel), len(val)))
 	}
@@ -29,21 +41,24 @@ func (c *Int64) ScanBatch(lo, hi int64, active *bitvec.Vector, start int, sel []
 	if start < 0 {
 		start = 0
 	}
+	if end > len(c.data) {
+		end = len(c.data)
+	}
 	unbounded := hi == math.MaxInt64
 	i := start
-	for i < len(c.data) && n < len(sel) {
+	for i < end && n < len(sel) {
 		b := i / c.blockSize
 		blockEnd := (b + 1) * c.blockSize
-		if blockEnd > len(c.data) {
-			blockEnd = len(c.data)
+		if blockEnd > end {
+			blockEnd = end
 		}
 		if !c.zones[b].Contains(lo, hi) {
 			i = blockEnd
 			continue
 		}
-		// The inner loop is the hot path: contiguous block rows, bounds
-		// hoisted, no function calls besides the bit test.
 		if active == nil {
+			// The inner loop is the hot path: contiguous block rows,
+			// bounds hoisted, no function calls.
 			for ; i < blockEnd && n < len(sel); i++ {
 				if v := c.data[i]; v >= lo && (v < hi || unbounded) {
 					sel[n] = int32(i)
@@ -51,17 +66,92 @@ func (c *Int64) ScanBatch(lo, hi int64, active *bitvec.Vector, start int, sel []
 					n++
 				}
 			}
-		} else {
-			for ; i < blockEnd && n < len(sel); i++ {
-				if v := c.data[i]; v >= lo && (v < hi || unbounded) && active.Test(i) {
-					sel[n] = int32(i)
+			continue
+		}
+		// Active path: visit one bitmap word per 64-row span, masked to
+		// [i, blockEnd), and walk its set bits only.
+		for i < blockEnd && n < len(sel) {
+			wi := i >> 6
+			w := active.Word(wi) & (^uint64(0) << (uint(i) & 63))
+			spanEnd := (wi + 1) << 6
+			if spanEnd > blockEnd {
+				w &= (uint64(1) << uint(blockEnd-wi<<6)) - 1
+				spanEnd = blockEnd
+			}
+			for w != 0 {
+				if n == len(sel) {
+					// Batch full mid-word: resume at the lowest set bit
+					// still pending (clear rows in between match nothing).
+					return n, wi<<6 + bits.TrailingZeros64(w)
+				}
+				r := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if v := c.data[r]; v >= lo && (v < hi || unbounded) {
+					sel[n] = int32(r)
 					val[n] = v
 					n++
 				}
 			}
+			i = spanEnd
 		}
 	}
 	return n, i
+}
+
+// CountRangeIn returns the number of rows in the row interval [start, end)
+// with lo <= v < hi, honouring active when non-nil. It is CountRange
+// bounded to a morsel's block range, so parallel counting queries
+// (COUNT(*), Precision ground truth) split a column the same way the
+// materializing kernel does. end is clamped to Len.
+func (c *Int64) CountRangeIn(lo, hi int64, active *bitvec.Vector, start, end int) int {
+	if active != nil && active.Len() < len(c.data) {
+		panic(fmt.Sprintf("column: active bitmap %d bits for %d rows", active.Len(), len(c.data)))
+	}
+	if start < 0 {
+		start = 0
+	}
+	if end > len(c.data) {
+		end = len(c.data)
+	}
+	unbounded := hi == math.MaxInt64
+	n := 0
+	for i := start; i < end; {
+		b := i / c.blockSize
+		blockEnd := (b + 1) * c.blockSize
+		if blockEnd > end {
+			blockEnd = end
+		}
+		if !c.zones[b].Contains(lo, hi) {
+			i = blockEnd
+			continue
+		}
+		if active == nil {
+			for ; i < blockEnd; i++ {
+				if v := c.data[i]; v >= lo && (v < hi || unbounded) {
+					n++
+				}
+			}
+			continue
+		}
+		for i < blockEnd {
+			wi := i >> 6
+			w := active.Word(wi) & (^uint64(0) << (uint(i) & 63))
+			spanEnd := (wi + 1) << 6
+			if spanEnd > blockEnd {
+				w &= (uint64(1) << uint(blockEnd-wi<<6)) - 1
+				spanEnd = blockEnd
+			}
+			for w != 0 {
+				r := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if v := c.data[r]; v >= lo && (v < hi || unbounded) {
+					n++
+				}
+			}
+			i = spanEnd
+		}
+	}
+	return n
 }
 
 // Gather fills out with the values at the given row positions and returns

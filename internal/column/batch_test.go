@@ -167,3 +167,61 @@ func TestGather(t *testing.T) {
 	}()
 	c.Gather([]int32{1000}, nil)
 }
+
+// TestScanBatchRangePartition splits the row space into arbitrary
+// disjoint ranges — morsel-style — and checks that per-range scans
+// concatenate to exactly the full-column scan, for both active modes.
+// This is the property the parallel engine's deterministic merge rests
+// on.
+func TestScanBatchRangePartition(t *testing.T) {
+	c, active := buildColumn(t, 1000, 1000, 64, 11)
+	for _, act := range []*bitvec.Vector{nil, active} {
+		want := c.ScanRange(100, 900, nil)
+		if act != nil {
+			want = c.ScanRangeActive(100, 900, act, nil)
+		}
+		for _, cuts := range [][]int{
+			{0, 1000},
+			{0, 64, 128, 1000},       // block-aligned morsels
+			{0, 100, 321, 700, 1000}, // unaligned, crossing words and blocks
+			{0, 1, 2, 3, 1000},
+		} {
+			sel := make([]int32, 13)
+			val := make([]int64, 13)
+			var got []int32
+			for i := 0; i+1 < len(cuts); i++ {
+				for pos := cuts[i]; pos < cuts[i+1]; {
+					var n int
+					n, pos = c.ScanBatchRange(100, 900, act, pos, cuts[i+1], sel, val)
+					got = append(got, sel[:n]...)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("cuts %v active=%v: got %d rows, want %d", cuts, act != nil, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("cuts %v active=%v: row %d: got %d, want %d", cuts, act != nil, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCountRangeInPartition checks the counting kernel against
+// CountRange over the same arbitrary row splits.
+func TestCountRangeInPartition(t *testing.T) {
+	c, active := buildColumn(t, 1000, 1000, 64, 13)
+	for _, act := range []*bitvec.Vector{nil, active} {
+		want := c.CountRange(200, 800, act)
+		for _, cuts := range [][]int{{0, 1000}, {0, 64, 500, 1000}, {0, 7, 77, 777, 1000}} {
+			got := 0
+			for i := 0; i+1 < len(cuts); i++ {
+				got += c.CountRangeIn(200, 800, act, cuts[i], cuts[i+1])
+			}
+			if got != want {
+				t.Fatalf("cuts %v active=%v: counted %d, want %d", cuts, act != nil, got, want)
+			}
+		}
+	}
+}

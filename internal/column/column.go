@@ -88,10 +88,37 @@ func (c *Int64) Append(v int64) {
 	c.data = append(c.data, v)
 }
 
-// AppendSlice appends all values in vs.
+// AppendSlice appends all values in vs with one data append and one
+// zone-map update per touched block: the values land first, then each
+// block's min/max is folded over its new rows in a tight slice loop —
+// the columnar bulk write that pairs with the batch read kernels.
 func (c *Int64) AppendSlice(vs []int64) {
-	for _, v := range vs {
-		c.Append(v)
+	if len(vs) == 0 {
+		return
+	}
+	start := len(c.data)
+	c.data = append(c.data, vs...)
+	for b := start / c.blockSize; b*c.blockSize < len(c.data); b++ {
+		if b == len(c.zones) {
+			c.zones = append(c.zones, ZoneMap{Min: math.MaxInt64, Max: math.MinInt64})
+		}
+		lo := b * c.blockSize
+		if lo < start {
+			lo = start
+		}
+		hi := (b + 1) * c.blockSize
+		if hi > len(c.data) {
+			hi = len(c.data)
+		}
+		z := &c.zones[b]
+		for _, v := range c.data[lo:hi] {
+			if v < z.Min {
+				z.Min = v
+			}
+			if v > z.Max {
+				z.Max = v
+			}
+		}
 	}
 }
 
@@ -156,26 +183,10 @@ func (c *Int64) ScanRangeActive(lo, hi int64, active *bitvec.Vector, sel []int32
 }
 
 // CountRange returns the number of rows with lo <= v < hi. If active is
-// non-nil only rows with their bit set are counted.
+// non-nil only rows with their bit set are counted (word-parallel, via
+// the range-bounded counting kernel).
 func (c *Int64) CountRange(lo, hi int64, active *bitvec.Vector) int {
-	n := 0
-	unbounded := hi == math.MaxInt64
-	for b := 0; b < len(c.zones); b++ {
-		if !c.zones[b].Contains(lo, hi) {
-			continue
-		}
-		start := b * c.blockSize
-		end := start + c.blockSize
-		if end > len(c.data) {
-			end = len(c.data)
-		}
-		for i := start; i < end; i++ {
-			if v := c.data[i]; v >= lo && (v < hi || unbounded) && (active == nil || active.Test(i)) {
-				n++
-			}
-		}
-	}
-	return n
+	return c.CountRangeIn(lo, hi, active, 0, len(c.data))
 }
 
 // AggregateRange computes count, sum, min and max over rows with

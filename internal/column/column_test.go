@@ -273,3 +273,38 @@ func BenchmarkAppend(b *testing.B) {
 		c.Append(int64(i))
 	}
 }
+
+// TestAppendSliceBulkZoneMaps checks that the bulk append leaves data
+// and zone maps identical to value-at-a-time appends, across block
+// boundaries, partial tail blocks and repeated calls.
+func TestAppendSliceBulkZoneMaps(t *testing.T) {
+	src := xrand.New(3)
+	bulk := NewWithBlockSize(16)
+	serial := NewWithBlockSize(16)
+	for _, n := range []int{1, 15, 16, 17, 100, 0, 33} {
+		vs := make([]int64, n)
+		for i := range vs {
+			vs[i] = src.Int63n(1000) - 500
+		}
+		bulk.AppendSlice(vs)
+		for _, v := range vs {
+			serial.Append(v)
+		}
+	}
+	if bulk.Len() != serial.Len() {
+		t.Fatalf("bulk %d values, serial %d", bulk.Len(), serial.Len())
+	}
+	for i := 0; i < serial.Len(); i++ {
+		if bulk.Get(i) != serial.Get(i) {
+			t.Fatalf("value %d: bulk %d, serial %d", i, bulk.Get(i), serial.Get(i))
+		}
+	}
+	if bulk.Blocks() != serial.Blocks() {
+		t.Fatalf("bulk %d blocks, serial %d", bulk.Blocks(), serial.Blocks())
+	}
+	for b := 0; b < serial.Blocks(); b++ {
+		if bulk.Zone(b) != serial.Zone(b) {
+			t.Fatalf("zone %d: bulk %+v, serial %+v", b, bulk.Zone(b), serial.Zone(b))
+		}
+	}
+}

@@ -75,14 +75,18 @@ func (e *Exec) scanBatches(c *column.Int64, pred expr.Expr, mode ScanMode, fn fu
 
 // countMatches returns the number of rows satisfying pred under mode
 // without materializing positions or values — the counting fast path
-// Precision uses for its ground-truth pass.
+// behind COUNT(*) and both of Precision's passes. Large columns count
+// morsel-parallel like every other scan.
 func (e *Exec) countMatches(c *column.Int64, pred expr.Expr, mode ScanMode) int {
+	var active *bitvec.Vector
+	if mode == ScanActive {
+		active = e.t.Active()
+	}
+	if w := e.workersFor(c.Len()); w > 1 {
+		return e.countMatchesParallel(c, pred, active, w)
+	}
 	lo, hi, exact := pred.Bounds()
 	if exact {
-		var active *bitvec.Vector
-		if mode == ScanActive {
-			active = e.t.Active()
-		}
 		return c.CountRange(lo, hi, active)
 	}
 	n := 0

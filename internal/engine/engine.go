@@ -18,10 +18,26 @@
 // Running the same query in both modes is how the simulator computes the
 // precision metrics of §2.3 without a reference database.
 //
+// Large scans are additionally parallel *within* one query,
+// morsel-driven in the Leis et al. sense: the column's block range is
+// carved into morsels of MorselBlocks zone-mapped blocks, and worker
+// goroutines pull morsel indices from a shared atomic counter, each
+// running the same ScanBatch/Filter pipeline over its morsel with
+// worker-local pooled batches and worker-local partial states (chunk
+// lists for Select, partial aggregates for Aggregate, group tables for
+// GroupBy, tallies for counting). Partials merge deterministically —
+// per-morsel outputs concatenate in morsel order, so Select results
+// stay in insertion order and aggregates equal their serial values
+// exactly. One knob governs the whole engine: SetParallelism(0) (auto)
+// uses GOMAXPROCS workers for scans past a row threshold and stays
+// serial below it so small scans never pay goroutine overhead;
+// SetParallelism(1) forces serial; n > 1 forces n workers.
+//
 // Executors are safe for concurrent readers: scans take no locks and
 // share no mutable state, and the access-frequency touches feeding
-// query-based amnesia (§3.2) are accumulated per query and flushed with
-// one internally synchronized TouchMany call.
+// query-based amnesia (§3.2) are accumulated per query — across all of
+// a query's workers — and flushed with one internally synchronized
+// TouchMany call.
 package engine
 
 import (
@@ -71,11 +87,15 @@ type Result struct {
 func (r *Result) Count() int { return len(r.Rows) }
 
 // Exec is a query executor bound to one table. The zero value is unusable;
-// construct with New. An Exec holds no per-query state, so one executor
-// may serve any number of concurrent read-only queries.
+// construct with New. An Exec holds no per-query state — only
+// configuration (the table binding, the touch flag, the parallelism
+// knob) — so one executor may serve any number of concurrent read-only
+// queries once configured.
 type Exec struct {
 	t     *table.Table
 	touch bool
+	// par is the intra-query parallelism knob; see SetParallelism.
+	par int
 }
 
 // New returns an executor for t that records access frequencies (Touch)
@@ -106,35 +126,38 @@ func (e *Exec) selectTouching(col string, pred expr.Expr, mode ScanMode, touch b
 	if err != nil {
 		return nil, err
 	}
-	// The scan kernel fills pooled batches directly; the chunks are then
-	// concatenated once into an exactly-sized result. One pass over the
-	// data, two output allocations, no append-doubling churn.
-	lo, hi, exact := pred.Bounds()
 	var active *bitvec.Vector
 	if mode == ScanActive {
 		active = e.t.Active()
 	}
-	var chunks []*Batch
-	defer func() {
-		for _, b := range chunks {
-			PutBatch(b)
-		}
-	}()
+	var res *Result
+	if w := e.workersFor(c.Len()); w > 1 {
+		res = e.selectParallel(c, pred, active, w)
+	} else {
+		// Serial path: the scan kernel fills pooled batches directly; the
+		// chunks are then merged once into an exactly-sized result. One
+		// pass over the data, no append-doubling churn.
+		res = mergeChunks(collectChunks(c, pred, active, 0, c.Len()))
+	}
+	if touch && mode == ScanActive {
+		e.t.TouchMany(res.Rows)
+	}
+	return res, nil
+}
+
+// mergeChunks concatenates scan chunks into an exactly-sized Result and
+// recycles the batches. When the scan produced exactly one chunk, its
+// buffers are handed to the Result directly — ownership moves out of the
+// pool, the pool replaces the batch on demand — so small scans skip the
+// concatenation copy entirely.
+func mergeChunks(chunks []*Batch) *Result {
+	if len(chunks) == 1 {
+		b := chunks[0]
+		return &Result{Rows: b.Sel, Values: b.Val}
+	}
 	total := 0
-	for pos := 0; pos < c.Len(); {
-		b := GetBatch()
-		var n int
-		n, pos = c.ScanBatch(lo, hi, active, pos, b.Sel, b.Val)
-		if n > 0 && !exact {
-			n = expr.Filter(pred, b.Sel, b.Val, n)
-		}
-		if n == 0 {
-			PutBatch(b)
-			continue
-		}
-		b.Sel, b.Val = b.Sel[:n], b.Val[:n]
-		chunks = append(chunks, b)
-		total += n
+	for _, b := range chunks {
+		total += len(b.Sel)
 	}
 	res := &Result{}
 	if total > 0 {
@@ -145,10 +168,10 @@ func (e *Exec) selectTouching(col string, pred expr.Expr, mode ScanMode, touch b
 			res.Values = append(res.Values, b.Val...)
 		}
 	}
-	if touch && mode == ScanActive {
-		e.t.TouchMany(res.Rows)
+	for _, b := range chunks {
+		PutBatch(b)
 	}
-	return res, nil
+	return res
 }
 
 // AggKind enumerates the aggregate functions of §2.2.
@@ -224,22 +247,31 @@ func (e *Exec) Aggregate(col string, pred expr.Expr, mode ScanMode) (*AggResult,
 		return nil, err
 	}
 	touching := e.touch && mode == ScanActive
-	agg := &AggResult{Min: math.MaxInt64, Max: math.MinInt64}
-	e.scanBatches(c, pred, mode, func(sel []int32, val []int64) {
-		if touching {
-			agg.Rower = append(agg.Rower, sel...)
+	var agg *AggResult
+	if w := e.workersFor(c.Len()); w > 1 {
+		var active *bitvec.Vector
+		if mode == ScanActive {
+			active = e.t.Active()
 		}
-		agg.Rows += len(val)
-		for _, v := range val {
-			agg.Sum += v
-			if v < agg.Min {
-				agg.Min = v
+		agg = e.aggregateParallel(c, pred, active, w, touching)
+	} else {
+		agg = &AggResult{Min: math.MaxInt64, Max: math.MinInt64}
+		e.scanBatches(c, pred, mode, func(sel []int32, val []int64) {
+			if touching {
+				agg.Rower = append(agg.Rower, sel...)
 			}
-			if v > agg.Max {
-				agg.Max = v
+			agg.Rows += len(val)
+			for _, v := range val {
+				agg.Sum += v
+				if v < agg.Min {
+					agg.Min = v
+				}
+				if v > agg.Max {
+					agg.Max = v
+				}
 			}
-		}
-	})
+		})
+	}
 	if agg.Rows == 0 {
 		return nil, ErrNoRows
 	}
@@ -254,18 +286,25 @@ func (e *Exec) Aggregate(col string, pred expr.Expr, mode ScanMode) (*AggResult,
 // matches), MF(Q) (matches lost to amnesia among stored tuples), and the
 // query precision PF(Q) = RF/(RF+MF) as defined in §2.3. The ground-truth
 // pass reuses the batch pipeline in counting mode, so it materializes
-// nothing. When the query range is empty in both modes, precision is
-// reported as 1 (nothing was asked for, nothing was missed).
+// nothing; on a silent executor the active pass counts too, since no
+// touch feedback is owed — simulator precision sweeps then allocate
+// nothing at all. When the query range is empty in both modes,
+// precision is reported as 1 (nothing was asked for, nothing was
+// missed).
 func (e *Exec) Precision(col string, pred expr.Expr) (rf, mf int, pf float64, err error) {
 	c, err := e.t.Column(col)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	act, err := e.Select(col, pred, ScanActive)
-	if err != nil {
-		return 0, 0, 0, err
+	if e.touch {
+		act, err := e.Select(col, pred, ScanActive)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		rf = act.Count()
+	} else {
+		rf = e.countMatches(c, pred, ScanActive)
 	}
-	rf = act.Count()
 	mf = e.countMatches(c, pred, ScanAll) - rf
 	if rf+mf == 0 {
 		return 0, 0, 1, nil

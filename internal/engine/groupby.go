@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"amnesiadb/internal/bitvec"
 	"amnesiadb/internal/expr"
 )
 
@@ -40,8 +41,10 @@ func (e *Exec) GroupByBucket(col string, pred expr.Expr, mode ScanMode, width in
 	return e.groupBy(col, pred, mode, width)
 }
 
-// groupBy folds each scan batch straight into the group hash table; rows
+// groupBy folds each scan batch straight into a group hash table; rows
 // are only retained when the access-frequency feedback needs them.
+// Large scans run morsel-parallel with per-worker tables merged before
+// the sort.
 func (e *Exec) groupBy(col string, pred expr.Expr, mode ScanMode, width int64) ([]Group, error) {
 	c, err := e.t.Column(col)
 	if err != nil {
@@ -49,34 +52,22 @@ func (e *Exec) groupBy(col string, pred expr.Expr, mode ScanMode, width int64) (
 	}
 	touching := e.touch && mode == ScanActive
 	var touched []int32
-	byKey := make(map[int64]*Group)
-	e.scanBatches(c, pred, mode, func(sel []int32, val []int64) {
-		if touching {
-			touched = append(touched, sel...)
+	var byKey map[int64]*Group
+	if w := e.workersFor(c.Len()); w > 1 {
+		var active *bitvec.Vector
+		if mode == ScanActive {
+			active = e.t.Active()
 		}
-		for _, v := range val {
-			key := v
-			if width > 0 {
-				key = v / width * width
-				if v < 0 && v%width != 0 {
-					key -= width // floor division for negatives
-				}
+		byKey, touched = e.groupByParallel(c, pred, active, width, w, touching)
+	} else {
+		byKey = make(map[int64]*Group)
+		e.scanBatches(c, pred, mode, func(sel []int32, val []int64) {
+			if touching {
+				touched = append(touched, sel...)
 			}
-			g, ok := byKey[key]
-			if !ok {
-				g = &Group{Key: key, Min: math.MaxInt64, Max: math.MinInt64}
-				byKey[key] = g
-			}
-			g.Rows++
-			g.Sum += v
-			if v < g.Min {
-				g.Min = v
-			}
-			if v > g.Max {
-				g.Max = v
-			}
-		}
-	})
+			foldGroups(byKey, val, width)
+		})
+	}
 	out := make([]Group, 0, len(byKey))
 	for _, g := range byKey {
 		g.Avg = float64(g.Sum) / float64(g.Rows)
@@ -87,4 +78,32 @@ func (e *Exec) groupBy(col string, pred expr.Expr, mode ScanMode, width int64) (
 		e.t.TouchMany(touched)
 	}
 	return out, nil
+}
+
+// foldGroups accumulates one batch of values into the group table,
+// bucketing by width when positive (floor division, so negative values
+// land in the bucket below zero, not above).
+func foldGroups(byKey map[int64]*Group, val []int64, width int64) {
+	for _, v := range val {
+		key := v
+		if width > 0 {
+			key = v / width * width
+			if v < 0 && v%width != 0 {
+				key -= width
+			}
+		}
+		g, ok := byKey[key]
+		if !ok {
+			g = &Group{Key: key, Min: math.MaxInt64, Max: math.MinInt64}
+			byKey[key] = g
+		}
+		g.Rows++
+		g.Sum += v
+		if v < g.Min {
+			g.Min = v
+		}
+		if v > g.Max {
+			g.Max = v
+		}
+	}
 }

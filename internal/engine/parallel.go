@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"amnesiadb/internal/bitvec"
+	"amnesiadb/internal/column"
+	"amnesiadb/internal/expr"
+)
+
+// MorselBlocks is the number of zone-mapped blocks one morsel covers.
+// With the default 1024-row blocks a morsel is 64Ki rows — large enough
+// that a worker amortises its scheduling atomics over many batches,
+// small enough that workers finishing early keep stealing work from the
+// shared counter until the column is drained.
+const MorselBlocks = 64
+
+// parallelMinRows is the auto-parallelism threshold: below it a scan
+// runs serially, because goroutine startup and the merge would cost
+// more than the scan itself. One morsel of default-size blocks.
+const parallelMinRows = MorselBlocks * column.DefaultBlockSize
+
+// SetParallelism sets the executor's intra-query parallelism: 0 (the
+// default) picks GOMAXPROCS workers for scans of at least
+// parallelMinRows rows and runs smaller scans serially; 1 forces every
+// scan serial; n > 1 forces n workers regardless of table size.
+// Configure before sharing the executor — the knob is plain state, not
+// synchronized, so it must not change concurrently with queries.
+func (e *Exec) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.par = n
+}
+
+// Parallelism returns the configured knob (0 = auto).
+func (e *Exec) Parallelism() int { return e.par }
+
+// workersFor resolves the knob to a worker count for a scan of rows
+// tuples.
+func (e *Exec) workersFor(rows int) int {
+	switch {
+	case e.par == 1:
+		return 1
+	case e.par > 1:
+		return e.par
+	default:
+		if rows < parallelMinRows {
+			return 1
+		}
+		return runtime.GOMAXPROCS(0)
+	}
+}
+
+// morselGeometry splits c into morsels of MorselBlocks blocks.
+func morselGeometry(c *column.Int64) (rowsPerMorsel, numMorsels int) {
+	rowsPerMorsel = MorselBlocks * c.BlockSize()
+	numMorsels = (c.Len() + rowsPerMorsel - 1) / rowsPerMorsel
+	return rowsPerMorsel, numMorsels
+}
+
+// forEachMorsel is the morsel scheduler: workers goroutines pull morsel
+// indices [0, numMorsels) from a shared atomic counter until none
+// remain, calling fn(worker, morsel) for each. Dynamic pulling is what
+// makes the split morsel-driven rather than range-partitioned: a worker
+// whose morsels were zone-pruned away immediately takes load off the
+// others. fn must be safe for concurrent invocation with distinct
+// morsel indices; worker indices are dense in [0, workers).
+func forEachMorsel(workers, numMorsels int, fn func(worker, morsel int)) {
+	if workers > numMorsels {
+		workers = numMorsels
+	}
+	if workers <= 1 {
+		for m := 0; m < numMorsels; m++ {
+			fn(0, m)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= numMorsels {
+					return
+				}
+				fn(w, m)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// scanMorselBatches runs the batch pipeline — range-bounded scan kernel,
+// vectorized filter — over rows [start, end) with a worker-local pooled
+// batch, handing each non-empty batch to fn. The slices passed to fn are
+// only valid during the call.
+func scanMorselBatches(c *column.Int64, lo, hi int64, exact bool, pred expr.Expr, active *bitvec.Vector, start, end int, fn func(sel []int32, val []int64)) {
+	b := GetBatch()
+	defer PutBatch(b)
+	for pos := start; pos < end && pos < c.Len(); {
+		var n int
+		n, pos = c.ScanBatchRange(lo, hi, active, pos, end, b.Sel, b.Val)
+		if n == 0 {
+			continue
+		}
+		if !exact {
+			n = expr.Filter(pred, b.Sel, b.Val, n)
+		}
+		if n > 0 {
+			fn(b.Sel[:n], b.Val[:n])
+		}
+	}
+}
+
+// collectChunks runs the scan pipeline over rows [start, end) and
+// returns the qualifying rows as a list of pooled batches, each
+// truncated to its fill. The caller owns the batches (mergeChunks
+// recycles or steals them). Both the serial Select and every parallel
+// morsel use this one loop, so the two paths cannot drift apart.
+func collectChunks(c *column.Int64, pred expr.Expr, active *bitvec.Vector, start, end int) []*Batch {
+	lo, hi, exact := pred.Bounds()
+	var out []*Batch
+	for pos := start; pos < end && pos < c.Len(); {
+		b := GetBatch()
+		var n int
+		n, pos = c.ScanBatchRange(lo, hi, active, pos, end, b.Sel, b.Val)
+		if n > 0 && !exact {
+			n = expr.Filter(pred, b.Sel, b.Val, n)
+		}
+		if n == 0 {
+			PutBatch(b)
+			continue
+		}
+		b.Sel, b.Val = b.Sel[:n], b.Val[:n]
+		out = append(out, b)
+	}
+	return out
+}
+
+// selectParallel is the morsel-driven Select path. Each worker fills
+// pooled batches for whole morsels; finished morsels park their chunk
+// lists in a per-morsel slot (disjoint writes, no lock), and the final
+// merge walks the slots in morsel order, so rows come back in insertion
+// order — byte-identical to the serial scan.
+func (e *Exec) selectParallel(c *column.Int64, pred expr.Expr, active *bitvec.Vector, workers int) *Result {
+	rowsPer, nm := morselGeometry(c)
+	chunks := make([][]*Batch, nm)
+	forEachMorsel(workers, nm, func(_, m int) {
+		chunks[m] = collectChunks(c, pred, active, m*rowsPer, (m+1)*rowsPer)
+	})
+	var flat []*Batch
+	for _, cs := range chunks {
+		flat = append(flat, cs...)
+	}
+	return mergeChunks(flat)
+}
+
+// aggregateParallel folds morsels into per-worker partial aggregates and
+// merges them. Sums, counts and min/max are order-independent over
+// int64, so the merged aggregate equals the serial one exactly. When the
+// feedback loop needs the contributing rows, each morsel collects its
+// positions into a per-morsel buffer and the merge concatenates them in
+// morsel order — one ordered Rower, one TouchMany flush at the caller.
+func (e *Exec) aggregateParallel(c *column.Int64, pred expr.Expr, active *bitvec.Vector, workers int, touching bool) *AggResult {
+	lo, hi, exact := pred.Bounds()
+	rowsPer, nm := morselGeometry(c)
+	partials := make([]AggResult, workers)
+	for i := range partials {
+		partials[i].Min, partials[i].Max = math.MaxInt64, math.MinInt64
+	}
+	var rower [][]int32
+	if touching {
+		rower = make([][]int32, nm)
+	}
+	forEachMorsel(workers, nm, func(w, m int) {
+		p := &partials[w]
+		scanMorselBatches(c, lo, hi, exact, pred, active, m*rowsPer, (m+1)*rowsPer, func(sel []int32, val []int64) {
+			if touching {
+				rower[m] = append(rower[m], sel...)
+			}
+			p.Rows += len(val)
+			for _, v := range val {
+				p.Sum += v
+				if v < p.Min {
+					p.Min = v
+				}
+				if v > p.Max {
+					p.Max = v
+				}
+			}
+		})
+	})
+	agg := &AggResult{Min: math.MaxInt64, Max: math.MinInt64}
+	for i := range partials {
+		p := &partials[i]
+		agg.Rows += p.Rows
+		agg.Sum += p.Sum
+		if p.Min < agg.Min {
+			agg.Min = p.Min
+		}
+		if p.Max > agg.Max {
+			agg.Max = p.Max
+		}
+	}
+	if touching {
+		total := 0
+		for _, r := range rower {
+			total += len(r)
+		}
+		if total > 0 {
+			agg.Rower = make([]int32, 0, total)
+			for _, r := range rower {
+				agg.Rower = append(agg.Rower, r...)
+			}
+		}
+	}
+	return agg
+}
+
+// groupByParallel builds per-worker group tables and merges them; the
+// caller sorts by key, so worker interleaving never shows. Touched
+// positions are collected per morsel like aggregateParallel's Rower.
+func (e *Exec) groupByParallel(c *column.Int64, pred expr.Expr, active *bitvec.Vector, width int64, workers int, touching bool) (map[int64]*Group, []int32) {
+	lo, hi, exact := pred.Bounds()
+	rowsPer, nm := morselGeometry(c)
+	maps := make([]map[int64]*Group, workers)
+	var touched [][]int32
+	if touching {
+		touched = make([][]int32, nm)
+	}
+	forEachMorsel(workers, nm, func(w, m int) {
+		byKey := maps[w]
+		if byKey == nil {
+			byKey = make(map[int64]*Group)
+			maps[w] = byKey
+		}
+		scanMorselBatches(c, lo, hi, exact, pred, active, m*rowsPer, (m+1)*rowsPer, func(sel []int32, val []int64) {
+			if touching {
+				touched[m] = append(touched[m], sel...)
+			}
+			foldGroups(byKey, val, width)
+		})
+	})
+	merged := make(map[int64]*Group)
+	for _, byKey := range maps {
+		for key, g := range byKey {
+			mg, ok := merged[key]
+			if !ok {
+				merged[key] = g
+				continue
+			}
+			mg.Rows += g.Rows
+			mg.Sum += g.Sum
+			if g.Min < mg.Min {
+				mg.Min = g.Min
+			}
+			if g.Max > mg.Max {
+				mg.Max = g.Max
+			}
+		}
+	}
+	var flat []int32
+	if touching {
+		total := 0
+		for _, t := range touched {
+			total += len(t)
+		}
+		if total > 0 {
+			flat = make([]int32, 0, total)
+			for _, t := range touched {
+				flat = append(flat, t...)
+			}
+		}
+	}
+	return merged, flat
+}
+
+// countMatchesParallel counts qualifying rows across morsels with
+// per-morsel tallies summed at the end. Exact-bounds predicates use the
+// pure counting kernel (no batch materialization at all); inexact ones
+// run the filter pipeline and count survivors.
+func (e *Exec) countMatchesParallel(c *column.Int64, pred expr.Expr, active *bitvec.Vector, workers int) int {
+	lo, hi, exact := pred.Bounds()
+	rowsPer, nm := morselGeometry(c)
+	counts := make([]int, nm)
+	forEachMorsel(workers, nm, func(_, m int) {
+		start, end := m*rowsPer, (m+1)*rowsPer
+		if exact {
+			counts[m] = c.CountRangeIn(lo, hi, active, start, end)
+			return
+		}
+		n := 0
+		scanMorselBatches(c, lo, hi, exact, pred, active, start, end, func(sel []int32, _ []int64) { n += len(sel) })
+		counts[m] = n
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,380 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+// parallelTestRows spans four morsels at the default block size, so a
+// forced-parallel scan genuinely splits across workers.
+const parallelTestRows = 4 * parallelMinRows
+
+// parallelTable builds a table large enough for several morsels and
+// applies the named active-bitmap shape.
+func parallelTable(t testing.TB, shape string) *table.Table {
+	t.Helper()
+	src := xrand.New(7)
+	tb := table.New("t", "a")
+	vals := make([]int64, parallelTestRows)
+	for i := range vals {
+		vals[i] = src.Int63n(1 << 17)
+	}
+	if _, err := tb.AppendSingleColumn(vals); err != nil {
+		t.Fatal(err)
+	}
+	switch shape {
+	case "all-active":
+	case "every-other":
+		for i := 0; i < tb.Len(); i += 2 {
+			tb.Forget(i)
+		}
+	case "block-runs":
+		// Whole blocks forgotten, exercising the word-parallel skip of
+		// fully clear bitmap words.
+		for i := 0; i < tb.Len(); i++ {
+			if (i/1024)%3 == 0 {
+				tb.Forget(i)
+			}
+		}
+	case "random":
+		for i := 0; i < tb.Len(); i++ {
+			if src.Int63n(10) < 4 {
+				tb.Forget(i)
+			}
+		}
+	case "all-forgotten":
+		for i := 0; i < tb.Len(); i++ {
+			tb.Forget(i)
+		}
+	default:
+		t.Fatalf("unknown shape %q", shape)
+	}
+	return tb
+}
+
+// equivalencePredicates covers exact bounds (pure range scans), inexact
+// bounds (filter kernel engaged), disjunctions, negation and full scans.
+func equivalencePredicates() map[string]expr.Expr {
+	return map[string]expr.Expr{
+		"range":      expr.NewRange(1<<14, 1<<16),
+		"full":       expr.True{},
+		"eq":         expr.Cmp{Op: expr.EQ, Val: 12345},
+		"ne-inexact": expr.Cmp{Op: expr.NE, Val: 500},
+		"or-inexact": expr.Or{L: expr.NewRange(0, 1000), R: expr.NewRange(1<<16, 1<<17)},
+		"not":        expr.Not{X: expr.NewRange(1000, 1<<16)},
+		"empty":      expr.NewRange(1<<20, 1<<21),
+	}
+}
+
+var bitmapShapes = []string{"all-active", "every-other", "block-runs", "random", "all-forgotten"}
+
+func TestParallelSelectEquivalence(t *testing.T) {
+	for _, shape := range bitmapShapes {
+		tb := parallelTable(t, shape)
+		serial := NewSilent(tb)
+		serial.SetParallelism(1)
+		parallel := NewSilent(tb)
+		parallel.SetParallelism(4)
+		for name, pred := range equivalencePredicates() {
+			for _, mode := range []ScanMode{ScanActive, ScanAll} {
+				want, err := serial.Select("a", pred, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := parallel.Select("a", pred, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want.Rows, got.Rows) {
+					t.Fatalf("%s/%s/%s: parallel rows diverge: %d vs %d rows", shape, name, mode, len(want.Rows), len(got.Rows))
+				}
+				if !reflect.DeepEqual(want.Values, got.Values) {
+					t.Fatalf("%s/%s/%s: parallel values diverge", shape, name, mode)
+				}
+				for i := 1; i < len(got.Rows); i++ {
+					if got.Rows[i] <= got.Rows[i-1] {
+						t.Fatalf("%s/%s/%s: parallel rows not in insertion order at %d", shape, name, mode, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelAggregateEquivalence(t *testing.T) {
+	for _, shape := range bitmapShapes {
+		tb := parallelTable(t, shape)
+		serial := NewSilent(tb)
+		serial.SetParallelism(1)
+		parallel := NewSilent(tb)
+		parallel.SetParallelism(4)
+		for name, pred := range equivalencePredicates() {
+			for _, mode := range []ScanMode{ScanActive, ScanAll} {
+				want, errS := serial.Aggregate("a", pred, mode)
+				got, errP := parallel.Aggregate("a", pred, mode)
+				if (errS == nil) != (errP == nil) {
+					t.Fatalf("%s/%s/%s: error mismatch: serial %v, parallel %v", shape, name, mode, errS, errP)
+				}
+				if errS != nil {
+					if errS != ErrNoRows || errP != ErrNoRows {
+						t.Fatalf("%s/%s/%s: unexpected errors %v / %v", shape, name, mode, errS, errP)
+					}
+					continue
+				}
+				if want.Rows != got.Rows || want.Sum != got.Sum || want.Min != got.Min || want.Max != got.Max || want.Avg != got.Avg {
+					t.Fatalf("%s/%s/%s: aggregate diverges: %+v vs %+v", shape, name, mode, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAggregateRowerOrdered checks the feedback path: a touching
+// parallel aggregate reports the same contributing rows, in the same
+// insertion order, as the serial one.
+func TestParallelAggregateRowerOrdered(t *testing.T) {
+	tb := parallelTable(t, "every-other")
+	serial := New(tb)
+	serial.SetParallelism(1)
+	parallel := New(tb)
+	parallel.SetParallelism(4)
+	pred := expr.NewRange(0, 1<<16)
+	want, err := serial.Aggregate("a", pred, ScanActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parallel.Aggregate("a", pred, ScanActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Rower, got.Rower) {
+		t.Fatalf("parallel Rower diverges: %d vs %d rows", len(want.Rower), len(got.Rower))
+	}
+}
+
+func TestParallelGroupByEquivalence(t *testing.T) {
+	tb := parallelTable(t, "random")
+	serial := NewSilent(tb)
+	serial.SetParallelism(1)
+	parallel := NewSilent(tb)
+	parallel.SetParallelism(4)
+	pred := expr.Cmp{Op: expr.NE, Val: 77}
+	for _, width := range []int64{0, 1000} {
+		var want, got []Group
+		var errS, errP error
+		if width == 0 {
+			want, errS = serial.GroupByValue("a", pred, ScanActive)
+			got, errP = parallel.GroupByValue("a", pred, ScanActive)
+		} else {
+			want, errS = serial.GroupByBucket("a", pred, ScanActive, width)
+			got, errP = parallel.GroupByBucket("a", pred, ScanActive, width)
+		}
+		if errS != nil || errP != nil {
+			t.Fatal(errS, errP)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("width %d: parallel group-by diverges: %d vs %d groups", width, len(want), len(got))
+		}
+	}
+}
+
+func TestParallelPrecisionEquivalence(t *testing.T) {
+	tb := parallelTable(t, "random")
+	serial := NewSilent(tb)
+	serial.SetParallelism(1)
+	parallel := NewSilent(tb)
+	parallel.SetParallelism(4)
+	for name, pred := range equivalencePredicates() {
+		rfS, mfS, pfS, err := serial.Precision("a", pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rfP, mfP, pfP, err := parallel.Precision("a", pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rfS != rfP || mfS != mfP || pfS != pfP {
+			t.Fatalf("%s: precision diverges: (%d,%d,%v) vs (%d,%d,%v)", name, rfS, mfS, pfS, rfP, mfP, pfP)
+		}
+	}
+}
+
+// TestSilentPrecisionAllocatesNothing pins the counting-only Precision
+// path: a silent executor's precision sweep must not materialize rows.
+func TestSilentPrecisionAllocatesNothing(t *testing.T) {
+	tb := parallelTable(t, "every-other")
+	ex := NewSilent(tb)
+	ex.SetParallelism(1)
+	pred := expr.NewRange(0, 1<<16)
+	if _, _, _, err := ex.Precision("a", pred); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, _, err := ex.Precision("a", pred); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("silent Precision allocated %v objects per run, want ~0", allocs)
+	}
+}
+
+// TestParallelSelectTouchesOnce verifies the §3.2 feedback under the
+// parallel path: one query increments each matched row's access count by
+// exactly one (one merged TouchMany flush, no double counting).
+func TestParallelSelectTouchesOnce(t *testing.T) {
+	tb := parallelTable(t, "every-other")
+	ex := New(tb)
+	ex.SetParallelism(4)
+	res, err := ex.Select("a", expr.NewRange(0, 1<<15), ScanActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() == 0 {
+		t.Fatal("empty result undermines the test")
+	}
+	for _, r := range res.Rows {
+		if got := tb.AccessCount(int(r)); got != 1 {
+			t.Fatalf("row %d access count %d after one query, want 1", r, got)
+		}
+	}
+}
+
+// TestParallelMidBatchResume forces batch-full boundaries to land inside
+// active bitmap words: a dense low-value run with every bit set makes
+// each 1024-row batch fill mid-word, exercising the resume position
+// returned by the word-parallel kernel.
+func TestParallelMidBatchResume(t *testing.T) {
+	tb := table.New("t", "a")
+	vals := make([]int64, 3*parallelMinRows)
+	for i := range vals {
+		vals[i] = int64(i % 100) // every row matches [0, 100)
+	}
+	if _, err := tb.AppendSingleColumn(vals); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.Len(); i += 7 {
+		tb.Forget(i)
+	}
+	serial := NewSilent(tb)
+	serial.SetParallelism(1)
+	parallel := NewSilent(tb)
+	parallel.SetParallelism(3)
+	pred := expr.NewRange(0, 100)
+	want, err := serial.Select("a", pred, ScanActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parallel.Select("a", pred, ScanActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Rows, got.Rows) || !reflect.DeepEqual(want.Values, got.Values) {
+		t.Fatalf("mid-batch resume diverges: %d vs %d rows", len(want.Rows), len(got.Rows))
+	}
+}
+
+// TestParallelWorkersExceedMorsels pins the degenerate split: more
+// forced workers than morsels must not deadlock, drop rows or panic.
+func TestParallelWorkersExceedMorsels(t *testing.T) {
+	tb := tbl(t, 5, 15, 25, 35, 45)
+	ex := NewSilent(tb)
+	ex.SetParallelism(16)
+	res, err := ex.Select("a", expr.NewRange(10, 40), ScanActive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 3 {
+		t.Fatalf("got %d rows, want 3", res.Count())
+	}
+}
+
+// TestParallelConcurrentQueries races concurrent morsel-parallel
+// queries — touching and silent, selects, aggregates, group-bys and
+// precision sweeps — against explicit TouchMany flushes on the same
+// table. Run under -race in CI, it proves intra-query workers share the
+// table without unsynchronized state.
+func TestParallelConcurrentQueries(t *testing.T) {
+	tb := parallelTable(t, "every-other")
+	pred := expr.NewRange(0, 1<<16)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex := New(tb)
+			ex.SetParallelism(2 + w%3)
+			for r := 0; r < 3; r++ {
+				switch (w + r) % 4 {
+				case 0:
+					if _, err := ex.Select("a", pred, ScanActive); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, err := ex.Aggregate("a", pred, ScanActive); err != nil && err != ErrNoRows {
+						errs <- err
+						return
+					}
+				case 2:
+					if _, err := ex.GroupByBucket("a", pred, ScanActive, 4096); err != nil {
+						errs <- err
+						return
+					}
+				case 3:
+					if _, _, _, err := ex.Precision("a", pred); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Competing touch flushes from outside the engine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rows := []int32{1, 3, 5, 7, 1021, 1023, 65537}
+		for i := 0; i < 50; i++ {
+			tb.TouchMany(rows)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkersForKnob pins the knob semantics: auto engages only past
+// the row threshold, explicit values are obeyed verbatim.
+func TestWorkersForKnob(t *testing.T) {
+	tb := tbl(t, 1, 2, 3)
+	ex := NewSilent(tb)
+	if got := ex.workersFor(parallelMinRows - 1); got != 1 {
+		t.Fatalf("auto below threshold: %d workers, want 1", got)
+	}
+	if got := ex.workersFor(parallelMinRows); got < 1 {
+		t.Fatalf("auto at threshold: %d workers", got)
+	}
+	ex.SetParallelism(1)
+	if got := ex.workersFor(math.MaxInt32); got != 1 {
+		t.Fatalf("forced serial: %d workers, want 1", got)
+	}
+	ex.SetParallelism(6)
+	if got := ex.workersFor(10); got != 6 {
+		t.Fatalf("forced 6: %d workers", got)
+	}
+	ex.SetParallelism(-3)
+	if got := ex.Parallelism(); got != 0 {
+		t.Fatalf("negative knob clamped to %d, want 0", got)
+	}
+}

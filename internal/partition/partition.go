@@ -93,6 +93,16 @@ func New(column string, domain int64, n int, strategy string, totalBudget int, s
 // Partitions returns the shards in value order.
 func (s *Set) Partitions() []*Partition { return s.parts }
 
+// SetParallelism stamps the engine's intra-query parallelism knob onto
+// every shard executor (0 auto, 1 serial, n > 1 forced workers), so a
+// partitioned query parallelises within each shard it fans out to.
+// Configure before serving concurrent queries.
+func (s *Set) SetParallelism(n int) {
+	for _, p := range s.parts {
+		p.ex.SetParallelism(n)
+	}
+}
+
 // locate returns the shard owning value v.
 func (s *Set) locate(v int64) (*Partition, error) {
 	i := sort.Search(len(s.parts), func(i int) bool { return v < s.parts[i].Hi })

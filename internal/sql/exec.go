@@ -34,23 +34,42 @@ type CatalogFunc func(name string) (*table.Table, error)
 // LookupTable implements Catalog.
 func (f CatalogFunc) LookupTable(name string) (*table.Table, error) { return f(name) }
 
+// Opts tunes query execution.
+type Opts struct {
+	// Parallelism is the engine's intra-query parallelism knob: 0 auto
+	// (morsel-parallel scans for large tables), 1 serial, n > 1 forces
+	// n workers. See engine.Exec.SetParallelism.
+	Parallelism int
+}
+
 // Run parses and executes one SELECT against the catalog, querying active
 // tuples only (the amnesiac view).
 func Run(cat Catalog, query string) (*Result, error) {
+	return RunOpts(cat, query, Opts{})
+}
+
+// RunOpts is Run with execution options.
+func RunOpts(cat Catalog, query string, o Opts) (*Result, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return Exec(cat, q)
+	return ExecOpts(cat, q, o)
 }
 
-// Exec executes a parsed query.
+// Exec executes a parsed query with default options.
 func Exec(cat Catalog, q *Query) (*Result, error) {
+	return ExecOpts(cat, q, Opts{})
+}
+
+// ExecOpts executes a parsed query.
+func ExecOpts(cat Catalog, q *Query, o Opts) (*Result, error) {
 	t, err := cat.LookupTable(q.Table)
 	if err != nil {
 		return nil, err
 	}
 	ex := engine.New(t)
+	ex.SetParallelism(o.Parallelism)
 	pred := q.Where
 	if pred == nil {
 		pred = expr.True{}

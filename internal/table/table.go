@@ -8,6 +8,7 @@ package table
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -25,6 +26,13 @@ import (
 // an internal mutex. That split is what lets the facade run ScanActive
 // queries under a shared read lock while preserving the §3.2
 // query-based-amnesia feedback loop.
+//
+// The read surface the engine's morsel workers need — Column, Active,
+// Len — takes no locks and returns stable references while the
+// table's external lock is held shared, so any number of intra-query
+// worker goroutines may scan concurrently with zero coordination
+// through the table itself; only their single per-query TouchMany
+// flush meets the internal mutex.
 type Table struct {
 	name    string
 	colName []string
@@ -137,11 +145,16 @@ func (t *Table) AppendBatch(vals map[string][]int64) (int, error) {
 	for i, name := range t.colName {
 		t.cols[i].AppendSlice(vals[name])
 	}
+	// Bulk-extend the per-tuple metadata: one grow per slice, then a
+	// flat fill, instead of 2n appends.
 	old := t.Len()
-	for i := 0; i < n; i++ {
-		t.insertBatch = append(t.insertBatch, int32(batch))
-		t.accessCount = append(t.accessCount, 0)
+	t.insertBatch = slices.Grow(t.insertBatch, n)[:old+n]
+	t.accessCount = slices.Grow(t.accessCount, n)[:old+n]
+	fill := t.insertBatch[old:]
+	for i := range fill {
+		fill[i] = int32(batch)
 	}
+	clear(t.accessCount[old:])
 	t.active.GrowSet(old + n)
 	return batch, nil
 }

@@ -35,6 +35,7 @@ func (db *DB) CreatePartitionedTable(name, column string, domain int64, parts in
 	if err != nil {
 		return nil, err
 	}
+	set.SetParallelism(db.par)
 	// Partitioned tables live outside the flat-table catalog (no SQL
 	// access), but the name is still reserved so the namespaces cannot
 	// collide confusingly.
