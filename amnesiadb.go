@@ -36,6 +36,7 @@
 package amnesiadb
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -168,11 +169,17 @@ type QueryResult struct {
 	Ints []bool
 }
 
+// ErrUnknownTable is wrapped by Query errors naming a table the catalog
+// does not hold, so callers (notably the HTTP server) can map it to a
+// not-found rather than a bad-request condition.
+var ErrUnknownTable = errors.New("unknown table")
+
 // Query parses and executes one SQL SELECT over the database's tables,
 // seeing active tuples only. The supported dialect is the paper's §2.2
 // subspace: projection or a single aggregate (COUNT/SUM/AVG/MIN/MAX) over
 // one table, WHERE clauses comparing one integer attribute, AND/OR/NOT,
-// and LIMIT.
+// ORDER BY and LIMIT. Errors wrap ErrUnknownTable or sql.ErrInvalid so
+// callers can tell a missing table from malformed SQL.
 func (db *DB) Query(q string) (*QueryResult, error) {
 	// The dialect is single-table, so at most one table lock is taken.
 	// SELECT never mutates table structure, so a shared read lock
@@ -188,7 +195,7 @@ func (db *DB) Query(q string) (*QueryResult, error) {
 		t, ok := db.tables[name]
 		db.mu.RUnlock()
 		if !ok {
-			return nil, fmt.Errorf("amnesiadb: unknown table %q", name)
+			return nil, fmt.Errorf("amnesiadb: %w %q", ErrUnknownTable, name)
 		}
 		t.mu.RLock()
 		locked = t
@@ -595,11 +602,13 @@ type JoinRow struct {
 
 // Join computes the equi-join left.leftCol = right.rightCol over active
 // tuples, optionally restricted by a predicate on the join key. Both
-// tables must belong to this database.
+// tables must belong to this database. The join runs at the database's
+// Parallelism setting: collection, hash build and probe all
+// morsel-parallel for large inputs, serial below the threshold.
 func (db *DB) Join(left *Table, leftCol string, right *Table, rightCol string, p Pred) ([]JoinRow, error) {
 	lockPair(left, right)
 	defer unlockPair(left, right)
-	res, err := engine.HashJoin(left.tbl, leftCol, right.tbl, rightCol, p.expr(), engine.ScanActive)
+	res, err := engine.HashJoinPar(left.tbl, leftCol, right.tbl, rightCol, p.expr(), engine.ScanActive, db.par)
 	if err != nil {
 		return nil, err
 	}
@@ -617,7 +626,7 @@ func (db *DB) Join(left *Table, leftCol string, right *Table, rightCol string, p
 func (db *DB) JoinPrecision(left *Table, leftCol string, right *Table, rightCol string, p Pred) (rf, mf int, pf float64, err error) {
 	lockPair(left, right)
 	defer unlockPair(left, right)
-	return engine.JoinPrecision(left.tbl, leftCol, right.tbl, rightCol, p.expr())
+	return engine.JoinPrecisionPar(left.tbl, leftCol, right.tbl, rightCol, p.expr(), db.par)
 }
 
 // lockPair acquires both tables' read locks in a stable order. Joins are

@@ -16,6 +16,13 @@
 // trajectory machine-readably:
 //
 //	amnesiabench -scan 4000000 [-workers 0]
+//
+// -join N does the same for the hash join (N-row probe side, N/8 build
+// side) and -partscan N for the partitioned fan-out (N rows over 16
+// value-range shards):
+//
+//	amnesiabench -join 4000000 [-workers 0]
+//	amnesiabench -partscan 4000000 [-workers 0]
 package main
 
 import (
@@ -40,12 +47,26 @@ func main() {
 		dists      = flag.String("dists", "serial,uniform,normal,zipfian", "comma-separated distributions")
 		volatility = flag.String("volatility", "0.1,0.2,0.5,0.8", "comma-separated update percentages")
 		scanRows   = flag.Int("scan", 0, "run the scan micro-benchmark over this many rows instead of the sweep")
-		workers    = flag.Int("workers", 0, "parallelism knob for -scan (0 = auto/GOMAXPROCS)")
+		joinRows   = flag.Int("join", 0, "run the hash-join micro-benchmark over this many probe rows instead of the sweep")
+		partRows   = flag.Int("partscan", 0, "run the partitioned fan-out micro-benchmark over this many rows instead of the sweep")
+		workers    = flag.Int("workers", 0, "parallelism knob for -scan/-join/-partscan (0 = auto/GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	if *scanRows > 0 {
 		if err := runScanBench(*scanRows, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *joinRows > 0 {
+		if err := runJoinBench(*joinRows, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *partRows > 0 {
+		if err := runPartScanBench(*partRows, *workers); err != nil {
 			fatal(err)
 		}
 		return

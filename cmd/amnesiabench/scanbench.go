@@ -45,18 +45,11 @@ func runScanBench(n, workers int) error {
 	pred := expr.NewRange(1<<18, 1<<19) // ~12% selectivity
 
 	// Resolve the knob the way the engine will, so the JSON reports the
-	// workers that actually ran: auto stays serial below one morsel of
-	// rows, and no scan uses more workers than it has morsels.
+	// workers that actually ran: no scan uses more workers than it has
+	// morsels.
 	rowsPerMorsel := engine.MorselBlocks * column.DefaultBlockSize
 	numMorsels := (n + rowsPerMorsel - 1) / rowsPerMorsel
-	resolved := workers
-	if resolved == 0 {
-		if n < rowsPerMorsel {
-			resolved = 1
-		} else {
-			resolved = runtime.GOMAXPROCS(0)
-		}
-	}
+	resolved := engine.Workers(workers, n)
 	if resolved > numMorsels {
 		resolved = numMorsels
 	}

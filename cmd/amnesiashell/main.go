@@ -18,6 +18,7 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -168,9 +169,13 @@ func (s *shell) query(q string) error {
 	for _, row := range res.Rows {
 		parts := make([]string, len(row))
 		for i, v := range row {
-			if res.Ints[i] {
+			switch {
+			case math.IsNaN(v):
+				// NULL-style cell: an empty-set aggregate.
+				parts[i] = "NULL"
+			case res.Ints[i]:
 				parts[i] = strconv.FormatInt(int64(v), 10)
-			} else {
+			default:
 				parts[i] = strconv.FormatFloat(v, 'f', 4, 64)
 			}
 		}

@@ -33,6 +33,18 @@
 // serial below it so small scans never pay goroutine overhead;
 // SetParallelism(1) forces serial; n > 1 forces n workers.
 //
+// HashJoin rides the same scheduler end to end: both sides are
+// collected by the parallel Select, the build side is scattered into
+// radix partitions (a two-pass count-then-scatter whose chunk-major
+// order keeps each key's match list in build order) with one worker
+// building each partition's hash map, and the probe runs
+// morsel-parallel over the collected probe vector with per-morsel
+// output slots concatenated in probe order — so the parallel join is
+// byte-identical to the serial one. Cross-shard parallelism follows
+// the same shape one level up: internal/partition fans a query's
+// per-shard scans out concurrently (a shard is the morsel), and SQL's
+// ORDER BY sorts morsel-sized runs in parallel before a k-way merge.
+//
 // Executors are safe for concurrent readers: scans take no locks and
 // share no mutable state, and the access-frequency touches feeding
 // query-based amnesia (§3.2) are accumulated per query — across all of

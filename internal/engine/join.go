@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"math/bits"
+
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/table"
 )
@@ -29,14 +31,30 @@ func (r *JoinResult) Count() int { return len(r.Rows) }
 // probe. The smaller side is always the build side; output order is
 // probe-side position order.
 //
+// HashJoin parallelises with the same auto heuristic as the scans: large
+// joins collect, build and probe with GOMAXPROCS workers, small ones run
+// serially. Use HashJoinPar to pin the worker count.
+//
 // In a database with amnesia, join results silently shrink as either
 // side forgets matching tuples — JoinPrecision quantifies that loss.
 func HashJoin(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, mode ScanMode) (*JoinResult, error) {
+	return HashJoinPar(left, leftCol, right, rightCol, pred, mode, 0)
+}
+
+// HashJoinPar is HashJoin with an explicit parallelism knob, resolved
+// like Exec.SetParallelism: 0 auto (parallel past a row threshold),
+// 1 serial, n > 1 forces n workers. Every setting returns byte-identical
+// results: the build preserves build-side insertion order per key (the
+// radix scatter is chunk-major) and the probe emits per-morsel output
+// slots concatenated in probe order.
+func HashJoinPar(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, mode ScanMode, par int) (*JoinResult, error) {
 	if pred == nil {
 		pred = expr.True{}
 	}
 	collect := func(t *table.Table, colName string) (*Result, error) {
-		return NewSilent(t).Select(colName, pred, mode)
+		ex := NewSilent(t)
+		ex.SetParallelism(par)
+		return ex.Select(colName, pred, mode)
 	}
 	l, err := collect(left, leftCol)
 	if err != nil {
@@ -53,36 +71,189 @@ func HashJoin(left *table.Table, leftCol string, right *table.Table, rightCol st
 	if swap {
 		build, probe = r, l
 	}
-	ht := make(map[int64][]int32, build.Count())
-	for i, row := range build.Rows {
-		k := build.Values[i]
-		ht[k] = append(ht[k], row)
+	workers := Workers(par, build.Count()+probe.Count())
+	ht := buildJoinTable(build.Values, build.Rows, workers)
+
+	if workers <= 1 {
+		out := &JoinResult{}
+		out.Rows = probeRange(ht, probe, 0, probe.Count(), swap)
+		return out, nil
+	}
+	// Morsel-parallel probe: each morsel fills its own output slot (the
+	// hash table is read-only by now), and the slots concatenate in
+	// morsel order, so pairs come back exactly as the serial probe emits
+	// them.
+	nm := (probe.Count() + ProbeMorselRows - 1) / ProbeMorselRows
+	slots := make([][]JoinRow, nm)
+	forEachMorsel(workers, nm, func(_, m int) {
+		start := m * ProbeMorselRows
+		end := start + ProbeMorselRows
+		if end > probe.Count() {
+			end = probe.Count()
+		}
+		slots[m] = probeRange(ht, probe, start, end, swap)
+	})
+	total := 0
+	for _, s := range slots {
+		total += len(s)
 	}
 	out := &JoinResult{}
-	for i, p := range probe.Rows {
+	if total > 0 {
+		out.Rows = make([]JoinRow, 0, total)
+		for _, s := range slots {
+			out.Rows = append(out.Rows, s...)
+		}
+	}
+	return out, nil
+}
+
+// ProbeMorselRows is the probe-side morsel granularity of the parallel
+// hash join. Probe input is the already-collected selection vector (not
+// the column), so morsels are counted in qualifying rows rather than
+// blocks. Exported so the bench CLI can report the worker count a probe
+// of a given size actually admits.
+const ProbeMorselRows = 64 * 1024
+
+// joinTable is a hash table over the build side, radix-split by key so
+// independent workers can populate disjoint partitions without locks.
+// bits == 0 degenerates to one flat map (the serial build).
+type joinTable struct {
+	bits  uint
+	parts []map[int64][]int32
+}
+
+// lookup returns the build-side positions matching key k, in build-side
+// insertion order.
+func (jt *joinTable) lookup(k int64) []int32 { return jt.parts[radixOf(k, jt.bits)][k] }
+
+// radixOf maps a join key to its partition with a Fibonacci hash of the
+// top bits, so clustered key ranges still spread across partitions.
+func radixOf(k int64, bits uint) int {
+	if bits == 0 {
+		return 0
+	}
+	return int((uint64(k) * 0x9E3779B97F4A7C15) >> (64 - bits))
+}
+
+// buildJoinTable builds the partitioned hash table over the build side's
+// keys and positions. The parallel build is a two-pass radix scatter:
+// workers first count keys per (chunk, partition), a serial prefix sum
+// turns the counts into disjoint write offsets, then workers scatter
+// keys into per-partition arrays — chunk-major, so each partition sees
+// keys in build order — and finally each partition's map is built by one
+// worker. Every pass writes disjoint memory, so the build takes no
+// locks.
+func buildJoinTable(keys []int64, rows []int32, workers int) *joinTable {
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers <= 1 {
+		ht := make(map[int64][]int32, len(keys))
+		for i, k := range keys {
+			ht[k] = append(ht[k], rows[i])
+		}
+		return &joinTable{parts: []map[int64][]int32{ht}}
+	}
+	nparts := 1 << uint(bits.Len(uint(workers-1))) // next power of two ≥ workers
+	if nparts > 256 {
+		nparts = 256
+	}
+	rbits := uint(bits.TrailingZeros(uint(nparts)))
+
+	nchunks := workers
+	chunk := (len(keys) + nchunks - 1) / nchunks
+	// Ceiling division can push trailing chunk starts past the end when
+	// len(keys) is barely above workers; chunkBounds clamps both edges.
+	chunkBounds := func(c int) (lo, hi int) {
+		lo = min(c*chunk, len(keys))
+		hi = min(lo+chunk, len(keys))
+		return lo, hi
+	}
+	counts := make([][]int, nchunks)
+	forEachMorsel(workers, nchunks, func(_, c int) {
+		cnt := make([]int, nparts)
+		lo, hi := chunkBounds(c)
+		for _, k := range keys[lo:hi] {
+			cnt[radixOf(k, rbits)]++
+		}
+		counts[c] = cnt
+	})
+	// Prefix-sum chunk-major: partition p holds chunk 0's keys before
+	// chunk 1's, preserving global build order within each partition.
+	totals := make([]int, nparts)
+	offsets := make([][]int, nchunks)
+	for c := range offsets {
+		offsets[c] = make([]int, nparts)
+	}
+	for p := 0; p < nparts; p++ {
+		for c := 0; c < nchunks; c++ {
+			offsets[c][p] = totals[p]
+			totals[p] += counts[c][p]
+		}
+	}
+	partKeys := make([][]int64, nparts)
+	partRows := make([][]int32, nparts)
+	for p := range partKeys {
+		partKeys[p] = make([]int64, totals[p])
+		partRows[p] = make([]int32, totals[p])
+	}
+	forEachMorsel(workers, nchunks, func(_, c int) {
+		off := append([]int(nil), offsets[c]...)
+		lo, hi := chunkBounds(c)
+		for i := lo; i < hi; i++ {
+			p := radixOf(keys[i], rbits)
+			partKeys[p][off[p]] = keys[i]
+			partRows[p][off[p]] = rows[i]
+			off[p]++
+		}
+	})
+	jt := &joinTable{bits: rbits, parts: make([]map[int64][]int32, nparts)}
+	forEachMorsel(workers, nparts, func(_, p int) {
+		ht := make(map[int64][]int32, len(partKeys[p]))
+		for i, k := range partKeys[p] {
+			ht[k] = append(ht[k], partRows[p][i])
+		}
+		jt.parts[p] = ht
+	})
+	return jt
+}
+
+// probeRange probes rows [start, end) of the probe side against the
+// hash table, returning matches in probe order (and, per probe key,
+// build order). Both the serial join and every probe morsel use this
+// one loop, so the two paths cannot drift apart.
+func probeRange(jt *joinTable, probe *Result, start, end int, swap bool) []JoinRow {
+	var out []JoinRow
+	for i := start; i < end; i++ {
 		k := probe.Values[i]
-		for _, b := range ht[k] {
+		p := probe.Rows[i]
+		for _, b := range jt.lookup(k) {
 			row := JoinRow{Key: k}
 			if swap {
 				row.Left, row.Right = p, b
 			} else {
 				row.Left, row.Right = b, p
 			}
-			out.Rows = append(out.Rows, row)
+			out = append(out, row)
 		}
 	}
-	return out, nil
+	return out
 }
 
 // JoinPrecision runs the join under ScanActive and ScanAll and reports
 // the §2.3 metrics lifted to join results: pairs returned, pairs missed
 // because at least one side forgot its tuple, and the precision ratio.
 func JoinPrecision(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr) (rf, mf int, pf float64, err error) {
-	act, err := HashJoin(left, leftCol, right, rightCol, pred, ScanActive)
+	return JoinPrecisionPar(left, leftCol, right, rightCol, pred, 0)
+}
+
+// JoinPrecisionPar is JoinPrecision with an explicit parallelism knob.
+func JoinPrecisionPar(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, par int) (rf, mf int, pf float64, err error) {
+	act, err := HashJoinPar(left, leftCol, right, rightCol, pred, ScanActive, par)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	all, err := HashJoin(left, leftCol, right, rightCol, pred, ScanAll)
+	all, err := HashJoinPar(left, leftCol, right, rightCol, pred, ScanAll, par)
 	if err != nil {
 		return 0, 0, 0, err
 	}

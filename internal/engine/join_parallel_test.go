@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
+)
+
+// joinTestTables builds two tables with overlapping duplicate-heavy key
+// sets and a scattering of forgotten tuples on both sides — the cases
+// where build order, swap choice and amnesia interact.
+func joinTestTables(t *testing.T, nl, nr int) (*table.Table, *table.Table) {
+	t.Helper()
+	src := xrand.New(7)
+	mk := func(name string, n int) *table.Table {
+		tb := table.New(name, "k")
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = src.Int63n(int64(n/4 + 1)) // ~4 duplicates per key
+		}
+		if _, err := tb.AppendSingleColumn(vals); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i += 3 {
+			tb.Forget(i)
+		}
+		return tb
+	}
+	return mk("l", nl), mk("r", nr)
+}
+
+// TestHashJoinParallelEquivalence pins the acceptance criterion: the
+// parallel join returns byte-identical results to the serial one — same
+// pairs, same order — across swap directions, predicates, scan modes and
+// forgotten tuples.
+func TestHashJoinParallelEquivalence(t *testing.T) {
+	l, r := joinTestTables(t, 40000, 9000)
+	// big's active probe side (~146K rows) spans multiple ProbeMorselRows
+	// morsels, so the per-morsel output slot concatenation actually runs
+	// multi-slot.
+	big, bigR := joinTestTables(t, 220000, 9000)
+	cases := []struct {
+		name        string
+		left, right *table.Table
+		pred        expr.Expr
+		mode        ScanMode
+	}{
+		{"probe_bigger", r, l, nil, ScanActive}, // build = left
+		{"build_bigger", l, r, nil, ScanActive}, // swap kicks in
+		{"predicate", l, r, expr.NewRange(100, 2000), ScanActive},
+		{"scan_all", l, r, nil, ScanAll},
+		{"multi_morsel_probe", big, bigR, nil, ScanActive},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := HashJoinPar(tc.left, "k", tc.right, "k", tc.pred, tc.mode, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{2, 4, 8} {
+				got, err := HashJoinPar(tc.left, "k", tc.right, "k", tc.pred, tc.mode, par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial.Rows, got.Rows) {
+					t.Fatalf("par=%d: %d pairs diverge from serial %d pairs", par, got.Count(), serial.Count())
+				}
+			}
+			if serial.Count() == 0 {
+				t.Fatal("degenerate case: serial join empty")
+			}
+		})
+	}
+}
+
+// TestHashJoinParallelEmptySides covers the zero-row edges the scheduler
+// must not trip over.
+func TestHashJoinParallelEmptySides(t *testing.T) {
+	l := tblNamed(t, "l", 1, 2, 3)
+	empty := table.New("e", "k")
+	for _, par := range []int{1, 4} {
+		res, err := HashJoinPar(l, "k", empty, "k", nil, ScanActive, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count() != 0 {
+			t.Fatalf("par=%d: join with empty side returned %d pairs", par, res.Count())
+		}
+	}
+}
+
+// TestJoinPrecisionParallelEquivalence checks the lifted §2.3 metrics
+// match between the serial and parallel paths.
+func TestJoinPrecisionParallelEquivalence(t *testing.T) {
+	l, r := joinTestTables(t, 20000, 5000)
+	rf1, mf1, pf1, err := JoinPrecisionPar(l, "k", r, "k", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf4, mf4, pf4, err := JoinPrecisionPar(l, "k", r, "k", nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf1 != rf4 || mf1 != mf4 || pf1 != pf4 {
+		t.Fatalf("precision diverges: serial (%d, %d, %v) vs parallel (%d, %d, %v)", rf1, mf1, pf1, rf4, mf4, pf4)
+	}
+	if mf1 == 0 {
+		t.Fatal("degenerate case: nothing forgotten")
+	}
+}
+
+// TestHashJoinParallelTinyBuildSide is the regression for the radix
+// build's chunk-bounds panic: a build side barely larger than the
+// worker count used to make ceil-division chunk starts overrun the key
+// slice.
+func TestHashJoinParallelTinyBuildSide(t *testing.T) {
+	probe := tblNamed(t, "p", 1, 2, 3, 1, 2, 3, 4, 5, 4, 5)
+	for _, buildKeys := range [][]int64{{1}, {1, 2}, {1, 2, 3}, {1, 2, 3, 4, 5}} {
+		build := tblNamed(t, "b", buildKeys...)
+		serial, err := HashJoinPar(probe, "k", build, "k", nil, ScanActive, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 3, 4, 8} {
+			got, err := HashJoinPar(probe, "k", build, "k", nil, ScanActive, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial.Rows, got.Rows) {
+				t.Fatalf("build=%v par=%d diverges from serial", buildKeys, par)
+			}
+		}
+	}
+}

@@ -41,18 +41,34 @@ func (e *Exec) Parallelism() int { return e.par }
 
 // workersFor resolves the knob to a worker count for a scan of rows
 // tuples.
-func (e *Exec) workersFor(rows int) int {
+func (e *Exec) workersFor(rows int) int { return Workers(e.par, rows) }
+
+// Workers resolves a parallelism knob for a task over rows tuples:
+// 1 forces serial, n > 1 forces n workers, 0 (auto) uses GOMAXPROCS
+// past the one-morsel row threshold and stays serial below it. The
+// join, the SQL sort and the benchmarks all share this one resolution
+// so the knob means the same thing everywhere.
+func Workers(par, rows int) int {
 	switch {
-	case e.par == 1:
+	case par == 1:
 		return 1
-	case e.par > 1:
-		return e.par
+	case par > 1:
+		return par
 	default:
 		if rows < parallelMinRows {
 			return 1
 		}
 		return runtime.GOMAXPROCS(0)
 	}
+}
+
+// ForEachTask is the morsel scheduler generalised to any indexed task
+// list: workers goroutines pull indices [0, n) from a shared atomic
+// counter until none remain. Workers is clamped to n. fn must be safe
+// for concurrent invocation with distinct indices. The partition
+// layer's shard fan-out and SQL's run sort schedule through this.
+func ForEachTask(workers, n int, fn func(i int)) {
+	forEachMorsel(workers, n, func(_, i int) { fn(i) })
 }
 
 // morselGeometry splits c into morsels of MorselBlocks blocks.

@@ -102,6 +102,41 @@ func BenchmarkParallelAggregate(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelJoin measures the full join pipeline — parallel
+// collection of both sides, radix-partitioned hash build, morsel-driven
+// probe — against the serial path. The probe side is the 4M-row bench
+// table; the build side is 512K rows over the same key domain, so most
+// probe tuples find matches.
+func BenchmarkParallelJoin(b *testing.B) {
+	probeTbl := bigBenchTable(b)
+	src := xrand.New(2)
+	buildTbl := table.New("build", "a")
+	vals := make([]int64, 512<<10)
+	for i := range vals {
+		vals[i] = src.Int63n(1 << 20)
+	}
+	if _, err := buildTbl.AppendSingleColumn(vals); err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range parallelSettings() {
+		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes((benchRows + int64(len(vals))) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := HashJoinPar(probeTbl, "a", buildTbl, "a", nil, ScanActive, s.par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Count() == 0 {
+					b.Fatal("empty join")
+				}
+			}
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
+		})
+	}
+}
+
 // BenchmarkParallelCount measures the counting path (COUNT(*) and the
 // Precision ground truth): pure per-morsel tallies, no materialization.
 func BenchmarkParallelCount(b *testing.B) {

@@ -6,14 +6,19 @@
 // A Set splits one logical attribute domain into contiguous value-range
 // partitions, each holding its own table, amnesia strategy and budget.
 // Inserts are routed by value; queries fan out to the partitions whose
-// ranges intersect the predicate. Adapt() rebalances the budgets toward
-// the partitions the workload actually queries, which is the "tuned to
-// provide the best precision for a subset of the workload" loop.
+// ranges intersect the predicate — concurrently, since shards are
+// independent tables (see SetParallelism). Adapt() rebalances the
+// budgets toward the partitions the workload actually queries, which is
+// the "tuned to provide the best precision for a subset of the workload"
+// loop. Budgets are atomic and each shard serialises its own mutation,
+// so Adapt can run online, interleaved with Inserts.
 package partition
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"amnesiadb/internal/amnesia"
@@ -27,8 +32,15 @@ import (
 type Partition struct {
 	// Lo and Hi bound the shard's value range [Lo, Hi).
 	Lo, Hi int64
-	// Budget is the shard's active-tuple allowance.
-	Budget int
+
+	// budget is the shard's active-tuple allowance. It is atomic because
+	// Adapt rewrites it while Insert's budget enforcement reads it; see
+	// Budget.
+	budget atomic.Int64
+	// mu serialises mutation of the shard's table — Insert's
+	// append-and-forget and Adapt's forget — so budget enforcement from
+	// the two paths cannot interleave mid-shard.
+	mu sync.Mutex
 
 	tbl   *table.Table
 	ex    *engine.Exec
@@ -46,11 +58,33 @@ func (p *Partition) Table() *table.Table { return p.tbl }
 // Hits returns the query count since the last Adapt.
 func (p *Partition) Hits() int64 { return p.hits.Load() }
 
+// Budget returns the shard's active-tuple allowance. It is safe to read
+// while Adapt rebalances concurrently.
+func (p *Partition) Budget() int { return int(p.budget.Load()) }
+
+// enforceBudgetLocked forgets the shard down to its current budget; the
+// caller must hold p.mu. Insert and Adapt both enforce through this one
+// body so the two paths cannot drift.
+func (p *Partition) enforceBudgetLocked() {
+	if over := p.tbl.ActiveCount() - p.Budget(); over > 0 {
+		p.strat.Forget(p.tbl, over)
+	}
+}
+
+// enforceBudget is enforceBudgetLocked under the shard mutation lock.
+func (p *Partition) enforceBudget() {
+	p.mu.Lock()
+	p.enforceBudgetLocked()
+	p.mu.Unlock()
+}
+
 // Set is a partitioned single-column store with per-partition amnesia.
 type Set struct {
 	column string
 	parts  []*Partition
 	src    *xrand.Source
+	// par is the fan-out parallelism knob; see SetParallelism.
+	par int
 }
 
 // New builds a Set over [0, domain) split into n equal-width partitions,
@@ -78,14 +112,15 @@ func New(column string, domain int64, n int, strategy string, totalBudget int, s
 		if err != nil {
 			return nil, err
 		}
-		s.parts = append(s.parts, &Partition{
+		p := &Partition{
 			Lo: lo, Hi: hi,
-			Budget: totalBudget / n,
 			tbl:    tbl,
 			ex:     engine.New(tbl),
 			strat:  strat,
 			column: column,
-		})
+		}
+		p.budget.Store(int64(totalBudget / n))
+		s.parts = append(s.parts, p)
 	}
 	return s, nil
 }
@@ -93,14 +128,117 @@ func New(column string, domain int64, n int, strategy string, totalBudget int, s
 // Partitions returns the shards in value order.
 func (s *Set) Partitions() []*Partition { return s.parts }
 
-// SetParallelism stamps the engine's intra-query parallelism knob onto
-// every shard executor (0 auto, 1 serial, n > 1 forced workers), so a
-// partitioned query parallelises within each shard it fans out to.
-// Configure before serving concurrent queries.
+// SetParallelism sets the fan-out parallelism (0 auto = GOMAXPROCS,
+// 1 serial, n > 1 forced) and stamps the same knob onto every shard
+// executor. Shards are independent tables, so a partitioned query runs
+// its per-shard scans concurrently. The two levels never multiply: a
+// query fanning out to several shards runs each shard's scan serially
+// (the fan-out itself saturates the cores), while a query confined to
+// one shard parallelises inside it with the stamped knob. Configure
+// before serving concurrent queries.
 func (s *Set) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.par = n
 	for _, p := range s.parts {
 		p.ex.SetParallelism(n)
 	}
+}
+
+// FanWorkers resolves the parallelism knob to the worker count a
+// fan-out over n shards actually runs with. Unlike engine.Workers there
+// is no row threshold: a shard is a coarse unit of work, so any
+// multi-shard fan-out is worth spreading. Exported so the bench CLI
+// reports the same resolution the queries use.
+func (s *Set) FanWorkers(n int) int {
+	w := n
+	switch {
+	case s.par == 1 || n <= 1:
+		return 1
+	case s.par > 1:
+		if s.par < w {
+			w = s.par
+		}
+	default:
+		if g := runtime.GOMAXPROCS(0); g < w {
+			w = g
+		}
+	}
+	return w
+}
+
+// fanOut runs fn over every shard in hit — concurrently up to the
+// parallelism knob — handing each call the executor shardExec picks for
+// this fan-out width, and returns the first error in shard order. Both
+// Select and Precision schedule through this one scaffold.
+func (s *Set) fanOut(hit []*Partition, fn func(i int, ex *engine.Exec) error) error {
+	errs := make([]error, len(hit))
+	w := s.FanWorkers(len(hit))
+	engine.ForEachTask(w, len(hit), func(i int) {
+		errs[i] = fn(i, s.shardExec(hit[i], w))
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardExec picks the executor for one shard of a fan-out over workers
+// concurrent shards: the shard's stamped executor when the fan-out is
+// serial (single-shard queries keep their intra-shard parallelism), a
+// throwaway serial one when several shards already run concurrently —
+// nesting morsel workers inside a concurrent fan-out would oversubscribe
+// the cores quadratically. Results are identical either way; only the
+// scheduling changes.
+func (s *Set) shardExec(p *Partition, workers int) *engine.Exec {
+	if workers <= 1 {
+		return p.ex
+	}
+	ex := engine.New(p.tbl)
+	ex.SetParallelism(1)
+	return ex
+}
+
+// intersecting returns the shards overlapping [lo, hi) in value order.
+func (s *Set) intersecting(lo, hi int64) []*Partition {
+	var out []*Partition
+	for _, p := range s.parts {
+		if p.Hi <= lo || p.Lo >= hi {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Insert routes a batch of values to their shards and enforces each
+// affected shard's budget. Each shard's append-and-forget runs under the
+// shard's mutation lock, so Insert may interleave with a concurrent
+// Adapt.
+func (s *Set) Insert(vals []int64) error {
+	byPart := make(map[*Partition][]int64)
+	for _, v := range vals {
+		p, err := s.locate(v)
+		if err != nil {
+			return err
+		}
+		byPart[p] = append(byPart[p], v)
+	}
+	for p, vs := range byPart {
+		p.mu.Lock()
+		_, err := p.tbl.AppendSingleColumn(vs)
+		if err == nil {
+			p.enforceBudgetLocked()
+		}
+		p.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // locate returns the shard owning value v.
@@ -112,62 +250,65 @@ func (s *Set) locate(v int64) (*Partition, error) {
 	return s.parts[i], nil
 }
 
-// Insert routes a batch of values to their shards and enforces each
-// affected shard's budget.
-func (s *Set) Insert(vals []int64) error {
-	byPart := make(map[*Partition][]int64)
-	for _, v := range vals {
-		p, err := s.locate(v)
-		if err != nil {
-			return err
-		}
-		byPart[p] = append(byPart[p], v)
-	}
-	for p, vs := range byPart {
-		if _, err := p.tbl.AppendSingleColumn(vs); err != nil {
-			return err
-		}
-		if over := p.tbl.ActiveCount() - p.Budget; over > 0 {
-			p.strat.Forget(p.tbl, over)
-		}
-	}
-	return nil
-}
-
 // Select returns matching active values across all shards intersecting
-// [lo, hi), recording per-shard workload hits for Adapt. Like the flat
-// engine's scans, Select is safe for concurrent readers: hit counters
-// are atomic and the per-shard executors touch access frequencies
-// through the table's internal synchronisation.
+// [lo, hi), recording per-shard workload hits for Adapt. Shards are
+// independent tables, so the per-shard scans run concurrently up to the
+// parallelism knob; per-shard results land in per-shard slots
+// concatenated in value order, so the output is byte-identical to the
+// serial fan-out. Like the flat engine's scans, Select is safe for
+// concurrent readers: hit counters are atomic and the per-shard
+// executors touch access frequencies through the table's internal
+// synchronisation.
 func (s *Set) Select(lo, hi int64) ([]int64, error) {
-	var out []int64
-	for _, p := range s.parts {
-		if p.Hi <= lo || p.Lo >= hi {
-			continue
-		}
-		p.hits.Add(1)
-		res, err := p.ex.Select(s.column, expr.NewRange(lo, hi), engine.ScanActive)
+	hit := s.intersecting(lo, hi)
+	vals := make([][]int64, len(hit))
+	err := s.fanOut(hit, func(i int, ex *engine.Exec) error {
+		hit[i].hits.Add(1)
+		res, err := ex.Select(s.column, expr.NewRange(lo, hi), engine.ScanActive)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, res.Values...)
+		vals[i] = res.Values
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for i := range hit {
+		total += len(vals[i])
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	out := make([]int64, 0, total)
+	for _, v := range vals {
+		out = append(out, v...)
 	}
 	return out, nil
 }
 
 // Precision aggregates the §2.3 metrics across the shards that intersect
-// [lo, hi).
+// [lo, hi), running the per-shard precision scans concurrently like
+// Select.
 func (s *Set) Precision(lo, hi int64) (rf, mf int, pf float64, err error) {
-	for _, p := range s.parts {
-		if p.Hi <= lo || p.Lo >= hi {
-			continue
-		}
-		r, m, _, err := p.ex.Precision(s.column, expr.NewRange(lo, hi))
+	hit := s.intersecting(lo, hi)
+	rfs := make([]int, len(hit))
+	mfs := make([]int, len(hit))
+	ferr := s.fanOut(hit, func(i int, ex *engine.Exec) error {
+		r, m, _, err := ex.Precision(s.column, expr.NewRange(lo, hi))
 		if err != nil {
-			return 0, 0, 0, err
+			return err
 		}
-		rf += r
-		mf += m
+		rfs[i], mfs[i] = r, m
+		return nil
+	})
+	if ferr != nil {
+		return 0, 0, 0, ferr
+	}
+	for i := range hit {
+		rf += rfs[i]
+		mf += mfs[i]
 	}
 	if rf+mf == 0 {
 		return 0, 0, 1, nil
@@ -192,13 +333,18 @@ func (s *Set) Stats() table.Stats {
 // hits since the last call (plus one smoothing hit each, so unqueried
 // shards keep a trickle), then enforces the new budgets and resets the
 // counters. This is the adaptive loop of §4.4: hot partitions grow, cold
-// ones shrink, and precision follows the workload.
+// ones shrink, and precision follows the workload. Hits are snapshotted
+// once so shares stay consistent under concurrent Selects, and each
+// shard's forget runs under its mutation lock, so Adapt can run online,
+// interleaved with Inserts.
 func (s *Set) Adapt() {
 	total := 0
 	var weight int64
-	for _, p := range s.parts {
-		total += p.Budget
-		weight += p.hits.Load() + 1
+	snap := make([]int64, len(s.parts))
+	for i, p := range s.parts {
+		total += p.Budget()
+		snap[i] = p.hits.Load() + 1
+		weight += snap[i]
 	}
 	remaining := total
 	for i, p := range s.parts {
@@ -206,7 +352,7 @@ func (s *Set) Adapt() {
 		if i == len(s.parts)-1 {
 			share = remaining // avoid rounding loss
 		} else {
-			share = int(int64(total) * (p.hits.Load() + 1) / weight)
+			share = int(int64(total) * snap[i] / weight)
 			if share < 1 {
 				share = 1
 			}
@@ -215,10 +361,8 @@ func (s *Set) Adapt() {
 			}
 		}
 		remaining -= share
-		p.Budget = share
+		p.budget.Store(int64(share))
 		p.hits.Store(0)
-		if over := p.tbl.ActiveCount() - p.Budget; over > 0 {
-			p.strat.Forget(p.tbl, over)
-		}
+		p.enforceBudget()
 	}
 }

@@ -15,11 +15,14 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 
 	"amnesiadb"
+	"amnesiadb/internal/sql"
 )
 
 // Server routes HTTP requests to a DB.
@@ -57,9 +60,57 @@ type queryRequest struct {
 	SQL string `json:"sql"`
 }
 
+// queryRow encodes one result row, turning the engine's NaN NULL-style
+// cells (empty-set aggregates) into JSON nulls — encoding/json rejects
+// NaN outright.
+type queryRow []float64
+
+// MarshalJSON implements json.Marshaler. Only empty-set aggregate
+// results carry NaN, so the common projection row marshals directly
+// without boxing cells.
+func (r queryRow) MarshalJSON() ([]byte, error) {
+	hasNaN := false
+	for _, v := range r {
+		if math.IsNaN(v) {
+			hasNaN = true
+			break
+		}
+	}
+	if !hasNaN {
+		return json.Marshal([]float64(r))
+	}
+	cells := make([]any, len(r))
+	for i, v := range r {
+		if math.IsNaN(v) {
+			cells[i] = nil
+		} else {
+			cells[i] = v
+		}
+	}
+	return json.Marshal(cells)
+}
+
 type queryResponse struct {
-	Columns []string    `json:"columns"`
-	Rows    [][]float64 `json:"rows"`
+	Columns []string   `json:"columns"`
+	Rows    []queryRow `json:"rows"`
+	// Ints is per-column type info: true when values are exact integers
+	// (projections, COUNT/SUM/MIN/MAX), false for AVG's floats — so
+	// clients can tell 2.0 from 2.
+	Ints []bool `json:"ints"`
+}
+
+// queryStatus maps a Query error to its HTTP status: malformed SQL is
+// the client's fault (400), a missing table is addressable but absent
+// (404), anything else is the server's problem (500).
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, amnesiadb.ErrUnknownTable):
+		return http.StatusNotFound
+	case errors.Is(err, sql.ErrInvalid):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -70,13 +121,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.db.Query(req.SQL)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, queryStatus(err), err)
 		return
 	}
-	if res.Rows == nil {
-		res.Rows = [][]float64{}
+	rows := make([]queryRow, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = queryRow(r)
 	}
-	writeJSON(w, http.StatusOK, queryResponse{Columns: res.Columns, Rows: res.Rows})
+	writeJSON(w, http.StatusOK, queryResponse{Columns: res.Columns, Rows: rows, Ints: res.Ints})
 }
 
 type insertRequest struct {

@@ -204,3 +204,71 @@ func TestPrecisionEndpoint(t *testing.T) {
 		t.Fatalf("bad-bounds status %d", resp.StatusCode)
 	}
 }
+
+func TestQueryUnknownTableIs404(t *testing.T) {
+	ts, _ := newServer(t)
+	resp, out := post(t, ts.URL+"/query", map[string]any{"sql": "SELECT a FROM missing"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+}
+
+func TestQueryUnknownColumnIs400(t *testing.T) {
+	ts, _ := newServer(t)
+	post(t, ts.URL+"/insert", map[string]any{
+		"table": "t", "create": []string{"a"},
+		"columns": map[string][]int64{"a": {1}},
+	})
+	resp, _ := post(t, ts.URL+"/query", map[string]any{"sql": "SELECT zz FROM t"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestQueryEmptyAggregateReturnsNull(t *testing.T) {
+	// Regression: AVG over an empty qualifying set used to surface
+	// engine.ErrNoRows as a 400; it must be a 200 with a JSON null.
+	ts, _ := newServer(t)
+	post(t, ts.URL+"/insert", map[string]any{
+		"table": "t", "create": []string{"a"},
+		"columns": map[string][]int64{"a": {1, 2, 3}},
+	})
+	resp, out := post(t, ts.URL+"/query", map[string]any{"sql": "SELECT AVG(a) FROM t WHERE a > 100"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != 1 || rows[0].([]any)[0] != nil {
+		t.Fatalf("rows = %v, want one null cell", rows)
+	}
+	ints := out["ints"].([]any)
+	if len(ints) != 1 || ints[0].(bool) {
+		t.Fatalf("ints = %v, want [false] for AVG", ints)
+	}
+	// COUNT stays 0, an exact int.
+	resp, out = post(t, ts.URL+"/query", map[string]any{"sql": "SELECT COUNT(*) FROM t WHERE a > 100"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("count status %d: %v", resp.StatusCode, out)
+	}
+	if out["rows"].([]any)[0].([]any)[0].(float64) != 0 {
+		t.Fatalf("count rows = %v", out["rows"])
+	}
+	if !out["ints"].([]any)[0].(bool) {
+		t.Fatalf("count ints = %v, want [true]", out["ints"])
+	}
+}
+
+func TestQueryLimitZeroReturnsNoRows(t *testing.T) {
+	ts, _ := newServer(t)
+	post(t, ts.URL+"/insert", map[string]any{
+		"table": "t", "create": []string{"a"},
+		"columns": map[string][]int64{"a": {1, 2, 3}},
+	})
+	resp, out := post(t, ts.URL+"/query", map[string]any{"sql": "SELECT a FROM t LIMIT 0"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if rows := out["rows"].([]any); len(rows) != 0 {
+		t.Fatalf("LIMIT 0 returned %d rows", len(rows))
+	}
+}

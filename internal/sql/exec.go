@@ -2,8 +2,9 @@ package sql
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
+	"amnesiadb/internal/column"
 	"amnesiadb/internal/engine"
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/table"
@@ -14,7 +15,9 @@ type Result struct {
 	// Columns are the output column headers.
 	Columns []string
 	// Rows holds one slice per result row, aligned with Columns.
-	// Aggregate results have exactly one row.
+	// Aggregate results have exactly one row. A NaN cell is the
+	// NULL-style value a non-COUNT aggregate reports over an empty
+	// qualifying set.
 	Rows [][]float64
 	// Ints is true per column when values are exact integers (projection
 	// columns, COUNT/SUM/MIN/MAX); AVG reports a float.
@@ -37,8 +40,8 @@ func (f CatalogFunc) LookupTable(name string) (*table.Table, error) { return f(n
 // Opts tunes query execution.
 type Opts struct {
 	// Parallelism is the engine's intra-query parallelism knob: 0 auto
-	// (morsel-parallel scans for large tables), 1 serial, n > 1 forces
-	// n workers. See engine.Exec.SetParallelism.
+	// (morsel-parallel scans and sorts for large tables), 1 serial,
+	// n > 1 forces n workers. See engine.Exec.SetParallelism.
 	Parallelism int
 }
 
@@ -61,6 +64,11 @@ func RunOpts(cat Catalog, query string, o Opts) (*Result, error) {
 func Exec(cat Catalog, q *Query) (*Result, error) {
 	return ExecOpts(cat, q, Opts{})
 }
+
+// badQuery wraps a semantic validation failure (unknown column,
+// cross-column aggregate) so it maps to "bad SQL" rather than an
+// internal error.
+func badQuery(err error) error { return fmt.Errorf("%w: %v", ErrInvalid, err) }
 
 // ExecOpts executes a parsed query.
 func ExecOpts(cat Catalog, q *Query, o Opts) (*Result, error) {
@@ -85,7 +93,7 @@ func ExecOpts(cat Catalog, q *Query, o Opts) (*Result, error) {
 	}
 	for _, c := range cols {
 		if _, err := t.Column(c); err != nil {
-			return nil, err
+			return nil, badQuery(err)
 		}
 	}
 	// The predicate runs over WhereCol (or the first projected column
@@ -94,41 +102,43 @@ func ExecOpts(cat Catalog, q *Query, o Opts) (*Result, error) {
 	if scanCol == "" {
 		scanCol = cols[0]
 	}
+	if _, err := t.Column(scanCol); err != nil {
+		return nil, badQuery(err)
+	}
+	var orderCol *column.Int64
+	if q.OrderBy != "" {
+		oc, err := t.Column(q.OrderBy)
+		if err != nil {
+			return nil, badQuery(err)
+		}
+		orderCol = oc
+	}
+	limit := -1
+	if q.HasLimit {
+		limit = q.Limit
+	}
+	res := &Result{Columns: cols, Ints: make([]bool, len(cols))}
+	for i := range res.Ints {
+		res.Ints[i] = true
+	}
+	if limit == 0 {
+		// LIMIT 0 asks for zero rows; skip the scan (every referenced
+		// column is validated above, so an invalid query still errors).
+		return res, nil
+	}
 	sel, err := ex.Select(scanCol, pred, engine.ScanActive)
 	if err != nil {
 		return nil, err
 	}
 	rows := sel.Rows
-	if q.OrderBy != "" {
-		oc, err := t.Column(q.OrderBy)
-		if err != nil {
-			return nil, err
-		}
-		// Gather the sort keys once so the comparator works over a flat
-		// slice instead of re-reading the column per comparison.
-		keys := oc.Gather(rows, nil)
-		perm := make([]int, len(rows))
-		for i := range perm {
-			perm[i] = i
-		}
-		sort.SliceStable(perm, func(i, j int) bool {
-			if q.OrderDesc {
-				return keys[perm[i]] > keys[perm[j]]
-			}
-			return keys[perm[i]] < keys[perm[j]]
-		})
-		ordered := make([]int32, len(rows))
-		for i, p := range perm {
-			ordered[i] = rows[p]
-		}
-		rows = ordered
-	}
-	if q.Limit > 0 && len(rows) > q.Limit {
-		rows = rows[:q.Limit]
-	}
-	res := &Result{Columns: cols, Ints: make([]bool, len(cols))}
-	for i := range res.Ints {
-		res.Ints[i] = true
+	if orderCol != nil {
+		// Gather the sort keys once, then sort morsel-sized runs (in
+		// parallel past the auto threshold) and merge them with a k-way
+		// heap — top-k when a LIMIT caps the output.
+		keys := orderCol.Gather(rows, nil)
+		rows = orderRows(rows, keys, q.OrderDesc, limit, o.Parallelism)
+	} else if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
 	}
 	if len(rows) == 0 {
 		return res, nil
@@ -159,26 +169,33 @@ func execAggregate(t *table.Table, ex *engine.Exec, q *Query, pred expr.Expr) (*
 		if col == "" {
 			col = t.Columns()[0]
 		}
-	} else if _, err := t.Column(col); err != nil {
-		return nil, err
+	}
+	if _, err := t.Column(col); err != nil {
+		return nil, badQuery(err)
 	}
 	if q.WhereCol != "" && q.AggregateCol != "*" && q.WhereCol != q.AggregateCol {
-		return nil, fmt.Errorf("sql: aggregate column %q must match WHERE column %q in the single-attribute subspace", q.AggregateCol, q.WhereCol)
+		return nil, badQuery(fmt.Errorf("aggregate column %q must match WHERE column %q in the single-attribute subspace", q.AggregateCol, q.WhereCol))
 	}
 	header := fmt.Sprintf("%s(%s)", kind, q.AggregateCol)
+	res := &Result{Columns: []string{header}, Ints: []bool{kind != engine.Avg}}
+	if q.HasLimit && q.Limit == 0 {
+		// LIMIT 0 caps even the aggregate's single row.
+		return res, nil
+	}
 	agg, err := ex.Aggregate(col, pred, engine.ScanActive)
 	if err == engine.ErrNoRows {
+		// SQL semantics over an empty qualifying set: COUNT is 0, every
+		// other aggregate is NULL (one row, NaN standing in for NULL).
 		if kind == engine.Count {
-			return &Result{Columns: []string{header}, Rows: [][]float64{{0}}, Ints: []bool{true}}, nil
+			res.Rows = [][]float64{{0}}
+		} else {
+			res.Rows = [][]float64{{math.NaN()}}
 		}
-		return nil, err
+		return res, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Columns: []string{header},
-		Rows:    [][]float64{{agg.Value(kind)}},
-		Ints:    []bool{kind != engine.Avg},
-	}, nil
+	res.Rows = [][]float64{{agg.Value(kind)}}
+	return res, nil
 }

@@ -10,10 +10,16 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"unicode"
 )
+
+// ErrInvalid is wrapped by every lexer, parser and validation error, so
+// callers (notably the HTTP server's status mapping) can distinguish a
+// bad query from an internal failure with errors.Is.
+var ErrInvalid = errors.New("sql: invalid query")
 
 // tokenKind classifies lexer output.
 type tokenKind int
@@ -86,7 +92,7 @@ func lex(input string) ([]token, error) {
 				i++
 			}
 			if input[start] == '-' && i == start+1 {
-				return nil, fmt.Errorf("sql: stray '-' at offset %d", start)
+				return nil, fmt.Errorf("%w: stray '-' at offset %d", ErrInvalid, start)
 			}
 			out = append(out, token{kind: tkNumber, text: input[start:i], pos: start})
 		case isIdentStart(rune(c)):
@@ -101,7 +107,7 @@ func lex(input string) ([]token, error) {
 				out = append(out, token{kind: tkIdent, text: word, pos: start})
 			}
 		default:
-			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			return nil, fmt.Errorf("%w: unexpected character %q at offset %d", ErrInvalid, c, i)
 		}
 	}
 	out = append(out, token{kind: tkEOF, pos: len(input)})

@@ -28,8 +28,11 @@ type Query struct {
 	// insertion order. OrderDesc reverses the order.
 	OrderBy   string
 	OrderDesc bool
-	// Limit caps result rows; 0 means no limit.
-	Limit int
+	// Limit caps result rows when HasLimit is set. LIMIT 0 is a valid
+	// query returning zero rows, so presence is tracked explicitly
+	// rather than through a sentinel value.
+	Limit    int
+	HasLimit bool
 }
 
 // Parse turns one SELECT statement into a Query.
@@ -80,7 +83,7 @@ func (p *parser) expect(kind tokenKind, text, what string) (token, error) {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("sql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+	return fmt.Errorf("%w: offset %d: %s", ErrInvalid, p.cur().pos, fmt.Sprintf(format, args...))
 }
 
 func (p *parser) parseSelect() (*Query, error) {
@@ -130,7 +133,7 @@ func (p *parser) parseSelect() (*Query, error) {
 		if err != nil || lim < 0 {
 			return nil, p.errf("bad LIMIT %q", n.text)
 		}
-		q.Limit = lim
+		q.Limit, q.HasLimit = lim, true
 	}
 	return q, nil
 }

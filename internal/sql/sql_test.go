@@ -1,13 +1,16 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
 	"amnesiadb/internal/engine"
 	"amnesiadb/internal/table"
+	"amnesiadb/internal/xrand"
 )
 
 func catalog(t *testing.T, vals ...int64) Catalog {
@@ -232,10 +235,23 @@ func TestRunCountEmptyIsZero(t *testing.T) {
 	}
 }
 
-func TestRunAvgEmptyErrors(t *testing.T) {
+func TestRunEmptyAggregateIsNullRow(t *testing.T) {
+	// SQL semantics: non-COUNT aggregates over an empty qualifying set
+	// return one NULL-style row (NaN), not an error.
 	cat := catalog(t, 1)
-	if _, err := Run(cat, "SELECT AVG(a) FROM t WHERE a > 100"); err == nil {
-		t.Fatal("empty AVG succeeded")
+	for _, src := range []string{
+		"SELECT AVG(a) FROM t WHERE a > 100",
+		"SELECT SUM(a) FROM t WHERE a > 100",
+		"SELECT MIN(a) FROM t WHERE a > 100",
+		"SELECT MAX(a) FROM t WHERE a > 100",
+	} {
+		res, err := Run(cat, src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if len(res.Rows) != 1 || !math.IsNaN(res.Rows[0][0]) {
+			t.Fatalf("%s = %v, want one NaN row", src, res.Rows)
+		}
 	}
 }
 
@@ -297,5 +313,216 @@ func TestRunMultiColumnProjection(t *testing.T) {
 	}
 	if len(res.Rows) != 2 || res.Rows[0][1] != 20 || res.Rows[1][0] != 3 {
 		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestParseLimitPresence(t *testing.T) {
+	q, err := Parse("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.HasLimit {
+		t.Fatal("HasLimit set without LIMIT clause")
+	}
+	q, err = Parse("SELECT a FROM t LIMIT 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasLimit || q.Limit != 0 {
+		t.Fatalf("LIMIT 0 parsed to %+v", q)
+	}
+}
+
+func TestRunLimitZero(t *testing.T) {
+	// Regression: 0 used to double as the "no limit" sentinel, so
+	// LIMIT 0 silently returned every row.
+	cat := catalog(t, 1, 2, 3, 4, 5)
+	for _, src := range []string{
+		"SELECT a FROM t LIMIT 0",
+		"SELECT a FROM t WHERE a > 1 LIMIT 0",
+		"SELECT a FROM t ORDER BY a DESC LIMIT 0",
+		"SELECT COUNT(*) FROM t LIMIT 0",
+		"SELECT AVG(a) FROM t LIMIT 0",
+	} {
+		res, err := Run(cat, src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if len(res.Rows) != 0 {
+			t.Fatalf("%s returned %d rows, want 0", src, len(res.Rows))
+		}
+	}
+}
+
+func TestErrInvalidWrapsBadQueries(t *testing.T) {
+	cat := catalog(t, 1)
+	for _, src := range []string{
+		"SELEC a FROM t",    // parse error
+		"SELECT a FROM t ;", // lex error
+		"SELECT zz FROM t",  // unknown projection column
+		"SELECT SUM(zz) FROM t",
+		"SELECT a FROM t ORDER BY zz",
+	} {
+		_, err := Run(cat, src)
+		if !errors.Is(err, ErrInvalid) {
+			t.Fatalf("Run(%q) error %v does not wrap ErrInvalid", src, err)
+		}
+	}
+}
+
+// TestOrderByLimitTopKEquivalence pins the run-sort + k-way-merge path
+// (serial and parallel) against the naive full sort across limits,
+// directions and duplicate-heavy keys.
+func TestOrderByLimitTopKEquivalence(t *testing.T) {
+	const n = 5000
+	vals := make([]int64, n)
+	src := xrand.New(12)
+	for i := range vals {
+		vals[i] = src.Int63n(200) // ~25 duplicates per key: ties matter
+	}
+	tb := table.New("t", "a")
+	if _, err := tb.AppendSingleColumn(vals); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 5 {
+		tb.Forget(i)
+	}
+	cat := CatalogFunc(func(string) (*table.Table, error) { return tb, nil })
+	for _, q := range []string{
+		"SELECT a FROM t ORDER BY a",
+		"SELECT a FROM t ORDER BY a DESC",
+		"SELECT a FROM t ORDER BY a LIMIT 1",
+		"SELECT a FROM t ORDER BY a LIMIT 17",
+		"SELECT a FROM t ORDER BY a DESC LIMIT 4000",
+		"SELECT a FROM t WHERE a >= 50 ORDER BY a DESC LIMIT 100",
+	} {
+		serial, err := RunOpts(cat, q, Opts{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4} {
+			got, err := RunOpts(cat, q, Opts{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial.Rows, got.Rows) {
+				t.Fatalf("%s: par=%d rows diverge from serial", q, par)
+			}
+		}
+		// Cross-check ordering and limit against first principles.
+		prev := serial.Rows
+		for i := 1; i < len(prev); i++ {
+			asc := prev[i-1][0] <= prev[i][0]
+			if strings.Contains(q, "DESC") {
+				asc = prev[i-1][0] >= prev[i][0]
+			}
+			if !asc {
+				t.Fatalf("%s: rows out of order at %d: %v then %v", q, i, prev[i-1], prev[i])
+			}
+		}
+	}
+}
+
+// TestOrderByStabilityOnTies checks equal keys keep insertion order —
+// the stable-sort contract the k-way merge must preserve.
+func TestOrderByStabilityOnTies(t *testing.T) {
+	tb := table.New("t", "k", "seq")
+	ks := make([]int64, 400)
+	seq := make([]int64, 400)
+	for i := range ks {
+		ks[i] = int64(i % 3) // heavy ties
+		seq[i] = int64(i)
+	}
+	if _, err := tb.AppendBatch(map[string][]int64{"k": ks, "seq": seq}); err != nil {
+		t.Fatal(err)
+	}
+	cat := CatalogFunc(func(string) (*table.Table, error) { return tb, nil })
+	for _, par := range []int{1, 4} {
+		res, err := RunOpts(cat, "SELECT k, seq FROM t ORDER BY k", Opts{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lastKey, lastSeq float64 = -1, -1
+		for _, row := range res.Rows {
+			if row[0] == lastKey && row[1] <= lastSeq {
+				t.Fatalf("par=%d: tie broke insertion order: seq %v after %v", par, row[1], lastSeq)
+			}
+			if row[0] != lastKey {
+				lastKey = row[0]
+				lastSeq = -1
+			} else {
+				lastSeq = row[1]
+			}
+		}
+	}
+}
+
+// TestValidationSurvivesLimitZeroAndWhere pins two review regressions:
+// the LIMIT 0 fast path must still validate every referenced column,
+// and an unknown WHERE column must map to ErrInvalid (bad SQL), not an
+// internal error.
+func TestValidationSurvivesLimitZeroAndWhere(t *testing.T) {
+	cat := catalog(t, 1, 2, 3)
+	for _, src := range []string{
+		"SELECT a FROM t WHERE zz > 1",
+		"SELECT COUNT(*) FROM t WHERE zz > 1",
+		"SELECT a FROM t ORDER BY zz LIMIT 0",
+		"SELECT a FROM t WHERE zz > 1 LIMIT 0",
+	} {
+		_, err := Run(cat, src)
+		if !errors.Is(err, ErrInvalid) {
+			t.Fatalf("Run(%q) error %v, want ErrInvalid", src, err)
+		}
+	}
+}
+
+// TestOrderByMultiRunMergeEquivalence drives orderRows past sortRunRows
+// so the runHeap k-way merge and the per-run LIMIT clip actually
+// execute (the smaller tests above stay within one run). 200K rows =
+// four sorted runs; heavy ties pin merge stability via the seq column.
+func TestOrderByMultiRunMergeEquivalence(t *testing.T) {
+	const n = 200_000
+	ks := make([]int64, n)
+	seq := make([]int64, n)
+	src := xrand.New(13)
+	for i := range ks {
+		ks[i] = src.Int63n(500)
+		seq[i] = int64(i)
+	}
+	tb := table.New("t", "k", "seq")
+	if _, err := tb.AppendBatch(map[string][]int64{"k": ks, "seq": seq}); err != nil {
+		t.Fatal(err)
+	}
+	cat := CatalogFunc(func(string) (*table.Table, error) { return tb, nil })
+	for _, q := range []string{
+		"SELECT k, seq FROM t ORDER BY k",
+		"SELECT k, seq FROM t ORDER BY k DESC LIMIT 37",
+		"SELECT k, seq FROM t ORDER BY k LIMIT 100000",
+	} {
+		serial, err := RunOpts(cat, q, Opts{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := RunOpts(cat, q, Opts{Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.Rows, parallel.Rows) {
+			t.Fatalf("%s: parallel rows diverge from serial", q)
+		}
+		desc := strings.Contains(q, "DESC")
+		for i := 1; i < len(serial.Rows); i++ {
+			prev, cur := serial.Rows[i-1], serial.Rows[i]
+			ordered := prev[0] <= cur[0]
+			if desc {
+				ordered = prev[0] >= cur[0]
+			}
+			if !ordered {
+				t.Fatalf("%s: keys out of order at %d", q, i)
+			}
+			if prev[0] == cur[0] && prev[1] >= cur[1] {
+				t.Fatalf("%s: tie at %d broke insertion order (seq %v then %v)", q, i, prev[1], cur[1])
+			}
+		}
 	}
 }

@@ -14,8 +14,14 @@ import (
 //
 // Like Table, reads (Select, Precision, Stats, Partitions) run under a
 // shared lock and proceed in parallel; Insert and Adapt are exclusive.
-// Workload hit counters are atomic, so parallel selects still feed the
-// Adapt loop.
+// Within one query, shards are independent tables, so Select and
+// Precision fan their per-shard scans out concurrently up to the
+// database's Parallelism knob. Workload hit counters are atomic, so
+// parallel selects still feed the Adapt loop, and per-shard budgets are
+// atomic with per-shard mutation locks, so the partition layer's Adapt
+// can interleave with Inserts; Adapt concurrent with reads still needs
+// this facade's exclusive lock, because forgetting mutates the active
+// bitmap that lock-free scans read.
 type PartitionedTable struct {
 	mu   sync.RWMutex
 	name string
@@ -92,7 +98,7 @@ func (p *PartitionedTable) Partitions() []PartitionInfo {
 	out := make([]PartitionInfo, len(parts))
 	for i, sp := range parts {
 		st := sp.Table().Stats()
-		out[i] = PartitionInfo{Lo: sp.Lo, Hi: sp.Hi, Budget: sp.Budget, Active: st.Active, Stored: st.Tuples}
+		out[i] = PartitionInfo{Lo: sp.Lo, Hi: sp.Hi, Budget: sp.Budget(), Active: st.Active, Stored: st.Tuples}
 	}
 	return out
 }

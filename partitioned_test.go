@@ -1,6 +1,7 @@
 package amnesiadb
 
 import (
+	"sync"
 	"testing"
 
 	"amnesiadb/internal/xrand"
@@ -97,5 +98,71 @@ func TestPartitionedNameCollision(t *testing.T) {
 	}
 	if _, err := db.CreateTable("z", "a"); err == nil {
 		t.Fatal("flat table over partitioned name accepted")
+	}
+}
+
+// TestPartitionedConcurrentInsertSelectAdapt interleaves inserts,
+// parallel fan-out selects, precision sweeps and online Adapts on one
+// partitioned table. Run under -race: it pins both the facade's
+// read/write locking and the partition layer's atomic budgets.
+func TestPartitionedConcurrentInsertSelectAdapt(t *testing.T) {
+	db := Open(Options{Seed: 11, Parallelism: 4})
+	pt, err := db.CreatePartitionedTable("pt", "a", 1000, 8, "uniform", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := xrand.New(uint64(20 + g))
+			for i := 0; i < 30; i++ {
+				vals := make([]int64, 50)
+				for j := range vals {
+					vals[j] = src.Int63n(1000)
+				}
+				if err := pt.Insert(vals); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lo := int64(g * 300)
+			for i := 0; i < 60; i++ {
+				if _, err := pt.Select(lo, lo+400); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, _, err := pt.Precision(lo, lo+400); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			pt.Adapt()
+		}
+	}()
+	wg.Wait()
+	pt.Adapt()
+	total := 0
+	for _, p := range pt.Partitions() {
+		total += p.Budget
+		if p.Active > p.Budget {
+			t.Fatalf("shard over budget: %+v", p)
+		}
+	}
+	if total != 800 {
+		t.Fatalf("budget total drifted: %d", total)
 	}
 }
