@@ -26,6 +26,18 @@
 // query and flushed as one synchronized batch, so it survives read
 // concurrency without serialising scans.
 //
+// SQL serves the whole catalog through one Relation abstraction: flat
+// tables and partitioned tables (CreatePartitionedTable) are both
+// first-class entries, so DB.Query — and the HTTP /query endpoint built
+// on it — routes to either kind transparently, fanning partitioned
+// scans out per shard. The dialect covers projection, aggregates,
+// WHERE/ORDER BY/LIMIT and two-table equi-joins with qualified columns
+// (SELECT a.v, b.v FROM a JOIN b ON a.k = b.k), the join riding the
+// same morsel-parallel hash join as DB.Join. Results are streamed:
+// DB.QueryStream hands per-morsel/per-shard batches through projection
+// chunk by chunk (the server serializes each chunk with an incremental
+// flush), and DB.Query is its Collect form.
+//
 // A minimal session:
 //
 //	db := amnesiadb.Open(amnesiadb.Options{Seed: 42})
@@ -79,8 +91,12 @@ type Options struct {
 // in one internally synchronized batch, keeping the read path contention
 // to one short critical section per query.
 type DB struct {
-	mu     sync.RWMutex
+	mu sync.RWMutex
+	// tables and parts are the two kinds of the relation catalog; they
+	// share one namespace (CreateTable and CreatePartitionedTable check
+	// both), and SQL queries route to either kind transparently.
 	tables map[string]*Table
+	parts  map[string]*PartitionedTable
 	// par is Options.Parallelism, stamped onto every executor built for
 	// this database (tables, SQL runs, partition shards).
 	par int
@@ -109,7 +125,12 @@ func Open(opts Options) *DB {
 	if par < 0 {
 		par = 0
 	}
-	return &DB{src: xrand.New(opts.Seed), tables: make(map[string]*Table), par: par}
+	return &DB{
+		src:    xrand.New(opts.Seed),
+		tables: make(map[string]*Table),
+		parts:  make(map[string]*PartitionedTable),
+		par:    par,
+	}
 }
 
 // CreateTable adds a table with the given columns. Every column stores
@@ -117,7 +138,7 @@ func Open(opts Options) *DB {
 func (db *DB) CreateTable(name string, columns ...string) (*Table, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, dup := db.tables[name]; dup {
+	if db.taken(name) {
 		return nil, fmt.Errorf("amnesiadb: table %q already exists", name)
 	}
 	if len(columns) == 0 {
@@ -135,7 +156,18 @@ func (db *DB) CreateTable(name string, columns ...string) (*Table, error) {
 	return t, nil
 }
 
-// Table returns the named table, or false.
+// taken reports whether name is claimed by either catalog kind; callers
+// hold db.mu.
+func (db *DB) taken(name string) bool {
+	if _, dup := db.tables[name]; dup {
+		return true
+	}
+	_, dup := db.parts[name]
+	return dup
+}
+
+// Table returns the named flat table, or false. Partitioned tables live
+// beside flat ones in the catalog; fetch them with Partitioned.
 func (db *DB) Table(name string) (*Table, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -143,15 +175,52 @@ func (db *DB) Table(name string) (*Table, bool) {
 	return t, ok
 }
 
-// TableNames lists tables in lexical order.
+// Partitioned returns the named partitioned table, or false.
+func (db *DB) Partitioned(name string) (*PartitionedTable, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, ok := db.parts[name]
+	return p, ok
+}
+
+// TableNames lists every catalog entry — flat and partitioned — in
+// lexical order.
 func (db *DB) TableNames() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.tables))
+	out := make([]string, 0, len(db.tables)+len(db.parts))
 	for n := range db.tables {
 		out = append(out, n)
 	}
+	for n := range db.parts {
+		out = append(out, n)
+	}
 	sort.Strings(out)
+	return out
+}
+
+// RelationInfo describes one catalog entry for monitoring surfaces (the
+// HTTP /tables endpoint serves it directly).
+type RelationInfo struct {
+	Name string `json:"name"`
+	// Kind is "table" or "partitioned".
+	Kind string `json:"kind"`
+	// Shards is the partition count; zero for flat tables.
+	Shards int `json:"shards,omitempty"`
+}
+
+// Relations lists the catalog — both kinds — in lexical name order.
+func (db *DB) Relations() []RelationInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]RelationInfo, 0, len(db.tables)+len(db.parts))
+	for n := range db.tables {
+		out = append(out, RelationInfo{Name: n, Kind: "table"})
+	}
+	for n, p := range db.parts {
+		out = append(out, RelationInfo{Name: n, Kind: "partitioned", Shards: len(p.set.Partitions())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
@@ -174,37 +243,123 @@ type QueryResult struct {
 // not-found rather than a bad-request condition.
 var ErrUnknownTable = errors.New("unknown table")
 
-// Query parses and executes one SQL SELECT over the database's tables,
-// seeing active tuples only. The supported dialect is the paper's §2.2
-// subspace: projection or a single aggregate (COUNT/SUM/AVG/MIN/MAX) over
-// one table, WHERE clauses comparing one integer attribute, AND/OR/NOT,
-// ORDER BY and LIMIT. Errors wrap ErrUnknownTable or sql.ErrInvalid so
-// callers can tell a missing table from malformed SQL.
+// Query parses and executes one SQL SELECT over the database's catalog —
+// flat and partitioned tables alike — seeing active tuples only. The
+// supported dialect is the paper's §2.2 subspace: projection or a single
+// aggregate (COUNT/SUM/AVG/MIN/MAX), WHERE clauses comparing one integer
+// attribute, AND/OR/NOT, ORDER BY, LIMIT, and two-table equi-joins
+// (SELECT a.v, b.v FROM a JOIN b ON a.k = b.k) riding the
+// morsel-parallel hash join. Errors wrap ErrUnknownTable or
+// sql.ErrInvalid so callers can tell a missing table from malformed SQL.
+// Query materializes the full result; QueryStream is the chunked form
+// the HTTP server serializes incrementally.
 func (db *DB) Query(q string) (*QueryResult, error) {
-	// The dialect is single-table, so at most one table lock is taken.
-	// SELECT never mutates table structure, so a shared read lock
-	// suffices and concurrent SQL queries run in parallel.
-	var locked *Table
-	defer func() {
-		if locked != nil {
-			locked.mu.RUnlock()
-		}
-	}()
-	res, err := sql.RunOpts(sql.CatalogFunc(func(name string) (*table.Table, error) {
-		db.mu.RLock()
-		t, ok := db.tables[name]
-		db.mu.RUnlock()
-		if !ok {
-			return nil, fmt.Errorf("amnesiadb: %w %q", ErrUnknownTable, name)
-		}
-		t.mu.RLock()
-		locked = t
-		return t.tbl, nil
-	}), q, sql.Opts{Parallelism: db.par})
+	qs, err := db.QueryStream(q)
+	if err != nil {
+		return nil, err
+	}
+	defer qs.Close()
+	res, err := qs.st.Collect()
 	if err != nil {
 		return nil, err
 	}
 	return &QueryResult{Columns: res.Columns, Rows: res.Rows, Ints: res.Ints}, nil
+}
+
+// QueryStream is a query result delivered in chunks: the engine's scan
+// (or join) hands per-morsel/per-shard batches through projection to the
+// consumer without materializing the whole row set. Streams whose later
+// chunks never read table storage again — value-only projections,
+// including every partitioned-table select, and aggregates — release
+// their relations' read locks as soon as the scan completes, so a slow
+// consumer cannot block writers. Streams that project lazily from table
+// columns (multi-column selects, joins) hold their read locks until
+// Close, which Next calls automatically once the stream drains or
+// fails; callers abandoning a stream early must Close it themselves.
+// Single-consumer, not safe for concurrent use.
+type QueryStream struct {
+	// Columns are the output headers; Ints flags exact-integer columns.
+	Columns []string
+	Ints    []bool
+
+	st      *sql.ResultStream
+	release func()
+}
+
+// Next returns the next chunk of rows, nil once the stream is drained.
+func (qs *QueryStream) Next() ([][]float64, error) {
+	rows, err := qs.st.Next()
+	if err != nil || rows == nil {
+		qs.Close()
+	}
+	return rows, err
+}
+
+// Close releases the relation locks the stream holds. It is idempotent.
+func (qs *QueryStream) Close() {
+	if qs.release != nil {
+		qs.release()
+		qs.release = nil
+	}
+}
+
+// QueryStream parses, validates and starts one SQL SELECT, returning the
+// chunked result stream. Every relation the query references is read-
+// locked — in sorted name order, the same order Join takes its pair, so
+// the two paths cannot deadlock around a pending writer — and stays
+// locked until the stream is closed, so concurrent queries stream in
+// parallel while inserts wait for the stream to finish.
+func (db *DB) QueryStream(q string) (*QueryStream, error) {
+	pq, err := sql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	names := pq.Tables()
+	sort.Strings(names)
+	rels := make(map[string]sql.Relation, len(names))
+	var unlocks []func()
+	release := func() {
+		for _, u := range unlocks {
+			u()
+		}
+	}
+	for _, n := range names {
+		db.mu.RLock()
+		t, okT := db.tables[n]
+		p, okP := db.parts[n]
+		db.mu.RUnlock()
+		switch {
+		case okT:
+			t.mu.RLock()
+			unlocks = append(unlocks, t.mu.RUnlock)
+			rels[n] = sql.NewTableRelation(t.tbl)
+		case okP:
+			p.mu.RLock()
+			unlocks = append(unlocks, p.mu.RUnlock)
+			rels[n] = sql.NewPartitionRelation(p.set)
+		default:
+			release()
+			return nil, fmt.Errorf("amnesiadb: %w %q", ErrUnknownTable, n)
+		}
+	}
+	st, err := sql.ExecStream(sql.CatalogFunc(func(n string) (sql.Relation, error) {
+		r, ok := rels[n]
+		if !ok {
+			return nil, fmt.Errorf("amnesiadb: %w %q", ErrUnknownTable, n)
+		}
+		return r, nil
+	}), pq, sql.Opts{Parallelism: db.par})
+	if err != nil {
+		release()
+		return nil, err
+	}
+	qs := &QueryStream{Columns: st.Columns, Ints: st.Ints, st: st, release: release}
+	if st.Detached {
+		// The stream owns every buffer its chunks will be built from;
+		// nothing reads the relations again, so the locks can go now.
+		qs.Close()
+	}
+	return qs, nil
 }
 
 // Policy binds an amnesia strategy and a storage budget to a table.
@@ -673,7 +828,7 @@ func (db *DB) LoadTable(r io.Reader) (*Table, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, dup := db.tables[tbl.Name()]; dup {
+	if db.taken(tbl.Name()) {
 		return nil, fmt.Errorf("amnesiadb: table %q already exists", tbl.Name())
 	}
 	ex := engine.New(tbl)

@@ -18,10 +18,12 @@
 //	amnesiabench -scan 4000000 [-workers 0]
 //
 // -join N does the same for the hash join (N-row probe side, N/8 build
-// side) and -partscan N for the partitioned fan-out (N rows over 16
-// value-range shards):
+// side), -sqljoin N for the SQL JOIN front-end versus the direct DB.Join
+// call (reporting the parse+plan+projection overhead), and -partscan N
+// for the partitioned fan-out (N rows over 16 value-range shards):
 //
 //	amnesiabench -join 4000000 [-workers 0]
+//	amnesiabench -sqljoin 2000000 [-workers 0]
 //	amnesiabench -partscan 4000000 [-workers 0]
 package main
 
@@ -48,8 +50,9 @@ func main() {
 		volatility = flag.String("volatility", "0.1,0.2,0.5,0.8", "comma-separated update percentages")
 		scanRows   = flag.Int("scan", 0, "run the scan micro-benchmark over this many rows instead of the sweep")
 		joinRows   = flag.Int("join", 0, "run the hash-join micro-benchmark over this many probe rows instead of the sweep")
+		sqlJoin    = flag.Int("sqljoin", 0, "benchmark the SQL JOIN path against the direct DB.Join over this many probe rows")
 		partRows   = flag.Int("partscan", 0, "run the partitioned fan-out micro-benchmark over this many rows instead of the sweep")
-		workers    = flag.Int("workers", 0, "parallelism knob for -scan/-join/-partscan (0 = auto/GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "parallelism knob for -scan/-join/-sqljoin/-partscan (0 = auto/GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,12 @@ func main() {
 	}
 	if *joinRows > 0 {
 		if err := runJoinBench(*joinRows, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *sqlJoin > 0 {
+		if err := runSQLJoinBench(*sqlJoin, *workers); err != nil {
 			fatal(err)
 		}
 		return

@@ -23,8 +23,9 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		seed = flag.Uint64("seed", 1, "seed for amnesia decisions")
+		addr         = flag.String("addr", ":8080", "listen address")
+		seed         = flag.Uint64("seed", 1, "seed for amnesia decisions")
+		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "max time to stream one response; a query stream that projects lazily holds its table read lock until the response finishes, so this bounds how long a stalled client can block writers")
 	)
 	flag.Parse()
 
@@ -33,6 +34,7 @@ func main() {
 		Addr:              *addr,
 		Handler:           server.New(db),
 		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      *writeTimeout,
 	}
 	fmt.Printf("amnesiaserve listening on %s\n", *addr)
 	log.Fatal(srv.ListenAndServe())

@@ -74,7 +74,8 @@ func (s *shell) dispatch(line string) error {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case ".help":
-		fmt.Fprintln(s.out, `SQL:  SELECT col|*|AGG(col) FROM table [WHERE ...] [LIMIT n]
+		fmt.Fprintln(s.out, `SQL:  SELECT col|*|AGG(col) FROM table [WHERE ...] [ORDER BY col] [LIMIT n]
+      SELECT a.col, b.col FROM a JOIN b ON a.k = b.k [WHERE ...]
 .tables                         list tables
 .stats <table>                  tuple counters
 .policy <table> <strategy> <n>  set amnesia policy (strategies: `+strings.Join(amnesiadb.Strategies(), " ")+`)

@@ -57,6 +57,7 @@ import (
 	"math"
 
 	"amnesiadb/internal/bitvec"
+	"amnesiadb/internal/column"
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/table"
 )
@@ -142,19 +143,87 @@ func (e *Exec) selectTouching(col string, pred expr.Expr, mode ScanMode, touch b
 	if mode == ScanActive {
 		active = e.t.Active()
 	}
-	var res *Result
-	if w := e.workersFor(c.Len()); w > 1 {
-		res = e.selectParallel(c, pred, active, w)
-	} else {
-		// Serial path: the scan kernel fills pooled batches directly; the
-		// chunks are then merged once into an exactly-sized result. One
-		// pass over the data, no append-doubling churn.
-		res = mergeChunks(collectChunks(c, pred, active, 0, c.Len()))
-	}
+	// The scan kernel fills pooled batches (morsel-parallel past the
+	// threshold); the chunks are then merged once into an exactly-sized
+	// result. One pass over the data, no append-doubling churn.
+	res := mergeChunks(e.collectAll(c, pred, active))
 	if touch && mode == ScanActive {
 		e.t.TouchMany(res.Rows)
 	}
 	return res, nil
+}
+
+// SelChunk is one batch-sized piece of a chunked selection: qualifying
+// tuple positions and the parallel attribute values, in insertion order
+// within and across chunks. The caller owns the slices.
+type SelChunk struct {
+	Rows   []int32
+	Values []int64
+}
+
+// SelectChunks is Select without the final concatenation: the qualifying
+// tuples come back as the scan pipeline produced them — a list of
+// batch-sized chunks in insertion order — so callers (the SQL layer's
+// result stream) can project and serialize incrementally instead of
+// materializing one flat result. Chunk buffers are stolen from the batch
+// pool (the pool replaces them on demand); the caller owns them.
+// Concatenating the chunks yields exactly Select's Rows and Values.
+func (e *Exec) SelectChunks(col string, pred expr.Expr, mode ScanMode) ([]SelChunk, error) {
+	c, err := e.t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	var active *bitvec.Vector
+	if mode == ScanActive {
+		active = e.t.Active()
+	}
+	batches := e.collectAll(c, pred, active)
+	out := make([]SelChunk, len(batches))
+	for i, b := range batches {
+		out[i] = SelChunk{Rows: b.Sel, Values: b.Val}
+	}
+	if e.touch && mode == ScanActive {
+		// One TouchMany per query, like Select: flushing per chunk would
+		// contend on the touch mutex once per batch across concurrent
+		// readers — exactly the serialisation the per-query flush exists
+		// to avoid.
+		total := 0
+		for _, b := range batches {
+			total += len(b.Sel)
+		}
+		if total > 0 {
+			rows := make([]int32, 0, total)
+			for _, b := range batches {
+				rows = append(rows, b.Sel...)
+			}
+			e.t.TouchMany(rows)
+		}
+	}
+	return out, nil
+}
+
+// collectAll runs the scan pipeline over the whole column — serial, or
+// morsel-parallel when the knob admits workers — and returns the
+// qualifying rows as truncated pooled batches in insertion order. Both
+// Select and SelectChunks drain this one path.
+func (e *Exec) collectAll(c *column.Int64, pred expr.Expr, active *bitvec.Vector) []*Batch {
+	w := e.workersFor(c.Len())
+	if w <= 1 {
+		return collectChunks(c, pred, active, 0, c.Len())
+	}
+	// Each morsel fills its own chunk-list slot (disjoint writes, no
+	// lock); the flattening walks the slots in morsel order, so rows
+	// stay in insertion order — byte-identical to the serial scan.
+	rowsPer, nm := morselGeometry(c)
+	chunks := make([][]*Batch, nm)
+	forEachMorsel(w, nm, func(_, m int) {
+		chunks[m] = collectChunks(c, pred, active, m*rowsPer, (m+1)*rowsPer)
+	})
+	var flat []*Batch
+	for _, cs := range chunks {
+		flat = append(flat, cs...)
+	}
+	return flat
 }
 
 // mergeChunks concatenates scan chunks into an exactly-sized Result and

@@ -160,24 +160,6 @@ func collectChunks(c *column.Int64, pred expr.Expr, active *bitvec.Vector, start
 	return out
 }
 
-// selectParallel is the morsel-driven Select path. Each worker fills
-// pooled batches for whole morsels; finished morsels park their chunk
-// lists in a per-morsel slot (disjoint writes, no lock), and the final
-// merge walks the slots in morsel order, so rows come back in insertion
-// order — byte-identical to the serial scan.
-func (e *Exec) selectParallel(c *column.Int64, pred expr.Expr, active *bitvec.Vector, workers int) *Result {
-	rowsPer, nm := morselGeometry(c)
-	chunks := make([][]*Batch, nm)
-	forEachMorsel(workers, nm, func(_, m int) {
-		chunks[m] = collectChunks(c, pred, active, m*rowsPer, (m+1)*rowsPer)
-	})
-	var flat []*Batch
-	for _, cs := range chunks {
-		flat = append(flat, cs...)
-	}
-	return mergeChunks(flat)
-}
-
 // aggregateParallel folds morsels into per-worker partial aggregates and
 // merges them. Sums, counts and min/max are order-independent over
 // int64, so the merged aggregate equals the serial one exactly. When the

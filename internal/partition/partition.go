@@ -12,10 +12,16 @@
 // the "tuned to provide the best precision for a subset of the workload"
 // loop. Budgets are atomic and each shard serialises its own mutation,
 // so Adapt can run online, interleaved with Inserts.
+//
+// Sets are also SQL citizens: ScanChunks, AggregateExpr and
+// PrecisionExpr take arbitrary single-attribute predicates (pruning the
+// fan-out by the predicate's bounding interval), which is what the SQL
+// layer's PartitionRelation adapter serves the catalog with.
 package partition
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -127,6 +133,9 @@ func New(column string, domain int64, n int, strategy string, totalBudget int, s
 
 // Partitions returns the shards in value order.
 func (s *Set) Partitions() []*Partition { return s.parts }
+
+// Column returns the name of the set's single stored attribute.
+func (s *Set) Column() string { return s.column }
 
 // SetParallelism sets the fan-out parallelism (0 auto = GOMAXPROCS,
 // 1 serial, n > 1 forced) and stamps the same knob onto every shard
@@ -250,6 +259,33 @@ func (s *Set) locate(v int64) (*Partition, error) {
 	return s.parts[i], nil
 }
 
+// ScanChunks returns the active tuples matching pred as one chunk per
+// intersecting shard, in value-range order — the chunked form the SQL
+// catalog streams from. The predicate's bounding interval prunes the
+// fan-out to the shards it can touch; per-shard scans run concurrently
+// up to the parallelism knob, each recording a workload hit for Adapt.
+// Chunk positions are nil: they would be shard-local and mean nothing
+// globally, so partitioned results project by value. Concatenating the
+// chunk values yields exactly Select's output.
+func (s *Set) ScanChunks(pred expr.Expr) ([]engine.SelChunk, error) {
+	lo, hi, _ := pred.Bounds()
+	hit := s.intersecting(lo, hi)
+	chunks := make([]engine.SelChunk, len(hit))
+	err := s.fanOut(hit, func(i int, ex *engine.Exec) error {
+		hit[i].hits.Add(1)
+		res, err := ex.Select(s.column, pred, engine.ScanActive)
+		if err != nil {
+			return err
+		}
+		chunks[i] = engine.SelChunk{Values: res.Values}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return chunks, nil
+}
+
 // Select returns matching active values across all shards intersecting
 // [lo, hi), recording per-shard workload hits for Adapt. Shards are
 // independent tables, so the per-shard scans run concurrently up to the
@@ -260,43 +296,82 @@ func (s *Set) locate(v int64) (*Partition, error) {
 // executors touch access frequencies through the table's internal
 // synchronisation.
 func (s *Set) Select(lo, hi int64) ([]int64, error) {
-	hit := s.intersecting(lo, hi)
-	vals := make([][]int64, len(hit))
-	err := s.fanOut(hit, func(i int, ex *engine.Exec) error {
-		hit[i].hits.Add(1)
-		res, err := ex.Select(s.column, expr.NewRange(lo, hi), engine.ScanActive)
-		if err != nil {
-			return err
-		}
-		vals[i] = res.Values
-		return nil
-	})
+	chunks, err := s.ScanChunks(expr.NewRange(lo, hi))
 	if err != nil {
 		return nil, err
 	}
 	total := 0
-	for i := range hit {
-		total += len(vals[i])
+	for _, c := range chunks {
+		total += len(c.Values)
 	}
 	if total == 0 {
 		return nil, nil
 	}
 	out := make([]int64, 0, total)
-	for _, v := range vals {
-		out = append(out, v...)
+	for _, c := range chunks {
+		out = append(out, c.Values...)
 	}
 	return out, nil
 }
 
-// Precision aggregates the §2.3 metrics across the shards that intersect
-// [lo, hi), running the per-shard precision scans concurrently like
-// Select.
-func (s *Set) Precision(lo, hi int64) (rf, mf int, pf float64, err error) {
+// AggregateExpr folds the single attribute under pred across the
+// intersecting shards in one concurrent fan-out, merging the per-shard
+// partials exactly (sums, counts and min/max are order-independent).
+// Shards whose qualifying set is empty contribute nothing; when every
+// shard is empty it returns engine.ErrNoRows like the flat engine.
+// Each touched shard records a workload hit, so SQL aggregates feed
+// Adapt like selects do.
+func (s *Set) AggregateExpr(pred expr.Expr) (*engine.AggResult, error) {
+	lo, hi, _ := pred.Bounds()
+	hit := s.intersecting(lo, hi)
+	partials := make([]*engine.AggResult, len(hit))
+	err := s.fanOut(hit, func(i int, ex *engine.Exec) error {
+		hit[i].hits.Add(1)
+		a, err := ex.Aggregate(s.column, pred, engine.ScanActive)
+		if err == engine.ErrNoRows {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		partials[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &engine.AggResult{Min: math.MaxInt64, Max: math.MinInt64}
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		out.Rows += p.Rows
+		out.Sum += p.Sum
+		if p.Min < out.Min {
+			out.Min = p.Min
+		}
+		if p.Max > out.Max {
+			out.Max = p.Max
+		}
+	}
+	if out.Rows == 0 {
+		return nil, engine.ErrNoRows
+	}
+	out.Avg = float64(out.Sum) / float64(out.Rows)
+	return out, nil
+}
+
+// PrecisionExpr aggregates the §2.3 metrics for pred across the shards
+// its bounding interval touches, running the per-shard precision scans
+// concurrently like Select. Metrics do not record workload hits, so
+// measuring precision never perturbs Adapt.
+func (s *Set) PrecisionExpr(pred expr.Expr) (rf, mf int, pf float64, err error) {
+	lo, hi, _ := pred.Bounds()
 	hit := s.intersecting(lo, hi)
 	rfs := make([]int, len(hit))
 	mfs := make([]int, len(hit))
 	ferr := s.fanOut(hit, func(i int, ex *engine.Exec) error {
-		r, m, _, err := ex.Precision(s.column, expr.NewRange(lo, hi))
+		r, m, _, err := ex.Precision(s.column, pred)
 		if err != nil {
 			return err
 		}
@@ -314,6 +389,12 @@ func (s *Set) Precision(lo, hi int64) (rf, mf int, pf float64, err error) {
 		return 0, 0, 1, nil
 	}
 	return rf, mf, float64(rf) / float64(rf+mf), nil
+}
+
+// Precision aggregates the §2.3 metrics across the shards that intersect
+// [lo, hi); see PrecisionExpr.
+func (s *Set) Precision(lo, hi int64) (rf, mf int, pf float64, err error) {
+	return s.PrecisionExpr(expr.NewRange(lo, hi))
 }
 
 // Stats sums tuple counts over all shards.

@@ -9,6 +9,18 @@
 //	GET  /tables
 //	GET  /precision?table=t&col=a&lo=0&hi=100
 //
+// /query serves the whole relation catalog — flat tables, partitioned
+// tables and two-table JOINs — and streams its response: the engine
+// materializes the qualifying positions and values, but projection to
+// rows and JSON serialization run chunk by chunk with incremental
+// flushes (http.Flusher), so the projected row set never materializes
+// server-side and response bytes leave while later chunks are still
+// being projected. A query rejected up front still gets a clean
+// 400/404/500; a failure after streaming has begun cannot retract the
+// 200, so the JSON body is terminated with a trailing "error" member —
+// clients must treat its presence (or a body that fails to parse) as a
+// failed query.
+//
 // All responses are JSON; errors use HTTP status codes with a JSON body
 // {"error": "..."}.
 package server
@@ -90,9 +102,11 @@ func (r queryRow) MarshalJSON() ([]byte, error) {
 	return json.Marshal(cells)
 }
 
-type queryResponse struct {
-	Columns []string   `json:"columns"`
-	Rows    []queryRow `json:"rows"`
+// queryHeader is the leading members of a streamed query response; the
+// rows array and the optional trailing error member are appended by
+// streamResult.
+type queryHeader struct {
+	Columns []string `json:"columns"`
 	// Ints is per-column type info: true when values are exact integers
 	// (projections, COUNT/SUM/MIN/MAX), false for AVG's floats — so
 	// clients can tell 2.0 from 2.
@@ -119,16 +133,80 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	res, err := s.db.Query(req.SQL)
+	// Parsing, catalog lookups and validation all happen here, so bad
+	// queries still map to clean pre-stream statuses; only execution
+	// failures can surface after the 200 is committed.
+	qs, err := s.db.QueryStream(req.SQL)
 	if err != nil {
 		writeErr(w, queryStatus(err), err)
 		return
 	}
-	rows := make([]queryRow, len(res.Rows))
-	for i, r := range res.Rows {
-		rows[i] = queryRow(r)
+	defer qs.Close()
+	streamResult(w, qs.Columns, qs.Ints, qs)
+}
+
+// rowSource yields result rows chunk by chunk; nil means drained. The
+// facade's QueryStream satisfies it.
+type rowSource interface {
+	Next() ([][]float64, error)
+}
+
+// streamResult serializes one query result incrementally: the envelope
+// header first, then each chunk of rows followed by a flush, so large
+// results reach the client while the engine is still projecting. A
+// mid-stream failure cannot retract the committed 200; instead the JSON
+// object is closed with a trailing "error" member, keeping the body
+// well-formed and the failure detectable (a body that does not parse at
+// all means the connection itself died mid-row).
+func streamResult(w http.ResponseWriter, columns []string, ints []bool, src rowSource) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
 	}
-	writeJSON(w, http.StatusOK, queryResponse{Columns: res.Columns, Rows: rows, Ints: res.Ints})
+	head, err := json.Marshal(queryHeader{Columns: columns, Ints: ints})
+	if err != nil {
+		return
+	}
+	// Reopen the header object so the rows array (and on failure the
+	// error member) can be appended incrementally.
+	w.Write(head[:len(head)-1])
+	w.Write([]byte(`,"rows":[`))
+	first := true
+	for {
+		rows, err := src.Next()
+		if err != nil {
+			msg, merr := json.Marshal(err.Error())
+			if merr != nil {
+				msg = []byte(`"query failed"`)
+			}
+			fmt.Fprintf(w, `],"error":%s}`, msg)
+			flush()
+			return
+		}
+		if rows == nil {
+			break
+		}
+		for _, row := range rows {
+			cell, merr := json.Marshal(queryRow(row))
+			if merr != nil {
+				fmt.Fprintf(w, `],"error":%q}`, "row serialization failed")
+				flush()
+				return
+			}
+			if !first {
+				w.Write([]byte{','})
+			}
+			first = false
+			w.Write(cell)
+		}
+		flush()
+	}
+	w.Write([]byte("]}"))
+	flush()
 }
 
 type insertRequest struct {
@@ -142,6 +220,21 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var req insertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if p, ok := s.db.Partitioned(req.Table); ok {
+		// Partitioned tables take their single column's values; the
+		// batch routes to the value-range shards.
+		vals, ok := req.Columns[p.Column()]
+		if !ok || len(req.Columns) != 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("partitioned table %q takes exactly its column %q", req.Table, p.Column()))
+			return
+		}
+		if err := p.Insert(vals); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, p.Stats())
 		return
 	}
 	t, ok := s.db.Table(req.Table)
@@ -179,6 +272,12 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	}
 	t, ok := s.db.Table(req.Table)
 	if !ok {
+		if _, part := s.db.Partitioned(req.Table); part {
+			// Per-shard budgets are managed by the partition layer's
+			// Adapt loop, not a table-level policy.
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("partitioned table %q manages per-shard budgets; table policies do not apply", req.Table))
+			return
+		}
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown table %q", req.Table))
 		return
 	}
@@ -194,37 +293,55 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, t.Stats())
 }
 
+// handleStats serves tuple counters for either catalog kind.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	t, ok := s.db.Table(r.URL.Query().Get("table"))
-	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown table %q", r.URL.Query().Get("table")))
+	name := r.URL.Query().Get("table")
+	if t, ok := s.db.Table(name); ok {
+		writeJSON(w, http.StatusOK, t.Stats())
 		return
 	}
-	writeJSON(w, http.StatusOK, t.Stats())
+	if p, ok := s.db.Partitioned(name); ok {
+		writeJSON(w, http.StatusOK, p.Stats())
+		return
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("unknown table %q", name))
 }
 
+// handleTables lists the relation catalog: every entry's name, its kind
+// (table | partitioned) and, for partitioned tables, the shard count.
 func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.db.TableNames())
+	writeJSON(w, http.StatusOK, s.db.Relations())
 }
 
+// handlePrecision serves the §2.3 metrics for either catalog kind.
 func (s *Server) handlePrecision(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	t, ok := s.db.Table(q.Get("table"))
-	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown table %q", q.Get("table")))
-		return
-	}
-	col := q.Get("col")
-	if col == "" {
-		col = t.Columns()[0]
-	}
+	name := q.Get("table")
 	lo, err1 := strconv.ParseInt(q.Get("lo"), 10, 64)
 	hi, err2 := strconv.ParseInt(q.Get("hi"), 10, 64)
 	if err1 != nil || err2 != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("lo and hi must be integers"))
 		return
 	}
-	rf, mf, pf, err := t.Precision(col, amnesiadb.Range(lo, hi))
+	var rf, mf int
+	var pf float64
+	var err error
+	if t, ok := s.db.Table(name); ok {
+		col := q.Get("col")
+		if col == "" {
+			col = t.Columns()[0]
+		}
+		rf, mf, pf, err = t.Precision(col, amnesiadb.Range(lo, hi))
+	} else if p, ok := s.db.Partitioned(name); ok {
+		if col := q.Get("col"); col != "" && col != p.Column() {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("partitioned table %q has no column %q", name, col))
+			return
+		}
+		rf, mf, pf, err = p.Precision(lo, hi)
+	} else {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown table %q", name))
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

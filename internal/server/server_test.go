@@ -164,12 +164,12 @@ func TestStatsAndTables(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("tables status %d", resp.StatusCode)
 	}
-	var names []string
-	if err := json.Unmarshal(body, &names); err != nil {
+	var rels []amnesiadb.RelationInfo
+	if err := json.Unmarshal(body, &rels); err != nil {
 		t.Fatal(err)
 	}
-	if len(names) != 1 || names[0] != "x" {
-		t.Fatalf("tables = %v", names)
+	if len(rels) != 1 || rels[0].Name != "x" || rels[0].Kind != "table" || rels[0].Shards != 0 {
+		t.Fatalf("tables = %+v", rels)
 	}
 	resp, _ = get(t, ts.URL+"/stats?table=missing")
 	if resp.StatusCode != http.StatusNotFound {

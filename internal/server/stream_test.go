@@ -1,0 +1,315 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"amnesiadb"
+)
+
+// TestTablesReportsKinds pins the /tables catalog listing: flat tables
+// carry kind "table", partitioned ones "partitioned" plus their shard
+// count, and /stats and /precision serve both kinds.
+func TestTablesReportsKinds(t *testing.T) {
+	ts, db := newServer(t)
+	if _, err := db.CreateTable("flat", "a"); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := db.CreatePartitionedTable("sharded", "v", 1000, 4, "uniform", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Insert([]int64{1, 2, 3, 500, 900}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := get(t, ts.URL+"/tables")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tables status %d", resp.StatusCode)
+	}
+	var rels []amnesiadb.RelationInfo
+	if err := json.Unmarshal(body, &rels); err != nil {
+		t.Fatal(err)
+	}
+	want := []amnesiadb.RelationInfo{
+		{Name: "flat", Kind: "table"},
+		{Name: "sharded", Kind: "partitioned", Shards: 4},
+	}
+	if len(rels) != 2 || rels[0] != want[0] || rels[1] != want[1] {
+		t.Fatalf("tables = %+v, want %+v", rels, want)
+	}
+
+	resp, body = get(t, ts.URL+"/stats?table=sharded")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partitioned stats status %d: %s", resp.StatusCode, body)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["Tuples"].(float64) != 5 {
+		t.Fatalf("partitioned stats = %v", stats)
+	}
+
+	resp, body = get(t, ts.URL+"/precision?table=sharded&lo=0&hi=1000")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partitioned precision status %d: %s", resp.StatusCode, body)
+	}
+	var prec map[string]float64
+	if err := json.Unmarshal(body, &prec); err != nil {
+		t.Fatal(err)
+	}
+	if prec["precision"] != 1 || prec["returned"] != 5 {
+		t.Fatalf("partitioned precision = %v", prec)
+	}
+}
+
+// TestQueryPartitionedTable pins the §4.4 serving loop: a /query against
+// a partitioned table returns exactly PartitionedTable.Select's rows.
+func TestQueryPartitionedTable(t *testing.T) {
+	ts, db := newServer(t)
+	pt, err := db.CreatePartitionedTable("p", "v", 1000, 4, "uniform", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, 300)
+	for i := range vals {
+		vals[i] = int64(i * 3 % 1000)
+	}
+	if err := pt.Insert(vals); err != nil {
+		t.Fatal(err)
+	}
+	want, err := pt.Select(100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := post(t, ts.URL+"/query", map[string]any{"sql": "SELECT v FROM p WHERE v >= 100 AND v < 400"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for i, r := range rows {
+		if got := r.([]any)[0].(float64); got != float64(want[i]) {
+			t.Fatalf("row %d = %v, want %d", i, got, want[i])
+		}
+	}
+	if _, ok := out["error"]; ok {
+		t.Fatalf("unexpected error member: %v", out["error"])
+	}
+}
+
+// TestQueryJoin pins the HTTP JOIN path against DB.Join: the streamed
+// rows must be byte-identical to the engine's direct join.
+func TestQueryJoin(t *testing.T) {
+	ts, db := newServer(t)
+	a, err := db.CreateTable("a", "k", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.CreateTable("b", "k", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Insert(map[string][]int64{"k": {1, 2, 2, 3}, "v": {10, 20, 21, 30}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(map[string][]int64{"k": {2, 3, 3, 5}, "w": {200, 300, 301, 500}}); err != nil {
+		t.Fatal(err)
+	}
+	joined, err := db.Join(a, "k", b, "k", amnesiadb.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := post(t, ts.URL+"/query", map[string]any{"sql": "SELECT a.v, b.w FROM a JOIN b ON a.k = b.k"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != len(joined) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(joined))
+	}
+	vcol, err := a.Select("v", amnesiadb.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcol, err := b.Select("w", amnesiadb.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range joined {
+		row := rows[i].([]any)
+		if row[0].(float64) != float64(vcol.Values[jr.LeftRow]) || row[1].(float64) != float64(wcol.Values[jr.RightRow]) {
+			t.Fatalf("row %d = %v, want (%d, %d)", i, row, vcol.Values[jr.LeftRow], wcol.Values[jr.RightRow])
+		}
+	}
+}
+
+// flushCounter is an http.ResponseWriter + Flusher that counts flushes,
+// so the streaming contract — multiple incremental flushes for large
+// results — is directly observable.
+type flushCounter struct {
+	header  http.Header
+	body    bytes.Buffer
+	status  int
+	flushes int
+}
+
+func newFlushCounter() *flushCounter { return &flushCounter{header: make(http.Header)} }
+
+func (f *flushCounter) Header() http.Header { return f.header }
+
+func (f *flushCounter) Write(p []byte) (int, error) { return f.body.Write(p) }
+
+func (f *flushCounter) WriteHeader(status int) { f.status = status }
+
+func (f *flushCounter) Flush() { f.flushes++ }
+
+// TestQueryStreamsInChunks drives a result far larger than one stream
+// chunk through the handler and counts flushes: the response must leave
+// in multiple increments, not one buffered write.
+func TestQueryStreamsInChunks(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 1})
+	tab, err := db.CreateTable("big", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000 // ~5 stream chunks of 4096
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	if err := tab.InsertColumn("a", vals); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	body, _ := json.Marshal(map[string]string{"sql": "SELECT a FROM big"})
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+	fc := newFlushCounter()
+	srv.ServeHTTP(fc, req)
+	if fc.status != http.StatusOK {
+		t.Fatalf("status %d: %s", fc.status, fc.body.String())
+	}
+	if fc.flushes < 3 {
+		t.Fatalf("flushes = %d, want several for %d rows", fc.flushes, n)
+	}
+	var out struct {
+		Columns []string    `json:"columns"`
+		Rows    [][]float64 `json:"rows"`
+		Error   string      `json:"error"`
+	}
+	if err := json.Unmarshal(fc.body.Bytes(), &out); err != nil {
+		t.Fatalf("streamed body is not valid JSON: %v", err)
+	}
+	if len(out.Rows) != n || out.Error != "" {
+		t.Fatalf("rows = %d (error %q), want %d", len(out.Rows), out.Error, n)
+	}
+}
+
+// errAfterSource yields one good chunk, then fails — the shape of a
+// mid-stream execution failure after the 200 is committed.
+type errAfterSource struct {
+	sent bool
+}
+
+func (s *errAfterSource) Next() ([][]float64, error) {
+	if s.sent {
+		return nil, errors.New("disk caught fire")
+	}
+	s.sent = true
+	return [][]float64{{1}, {2}}, nil
+}
+
+// TestMidStreamErrorSentinel pins the bugfix for silently truncated
+// streams: a failure after rows have been sent must close the JSON body
+// with a trailing "error" member, so clients can detect the partial
+// result instead of trusting a 200.
+func TestMidStreamErrorSentinel(t *testing.T) {
+	fc := newFlushCounter()
+	streamResult(fc, []string{"a"}, []bool{true}, &errAfterSource{})
+	if fc.status != http.StatusOK {
+		t.Fatalf("status %d, want 200 (already committed)", fc.status)
+	}
+	raw := fc.body.String()
+	var out struct {
+		Columns []string    `json:"columns"`
+		Rows    [][]float64 `json:"rows"`
+		Error   string      `json:"error"`
+	}
+	if err := json.Unmarshal(fc.body.Bytes(), &out); err != nil {
+		t.Fatalf("sentinel body is not valid JSON: %v\n%s", err, raw)
+	}
+	if !strings.Contains(out.Error, "disk caught fire") {
+		t.Fatalf("error member = %q, want the stream failure", out.Error)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("partial rows = %d, want the 2 delivered before the failure", len(out.Rows))
+	}
+}
+
+// TestPartitionedWriteSurface pins the catalog unification on the write
+// endpoints: /insert routes to partitioned tables (single column only),
+// /policy explains itself instead of claiming the table is unknown, and
+// /precision validates the col parameter for both kinds.
+func TestPartitionedWriteSurface(t *testing.T) {
+	ts, db := newServer(t)
+	if _, err := db.CreatePartitionedTable("p", "v", 1000, 4, "uniform", 100); err != nil {
+		t.Fatal(err)
+	}
+	resp, out := post(t, ts.URL+"/insert", map[string]any{
+		"table": "p", "columns": map[string][]int64{"v": {1, 500, 900}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partitioned insert status %d: %v", resp.StatusCode, out)
+	}
+	if out["Tuples"].(float64) != 3 {
+		t.Fatalf("partitioned insert stats = %v", out)
+	}
+	resp, _ = post(t, ts.URL+"/insert", map[string]any{
+		"table": "p", "columns": map[string][]int64{"wrong": {1}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-column insert status %d", resp.StatusCode)
+	}
+	resp, out = post(t, ts.URL+"/policy", map[string]any{
+		"table": "p", "strategy": "fifo", "budget": 10,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partitioned policy status %d: %v", resp.StatusCode, out)
+	}
+	resp, _ = get(t, ts.URL+"/precision?table=p&col=nosuch&lo=0&hi=100")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-col precision status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/precision?table=p&col=v&lo=0&hi=100")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("good-col precision status %d", resp.StatusCode)
+	}
+}
+
+// TestJoinUnknownTableIs404AndBadJoinIs400 pins the pre-stream status
+// mapping for the new join grammar.
+func TestJoinUnknownTableIs404AndBadJoinIs400(t *testing.T) {
+	ts, db := newServer(t)
+	if _, err := db.CreateTable("a", "k"); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := post(t, ts.URL+"/query", map[string]any{"sql": "SELECT a.k, b.k FROM a JOIN b ON a.k = b.k"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown join table status %d", resp.StatusCode)
+	}
+	if _, err := db.CreatePartitionedTable("p", "v", 100, 2, "uniform", 100); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = post(t, ts.URL+"/query", map[string]any{"sql": "SELECT a.k, p.v FROM a JOIN p ON a.k = p.v"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partitioned join status %d", resp.StatusCode)
+	}
+}

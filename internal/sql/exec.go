@@ -4,13 +4,12 @@ import (
 	"fmt"
 	"math"
 
-	"amnesiadb/internal/column"
 	"amnesiadb/internal/engine"
 	"amnesiadb/internal/expr"
-	"amnesiadb/internal/table"
 )
 
-// Result is the tabular output of Run.
+// Result is the materialized tabular output of Run — ResultStream's
+// Collect form, kept for tests and one-shot callers.
 type Result struct {
 	// Columns are the output column headers.
 	Columns []string
@@ -24,40 +23,37 @@ type Result struct {
 	Ints []bool
 }
 
-// Catalog resolves table names; the amnesiadb facade and the tests both
-// satisfy it.
-type Catalog interface {
-	// LookupTable returns the named table or an error.
-	LookupTable(name string) (*table.Table, error)
-}
-
-// CatalogFunc adapts a function to Catalog.
-type CatalogFunc func(name string) (*table.Table, error)
-
-// LookupTable implements Catalog.
-func (f CatalogFunc) LookupTable(name string) (*table.Table, error) { return f(name) }
-
 // Opts tunes query execution.
 type Opts struct {
 	// Parallelism is the engine's intra-query parallelism knob: 0 auto
-	// (morsel-parallel scans and sorts for large tables), 1 serial,
-	// n > 1 forces n workers. See engine.Exec.SetParallelism.
+	// (morsel-parallel scans, sorts and joins for large inputs),
+	// 1 serial, n > 1 forces n workers. See engine.Exec.SetParallelism.
 	Parallelism int
 }
 
 // Run parses and executes one SELECT against the catalog, querying active
-// tuples only (the amnesiac view).
+// tuples only (the amnesiac view), and materializes the full result.
 func Run(cat Catalog, query string) (*Result, error) {
 	return RunOpts(cat, query, Opts{})
 }
 
 // RunOpts is Run with execution options.
 func RunOpts(cat Catalog, query string, o Opts) (*Result, error) {
+	st, err := RunStream(cat, query, o)
+	if err != nil {
+		return nil, err
+	}
+	return st.Collect()
+}
+
+// RunStream parses and executes one SELECT, returning the chunked
+// result stream instead of a materialized Result.
+func RunStream(cat Catalog, query string, o Opts) (*ResultStream, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return ExecOpts(cat, q, o)
+	return ExecStream(cat, q, o)
 }
 
 // Exec executes a parsed query with default options.
@@ -65,137 +61,318 @@ func Exec(cat Catalog, q *Query) (*Result, error) {
 	return ExecOpts(cat, q, Opts{})
 }
 
-// badQuery wraps a semantic validation failure (unknown column,
-// cross-column aggregate) so it maps to "bad SQL" rather than an
-// internal error.
-func badQuery(err error) error { return fmt.Errorf("%w: %v", ErrInvalid, err) }
-
-// ExecOpts executes a parsed query.
+// ExecOpts executes a parsed query and materializes the result.
 func ExecOpts(cat Catalog, q *Query, o Opts) (*Result, error) {
-	t, err := cat.LookupTable(q.Table)
+	st, err := ExecStream(cat, q, o)
 	if err != nil {
 		return nil, err
 	}
-	ex := engine.New(t)
-	ex.SetParallelism(o.Parallelism)
+	return st.Collect()
+}
+
+// badQuery wraps a semantic validation failure (unknown column,
+// cross-column aggregate, unsupported join shape) so it maps to "bad
+// SQL" rather than an internal error.
+func badQuery(err error) error { return fmt.Errorf("%w: %v", ErrInvalid, err) }
+
+func badQueryf(format string, args ...any) error {
+	return badQuery(fmt.Errorf(format, args...))
+}
+
+// ExecStream executes a parsed query. Validation — catalog lookups,
+// column resolution, join-shape checks — happens before the stream is
+// returned, so an error here is a rejected query; errors from the
+// stream's Next are mid-flight execution failures.
+func ExecStream(cat Catalog, q *Query, o Opts) (*ResultStream, error) {
+	if q.Join != nil {
+		return execJoinStream(cat, q, o)
+	}
+	rel, err := cat.Lookup(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	if q.Aggregate != nil {
+		return execAggregateStream(rel, q, o)
+	}
+	return execSelectStream(rel, q, o)
+}
+
+// hasColumn reports whether the relation projects the named column.
+func hasColumn(rel Relation, name string) bool {
+	for _, c := range rel.Columns() {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveRef validates a column reference against a single-table query:
+// the qualifier, when present, must name the queried table, and the
+// column must exist.
+func resolveRef(rel Relation, tableName string, ref ColRef) (string, error) {
+	if ref.Table != "" && ref.Table != tableName {
+		return "", badQueryf("unknown table qualifier %q in %q", ref.Table, ref)
+	}
+	if !hasColumn(rel, ref.Name) {
+		return "", badQueryf("relation %q has no column %q", tableName, ref.Name)
+	}
+	return ref.Name, nil
+}
+
+// queryLimit resolves the LIMIT clause: -1 means unlimited.
+func queryLimit(q *Query) int {
+	if q.HasLimit {
+		return q.Limit
+	}
+	return -1
+}
+
+// execSelectStream streams a single-relation projection: scan chunks
+// come straight from the engine (per morsel for tables, per shard for
+// partitioned sets) and are projected on demand, so the server can
+// serialize incrementally. ORDER BY is the one barrier — the qualifying
+// set materializes for the sort — after which the sorted output streams
+// in StreamChunkRows windows.
+func execSelectStream(rel Relation, q *Query, o Opts) (*ResultStream, error) {
+	var cols []string    // plain column names to project
+	var headers []string // output headers as written
+	if q.Star {
+		cols = rel.Columns()
+		headers = cols
+	} else {
+		for _, ref := range q.Columns {
+			name, err := resolveRef(rel, q.Table, ref)
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, name)
+			headers = append(headers, ref.String())
+		}
+	}
 	pred := q.Where
 	if pred == nil {
 		pred = expr.True{}
 	}
-
-	if q.Aggregate != nil {
-		return execAggregate(t, ex, q, pred)
-	}
-
-	cols := q.Columns
-	if q.Star {
-		cols = t.Columns()
-	}
-	for _, c := range cols {
-		if _, err := t.Column(c); err != nil {
-			return nil, badQuery(err)
-		}
-	}
 	// The predicate runs over WhereCol (or the first projected column
 	// for predicate-free queries).
-	scanCol := q.WhereCol
-	if scanCol == "" {
-		scanCol = cols[0]
-	}
-	if _, err := t.Column(scanCol); err != nil {
-		return nil, badQuery(err)
-	}
-	var orderCol *column.Int64
-	if q.OrderBy != "" {
-		oc, err := t.Column(q.OrderBy)
+	scanCol := cols[0]
+	if q.WhereCol.Name != "" {
+		name, err := resolveRef(rel, q.Table, q.WhereCol)
 		if err != nil {
-			return nil, badQuery(err)
+			return nil, err
 		}
-		orderCol = oc
+		scanCol = name
 	}
-	limit := -1
-	if q.HasLimit {
-		limit = q.Limit
+	orderCol := ""
+	if q.OrderBy.Name != "" {
+		name, err := resolveRef(rel, q.Table, q.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		orderCol = name
 	}
-	res := &Result{Columns: cols, Ints: make([]bool, len(cols))}
-	for i := range res.Ints {
-		res.Ints[i] = true
+	ints := make([]bool, len(cols))
+	for i := range ints {
+		ints[i] = true
 	}
+	limit := queryLimit(q)
 	if limit == 0 {
 		// LIMIT 0 asks for zero rows; skip the scan (every referenced
 		// column is validated above, so an invalid query still errors).
-		return res, nil
+		return emptyStream(headers, ints), nil
 	}
-	sel, err := ex.Select(scanCol, pred, engine.ScanActive)
+	chunks, err := rel.ScanChunks(scanCol, pred, o.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	rows := sel.Rows
-	if orderCol != nil {
-		// Gather the sort keys once, then sort morsel-sized runs (in
-		// parallel past the auto threshold) and merge them with a k-way
-		// heap — top-k when a LIMIT caps the output.
-		keys := orderCol.Gather(rows, nil)
-		rows = orderRows(rows, keys, q.OrderDesc, limit, o.Parallelism)
-	} else if limit > 0 && len(rows) > limit {
-		rows = rows[:limit]
-	}
-	if len(rows) == 0 {
-		return res, nil
-	}
-	// Materialize column-at-a-time: one Gather per projected column over
-	// the post-limit selection vector, then transpose into output rows.
-	res.Rows = make([][]float64, len(rows))
-	for i := range res.Rows {
-		res.Rows[i] = make([]float64, len(cols))
-	}
-	var vals []int64
-	for ci, cn := range cols {
-		vals = t.MustColumn(cn).Gather(rows, vals)
-		for ri, v := range vals {
-			res.Rows[ri][ci] = float64(v)
+	// A value-only projection (every output column is the scan column —
+	// notably every partitioned-table select) never reads relation
+	// storage again after the scan: the stream is detached and catalog
+	// holders can release their locks immediately.
+	valueOnly := true
+	for _, c := range cols {
+		if c != scanCol {
+			valueOnly = false
+			break
 		}
 	}
-	return res, nil
+	if orderCol != "" {
+		return orderedSelectStream(rel, headers, ints, cols, scanCol, orderCol, chunks, q.OrderDesc, limit, o.Parallelism, valueOnly)
+	}
+
+	// Unordered path: walk the scan chunks with a cursor, assembling up
+	// to StreamChunkRows projected rows per Next and counting the LIMIT
+	// down across chunks.
+	ci, off, rem := 0, 0, limit
+	next := func() ([][]float64, error) {
+		var out [][]float64
+		for len(out) < StreamChunkRows && ci < len(chunks) && rem != 0 {
+			c := chunks[ci]
+			if off >= len(c.Values) {
+				ci, off = ci+1, 0
+				continue
+			}
+			take := len(c.Values) - off
+			if n := StreamChunkRows - len(out); take > n {
+				take = n
+			}
+			if rem > 0 && take > rem {
+				take = rem
+			}
+			// Relations without global positions (partitioned sets)
+			// carry nil Rows; they project by value only.
+			var span []int32
+			if c.Rows != nil {
+				span = c.Rows[off : off+take]
+			}
+			var perr error
+			out, perr = projectSpan(rel, cols, scanCol, span, c.Values[off:off+take], out)
+			if perr != nil {
+				return nil, perr
+			}
+			off += take
+			if rem > 0 {
+				rem -= take
+			}
+		}
+		return out, nil
+	}
+	st := NewResultStream(headers, ints, next)
+	st.Detached = valueOnly
+	return st, nil
 }
 
-func execAggregate(t *table.Table, ex *engine.Exec, q *Query, pred expr.Expr) (*Result, error) {
+// orderedSelectStream sorts the qualifying set and streams the sorted
+// projection window by window.
+func orderedSelectStream(rel Relation, headers []string, ints []bool, cols []string, scanCol, orderCol string, chunks []engine.SelChunk, desc bool, limit, par int, valueOnly bool) (*ResultStream, error) {
+	total := 0
+	for _, c := range chunks {
+		total += len(c.Values)
+	}
+	rows := make([]int32, 0, total)
+	vals := make([]int64, 0, total)
+	for _, c := range chunks {
+		rows = append(rows, c.Rows...)
+		vals = append(vals, c.Values...)
+	}
+	// Relations without global positions (partitioned sets) carry nil
+	// chunk Rows; their single column projects — and sorts — by value.
+	hasRows := len(rows) == total
+	keys := vals
+	if orderCol != scanCol {
+		if !hasRows {
+			return nil, badQueryf("relation has no column %q to order by", orderCol)
+		}
+		var err error
+		keys, err = rel.Gather(orderCol, rows, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	perm := orderPerm(keys, desc, limit, par)
+	pos := 0
+	wrows := make([]int32, 0, StreamChunkRows)
+	wvals := make([]int64, 0, StreamChunkRows)
+	next := func() ([][]float64, error) {
+		if pos >= len(perm) {
+			return nil, nil
+		}
+		end := pos + StreamChunkRows
+		if end > len(perm) {
+			end = len(perm)
+		}
+		wrows, wvals = wrows[:0], wvals[:0]
+		for _, p := range perm[pos:end] {
+			if hasRows {
+				wrows = append(wrows, rows[p])
+			}
+			wvals = append(wvals, vals[p])
+		}
+		pos = end
+		var span []int32
+		if hasRows {
+			span = wrows
+		}
+		return projectSpan(rel, cols, scanCol, span, wvals, nil)
+	}
+	// The sort keys were gathered above, so after construction a
+	// value-only projection touches no relation storage.
+	st := NewResultStream(headers, ints, next)
+	st.Detached = valueOnly
+	return st, nil
+}
+
+// projectSpan appends one span of qualifying tuples to out as projected
+// rows, column-at-a-time: the scan column's values are already in hand,
+// every other column is gathered over the span's positions.
+func projectSpan(rel Relation, cols []string, scanCol string, rows []int32, vals []int64, out [][]float64) ([][]float64, error) {
+	base := len(out)
+	for range vals {
+		out = append(out, make([]float64, len(cols)))
+	}
+	var buf []int64
+	for ci, cn := range cols {
+		src := vals
+		if cn != scanCol {
+			var err error
+			buf, err = rel.Gather(cn, rows, buf)
+			if err != nil {
+				return nil, err
+			}
+			src = buf
+		}
+		for i, v := range src {
+			out[base+i][ci] = float64(v)
+		}
+	}
+	return out, nil
+}
+
+func execAggregateStream(rel Relation, q *Query, o Opts) (*ResultStream, error) {
 	kind := *q.Aggregate
 	col := q.AggregateCol
 	if col == "*" {
 		// COUNT(*): count over the predicate column, or any column for
 		// predicate-free counting.
-		col = q.WhereCol
+		col = q.WhereCol.Name
 		if col == "" {
-			col = t.Columns()[0]
+			col = rel.Columns()[0]
 		}
 	}
-	if _, err := t.Column(col); err != nil {
-		return nil, badQuery(err)
+	if !hasColumn(rel, col) {
+		return nil, badQueryf("relation %q has no column %q", q.Table, col)
 	}
-	if q.WhereCol != "" && q.AggregateCol != "*" && q.WhereCol != q.AggregateCol {
-		return nil, badQuery(fmt.Errorf("aggregate column %q must match WHERE column %q in the single-attribute subspace", q.AggregateCol, q.WhereCol))
+	if q.WhereCol.Name != "" {
+		if _, err := resolveRef(rel, q.Table, q.WhereCol); err != nil {
+			return nil, err
+		}
+		if q.AggregateCol != "*" && q.WhereCol.Name != q.AggregateCol {
+			return nil, badQueryf("aggregate column %q must match WHERE column %q in the single-attribute subspace", q.AggregateCol, q.WhereCol.Name)
+		}
+	}
+	pred := q.Where
+	if pred == nil {
+		pred = expr.True{}
 	}
 	header := fmt.Sprintf("%s(%s)", kind, q.AggregateCol)
-	res := &Result{Columns: []string{header}, Ints: []bool{kind != engine.Avg}}
+	headers := []string{header}
+	ints := []bool{kind != engine.Avg}
 	if q.HasLimit && q.Limit == 0 {
 		// LIMIT 0 caps even the aggregate's single row.
-		return res, nil
+		return emptyStream(headers, ints), nil
 	}
-	agg, err := ex.Aggregate(col, pred, engine.ScanActive)
+	agg, err := rel.Aggregate(col, pred, o.Parallelism)
 	if err == engine.ErrNoRows {
 		// SQL semantics over an empty qualifying set: COUNT is 0, every
 		// other aggregate is NULL (one row, NaN standing in for NULL).
 		if kind == engine.Count {
-			res.Rows = [][]float64{{0}}
-		} else {
-			res.Rows = [][]float64{{math.NaN()}}
+			return oneChunkStream(headers, ints, [][]float64{{0}}), nil
 		}
-		return res, nil
+		return oneChunkStream(headers, ints, [][]float64{{math.NaN()}}), nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	res.Rows = [][]float64{{agg.Value(kind)}}
-	return res, nil
+	return oneChunkStream(headers, ints, [][]float64{{agg.Value(kind)}}), nil
 }

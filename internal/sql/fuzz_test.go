@@ -7,8 +7,9 @@ import (
 )
 
 // FuzzParse checks the parser never panics and that accepted statements
-// execute without panicking against a small catalog. Run the seeds with
-// plain `go test`; extend with `go test -fuzz=FuzzParse ./internal/sql`.
+// execute without panicking against a small catalog of joinable tables.
+// Run the seeds with plain `go test`; extend with
+// `go test -fuzz=FuzzParse ./internal/sql`.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"SELECT a FROM t",
@@ -21,6 +22,17 @@ func FuzzParse(f *testing.F) {
 		"((((",
 		"SELECT a FROM t WHERE a > 99999999999999999999999999",
 		"\x00\x01\x02",
+		// Qualified-column and JOIN grammar.
+		"SELECT t.a FROM t WHERE t.a < 4 ORDER BY t.a DESC",
+		"SELECT a.v, b.v FROM a JOIN b ON a.k = b.k",
+		"SELECT a.v FROM a JOIN b ON b.k = a.k WHERE a.k > 2 ORDER BY b.v LIMIT 3",
+		"SELECT v FROM a JOIN b ON a.k = b.k",
+		"SELECT a.v FROM a JOIN b ON a.k = c.k",
+		"SELECT a.v FROM a JOIN b ON k = b.k",
+		"SELECT * FROM a JOIN b ON a.k = b.k",
+		"SELECT COUNT(*) FROM a JOIN b ON a.k = b.k",
+		"SELECT x.y.z FROM t",
+		"SELECT a. FROM t",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -29,7 +41,24 @@ func FuzzParse(f *testing.F) {
 	if _, err := tb.AppendSingleColumn([]int64{1, 2, 3, 4, 5}); err != nil {
 		f.Fatal(err)
 	}
-	cat := CatalogFunc(func(name string) (*table.Table, error) { return tb, nil })
+	mk := func(name string) *table.Table {
+		jt := table.New(name, "k", "v")
+		if _, err := jt.AppendBatch(map[string][]int64{"k": {1, 2, 3}, "v": {10, 20, 30}}); err != nil {
+			f.Fatal(err)
+		}
+		return jt
+	}
+	ta, tbJoin := mk("a"), mk("b")
+	cat := CatalogFunc(func(name string) (Relation, error) {
+		switch name {
+		case "a":
+			return NewTableRelation(ta), nil
+		case "b":
+			return NewTableRelation(tbJoin), nil
+		default:
+			return NewTableRelation(tb), nil
+		}
+	})
 	f.Fuzz(func(t *testing.T, input string) {
 		q, err := Parse(input)
 		if err != nil {

@@ -1,12 +1,18 @@
 // Package sql implements a small SQL front-end for the query subspace the
-// paper carves out (§2.2): single-table SELECT with projection or one of
-// the aggregates COUNT/SUM/AVG/MIN/MAX, and WHERE clauses built from
-// integer comparisons combined with AND/OR/NOT. It exists so the examples
-// and the shell can talk to amnesiadb the way the paper's prose does:
+// paper carves out (§2.2): SELECT with projection or one of the
+// aggregates COUNT/SUM/AVG/MIN/MAX, WHERE clauses built from integer
+// comparisons combined with AND/OR/NOT, and two-table equi-joins with
+// qualified column projection. It exists so the examples and the shell
+// can talk to amnesiadb the way the paper's prose does:
 //
 //	SELECT AVG(a) FROM t
 //	SELECT a FROM t WHERE a >= 10 AND a < 20
 //	SELECT COUNT(*) FROM t WHERE NOT (a = 5 OR a > 100)
+//	SELECT a.v, b.v FROM a JOIN b ON a.k = b.k WHERE a.k < 100
+//
+// Queries execute against a Catalog of Relations — flat tables and
+// partitioned sets alike — and results come back as a chunked
+// ResultStream whose Collect gives the one-shot form.
 package sql
 
 import (
@@ -28,7 +34,7 @@ const (
 	tkEOF tokenKind = iota
 	tkIdent
 	tkNumber
-	tkSymbol  // ( ) , *
+	tkSymbol  // ( ) , * .
 	tkOp      // = <> < <= > >=
 	tkKeyword // SELECT FROM WHERE AND OR NOT + aggregate names
 )
@@ -45,6 +51,7 @@ var keywords = map[string]bool{
 	"AND": true, "OR": true, "NOT": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"LIMIT": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"JOIN": true, "ON": true,
 }
 
 // lex tokenises the input or returns a positioned error.
@@ -56,7 +63,7 @@ func lex(input string) ([]token, error) {
 		switch {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
-		case c == '(' || c == ')' || c == ',' || c == '*':
+		case c == '(' || c == ')' || c == ',' || c == '*' || c == '.':
 			out = append(out, token{kind: tkSymbol, text: string(c), pos: i})
 			i++
 		case c == '=':

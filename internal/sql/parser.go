@@ -8,31 +8,72 @@ import (
 	"amnesiadb/internal/expr"
 )
 
+// ColRef names one column, optionally qualified by its table:
+// "v" or "a.v". The zero value means "no column".
+type ColRef struct {
+	// Table is the qualifier; empty when the reference is unqualified.
+	Table string
+	// Name is the column name.
+	Name string
+}
+
+// String renders the reference as written: "t.c" or "c".
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// JoinSpec is a parsed JOIN clause: the right-hand table and the two key
+// columns of the equi-join condition, already assigned to their sides.
+type JoinSpec struct {
+	// Table is the right-hand (JOIN) table; Query.Table holds the left.
+	Table string
+	// LeftCol and RightCol are the join-key columns of Query.Table and
+	// Table respectively.
+	LeftCol, RightCol string
+}
+
 // Query is the parsed form of a SELECT statement.
 type Query struct {
 	// Columns to project; empty when Aggregate is set or Star is true.
-	Columns []string
+	// In a join, references must resolve unambiguously to one side.
+	Columns []ColRef
 	// Star is SELECT *.
 	Star bool
 	// Aggregate is set for SELECT AGG(col): the function and its column
 	// (column "*" for COUNT(*)).
 	Aggregate    *engine.AggKind
 	AggregateCol string
-	// Table is the FROM target.
+	// Table is the FROM target (the left side when Join is set).
 	Table string
+	// Join is the equi-join clause, nil for single-table queries.
+	Join *JoinSpec
 	// Where is the predicate over the single queried attribute (nil for
-	// no WHERE clause). WhereCol names that attribute.
+	// no WHERE clause). WhereCol names that attribute; in a join it must
+	// resolve to the join key.
 	Where    expr.Expr
-	WhereCol string
-	// OrderBy names the column to sort result rows by; empty keeps
-	// insertion order. OrderDesc reverses the order.
-	OrderBy   string
+	WhereCol ColRef
+	// OrderBy names the column to sort result rows by; a zero ColRef
+	// keeps insertion order. OrderDesc reverses the order.
+	OrderBy   ColRef
 	OrderDesc bool
 	// Limit caps result rows when HasLimit is set. LIMIT 0 is a valid
 	// query returning zero rows, so presence is tracked explicitly
 	// rather than through a sentinel value.
 	Limit    int
 	HasLimit bool
+}
+
+// Tables returns the distinct table names the query references, FROM
+// side first — what a catalog must resolve (and a facade must lock)
+// before executing.
+func (q *Query) Tables() []string {
+	if q.Join == nil || q.Join.Table == q.Table {
+		return []string{q.Table}
+	}
+	return []string{q.Table, q.Join.Table}
 }
 
 // Parse turns one SELECT statement into a Query.
@@ -86,6 +127,23 @@ func (p *parser) errf(format string, args ...any) error {
 	return fmt.Errorf("%w: offset %d: %s", ErrInvalid, p.cur().pos, fmt.Sprintf(format, args...))
 }
 
+// parseColRef parses an identifier with an optional table qualifier:
+// "c" or "t.c".
+func (p *parser) parseColRef() (ColRef, error) {
+	id, err := p.expect(tkIdent, "", "column name")
+	if err != nil {
+		return ColRef{}, err
+	}
+	if !p.eat(tkSymbol, ".") {
+		return ColRef{Name: id.text}, nil
+	}
+	col, err := p.expect(tkIdent, "", "column name after '.'")
+	if err != nil {
+		return ColRef{}, err
+	}
+	return ColRef{Table: id.text, Name: col.text}, nil
+}
+
 func (p *parser) parseSelect() (*Query, error) {
 	if _, err := p.expect(tkKeyword, "SELECT", "SELECT"); err != nil {
 		return nil, err
@@ -102,8 +160,13 @@ func (p *parser) parseSelect() (*Query, error) {
 		return nil, err
 	}
 	q.Table = tbl.text
+	if p.eat(tkKeyword, "JOIN") {
+		if err := p.parseJoin(q); err != nil {
+			return nil, err
+		}
+	}
 	if p.eat(tkKeyword, "WHERE") {
-		e, col, err := p.parseOr("")
+		e, col, err := p.parseOr(ColRef{})
 		if err != nil {
 			return nil, err
 		}
@@ -113,11 +176,11 @@ func (p *parser) parseSelect() (*Query, error) {
 		if _, err := p.expect(tkKeyword, "BY", "BY"); err != nil {
 			return nil, err
 		}
-		id, err := p.expect(tkIdent, "", "column name")
+		ref, err := p.parseColRef()
 		if err != nil {
 			return nil, err
 		}
-		q.OrderBy = id.text
+		q.OrderBy = ref
 		if p.eat(tkKeyword, "DESC") {
 			q.OrderDesc = true
 		} else {
@@ -136,6 +199,43 @@ func (p *parser) parseSelect() (*Query, error) {
 		q.Limit, q.HasLimit = lim, true
 	}
 	return q, nil
+}
+
+// parseJoin parses "<table> ON <t.c> = <t.c>" after the JOIN keyword and
+// assigns the two qualified key references to their sides.
+func (p *parser) parseJoin(q *Query) error {
+	tbl, err := p.expect(tkIdent, "", "join table name")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tkKeyword, "ON", "ON"); err != nil {
+		return err
+	}
+	a, err := p.parseColRef()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tkOp, "=", "'='"); err != nil {
+		return err
+	}
+	b, err := p.parseColRef()
+	if err != nil {
+		return err
+	}
+	if a.Table == "" || b.Table == "" {
+		return p.errf("ON condition must qualify both columns (%s = %s)", a, b)
+	}
+	j := &JoinSpec{Table: tbl.text}
+	switch {
+	case a.Table == q.Table && b.Table == tbl.text:
+		j.LeftCol, j.RightCol = a.Name, b.Name
+	case a.Table == tbl.text && b.Table == q.Table:
+		j.LeftCol, j.RightCol = b.Name, a.Name
+	default:
+		return p.errf("ON condition must equate a %s column with a %s column", q.Table, tbl.text)
+	}
+	q.Join = j
+	return nil
 }
 
 // aggKinds maps keyword to engine aggregate.
@@ -176,11 +276,11 @@ func (p *parser) parseSelectList(q *Query) error {
 		}
 	}
 	for {
-		id, err := p.expect(tkIdent, "", "column name")
+		ref, err := p.parseColRef()
 		if err != nil {
 			return err
 		}
-		q.Columns = append(q.Columns, id.text)
+		q.Columns = append(q.Columns, ref)
 		if !p.eat(tkSymbol, ",") {
 			return nil
 		}
@@ -189,15 +289,15 @@ func (p *parser) parseSelectList(q *Query) error {
 
 // parseOr handles OR-chains; col threads the single attribute the WHERE
 // clause is allowed to reference (§2.2's one-attribute subspace).
-func (p *parser) parseOr(col string) (expr.Expr, string, error) {
+func (p *parser) parseOr(col ColRef) (expr.Expr, ColRef, error) {
 	left, col, err := p.parseAnd(col)
 	if err != nil {
-		return nil, "", err
+		return nil, ColRef{}, err
 	}
 	for p.eat(tkKeyword, "OR") {
 		right, c, err := p.parseAnd(col)
 		if err != nil {
-			return nil, "", err
+			return nil, ColRef{}, err
 		}
 		col = c
 		left = expr.Or{L: left, R: right}
@@ -205,15 +305,15 @@ func (p *parser) parseOr(col string) (expr.Expr, string, error) {
 	return left, col, nil
 }
 
-func (p *parser) parseAnd(col string) (expr.Expr, string, error) {
+func (p *parser) parseAnd(col ColRef) (expr.Expr, ColRef, error) {
 	left, col, err := p.parseUnary(col)
 	if err != nil {
-		return nil, "", err
+		return nil, ColRef{}, err
 	}
 	for p.eat(tkKeyword, "AND") {
 		right, c, err := p.parseUnary(col)
 		if err != nil {
-			return nil, "", err
+			return nil, ColRef{}, err
 		}
 		col = c
 		left = expr.And{L: left, R: right}
@@ -221,21 +321,21 @@ func (p *parser) parseAnd(col string) (expr.Expr, string, error) {
 	return left, col, nil
 }
 
-func (p *parser) parseUnary(col string) (expr.Expr, string, error) {
+func (p *parser) parseUnary(col ColRef) (expr.Expr, ColRef, error) {
 	if p.eat(tkKeyword, "NOT") {
 		inner, c, err := p.parseUnary(col)
 		if err != nil {
-			return nil, "", err
+			return nil, ColRef{}, err
 		}
 		return expr.Not{X: inner}, c, nil
 	}
 	if p.eat(tkSymbol, "(") {
 		inner, c, err := p.parseOr(col)
 		if err != nil {
-			return nil, "", err
+			return nil, ColRef{}, err
 		}
 		if _, err := p.expect(tkSymbol, ")", ")"); err != nil {
-			return nil, "", err
+			return nil, ColRef{}, err
 		}
 		return inner, c, nil
 	}
@@ -247,25 +347,50 @@ var cmpOps = map[string]expr.Op{
 	"=": expr.EQ, "<>": expr.NE, "<": expr.LT, "<=": expr.LE, ">": expr.GT, ">=": expr.GE,
 }
 
-func (p *parser) parseComparison(col string) (expr.Expr, string, error) {
-	id, err := p.expect(tkIdent, "", "column name")
+// mergeRefs unifies two references to the WHERE attribute: names must
+// match, an absent qualifier matches a present one (so "a > 1 AND
+// t.a < 5" reads one attribute), and the qualified form becomes the
+// canonical reference. ok is false when they name different attributes.
+func mergeRefs(col, ref ColRef) (ColRef, bool) {
+	if col.Name == "" {
+		return ref, true
+	}
+	if col.Name != ref.Name {
+		return ColRef{}, false
+	}
+	switch {
+	case col.Table == ref.Table:
+		return col, true
+	case col.Table == "":
+		return ref, true
+	case ref.Table == "":
+		return col, true
+	default:
+		return ColRef{}, false
+	}
+}
+
+func (p *parser) parseComparison(col ColRef) (expr.Expr, ColRef, error) {
+	ref, err := p.parseColRef()
 	if err != nil {
-		return nil, "", err
+		return nil, ColRef{}, err
 	}
-	if col != "" && id.text != col {
-		return nil, "", p.errf("WHERE may reference only one attribute (%q), found %q", col, id.text)
+	merged, ok := mergeRefs(col, ref)
+	if !ok {
+		return nil, ColRef{}, p.errf("WHERE may reference only one attribute (%q), found %q", col, ref)
 	}
+	ref = merged
 	opTok, err := p.expect(tkOp, "", "comparison operator")
 	if err != nil {
-		return nil, "", err
+		return nil, ColRef{}, err
 	}
 	numTok, err := p.expect(tkNumber, "", "integer literal")
 	if err != nil {
-		return nil, "", err
+		return nil, ColRef{}, err
 	}
 	v, err := strconv.ParseInt(numTok.text, 10, 64)
 	if err != nil {
-		return nil, "", p.errf("bad integer %q", numTok.text)
+		return nil, ColRef{}, p.errf("bad integer %q", numTok.text)
 	}
-	return expr.Cmp{Op: cmpOps[opTok.text], Val: v}, id.text, nil
+	return expr.Cmp{Op: cmpOps[opTok.text], Val: v}, ref, nil
 }

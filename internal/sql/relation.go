@@ -1,0 +1,162 @@
+package sql
+
+import (
+	"fmt"
+
+	"amnesiadb/internal/engine"
+	"amnesiadb/internal/expr"
+	"amnesiadb/internal/partition"
+	"amnesiadb/internal/table"
+)
+
+// Relation is one queryable catalog entry. Flat tables and partitioned
+// sets implement it (via TableRelation and PartitionRelation), so the
+// executor — and through it the HTTP /query endpoint — routes to either
+// kind transparently: the §4.4 serving loop over one unified catalog.
+type Relation interface {
+	// Kind reports the relation flavour: "table" or "partitioned".
+	Kind() string
+	// Columns lists the projectable column names in declaration order.
+	Columns() []string
+	// ScanChunks returns the active tuples of col matching pred as
+	// chunks in deterministic order (insertion order for tables, value
+	// order for partitioned sets). par is the engine's intra-query
+	// parallelism knob; relations with their own stamped knob may
+	// ignore it.
+	ScanChunks(col string, pred expr.Expr, par int) ([]engine.SelChunk, error)
+	// Gather materializes col at the given scan positions. Relations
+	// without a global position space (partitioned sets) reject it;
+	// the executor projects their scan values directly.
+	Gather(col string, rows []int32, buf []int64) ([]int64, error)
+	// Aggregate folds col under pred in one pass; engine.ErrNoRows
+	// reports an empty qualifying set.
+	Aggregate(col string, pred expr.Expr, par int) (*engine.AggResult, error)
+	// Precision reports the §2.3 metrics for pred over col.
+	Precision(col string, pred expr.Expr, par int) (rf, mf int, pf float64, err error)
+	// Stats sums the relation's tuple counters.
+	Stats() table.Stats
+}
+
+// Catalog resolves relation names; the amnesiadb facade and the tests
+// both satisfy it.
+type Catalog interface {
+	// Lookup returns the named relation or an error.
+	Lookup(name string) (Relation, error)
+}
+
+// CatalogFunc adapts a function to Catalog.
+type CatalogFunc func(name string) (Relation, error)
+
+// Lookup implements Catalog.
+func (f CatalogFunc) Lookup(name string) (Relation, error) { return f(name) }
+
+// TableRelation adapts a flat table to the catalog. It is the only
+// relation kind the join executor accepts, since hash joins need the
+// table's global position space.
+type TableRelation struct {
+	tbl *table.Table
+}
+
+// NewTableRelation wraps t as a catalog Relation.
+func NewTableRelation(t *table.Table) *TableRelation { return &TableRelation{tbl: t} }
+
+// Kind implements Relation.
+func (r *TableRelation) Kind() string { return "table" }
+
+// Columns implements Relation.
+func (r *TableRelation) Columns() []string { return r.tbl.Columns() }
+
+// exec builds a touching executor at the given parallelism; scans feed
+// the §3.2 access-frequency loop exactly like the facade's direct path.
+func (r *TableRelation) exec(par int) *engine.Exec {
+	ex := engine.New(r.tbl)
+	ex.SetParallelism(par)
+	return ex
+}
+
+// ScanChunks implements Relation.
+func (r *TableRelation) ScanChunks(col string, pred expr.Expr, par int) ([]engine.SelChunk, error) {
+	return r.exec(par).SelectChunks(col, pred, engine.ScanActive)
+}
+
+// Gather implements Relation.
+func (r *TableRelation) Gather(col string, rows []int32, buf []int64) ([]int64, error) {
+	c, err := r.tbl.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	return c.Gather(rows, buf), nil
+}
+
+// Aggregate implements Relation.
+func (r *TableRelation) Aggregate(col string, pred expr.Expr, par int) (*engine.AggResult, error) {
+	return r.exec(par).Aggregate(col, pred, engine.ScanActive)
+}
+
+// Precision implements Relation.
+func (r *TableRelation) Precision(col string, pred expr.Expr, par int) (rf, mf int, pf float64, err error) {
+	return r.exec(par).Precision(col, pred)
+}
+
+// Stats implements Relation.
+func (r *TableRelation) Stats() table.Stats { return r.tbl.Stats() }
+
+// PartitionRelation adapts a partitioned set to the catalog: scans fan
+// out per shard (chunks come back one per shard, in value order) and
+// project by value, since shard-local positions mean nothing globally.
+type PartitionRelation struct {
+	set *partition.Set
+}
+
+// NewPartitionRelation wraps s as a catalog Relation.
+func NewPartitionRelation(s *partition.Set) *PartitionRelation { return &PartitionRelation{set: s} }
+
+// Kind implements Relation.
+func (r *PartitionRelation) Kind() string { return "partitioned" }
+
+// Columns implements Relation. A partitioned set stores one attribute.
+func (r *PartitionRelation) Columns() []string { return []string{r.set.Column()} }
+
+// checkCol validates the column reference against the single attribute.
+func (r *PartitionRelation) checkCol(col string) error {
+	if col != r.set.Column() {
+		return fmt.Errorf("partitioned relation: unknown column %q", col)
+	}
+	return nil
+}
+
+// ScanChunks implements Relation. The set's own fan-out knob governs
+// concurrency, so par is ignored.
+func (r *PartitionRelation) ScanChunks(col string, pred expr.Expr, _ int) ([]engine.SelChunk, error) {
+	if err := r.checkCol(col); err != nil {
+		return nil, err
+	}
+	return r.set.ScanChunks(pred)
+}
+
+// Gather implements Relation. Positions are shard-local, so partitioned
+// relations cannot project by position; the executor never asks, since
+// every projectable column is the scan column whose values the chunks
+// already carry.
+func (r *PartitionRelation) Gather(string, []int32, []int64) ([]int64, error) {
+	return nil, fmt.Errorf("partitioned relation: no global positions to gather")
+}
+
+// Aggregate implements Relation.
+func (r *PartitionRelation) Aggregate(col string, pred expr.Expr, _ int) (*engine.AggResult, error) {
+	if err := r.checkCol(col); err != nil {
+		return nil, err
+	}
+	return r.set.AggregateExpr(pred)
+}
+
+// Precision implements Relation.
+func (r *PartitionRelation) Precision(col string, pred expr.Expr, _ int) (rf, mf int, pf float64, err error) {
+	if err := r.checkCol(col); err != nil {
+		return 0, 0, 0, err
+	}
+	return r.set.PrecisionExpr(pred)
+}
+
+// Stats implements Relation.
+func (r *PartitionRelation) Stats() table.Stats { return r.set.Stats() }

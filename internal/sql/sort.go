@@ -13,12 +13,14 @@ import (
 // morsel-parallel scan that produced the rows.
 const sortRunRows = 64 * 1024
 
-// orderRows returns rows reordered by their parallel keys slice —
-// ascending, or descending when desc — truncated to limit when
-// limit >= 0 (limit < 0 means no LIMIT clause). Ties keep insertion
-// order (rows is in insertion order on entry), matching what a stable
-// full sort produces, so every (parallelism, limit) combination returns
-// a byte-identical prefix of the same total order.
+// orderPerm returns the permutation that orders keys — ascending, or
+// descending when desc — truncated to limit when limit >= 0 (limit < 0
+// means no LIMIT clause). Ties keep input order (keys is in insertion
+// order on entry), matching what a stable full sort produces, so every
+// (parallelism, limit) combination returns a byte-identical prefix of
+// the same total order. Callers apply the permutation to whatever runs
+// parallel to keys — selection vectors, value vectors, join rows — so
+// one sort serves scans and joins alike.
 //
 // The shape is the classic external-sort one, run in memory: contiguous
 // runs are sorted independently — in parallel when the knob allows —
@@ -26,8 +28,8 @@ const sortRunRows = 64 * 1024
 // top-k: each sorted run is clipped to its first limit entries (a run
 // cannot contribute more than that to the global top) and the merge
 // stops after emitting limit rows.
-func orderRows(rows []int32, keys []int64, desc bool, limit, par int) []int32 {
-	n := len(rows)
+func orderPerm(keys []int64, desc bool, limit, par int) []int {
+	n := len(keys)
 	k := n
 	if limit >= 0 && limit < n {
 		k = limit
@@ -65,11 +67,7 @@ func orderRows(rows []int32, keys []int64, desc bool, limit, par int) []int32 {
 	})
 
 	if nRuns == 1 {
-		out := make([]int32, len(runs[0]))
-		for i, p := range runs[0] {
-			out[i] = rows[p]
-		}
-		return out
+		return runs[0]
 	}
 
 	// K-way merge: a binary heap of run cursors ordered by head key,
@@ -81,10 +79,10 @@ func orderRows(rows []int32, keys []int64, desc bool, limit, par int) []int32 {
 			h.push(runCursor{run: r, perm: perm})
 		}
 	}
-	out := make([]int32, 0, k)
+	out := make([]int, 0, k)
 	for len(out) < k && h.len() > 0 {
 		top := &h.cur[0]
-		out = append(out, rows[top.perm[0]])
+		out = append(out, top.perm[0])
 		top.perm = top.perm[1:]
 		if len(top.perm) == 0 {
 			h.pop()

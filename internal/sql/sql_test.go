@@ -21,11 +21,23 @@ func catalog(t *testing.T, vals ...int64) Catalog {
 			t.Fatal(err)
 		}
 	}
-	return CatalogFunc(func(name string) (*table.Table, error) {
+	return CatalogFunc(func(name string) (Relation, error) {
 		if name != "t" {
 			return nil, fmt.Errorf("unknown table %q", name)
 		}
-		return tb, nil
+		return NewTableRelation(tb), nil
+	})
+}
+
+// tableCatalog builds a catalog over the given named tables.
+func tableCatalog(tbs ...*table.Table) Catalog {
+	return CatalogFunc(func(name string) (Relation, error) {
+		for _, tb := range tbs {
+			if tb.Name() == name {
+				return NewTableRelation(tb), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown table %q", name)
 	})
 }
 
@@ -57,10 +69,10 @@ func TestParseProjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(q.Columns) != 2 || q.Columns[0] != "a" || q.Columns[1] != "b" {
+	if len(q.Columns) != 2 || q.Columns[0].Name != "a" || q.Columns[1].Name != "b" {
 		t.Fatalf("columns = %v", q.Columns)
 	}
-	if q.Table != "events" || q.Limit != 3 || q.Where == nil || q.WhereCol != "a" {
+	if q.Table != "events" || q.Limit != 3 || q.Where == nil || q.WhereCol.Name != "a" {
 		t.Fatalf("query = %+v", q)
 	}
 }
@@ -262,7 +274,7 @@ func TestRunRespectsAmnesia(t *testing.T) {
 	}
 	tb.Forget(0)
 	tb.Forget(1)
-	cat := CatalogFunc(func(string) (*table.Table, error) { return tb, nil })
+	cat := CatalogFunc(func(string) (Relation, error) { return NewTableRelation(tb), nil })
 	res, err := Run(cat, "SELECT COUNT(*) FROM t")
 	if err != nil {
 		t.Fatal(err)
@@ -291,7 +303,7 @@ func TestRunAggregateColumnMismatch(t *testing.T) {
 	if _, err := tb.AppendBatch(map[string][]int64{"a": {1}, "b": {2}}); err != nil {
 		t.Fatal(err)
 	}
-	cat := CatalogFunc(func(string) (*table.Table, error) { return tb, nil })
+	cat := CatalogFunc(func(string) (Relation, error) { return NewTableRelation(tb), nil })
 	if _, err := Run(cat, "SELECT SUM(b) FROM t WHERE a > 0"); err == nil {
 		t.Fatal("cross-column aggregate accepted in single-attribute subspace")
 	}
@@ -306,7 +318,7 @@ func TestRunMultiColumnProjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cat := CatalogFunc(func(string) (*table.Table, error) { return tb, nil })
+	cat := CatalogFunc(func(string) (Relation, error) { return NewTableRelation(tb), nil })
 	res, err := Run(cat, "SELECT ts, val FROM t WHERE ts >= 2")
 	if err != nil {
 		t.Fatal(err)
@@ -370,6 +382,63 @@ func TestErrInvalidWrapsBadQueries(t *testing.T) {
 	}
 }
 
+// TestWhereMixedQualification pins the single-attribute check across
+// qualified and unqualified spellings: "a" and "t.a" are one attribute,
+// two different qualifiers are not.
+func TestWhereMixedQualification(t *testing.T) {
+	cat := catalog(t, 1, 2, 3, 4, 5)
+	res, err := Run(cat, "SELECT a FROM t WHERE a > 1 AND t.a < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][0] != 2 || res.Rows[2][0] != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// The canonical (qualified) form must still pass qualifier checks.
+	if _, err := Run(cat, "SELECT a FROM t WHERE a > 1 AND u.a < 5"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("foreign qualifier error = %v", err)
+	}
+	if _, err := Run(cat, "SELECT a FROM t WHERE t.a > 1 AND a < 5"); err != nil {
+		t.Fatalf("qualified-first form: %v", err)
+	}
+}
+
+// TestDetachedStreams pins which streams release their relations early:
+// value-only projections and aggregates are detached, projections that
+// gather other columns are not.
+func TestDetachedStreams(t *testing.T) {
+	tb := table.New("t", "a", "b")
+	if _, err := tb.AppendBatch(map[string][]int64{"a": {1, 2}, "b": {10, 20}}); err != nil {
+		t.Fatal(err)
+	}
+	cat := CatalogFunc(func(string) (Relation, error) { return NewTableRelation(tb), nil })
+	cases := map[string]bool{
+		"SELECT a FROM t":            true,
+		"SELECT a, a FROM t":         true,
+		"SELECT a FROM t ORDER BY a": true,
+		"SELECT COUNT(*) FROM t":     true,
+		"SELECT a FROM t LIMIT 0":    true,
+		// ORDER BY gathers its keys eagerly, so a value-only projection
+		// stays detached even when sorted by another column.
+		"SELECT a FROM t ORDER BY b":     true,
+		"SELECT a, b FROM t":             false,
+		"SELECT b FROM t WHERE a > 0":    false,
+		"SELECT t.a, t.b FROM t LIMIT 1": false,
+	}
+	for src, want := range cases {
+		st, err := RunStream(cat, src, Opts{})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if st.Detached != want {
+			t.Fatalf("%s: Detached = %v, want %v", src, st.Detached, want)
+		}
+		if _, err := st.Collect(); err != nil {
+			t.Fatalf("%s: collect: %v", src, err)
+		}
+	}
+}
+
 // TestOrderByLimitTopKEquivalence pins the run-sort + k-way-merge path
 // (serial and parallel) against the naive full sort across limits,
 // directions and duplicate-heavy keys.
@@ -387,7 +456,7 @@ func TestOrderByLimitTopKEquivalence(t *testing.T) {
 	for i := 0; i < n; i += 5 {
 		tb.Forget(i)
 	}
-	cat := CatalogFunc(func(string) (*table.Table, error) { return tb, nil })
+	cat := CatalogFunc(func(string) (Relation, error) { return NewTableRelation(tb), nil })
 	for _, q := range []string{
 		"SELECT a FROM t ORDER BY a",
 		"SELECT a FROM t ORDER BY a DESC",
@@ -436,7 +505,7 @@ func TestOrderByStabilityOnTies(t *testing.T) {
 	if _, err := tb.AppendBatch(map[string][]int64{"k": ks, "seq": seq}); err != nil {
 		t.Fatal(err)
 	}
-	cat := CatalogFunc(func(string) (*table.Table, error) { return tb, nil })
+	cat := CatalogFunc(func(string) (Relation, error) { return NewTableRelation(tb), nil })
 	for _, par := range []int{1, 4} {
 		res, err := RunOpts(cat, "SELECT k, seq FROM t ORDER BY k", Opts{Parallelism: par})
 		if err != nil {
@@ -493,7 +562,7 @@ func TestOrderByMultiRunMergeEquivalence(t *testing.T) {
 	if _, err := tb.AppendBatch(map[string][]int64{"k": ks, "seq": seq}); err != nil {
 		t.Fatal(err)
 	}
-	cat := CatalogFunc(func(string) (*table.Table, error) { return tb, nil })
+	cat := CatalogFunc(func(string) (Relation, error) { return NewTableRelation(tb), nil })
 	for _, q := range []string{
 		"SELECT k, seq FROM t ORDER BY k",
 		"SELECT k, seq FROM t ORDER BY k DESC LIMIT 37",

@@ -10,7 +10,10 @@ import (
 // PartitionedTable is a single-column store split into contiguous
 // value-range shards, each with its own amnesia budget — the §4.4
 // adaptive-partitioning vision. Budgets can follow the workload via
-// Adapt. Obtain via DB.CreatePartitionedTable.
+// Adapt. Obtain via DB.CreatePartitionedTable. Partitioned tables are
+// first-class catalog entries: DB.Query and the HTTP /query endpoint
+// route SELECTs to them transparently (scans fan out per shard, and
+// SQL aggregates feed the Adapt workload counters like Select does).
 //
 // Like Table, reads (Select, Precision, Stats, Partitions) run under a
 // shared lock and proceed in parallel; Insert and Adapt are exclusive.
@@ -34,7 +37,7 @@ type PartitionedTable struct {
 func (db *DB) CreatePartitionedTable(name, column string, domain int64, parts int, strategy string, totalBudget int) (*PartitionedTable, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, dup := db.tables[name]; dup {
+	if db.taken(name) {
 		return nil, fmt.Errorf("amnesiadb: table %q already exists", name)
 	}
 	set, err := partition.New(column, domain, parts, strategy, totalBudget, db.splitSrc())
@@ -42,15 +45,16 @@ func (db *DB) CreatePartitionedTable(name, column string, domain int64, parts in
 		return nil, err
 	}
 	set.SetParallelism(db.par)
-	// Partitioned tables live outside the flat-table catalog (no SQL
-	// access), but the name is still reserved so the namespaces cannot
-	// collide confusingly.
-	db.tables[name] = &Table{db: db}
-	return &PartitionedTable{name: name, set: set}, nil
+	pt := &PartitionedTable{name: name, set: set}
+	db.parts[name] = pt
+	return pt, nil
 }
 
 // Name returns the table name.
 func (p *PartitionedTable) Name() string { return p.name }
+
+// Column returns the name of the single stored attribute.
+func (p *PartitionedTable) Column() string { return p.set.Column() }
 
 // Insert routes values to their shards and enforces per-shard budgets.
 func (p *PartitionedTable) Insert(vals []int64) error {
