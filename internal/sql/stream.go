@@ -1,0 +1,97 @@
+package sql
+
+// StreamChunkRows is the output granularity of a ResultStream: Next
+// assembles at most this many projected rows per call. Large enough to
+// amortise per-chunk serialization, small enough that the server's
+// incremental flushes keep first-byte latency and peak memory bounded
+// by a chunk rather than the whole result.
+const StreamChunkRows = 4096
+
+// ResultStream yields one SELECT's output incrementally: the header is
+// known up front, rows arrive in chunks handed from the engine's scan
+// (or join) through projection on demand. Streams are single-consumer
+// and not safe for concurrent use. Collect drains into the one-shot
+// Result for callers that want the old materialized form.
+type ResultStream struct {
+	// Columns are the output column headers.
+	Columns []string
+	// Ints is true per column when values are exact integers (projection
+	// columns, COUNT/SUM/MIN/MAX); AVG reports a float.
+	Ints []bool
+	// Detached reports that every later Next call works off buffers the
+	// stream already owns — no relation storage is read again. The
+	// executor sets it for value-only projections (single scan-column
+	// results, including every partitioned-table select) and for
+	// already-computed aggregates; catalog holders can then drop their
+	// read locks as soon as the stream is built instead of pinning the
+	// relation for the consumer's lifetime.
+	Detached bool
+
+	next func() ([][]float64, error)
+	done bool
+	err  error
+}
+
+// NewResultStream builds a stream over a generator. next returns the
+// next non-empty chunk of rows, a nil slice once drained, or an error;
+// after an error or nil the generator is not called again. Exported so
+// servers and tests can stream from sources other than the executor.
+func NewResultStream(columns []string, ints []bool, next func() ([][]float64, error)) *ResultStream {
+	return &ResultStream{Columns: columns, Ints: ints, next: next}
+}
+
+// emptyStream is a drained stream with just the header — LIMIT 0 and
+// friends.
+func emptyStream(columns []string, ints []bool) *ResultStream {
+	st := NewResultStream(columns, ints, func() ([][]float64, error) { return nil, nil })
+	st.Detached = true
+	return st
+}
+
+// oneChunkStream yields rows as a single chunk, then drains. The rows
+// are already computed, so the stream is detached.
+func oneChunkStream(columns []string, ints []bool, rows [][]float64) *ResultStream {
+	sent := false
+	st := NewResultStream(columns, ints, func() ([][]float64, error) {
+		if sent || len(rows) == 0 {
+			return nil, nil
+		}
+		sent = true
+		return rows, nil
+	})
+	st.Detached = true
+	return st
+}
+
+// Next returns the next chunk of rows. A nil slice means the stream is
+// drained; an error ends the stream (subsequent calls repeat it).
+func (s *ResultStream) Next() ([][]float64, error) {
+	if s.done {
+		return nil, s.err
+	}
+	rows, err := s.next()
+	if err != nil {
+		s.done, s.err = true, err
+		return nil, err
+	}
+	if len(rows) == 0 {
+		s.done = true
+		return nil, nil
+	}
+	return rows, nil
+}
+
+// Collect drains the stream into the one-shot Result form.
+func (s *ResultStream) Collect() (*Result, error) {
+	res := &Result{Columns: s.Columns, Ints: s.Ints}
+	for {
+		rows, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if rows == nil {
+			return res, nil
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+}
