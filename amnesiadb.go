@@ -33,10 +33,13 @@
 // scans out per shard. The dialect covers projection, aggregates,
 // WHERE/ORDER BY/LIMIT and two-table equi-joins with qualified columns
 // (SELECT a.v, b.v FROM a JOIN b ON a.k = b.k), the join riding the
-// same morsel-parallel hash join as DB.Join. Results are streamed:
-// DB.QueryStream hands per-morsel/per-shard batches through projection
-// chunk by chunk (the server serializes each chunk with an incremental
-// flush), and DB.Query is its Collect form.
+// same morsel-parallel hash join as DB.Join. Results are pipelined:
+// DB.QueryStream's producers push per-morsel/per-shard batches into a
+// bounded channel while they are still scanning, projection and the
+// server's serialization consume concurrently (first chunk after the
+// first morsel, backpressure from slow consumers, request-context
+// cancellation tearing producers down mid-scan), and DB.Query is the
+// Collect form.
 //
 // A minimal session:
 //
@@ -48,6 +51,7 @@
 package amnesiadb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -266,23 +270,35 @@ func (db *DB) Query(q string) (*QueryResult, error) {
 	return &QueryResult{Columns: res.Columns, Rows: res.Rows, Ints: res.Ints}, nil
 }
 
-// QueryStream is a query result delivered in chunks: the engine's scan
-// (or join) hands per-morsel/per-shard batches through projection to the
-// consumer without materializing the whole row set. Streams whose later
-// chunks never read table storage again — value-only projections,
-// including every partitioned-table select, and aggregates — release
-// their relations' read locks as soon as the scan completes, so a slow
-// consumer cannot block writers. Streams that project lazily from table
-// columns (multi-column selects, joins) hold their read locks until
-// Close, which Next calls automatically once the stream drains or
-// fails; callers abandoning a stream early must Close it themselves.
-// Single-consumer, not safe for concurrent use.
+// QueryStream is a query result delivered as a pipeline: the engine's
+// morsel workers (or the partition layer's shard fan-out) push batches
+// into a bounded channel while they are still scanning, and Next
+// projects whatever has arrived — the first chunk is ready after the
+// first morsel, not the full scan. Streams whose later chunks never
+// read table storage again — value-only projections, including every
+// partitioned-table select, and aggregates — release their relations'
+// read locks as soon as the scan side completes, even while the
+// consumer is still draining. Note the pipeline trade: a consumer
+// slower than the scan delays that completion through backpressure
+// (that is what bounds memory), so with a large backlog the lock hold
+// tracks the slower of scan and consumer — Close, context
+// cancellation, or the server's -write-timeout bound the worst case,
+// and small backlogs (selective queries) fit the pipeline's buffers
+// and always release at scan speed.
+// Streams that project lazily from table columns (multi-column selects,
+// joins) hold their read locks until Close, which Next calls
+// automatically once the stream drains or fails; callers abandoning a
+// stream early must Close it themselves — Close also cancels any
+// still-running producers. Single-consumer, not safe for concurrent
+// use.
 type QueryStream struct {
 	// Columns are the output headers; Ints flags exact-integer columns.
 	Columns []string
 	Ints    []bool
 
-	st      *sql.ResultStream
+	st *sql.ResultStream
+
+	mu      sync.Mutex
 	release func()
 }
 
@@ -295,21 +311,48 @@ func (qs *QueryStream) Next() ([][]float64, error) {
 	return rows, err
 }
 
-// Close releases the relation locks the stream holds. It is idempotent.
+// Close cancels any still-running producers and releases the relation
+// locks the stream holds (waiting, when necessary, for in-flight morsel
+// workers to exit first — storage must not be read after the locks go).
+// It is idempotent and safe to call concurrently with the scan-side
+// release.
 func (qs *QueryStream) Close() {
-	if qs.release != nil {
-		qs.release()
-		qs.release = nil
+	qs.st.Close()
+	if sd := qs.st.ScanDone(); sd != nil {
+		<-sd
+	}
+	qs.releaseLocks()
+}
+
+// releaseLocks drops the stream's read locks exactly once. Both Close
+// and the scan-completion watcher funnel through here.
+func (qs *QueryStream) releaseLocks() {
+	qs.mu.Lock()
+	release := qs.release
+	qs.release = nil
+	qs.mu.Unlock()
+	if release != nil {
+		release()
 	}
 }
 
 // QueryStream parses, validates and starts one SQL SELECT, returning the
-// chunked result stream. Every relation the query references is read-
-// locked — in sorted name order, the same order Join takes its pair, so
-// the two paths cannot deadlock around a pending writer — and stays
-// locked until the stream is closed, so concurrent queries stream in
-// parallel while inserts wait for the stream to finish.
+// chunked result stream; see QueryStreamCtx.
 func (db *DB) QueryStream(q string) (*QueryStream, error) {
+	return db.QueryStreamCtx(context.Background(), q)
+}
+
+// QueryStreamCtx parses, validates and starts one SQL SELECT, returning
+// the pipelined result stream. Every relation the query references is
+// read-locked — in sorted name order, the same order Join takes its
+// pair, so the two paths cannot deadlock around a pending writer — and
+// stays locked until the stream no longer reads storage (scan-side
+// completion for value-only streams, Close otherwise), so concurrent
+// queries stream in parallel while inserts wait only as long as the
+// scan itself. Cancelling ctx tears down the query's morsel workers and
+// shard fan-outs mid-scan: a disconnected HTTP client stops consuming
+// cores within one morsel.
+func (db *DB) QueryStreamCtx(ctx context.Context, q string) (*QueryStream, error) {
 	pq, err := sql.Parse(q)
 	if err != nil {
 		return nil, err
@@ -348,16 +391,31 @@ func (db *DB) QueryStream(q string) (*QueryStream, error) {
 			return nil, fmt.Errorf("amnesiadb: %w %q", ErrUnknownTable, n)
 		}
 		return r, nil
-	}), pq, sql.Opts{Parallelism: db.par})
+	}), pq, sql.Opts{Parallelism: db.par, Ctx: ctx})
 	if err != nil {
 		release()
 		return nil, err
 	}
 	qs := &QueryStream{Columns: st.Columns, Ints: st.Ints, st: st, release: release}
-	if st.Detached {
+	switch {
+	case st.Detached:
 		// The stream owns every buffer its chunks will be built from;
 		// nothing reads the relations again, so the locks can go now.
-		qs.Close()
+		qs.releaseLocks()
+	case st.EarlyRelease() && st.ScanDone() != nil:
+		// Value-only pipeline: producers are still scanning, but the
+		// moment they finish (including after a cancellation) the
+		// stream only replays buffers it owns — release the locks right
+		// then, not at consumer completion. (Backpressure means a
+		// consumer slower than the scan still delays scan completion
+		// for backlogs beyond the pipeline's buffers; see the
+		// QueryStream doc.) The watcher always fires: ScanDone closes
+		// on every pipeline exit path.
+		sd := st.ScanDone()
+		go func() {
+			<-sd
+			qs.releaseLocks()
+		}()
 	}
 	return qs, nil
 }

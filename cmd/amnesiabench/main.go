@@ -25,6 +25,13 @@
 //	amnesiabench -join 4000000 [-workers 0]
 //	amnesiabench -sqljoin 2000000 [-workers 0]
 //	amnesiabench -partscan 4000000 [-workers 0]
+//
+// -stream N measures the pipelined streaming path end to end at the DB
+// facade: time-to-first-chunk versus total drain time for an N-row
+// streaming SELECT, serial and pipelined — the wall-clock win of
+// overlapping scan with serialization:
+//
+//	amnesiabench -stream 4000000 [-workers 0]
 package main
 
 import (
@@ -52,7 +59,8 @@ func main() {
 		joinRows   = flag.Int("join", 0, "run the hash-join micro-benchmark over this many probe rows instead of the sweep")
 		sqlJoin    = flag.Int("sqljoin", 0, "benchmark the SQL JOIN path against the direct DB.Join over this many probe rows")
 		partRows   = flag.Int("partscan", 0, "run the partitioned fan-out micro-benchmark over this many rows instead of the sweep")
-		workers    = flag.Int("workers", 0, "parallelism knob for -scan/-join/-sqljoin/-partscan (0 = auto/GOMAXPROCS)")
+		streamRows = flag.Int("stream", 0, "benchmark time-to-first-chunk vs total drain of a streaming SELECT over this many rows")
+		workers    = flag.Int("workers", 0, "parallelism knob for -scan/-join/-sqljoin/-partscan/-stream (0 = auto/GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -76,6 +84,12 @@ func main() {
 	}
 	if *partRows > 0 {
 		if err := runPartScanBench(*partRows, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *streamRows > 0 {
+		if err := runStreamBench(*streamRows, *workers); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -22,6 +23,12 @@ type scanResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	RowsPerSec  float64 `json:"rows_per_sec"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// MorselBlocks is the effective morsel stride (in blocks) the
+	// adaptive scheduler settled on — reported for the chunk-stream
+	// cells, where the stride is observable. The base stride is
+	// engine.MorselBlocks; growth beyond it means the scan's morsels
+	// completed fast enough that the scheduler coarsened them.
+	MorselBlocks int `json:"morsel_blocks,omitempty"`
 }
 
 // runScanBench measures the engine's select and aggregate paths over an
@@ -73,10 +80,31 @@ func runScanBench(n, workers int) error {
 			_, err := ex.Aggregate("a", pred, engine.ScanActive)
 			return err
 		}
+		// The chunk-stream cell drains the pipelined scan and records
+		// the adaptive scheduler's effective stride, so the -scan JSON
+		// makes adaptive morsel sizing observable across runs.
+		stride := 0
+		streamOp := func() error {
+			st, err := ex.SelectChunkStream(context.Background(), "a", pred, engine.ScanActive)
+			if err != nil {
+				return err
+			}
+			for {
+				_, ok, err := st.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+			}
+			stride = st.Stride()
+			return nil
+		}
 		for _, b := range []struct {
 			kind string
 			op   func() error
-		}{{"select", selOp}, {"aggregate", aggOp}} {
+		}{{"select", selOp}, {"aggregate", aggOp}, {"stream", streamOp}} {
 			ns, allocs, err := measure(b.op)
 			if err != nil {
 				return err
@@ -88,6 +116,9 @@ func runScanBench(n, workers int) error {
 				NsPerOp:     ns,
 				RowsPerSec:  float64(n) / (ns / 1e9),
 				AllocsPerOp: allocs,
+			}
+			if b.kind == "stream" {
+				res.MorselBlocks = stride
 			}
 			if err := enc.Encode(res); err != nil {
 				return err

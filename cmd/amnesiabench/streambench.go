@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"amnesiadb"
+	"amnesiadb/internal/xrand"
+)
+
+// streamBenchResult is the machine-readable cell for the pipelined
+// streaming path: how long until the first chunk of a huge SELECT is in
+// the consumer's hands versus how long the whole drain takes. The
+// pipeline's reason to exist is ttfc_speedup — without it, first-chunk
+// time equals total time because the scan runs to completion before
+// the first row moves (the "materialized" baseline cell, where DB.Query
+// returns everything at once and ttfc_ns == total_ns by construction).
+type streamBenchResult struct {
+	Bench   string `json:"bench"`
+	Rows    int    `json:"rows"`
+	Workers int    `json:"workers"`
+	// TTFCNs is the time-to-first-chunk: QueryStream construction plus
+	// the first Next (for the materialized baseline, the full Query).
+	TTFCNs float64 `json:"ttfc_ns"`
+	// TotalNs is the full construction-to-drain wall time.
+	TotalNs float64 `json:"total_ns"`
+	// TTFCSpeedup is TotalNs / TTFCNs — how much sooner a consumer
+	// starts seeing rows than it would if the scan ran to completion
+	// first.
+	TTFCSpeedup float64 `json:"ttfc_speedup"`
+}
+
+// benchLoop runs op until half a second has elapsed (at least 3 times)
+// and returns the iteration count.
+func benchLoop(op func() error) (int, error) {
+	start := time.Now()
+	iters := 0
+	for elapsed := time.Duration(0); iters < 3 || elapsed < 500*time.Millisecond; elapsed = time.Since(start) {
+		if err := op(); err != nil {
+			return 0, err
+		}
+		iters++
+	}
+	return iters, nil
+}
+
+// runStreamBench measures time-to-first-chunk against total query time
+// for a streaming SELECT over an n-row table — the materialized
+// DB.Query drain as the unpipelined baseline, then the pipelined
+// QueryStream — and prints one JSON line per cell.
+func runStreamBench(n, workers int) error {
+	src := xrand.New(1)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = src.Int63n(1 << 20)
+	}
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 1, Parallelism: workers})
+	tb, err := db.CreateTable("s", "a")
+	if err != nil {
+		return err
+	}
+	if err := tb.InsertColumn("a", vals); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+
+	// Baseline: the one-shot Query materializes the whole result before
+	// the caller sees a single row, so its time-to-first-row is its
+	// total time.
+	var matTotal time.Duration
+	matIters, err := benchLoop(func() error {
+		t0 := time.Now()
+		res, err := db.Query("SELECT a FROM s")
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) != n {
+			return fmt.Errorf("streambench: materialized %d rows, want %d", len(res.Rows), n)
+		}
+		matTotal += time.Since(t0)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	mat := streamBenchResult{
+		Bench:       "materialized",
+		Rows:        n,
+		Workers:     workers,
+		TTFCNs:      float64(matTotal.Nanoseconds()) / float64(matIters),
+		TotalNs:     float64(matTotal.Nanoseconds()) / float64(matIters),
+		TTFCSpeedup: 1,
+	}
+	if err := enc.Encode(mat); err != nil {
+		return err
+	}
+
+	// Pipelined: the stream's first chunk arrives after the first
+	// morsel, while later morsels are still scanning.
+	var ttfc, total time.Duration
+	iters, err := benchLoop(func() error {
+		t0 := time.Now()
+		qs, err := db.QueryStream("SELECT a FROM s")
+		if err != nil {
+			return err
+		}
+		rows, err := qs.Next()
+		if err != nil {
+			return err
+		}
+		if rows == nil {
+			return fmt.Errorf("streambench: empty first chunk")
+		}
+		ttfc += time.Since(t0)
+		for rows != nil {
+			rows, err = qs.Next()
+			if err != nil {
+				return err
+			}
+		}
+		total += time.Since(t0)
+		qs.Close()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	res := streamBenchResult{
+		Bench:   "pipelined_stream",
+		Rows:    n,
+		Workers: workers,
+		TTFCNs:  float64(ttfc.Nanoseconds()) / float64(iters),
+		TotalNs: float64(total.Nanoseconds()) / float64(iters),
+	}
+	res.TTFCSpeedup = res.TotalNs / res.TTFCNs
+	return enc.Encode(res)
+}

@@ -33,11 +33,22 @@
 // serial below it so small scans never pay goroutine overhead;
 // SetParallelism(1) forces serial; n > 1 forces n workers.
 //
-// HashJoin rides the same scheduler end to end: both sides are
-// collected by the parallel Select, the build side is scattered into
-// radix partitions (a two-pass count-then-scatter whose chunk-major
-// order keeps each key's match list in build order) with one worker
-// building each partition's hash map, and the probe runs
+// Scans are also pipelined (see pipeline.go): SelectChunkStream's
+// workers push qualifying chunks into a bounded channel, in order,
+// while later morsels are still scanning — the consumer's first chunk
+// costs one morsel, not one scan, backpressure bounds in-flight
+// memory, and a cancelled context tears the workers down. Morsel
+// sizing is adaptive on the chunked paths: the cursor starts at
+// MorselBlocks and doubles its stride (capped) whenever morsels
+// complete fast enough that scheduling overhead shows; claimed ranges
+// stay contiguous and merge in claim order, so every stride produces
+// byte-identical output.
+//
+// HashJoin rides the same scheduler end to end, build-while-collect:
+// both sides' collections stream concurrently, the side predicted
+// smaller scatters into radix partitions as its chunks arrive (chunk
+// arrival order keeps each key's match list in build order) with one
+// worker building each partition's hash map, and the probe runs
 // morsel-parallel over the collected probe vector with per-morsel
 // output slots concatenated in probe order — so the parallel join is
 // byte-identical to the serial one. Cross-shard parallelism follows
@@ -55,6 +66,8 @@ package engine
 import (
 	"errors"
 	"math"
+	"sync"
+	"time"
 
 	"amnesiadb/internal/bitvec"
 	"amnesiadb/internal/column"
@@ -205,22 +218,49 @@ func (e *Exec) SelectChunks(col string, pred expr.Expr, mode ScanMode) ([]SelChu
 // collectAll runs the scan pipeline over the whole column — serial, or
 // morsel-parallel when the knob admits workers — and returns the
 // qualifying rows as truncated pooled batches in insertion order. Both
-// Select and SelectChunks drain this one path.
+// Select and SelectChunks drain this one path. Parallel scans pull
+// adaptively sized morsels (see adaptiveMorsels): each claimed range
+// fills its own chunk-list slot keyed by claim sequence, and the
+// flattening walks the slots in claim order — claims are contiguous and
+// ascending, so rows stay in insertion order, byte-identical to the
+// serial scan at every stride.
 func (e *Exec) collectAll(c *column.Int64, pred expr.Expr, active *bitvec.Vector) []*Batch {
 	w := e.workersFor(c.Len())
 	if w <= 1 {
 		return collectChunks(c, pred, active, 0, c.Len())
 	}
-	// Each morsel fills its own chunk-list slot (disjoint writes, no
-	// lock); the flattening walks the slots in morsel order, so rows
-	// stay in insertion order — byte-identical to the serial scan.
-	rowsPer, nm := morselGeometry(c)
-	chunks := make([][]*Batch, nm)
-	forEachMorsel(w, nm, func(_, m int) {
-		chunks[m] = collectChunks(c, pred, active, m*rowsPer, (m+1)*rowsPer)
-	})
+	cur := newAdaptiveMorsels(c)
+	var mu sync.Mutex
+	var slots [][]*Batch
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r, seq, ok := cur.claim()
+				if !ok {
+					return
+				}
+				t0 := time.Now()
+				cs := collectChunks(c, pred, active, r.start, r.end)
+				qual := 0
+				for _, b := range cs {
+					qual += len(b.Sel)
+				}
+				cur.observe(time.Since(t0), qual)
+				mu.Lock()
+				for len(slots) <= seq {
+					slots = append(slots, nil)
+				}
+				slots[seq] = cs
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
 	var flat []*Batch
-	for _, cs := range chunks {
+	for _, cs := range slots {
 		flat = append(flat, cs...)
 	}
 	return flat

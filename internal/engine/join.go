@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"math/bits"
+	"sync"
 
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/table"
@@ -48,37 +51,144 @@ func HashJoin(left *table.Table, leftCol string, right *table.Table, rightCol st
 // radix scatter is chunk-major) and the probe emits per-morsel output
 // slots concatenated in probe order.
 func HashJoinPar(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, mode ScanMode, par int) (*JoinResult, error) {
+	return HashJoinCtx(context.Background(), left, leftCol, right, rightCol, pred, mode, par)
+}
+
+// joinSize predicts a side's qualifying-row magnitude before any scan
+// runs: the visible tuple count under the scan mode. It steers which
+// side's scatter starts while collecting — a performance guess only; the
+// actual build-side choice still uses the exact qualifying counts, so
+// output never depends on the prediction.
+func joinSize(t *table.Table, mode ScanMode) int {
+	if mode == ScanAll {
+		return t.Stats().Tuples
+	}
+	return t.ActiveCount()
+}
+
+// HashJoinCtx is HashJoinPar with request-scoped cancellation and a
+// pipelined build: instead of collecting the left side, then the right
+// side, then scattering the build side and finally constructing the hash
+// maps, both sides' scans stream concurrently, and the side predicted to
+// be the build (the smaller visible tuple count) feeds an incremental
+// radix scatter as its chunks arrive — the scatter finishes essentially
+// when the scan does, overlapping the collect and build phases. If the
+// prediction turns out wrong (the predicate qualified the other side
+// smaller), the join falls back to the two-pass scatter on the true
+// build side, no worse than the unpipelined join. Every path — serial,
+// pipelined, mispredicted — emits byte-identical rows: the build-side
+// choice uses exact qualifying counts, per-key match lists stay in
+// build-side insertion order, and the probe emits in probe order.
+// Cancelling ctx tears down the side scans mid-collection.
+func HashJoinCtx(ctx context.Context, left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, mode ScanMode, par int) (*JoinResult, error) {
 	if pred == nil {
 		pred = expr.True{}
 	}
-	collect := func(t *table.Table, colName string) (*Result, error) {
-		ex := NewSilent(t)
-		ex.SetParallelism(par)
-		return ex.Select(colName, pred, mode)
-	}
-	l, err := collect(left, leftCol)
-	if err != nil {
-		return nil, err
-	}
-	r, err := collect(right, rightCol)
-	if err != nil {
-		return nil, err
-	}
-
-	// Build on the smaller side.
-	swap := l.Count() > r.Count()
-	build, probe := l, r
-	if swap {
-		build, probe = r, l
-	}
-	workers := Workers(par, build.Count()+probe.Count())
-	ht := buildJoinTable(build.Values, build.Rows, workers)
-
+	workers := Workers(par, joinSize(left, mode)+joinSize(right, mode))
 	if workers <= 1 {
-		out := &JoinResult{}
-		out.Rows = probeRange(ht, probe, 0, probe.Count(), swap)
-		return out, nil
+		return hashJoinSerial(left, leftCol, right, rightCol, pred, mode, par)
 	}
+
+	nparts := 1 << uint(bits.Len(uint(workers-1))) // next power of two >= workers
+	if nparts > 256 {
+		nparts = 256
+	}
+	rbits := uint(bits.TrailingZeros(uint(nparts)))
+
+	// buildGuess is the side whose scatter starts while collecting.
+	buildGuess := 0
+	if joinSize(left, mode) > joinSize(right, mode) {
+		buildGuess = 1
+	}
+	type sideState struct {
+		chunks []SelChunk
+		count  int
+		scat   *radixScatter
+		err    error
+	}
+	sides := [2]*sideState{{}, {}}
+	sides[buildGuess].scat = newRadixScatter(rbits)
+	tables := [2]*table.Table{left, right}
+	cols := [2]string{leftCol, rightCol}
+
+	// One side failing (bad column, cancellation) must not leave the
+	// sibling scanning its whole table before the error can surface:
+	// both collections share a cancel.
+	jctx, cancelSides := context.WithCancel(ctx)
+	defer cancelSides()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := sides[i]
+			ex := NewSilent(tables[i])
+			ex.SetParallelism(par)
+			cs, err := ex.SelectChunkStream(jctx, cols[i], pred, mode)
+			if err != nil {
+				st.err = err
+				cancelSides()
+				return
+			}
+			defer cs.Close()
+			for {
+				c, ok, err := cs.Next()
+				if err != nil {
+					st.err = err
+					cancelSides()
+					return
+				}
+				if !ok {
+					return
+				}
+				st.chunks = append(st.chunks, c)
+				st.count += len(c.Values)
+				if st.scat != nil {
+					// Incremental chunk-major scatter: chunks arrive in
+					// insertion order from the single stream, so each
+					// partition sees keys in global build order.
+					st.scat.add(c)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var sideErr error
+	for _, st := range sides {
+		if st.err == nil {
+			continue
+		}
+		// Prefer the concrete failure over the cancellation it induced
+		// on the sibling.
+		if sideErr == nil || errors.Is(sideErr, context.Canceled) {
+			sideErr = st.err
+		}
+	}
+	if sideErr != nil {
+		return nil, sideErr
+	}
+
+	// The real build side is the smaller qualifying side — the same rule
+	// the serial join applies, so probe order (and with it the output)
+	// is identical at every parallelism.
+	swap := sides[0].count > sides[1].count
+	buildIdx := 0
+	if swap {
+		buildIdx = 1
+	}
+	probe := chunksToResult(sides[1-buildIdx].chunks)
+	var ht *joinTable
+	if buildIdx == buildGuess {
+		ht = sides[buildGuess].scat.table(workers)
+		recycleChunks(sides[buildGuess].chunks)
+	} else {
+		// Misprediction: scatter the true build side the old two-pass
+		// way; the speculative scatter is discarded.
+		build := chunksToResult(sides[buildIdx].chunks)
+		ht = buildJoinTable(build.Values, build.Rows, workers)
+	}
+
 	// Morsel-parallel probe: each morsel fills its own output slot (the
 	// hash table is read-only by now), and the slots concatenate in
 	// morsel order, so pairs come back exactly as the serial probe emits
@@ -105,6 +215,95 @@ func HashJoinPar(left *table.Table, leftCol string, right *table.Table, rightCol
 		}
 	}
 	return out, nil
+}
+
+// hashJoinSerial is the unpipelined join small inputs take: collect both
+// sides, build a flat map on the smaller, probe in order. It is the
+// byte-identity reference for every pipelined path.
+func hashJoinSerial(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, mode ScanMode, par int) (*JoinResult, error) {
+	collect := func(t *table.Table, colName string) (*Result, error) {
+		ex := NewSilent(t)
+		ex.SetParallelism(par)
+		return ex.Select(colName, pred, mode)
+	}
+	l, err := collect(left, leftCol)
+	if err != nil {
+		return nil, err
+	}
+	r, err := collect(right, rightCol)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build on the smaller side.
+	swap := l.Count() > r.Count()
+	build, probe := l, r
+	if swap {
+		build, probe = r, l
+	}
+	ht := buildJoinTable(build.Values, build.Rows, 1)
+	out := &JoinResult{}
+	out.Rows = probeRange(ht, probe, 0, probe.Count(), swap)
+	return out, nil
+}
+
+// chunksToResult flattens streamed scan chunks into the exact-size flat
+// Result the probe loop walks, recycling the chunk buffers.
+func chunksToResult(chunks []SelChunk) *Result {
+	total := 0
+	for _, c := range chunks {
+		total += len(c.Values)
+	}
+	res := &Result{}
+	if total > 0 {
+		res.Rows = make([]int32, 0, total)
+		res.Values = make([]int64, 0, total)
+		for _, c := range chunks {
+			res.Rows = append(res.Rows, c.Rows...)
+			res.Values = append(res.Values, c.Values...)
+		}
+	}
+	recycleChunks(chunks)
+	return res
+}
+
+// radixScatter accumulates build-side keys into radix partitions
+// incrementally, one chunk at a time, as the build scan streams in. A
+// single goroutine adds chunks in arrival order, so each partition's
+// arrays stay in global build order — exactly what the two-pass
+// chunk-major scatter produces, without waiting for the full collection.
+type radixScatter struct {
+	bits uint
+	keys [][]int64
+	rows [][]int32
+}
+
+func newRadixScatter(rbits uint) *radixScatter {
+	n := 1 << rbits
+	return &radixScatter{bits: rbits, keys: make([][]int64, n), rows: make([][]int32, n)}
+}
+
+// add scatters one chunk's keys and positions into the partitions.
+func (s *radixScatter) add(c SelChunk) {
+	for i, k := range c.Values {
+		p := radixOf(k, s.bits)
+		s.keys[p] = append(s.keys[p], k)
+		s.rows[p] = append(s.rows[p], c.Rows[i])
+	}
+}
+
+// table builds the per-partition hash maps — one worker per partition,
+// lock-free — over the scattered arrays.
+func (s *radixScatter) table(workers int) *joinTable {
+	jt := &joinTable{bits: s.bits, parts: make([]map[int64][]int32, len(s.keys))}
+	forEachMorsel(workers, len(s.keys), func(_, p int) {
+		ht := make(map[int64][]int32, len(s.keys[p]))
+		for i, k := range s.keys[p] {
+			ht[k] = append(ht[k], s.rows[p][i])
+		}
+		jt.parts[p] = ht
+	})
+	return jt
 }
 
 // ProbeMorselRows is the probe-side morsel granularity of the parallel

@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"amnesiadb/internal/expr"
@@ -134,4 +137,65 @@ func TestHashJoinParallelTinyBuildSide(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestHashJoinMispredictedBuildSide pins the build-while-collect
+// fallback: the pipelined join guesses the build side from visible
+// tuple counts before scanning, but a selective predicate can make the
+// other side the true (smaller-qualifying) build. The guess is a
+// performance hint only — the output must still be byte-identical to
+// the serial join, which decides by exact qualifying counts.
+func TestHashJoinMispredictedBuildSide(t *testing.T) {
+	src := xrand.New(11)
+	// Left is visibly bigger (so the pipeline scatters the right side
+	// speculatively) but almost nothing on the left qualifies, making
+	// left the true build side.
+	lvals := make([]int64, 30000)
+	for i := range lvals {
+		lvals[i] = 100000 + src.Int63n(100000) // outside the predicate
+	}
+	for i := 0; i < 200; i++ {
+		lvals[i*37] = src.Int63n(500) // the few qualifying left keys
+	}
+	rvals := make([]int64, 8000)
+	for i := range rvals {
+		rvals[i] = src.Int63n(500) // all inside the predicate
+	}
+	l := tblNamed(t, "l", lvals...)
+	r := tblNamed(t, "r", rvals...)
+	pred := expr.NewRange(0, 500)
+	if joinSize(l, ScanActive) <= joinSize(r, ScanActive) {
+		t.Fatal("test setup: left must be visibly bigger to force the misprediction")
+	}
+	serial, err := HashJoinPar(l, "k", r, "k", pred, ScanActive, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Count() == 0 {
+		t.Fatal("degenerate case: no pairs")
+	}
+	for _, par := range []int{2, 4, 8} {
+		got, err := HashJoinPar(l, "k", r, "k", pred, ScanActive, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.Rows, got.Rows) {
+			t.Fatalf("par=%d: mispredicted build diverges from serial (%d vs %d pairs)",
+				par, got.Count(), serial.Count())
+		}
+	}
+}
+
+// TestHashJoinCtxCancel pins request-scoped teardown: a context
+// cancelled mid-collection aborts the join with the cancellation error
+// and leaks no goroutines.
+func TestHashJoinCtxCancel(t *testing.T) {
+	l, r := joinTestTables(t, 200000, 150000)
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the collections even start
+	if _, err := HashJoinCtx(ctx, l, "k", r, "k", nil, ScanActive, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("join under cancelled ctx = %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, baseline)
 }

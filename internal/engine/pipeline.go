@@ -1,0 +1,501 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"amnesiadb/internal/bitvec"
+	"amnesiadb/internal/column"
+	"amnesiadb/internal/expr"
+)
+
+// This file is the engine's pipelined execution layer: instead of
+// running a scan to completion and handing the caller a finished chunk
+// list, morsel workers push chunks into a bounded channel while they are
+// still scanning, and the consumer (the SQL result stream, and through
+// it the HTTP serializer) drains concurrently. Time-to-first-chunk drops
+// from O(full scan) to O(first morsel); a slow consumer exerts
+// backpressure through the channel and the in-flight token budget, so
+// peak memory stays bounded; and cancelling the stream's context tears
+// the producers down mid-scan.
+//
+// Chunks are emitted in task order — morsel ranges ascend, shard
+// fan-outs go in value order — via a reorder stage: workers deposit
+// completed tasks into a slot map and a dedicated emitter drains slots
+// in sequence, so workers never stall on ordering and the pipelined
+// output is byte-identical to the serial scan.
+
+// ErrStreamClosed is the error a ChunkStream reports after Close tears
+// the pipeline down before the scan finished.
+var ErrStreamClosed = errors.New("engine: chunk stream closed")
+
+// pipelineChunkBuf is the bounded channel capacity between the emitter
+// and the consumer: a handful of batch-sized chunks, enough to keep the
+// consumer fed across scheduling hiccups, small enough that a stalled
+// consumer stops the producers almost immediately.
+const pipelineChunkBuf = 4
+
+// pipelineInflight bounds how many claimed-but-unconsumed tasks a
+// pipeline with w workers may hold: every worker can be scanning one
+// task with one more buffered ahead, plus slack so the emitter never
+// starves. Together with pipelineChunkBuf this is the stream's memory
+// bound — a slow consumer can never force more than this many tasks'
+// chunks to exist at once.
+func pipelineInflight(w int) int { return 2*w + 2 }
+
+// ChunkStream is the consumer handle of a pipelined scan: Next yields
+// chunks in deterministic order while producers are still scanning,
+// Close cancels the producers, and ScanDone reports when the pipeline
+// has stopped reading storage. Single-consumer; Next must not be called
+// concurrently.
+type ChunkStream struct {
+	ch       chan SelChunk
+	stop     chan struct{}
+	stopOnce sync.Once
+	cause    error
+	scanDone chan struct{}
+	stride   func() int
+
+	// err is written by the emitter or the janitor strictly before ch is
+	// closed; consumers read it only after observing the close, so the
+	// channel close is the publication barrier.
+	err error
+}
+
+func newChunkStream() *ChunkStream {
+	return &ChunkStream{
+		ch:       make(chan SelChunk, pipelineChunkBuf),
+		stop:     make(chan struct{}),
+		scanDone: make(chan struct{}),
+	}
+}
+
+// Next returns the next chunk. ok is false once the stream is drained or
+// torn down; err then reports why (nil for a clean drain).
+func (s *ChunkStream) Next() (c SelChunk, ok bool, err error) {
+	c, ok = <-s.ch
+	if ok {
+		return c, true, nil
+	}
+	return SelChunk{}, false, s.err
+}
+
+// Close cancels the pipeline: producers stop claiming work, buffered
+// chunks are recycled, and Next reports ErrStreamClosed once the channel
+// drains. Idempotent; safe to call after the stream completed normally.
+func (s *ChunkStream) Close() { s.closeWith(ErrStreamClosed) }
+
+func (s *ChunkStream) closeWith(err error) {
+	s.stopOnce.Do(func() {
+		s.cause = err
+		close(s.stop)
+	})
+}
+
+// ScanDone returns a channel closed once every producer has exited and
+// the pipeline will never read relation storage again. Catalog holders
+// use it to release read locks as soon as the scan — not the consumer —
+// finishes; it always closes eventually, including after Close or a
+// context cancellation.
+func (s *ChunkStream) ScanDone() <-chan struct{} { return s.scanDone }
+
+// Stride reports the scan's effective morsel stride in blocks — the
+// adaptive scheduler's final size, observable for benchmarks. Zero for
+// pipelines without a morsel cursor (shard fan-outs).
+func (s *ChunkStream) Stride() int {
+	if s.stride == nil {
+		return 0
+	}
+	return s.stride()
+}
+
+// Collect drains the stream into a flat chunk list — the materialized
+// ScanChunks form — recycling nothing (the caller owns the chunks).
+func (s *ChunkStream) Collect() ([]SelChunk, error) {
+	var out []SelChunk
+	for {
+		c, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, c)
+	}
+}
+
+// runPipeline wires the ordered producer/consumer machinery behind a
+// ChunkStream. claim hands out tasks with dense sequence numbers in
+// emission order; produce runs one task (safe for concurrent calls with
+// distinct tasks); finish, when non-nil, runs exactly once after every
+// producer has exited and before ScanDone closes — the touch-flush hook.
+// ctx cancellation and Close are equivalent teardowns.
+func runPipeline[T any](ctx context.Context, s *ChunkStream, workers int,
+	claim func() (T, int, bool),
+	produce func(T) ([]SelChunk, error),
+	finish func()) {
+
+	if ctx != nil {
+		// An already-cancelled context must not start producing: check
+		// synchronously so pre-cancelled queries fail deterministically
+		// instead of racing the watcher goroutine.
+		select {
+		case <-ctx.Done():
+			s.closeWith(context.Cause(ctx))
+		default:
+		}
+	}
+	inflight := pipelineInflight(workers)
+	sem := make(chan struct{}, inflight)
+	notify := make(chan struct{}, 1)
+	var (
+		mu        sync.Mutex
+		ready     = map[int][]SelChunk{}
+		perr      error
+		producing = workers
+	)
+	wake := func() {
+		select {
+		case notify <- struct{}{}:
+		default:
+		}
+	}
+
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		defer func() {
+			mu.Lock()
+			producing--
+			mu.Unlock()
+			wake()
+		}()
+		for {
+			// Teardown has priority: once stop closes, no new morsel may
+			// be claimed, even if a semaphore slot is free (a two-way
+			// select would pick between the ready cases at random).
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-s.stop:
+				return
+			}
+			task, seq, ok := claim()
+			if !ok {
+				<-sem
+				return
+			}
+			chunks, err := produce(task)
+			mu.Lock()
+			if err != nil && perr == nil {
+				perr = err
+			}
+			ready[seq] = chunks
+			mu.Unlock()
+			wake()
+			if err != nil {
+				// Fail fast: wake every worker out of its sem wait so the
+				// pipeline drains promptly. The recorded error wins over
+				// the close cause.
+				s.closeWith(err)
+				return
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go worker()
+	}
+
+	wg.Add(1)
+	go func() { // emitter: drains slots in sequence order
+		defer wg.Done()
+		next := 0
+		for {
+			mu.Lock()
+			chunks, have := ready[next]
+			err := perr
+			done := producing == 0
+			if have {
+				delete(ready, next)
+			}
+			mu.Unlock()
+			if err != nil {
+				s.err = err
+				recycleChunks(chunks)
+				return
+			}
+			if have {
+				for i, c := range chunks {
+					select {
+					case s.ch <- c:
+					case <-s.stop:
+						recycleChunks(chunks[i:])
+						return
+					}
+				}
+				<-sem
+				next++
+				continue
+			}
+			if done {
+				return // all tasks claimed, produced and emitted
+			}
+			select {
+			case <-notify:
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+
+	if ctx != nil && ctx.Done() != nil {
+		go func() { // context watcher; exits with the pipeline
+			select {
+			case <-ctx.Done():
+				s.closeWith(context.Cause(ctx))
+			case <-s.scanDone:
+			}
+		}()
+	}
+
+	go func() { // janitor: final cleanup once workers and emitter exit
+		wg.Wait()
+		if finish != nil {
+			finish()
+		}
+		mu.Lock()
+		for seq, chunks := range ready {
+			recycleChunks(chunks)
+			delete(ready, seq)
+		}
+		mu.Unlock()
+		if s.err == nil {
+			select {
+			case <-s.stop:
+				s.err = s.cause
+			default:
+			}
+		}
+		close(s.scanDone)
+		close(s.ch)
+	}()
+}
+
+// recycleChunks returns pool-shaped chunk buffers to the batch pool.
+func recycleChunks(chunks []SelChunk) {
+	for _, c := range chunks {
+		RecycleChunk(c)
+	}
+}
+
+// RecycleChunk returns a chunk's buffers to the batch pool once the
+// consumer has projected it. Only pool-shaped chunks — full-capacity
+// position and value buffers, the kind the scan pipeline steals from the
+// pool — are recycled; partitioned shard chunks (nil positions,
+// arbitrary capacity) are left for the collector.
+func RecycleChunk(c SelChunk) {
+	if c.Rows == nil || cap(c.Rows) != BatchSize || cap(c.Values) != BatchSize {
+		return
+	}
+	PutBatch(&Batch{Sel: c.Rows[:BatchSize], Val: c.Values[:BatchSize]})
+}
+
+// NewChunkPipeline starts a pipelined fan-out over n indexed tasks:
+// produce(i) runs on up to workers goroutines, and the tasks' chunks are
+// emitted strictly in index order over the stream's bounded channel. The
+// partition layer's shard fan-out streams through this; tests drive it
+// directly to pin the backpressure bound.
+func NewChunkPipeline(ctx context.Context, workers, n int, produce func(task int) ([]SelChunk, error)) *ChunkStream {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := newChunkStream()
+	var next int
+	var mu sync.Mutex
+	claim := func() (int, int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, 0, false
+		}
+		i := next
+		next++
+		return i, i, true
+	}
+	runPipeline(ctx, s, workers, claim, produce, nil)
+	return s
+}
+
+// Adaptive morsel sizing: the scheduler starts at MorselBlocks and
+// grows the stride geometrically while morsels both complete faster
+// than adaptGrowBelow and qualify almost nothing — the signature of a
+// highly selective predicate over a huge column, where fixed-size
+// morsels spend as much time on scheduling atomics and chunk
+// bookkeeping as on scanning. The output gate matters as much as the
+// time gate: a dense scan's morsels may also finish fast, but growing
+// their stride would multiply the rows one in-flight pipeline task can
+// hold and blow the stalled-consumer memory bound, while a sparse
+// morsel's output stays around a chunk no matter the stride, so growth
+// is free. Growth is capped so a mispredicted stride never destroys
+// work-stealing balance, and because claimed ranges are contiguous and
+// emitted in claim order, results stay byte-identical at every stride.
+const (
+	// MaxMorselBlocks caps adaptive stride growth at 16x the base
+	// morsel: 1Mi rows per morsel at the default block size.
+	MaxMorselBlocks = 16 * MorselBlocks
+	// adaptGrowBelow is the per-morsel wall-time floor under which the
+	// stride may double: finishing a morsel this fast means scheduling
+	// overhead is a measurable fraction of the work.
+	adaptGrowBelow = 200 * time.Microsecond
+	// adaptGrowMaxRows is the qualifying-output ceiling for growth: a
+	// morsel compacting to at most one batch is doing mostly skipping,
+	// not producing.
+	adaptGrowMaxRows = BatchSize
+)
+
+// rowRange is one claimed scan range [start, end).
+type rowRange struct{ start, end int }
+
+// adaptiveMorsels is a per-query morsel cursor: claim hands out
+// contiguous ranges of the current stride with dense sequence numbers,
+// observe grows the stride when morsels complete too fast. One mutex
+// guards both — a morsel is many thousands of rows, so the lock is cold.
+type adaptiveMorsels struct {
+	mu        sync.Mutex
+	blockRows int
+	total     int
+	pos       int
+	seq       int
+	stride    int
+}
+
+func newAdaptiveMorsels(c *column.Int64) *adaptiveMorsels {
+	return &adaptiveMorsels{blockRows: c.BlockSize(), total: c.Len(), stride: MorselBlocks}
+}
+
+func (a *adaptiveMorsels) claim() (rowRange, int, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pos >= a.total {
+		return rowRange{}, 0, false
+	}
+	end := a.pos + a.stride*a.blockRows
+	if end > a.total {
+		end = a.total
+	}
+	r := rowRange{start: a.pos, end: end}
+	a.pos = end
+	seq := a.seq
+	a.seq++
+	return r, seq, true
+}
+
+// observe feeds one morsel's wall time and qualifying-row count back
+// into the stride: fast, near-empty morsels grow it; dense morsels
+// shrink it back toward the base. The shrink matters when selectivity
+// shifts mid-column (a sparse prefix followed by a dense suffix, the
+// shape of time-ordered data with a recent-values predicate): without
+// it, a stride grown during the sparse region would let every
+// in-flight task of the dense region hold a full max-stride morsel's
+// worth of chunks, multiplying the stalled-consumer memory bound.
+func (a *adaptiveMorsels) observe(d time.Duration, qualRows int) {
+	a.mu.Lock()
+	switch {
+	case d < adaptGrowBelow && qualRows <= adaptGrowMaxRows:
+		if a.stride < MaxMorselBlocks {
+			a.stride *= 2
+		}
+	case qualRows > adaptGrowMaxRows:
+		if a.stride > MorselBlocks {
+			a.stride /= 2
+		}
+	}
+	a.mu.Unlock()
+}
+
+// Stride returns the current stride in blocks.
+func (a *adaptiveMorsels) Stride() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stride
+}
+
+// SelectChunkStream is the pipelined form of SelectChunks: qualifying
+// chunks arrive over a bounded channel while morsel workers are still
+// scanning, in insertion order, byte-identical to Select's output when
+// concatenated. The access-frequency feedback is flushed in one
+// TouchMany once the scan side completes, whether or not the consumer
+// has drained. Cancelling ctx (or calling Close) stops the workers after
+// their current morsel; ScanDone reports when storage is no longer read.
+func (e *Exec) SelectChunkStream(ctx context.Context, col string, pred expr.Expr, mode ScanMode) (*ChunkStream, error) {
+	c, err := e.t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	var active *bitvec.Vector
+	if mode == ScanActive {
+		active = e.t.Active()
+	}
+	workers := e.workersFor(c.Len())
+	touching := e.touch && mode == ScanActive
+
+	cur := newAdaptiveMorsels(c)
+	s := newChunkStream()
+	s.stride = cur.Stride
+
+	var touchMu sync.Mutex
+	var touched []int32
+	produce := func(r rowRange) ([]SelChunk, error) {
+		t0 := time.Now()
+		batches := collectChunks(c, pred, active, r.start, r.end)
+		qual := 0
+		for _, b := range batches {
+			qual += len(b.Sel)
+		}
+		cur.observe(time.Since(t0), qual)
+		if len(batches) == 0 {
+			return nil, nil
+		}
+		chunks := make([]SelChunk, len(batches))
+		for i, b := range batches {
+			chunks[i] = SelChunk{Rows: b.Sel, Values: b.Val}
+		}
+		if touching {
+			touchMu.Lock()
+			for _, ch := range chunks {
+				touched = append(touched, ch.Rows...)
+			}
+			touchMu.Unlock()
+		}
+		return chunks, nil
+	}
+	var finish func()
+	if touching {
+		finish = func() {
+			// One flush per query, like Select; TouchMany counts are
+			// order-independent, so the worker interleaving never shows.
+			// This runs before ScanDone closes, i.e. still under the
+			// caller's read lock.
+			touchMu.Lock()
+			rows := touched
+			touched = nil
+			touchMu.Unlock()
+			if len(rows) > 0 {
+				e.t.TouchMany(rows)
+			}
+		}
+	}
+	runPipeline(ctx, s, workers, cur.claim, produce, finish)
+	return s, nil
+}

@@ -20,6 +20,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -284,6 +285,30 @@ func (s *Set) ScanChunks(pred expr.Expr) ([]engine.SelChunk, error) {
 		return nil, err
 	}
 	return chunks, nil
+}
+
+// ScanChunkStream is the pipelined form of ScanChunks: per-shard scans
+// fan out concurrently and each shard's qualifying values are emitted —
+// strictly in value-range order — over the stream's bounded channel as
+// soon as the shard finishes, so a consumer sees the first shard's rows
+// while later shards are still scanning. Empty shards emit nothing.
+// Concatenating the streamed chunks yields exactly ScanChunks' output;
+// cancelling ctx (or closing the stream) abandons the remaining shards.
+func (s *Set) ScanChunkStream(ctx context.Context, pred expr.Expr) (*engine.ChunkStream, error) {
+	lo, hi, _ := pred.Bounds()
+	hit := s.intersecting(lo, hi)
+	w := s.FanWorkers(len(hit))
+	return engine.NewChunkPipeline(ctx, w, len(hit), func(i int) ([]engine.SelChunk, error) {
+		hit[i].hits.Add(1)
+		res, err := s.shardExec(hit[i], w).Select(s.column, pred, engine.ScanActive)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Values) == 0 {
+			return nil, nil
+		}
+		return []engine.SelChunk{{Values: res.Values}}, nil
+	}), nil
 }
 
 // Select returns matching active values across all shards intersecting

@@ -10,16 +10,18 @@
 //	GET  /precision?table=t&col=a&lo=0&hi=100
 //
 // /query serves the whole relation catalog — flat tables, partitioned
-// tables and two-table JOINs — and streams its response: the engine
-// materializes the qualifying positions and values, but projection to
-// rows and JSON serialization run chunk by chunk with incremental
-// flushes (http.Flusher), so the projected row set never materializes
-// server-side and response bytes leave while later chunks are still
-// being projected. A query rejected up front still gets a clean
-// 400/404/500; a failure after streaming has begun cannot retract the
-// 200, so the JSON body is terminated with a trailing "error" member —
-// clients must treat its presence (or a body that fails to parse) as a
-// failed query.
+// tables and two-table JOINs — and streams its response as a pipeline:
+// the engine's morsel workers push scan chunks into a bounded channel
+// while they are still scanning, projection to rows and JSON
+// serialization run chunk by chunk with incremental flushes
+// (http.Flusher), and the request context scopes the producers — so the
+// first response bytes leave after the first morsel, a slow client
+// exerts backpressure that bounds server-side memory to a few chunks,
+// and a disconnected client cancels the scan. A query rejected up front
+// still gets a clean 400/404/500; a failure after streaming has begun
+// cannot retract the 200, so the JSON body is terminated with a
+// trailing "error" member — clients must treat its presence (or a body
+// that fails to parse) as a failed query.
 //
 // All responses are JSON; errors use HTTP status codes with a JSON body
 // {"error": "..."}.
@@ -32,6 +34,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"amnesiadb"
 	"amnesiadb/internal/sql"
@@ -72,34 +75,57 @@ type queryRequest struct {
 	SQL string `json:"sql"`
 }
 
-// queryRow encodes one result row, turning the engine's NaN NULL-style
-// cells (empty-set aggregates) into JSON nulls — encoding/json rejects
-// NaN outright.
-type queryRow []float64
+// rowBufPool recycles the per-request serialization buffer the stream
+// loop assembles each chunk's JSON into: one pooled buffer, one Write
+// and one flush per chunk, no per-row allocation. Buffers that grew
+// beyond rowBufMax are dropped instead of pooled so one giant row
+// cannot pin memory forever.
+var rowBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 32<<10)
+		return &b
+	},
+}
 
-// MarshalJSON implements json.Marshaler. Only empty-set aggregate
-// results carry NaN, so the common projection row marshals directly
-// without boxing cells.
-func (r queryRow) MarshalJSON() ([]byte, error) {
-	hasNaN := false
-	for _, v := range r {
-		if math.IsNaN(v) {
-			hasNaN = true
-			break
+const rowBufMax = 1 << 20
+
+// appendJSONFloat appends v exactly as encoding/json renders a float64
+// — 'f' formatting in the human range, 'e' with a trimmed exponent
+// outside it — so the hand-rolled row encoder is byte-identical to the
+// json.Marshal output it replaces (pinned by TestAppendRowJSONMatchesEncodingJSON).
+func appendJSONFloat(b []byte, v float64) []byte {
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, v, format, -1, 64)
+	if format == 'e' {
+		// clean up e-09 to e-9, as encoding/json does
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
 		}
 	}
-	if !hasNaN {
-		return json.Marshal([]float64(r))
-	}
-	cells := make([]any, len(r))
-	for i, v := range r {
+	return b
+}
+
+// appendRowJSON appends one result row as a JSON array, turning the
+// engine's NaN NULL-style cells (empty-set aggregates) into JSON nulls
+// — encoding/json rejects NaN outright.
+func appendRowJSON(b []byte, row []float64) []byte {
+	b = append(b, '[')
+	for i, v := range row {
+		if i > 0 {
+			b = append(b, ',')
+		}
 		if math.IsNaN(v) {
-			cells[i] = nil
+			b = append(b, "null"...)
 		} else {
-			cells[i] = v
+			b = appendJSONFloat(b, v)
 		}
 	}
-	return json.Marshal(cells)
+	return append(b, ']')
 }
 
 // queryHeader is the leading members of a streamed query response; the
@@ -135,8 +161,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Parsing, catalog lookups and validation all happen here, so bad
 	// queries still map to clean pre-stream statuses; only execution
-	// failures can surface after the 200 is committed.
-	qs, err := s.db.QueryStream(req.SQL)
+	// failures can surface after the 200 is committed. The request
+	// context scopes the query's producers: a client that disconnects
+	// mid-stream cancels the morsel workers instead of paying for the
+	// whole scan.
+	qs, err := s.db.QueryStreamCtx(r.Context(), req.SQL)
 	if err != nil {
 		writeErr(w, queryStatus(err), err)
 		return
@@ -152,12 +181,16 @@ type rowSource interface {
 }
 
 // streamResult serializes one query result incrementally: the envelope
-// header first, then each chunk of rows followed by a flush, so large
-// results reach the client while the engine is still projecting. A
-// mid-stream failure cannot retract the committed 200; instead the JSON
-// object is closed with a trailing "error" member, keeping the body
-// well-formed and the failure detectable (a body that does not parse at
-// all means the connection itself died mid-row).
+// header first, then each chunk of rows followed by a flush, so
+// response bytes leave while the engine's pipelined producers are still
+// scanning later morsels. Each chunk is assembled into one pooled
+// buffer and written in a single Write — no per-row allocation, and the
+// engine batches the chunk was projected from have already been
+// returned to their pool by the SQL layer. A mid-stream failure cannot
+// retract the committed 200; instead the JSON object is closed with a
+// trailing "error" member, keeping the body well-formed and the failure
+// detectable (a body that does not parse at all means the connection
+// itself died mid-row).
 func streamResult(w http.ResponseWriter, columns []string, ints []bool, src rowSource) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -175,6 +208,13 @@ func streamResult(w http.ResponseWriter, columns []string, ints []bool, src rowS
 	// error member) can be appended incrementally.
 	w.Write(head[:len(head)-1])
 	w.Write([]byte(`,"rows":[`))
+	bufp := rowBufPool.Get().(*[]byte)
+	defer func() {
+		if cap(*bufp) <= rowBufMax {
+			*bufp = (*bufp)[:0]
+			rowBufPool.Put(bufp)
+		}
+	}()
 	first := true
 	for {
 		rows, err := src.Next()
@@ -190,19 +230,16 @@ func streamResult(w http.ResponseWriter, columns []string, ints []bool, src rowS
 		if rows == nil {
 			break
 		}
+		buf := (*bufp)[:0]
 		for _, row := range rows {
-			cell, merr := json.Marshal(queryRow(row))
-			if merr != nil {
-				fmt.Fprintf(w, `],"error":%q}`, "row serialization failed")
-				flush()
-				return
-			}
 			if !first {
-				w.Write([]byte{','})
+				buf = append(buf, ',')
 			}
 			first = false
-			w.Write(cell)
+			buf = appendRowJSON(buf, row)
 		}
+		*bufp = buf
+		w.Write(buf)
 		flush()
 	}
 	w.Write([]byte("]}"))

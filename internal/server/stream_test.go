@@ -2,8 +2,10 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -311,5 +313,73 @@ func TestJoinUnknownTableIs404AndBadJoinIs400(t *testing.T) {
 	resp, _ = post(t, ts.URL+"/query", map[string]any{"sql": "SELECT a.k, p.v FROM a JOIN p ON a.k = p.v"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("partitioned join status %d", resp.StatusCode)
+	}
+}
+
+// TestAppendRowJSONMatchesEncodingJSON pins the pooled serializer
+// against encoding/json byte for byte, across the float shapes query
+// results produce (integers, AVG fractions, extreme magnitudes,
+// exponent formatting) plus the NaN -> null translation.
+func TestAppendRowJSONMatchesEncodingJSON(t *testing.T) {
+	rows := [][]float64{
+		{0, 1, -1, 42},
+		{0.5, -2.25, 1.0 / 3.0},
+		{9.2e18, -9.2e18, 1e20, 1e21, 1.5e22},
+		{1e-6, 9.9e-7, 1e-9, -2.5e-8},
+		{123456789.123456, -0.000244140625},
+	}
+	for _, row := range rows {
+		got := string(appendRowJSON(nil, row))
+		want, err := json.Marshal(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != string(want) {
+			t.Fatalf("appendRowJSON(%v) = %s, want %s", row, got, want)
+		}
+	}
+	// NaN cells become nulls (encoding/json would reject them).
+	got := string(appendRowJSON(nil, []float64{1, math.NaN(), 3}))
+	if got != "[1,null,3]" {
+		t.Fatalf("NaN row = %s, want [1,null,3]", got)
+	}
+}
+
+// TestQueryCancelledRequestContext pins the ctx propagation satellite at
+// the HTTP surface: a request whose context is already cancelled cannot
+// stream a full result — the body terminates with the cancellation in
+// its trailing "error" member.
+func TestQueryCancelledRequestContext(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 1})
+	tab, err := db.CreateTable("big", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, 200_000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	if err := tab.InsertColumn("a", vals); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	body, _ := json.Marshal(map[string]string{"sql": "SELECT a FROM big"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body)).WithContext(ctx)
+	fc := newFlushCounter()
+	srv.ServeHTTP(fc, req)
+	var out struct {
+		Rows  [][]float64 `json:"rows"`
+		Error string      `json:"error"`
+	}
+	if err := json.Unmarshal(fc.body.Bytes(), &out); err != nil {
+		t.Fatalf("cancelled-request body is not valid JSON: %v\n%s", err, fc.body.String())
+	}
+	if !strings.Contains(out.Error, context.Canceled.Error()) {
+		t.Fatalf("error member = %q, want the context cancellation", out.Error)
+	}
+	if len(out.Rows) == len(vals) {
+		t.Fatal("cancelled request streamed the full result")
 	}
 }

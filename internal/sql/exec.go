@@ -1,8 +1,10 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"slices"
 
 	"amnesiadb/internal/engine"
 	"amnesiadb/internal/expr"
@@ -29,6 +31,19 @@ type Opts struct {
 	// (morsel-parallel scans, sorts and joins for large inputs),
 	// 1 serial, n > 1 forces n workers. See engine.Exec.SetParallelism.
 	Parallelism int
+	// Ctx, when non-nil, scopes the query's producers: cancelling it
+	// tears down in-flight morsel workers, shard fan-outs and join
+	// collections mid-scan. The HTTP server threads the request context
+	// through here so a disconnected client stops paying for its query.
+	Ctx context.Context
+}
+
+// context resolves the optional Ctx.
+func (o Opts) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Run parses and executes one SELECT against the catalog, querying active
@@ -128,12 +143,15 @@ func queryLimit(q *Query) int {
 	return -1
 }
 
-// execSelectStream streams a single-relation projection: scan chunks
-// come straight from the engine (per morsel for tables, per shard for
-// partitioned sets) and are projected on demand, so the server can
-// serialize incrementally. ORDER BY is the one barrier — the qualifying
-// set materializes for the sort — after which the sorted output streams
-// in StreamChunkRows windows.
+// execSelectStream streams a single-relation projection as a true
+// pipeline: the engine's morsel workers (or the partition layer's shard
+// fan-out) push scan chunks into a bounded channel while they are still
+// scanning, and Next projects whatever has arrived — so the first rows
+// reach the server after the first morsel, not the full scan, with
+// backpressure from a slow consumer halting the producers. ORDER BY is
+// the one barrier — the qualifying set materializes for the sort —
+// except over clustered (partitioned) relations, where ascending sorts
+// stream shard by shard through per-shard sorts.
 func execSelectStream(rel Relation, q *Query, o Opts) (*ResultStream, error) {
 	var cols []string    // plain column names to project
 	var headers []string // output headers as written
@@ -182,14 +200,12 @@ func execSelectStream(rel Relation, q *Query, o Opts) (*ResultStream, error) {
 		// column is validated above, so an invalid query still errors).
 		return emptyStream(headers, ints), nil
 	}
-	chunks, err := rel.ScanChunks(scanCol, pred, o.Parallelism)
-	if err != nil {
-		return nil, err
-	}
 	// A value-only projection (every output column is the scan column —
 	// notably every partitioned-table select) never reads relation
-	// storage again after the scan: the stream is detached and catalog
-	// holders can release their locks immediately.
+	// storage after the scan side completes: the stream advertises the
+	// pipeline's scan-completion signal so catalog holders can release
+	// their locks as soon as the producers finish, even while a slow
+	// consumer is still draining.
 	valueOnly := true
 	for _, c := range cols {
 		if c != scanCol {
@@ -197,49 +213,187 @@ func execSelectStream(rel Relation, q *Query, o Opts) (*ResultStream, error) {
 			break
 		}
 	}
+	cs, err := rel.ScanChunkStream(o.context(), scanCol, pred, o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 	if orderCol != "" {
+		if rel.Clustered() && orderCol == scanCol && valueOnly {
+			return clusteredOrderedStream(headers, ints, len(cols), cs, q.OrderDesc, limit, o.Parallelism)
+		}
+		// The sort is a barrier: drain the pipeline, then sort.
+		chunks, err := cs.Collect()
+		if err != nil {
+			return nil, err
+		}
 		return orderedSelectStream(rel, headers, ints, cols, scanCol, orderCol, chunks, q.OrderDesc, limit, o.Parallelism, valueOnly)
 	}
 
-	// Unordered path: walk the scan chunks with a cursor, assembling up
-	// to StreamChunkRows projected rows per Next and counting the LIMIT
-	// down across chunks.
-	ci, off, rem := 0, 0, limit
-	next := func() ([][]float64, error) {
-		var out [][]float64
-		for len(out) < StreamChunkRows && ci < len(chunks) && rem != 0 {
-			c := chunks[ci]
-			if off >= len(c.Values) {
-				ci, off = ci+1, 0
-				continue
-			}
-			take := len(c.Values) - off
-			if n := StreamChunkRows - len(out); take > n {
-				take = n
-			}
-			if rem > 0 && take > rem {
-				take = rem
-			}
+	// Unordered pipelined path: pull chunks off the bounded channel as
+	// the producers emit them, assembling up to StreamChunkRows projected
+	// rows per Next and counting the LIMIT down across chunks.
+	cursor := &chunkCursor{cs: cs, rem: limit,
+		emit: func(out [][]float64, c engine.SelChunk, off, end int) ([][]float64, error) {
 			// Relations without global positions (partitioned sets)
 			// carry nil Rows; they project by value only.
 			var span []int32
 			if c.Rows != nil {
-				span = c.Rows[off : off+take]
+				span = c.Rows[off:end]
 			}
-			var perr error
-			out, perr = projectSpan(rel, cols, scanCol, span, c.Values[off:off+take], out)
-			if perr != nil {
-				return nil, perr
+			return projectSpan(rel, cols, scanCol, span, c.Values[off:end], out)
+		},
+	}
+	st := NewResultStream(headers, ints, cursor.next)
+	st.closeFn = cs.Close
+	st.scanDone = cs.ScanDone()
+	st.earlyRelease = valueOnly
+	return st, nil
+}
+
+// chunkCursor walks a pipelined chunk stream window by window: it pulls
+// chunks as the producers emit them, assembles up to StreamChunkRows
+// output rows per next call through emit, counts the LIMIT down across
+// chunks, closes the producers the moment the LIMIT is satisfied
+// (cancelling still-running scans), and returns fully consumed chunks
+// to the engine's batch pool. Both pipelined select paths — unordered
+// projection and the clustered per-shard sort — drive this one state
+// machine, so the LIMIT/teardown/recycle interplay cannot drift between
+// them.
+type chunkCursor struct {
+	cs *engine.ChunkStream
+	// onChunk, when set, hooks each chunk as it arrives (the clustered
+	// path sorts shard values in place).
+	onChunk func(c engine.SelChunk)
+	// emit appends rows for c's [off, end) span to out.
+	emit func(out [][]float64, c engine.SelChunk, off, end int) ([][]float64, error)
+
+	cur     engine.SelChunk
+	off     int
+	rem     int // LIMIT countdown; -1 = unlimited
+	drained bool
+}
+
+func (k *chunkCursor) next() ([][]float64, error) {
+	if k.drained {
+		return nil, nil
+	}
+	var out [][]float64
+	for len(out) < StreamChunkRows && k.rem != 0 {
+		if k.off >= len(k.cur.Values) {
+			engine.RecycleChunk(k.cur)
+			k.cur, k.off = engine.SelChunk{}, 0
+			c, ok, err := k.cs.Next()
+			if err != nil {
+				k.drained = true
+				return nil, err
 			}
-			off += take
+			if !ok {
+				k.drained = true
+				break
+			}
+			if k.onChunk != nil {
+				k.onChunk(c)
+			}
+			k.cur = c
+			continue
+		}
+		take := len(k.cur.Values) - k.off
+		if n := StreamChunkRows - len(out); take > n {
+			take = n
+		}
+		if k.rem > 0 && take > k.rem {
+			take = k.rem
+		}
+		var err error
+		out, err = k.emit(out, k.cur, k.off, k.off+take)
+		if err != nil {
+			k.drained = true
+			k.cs.Close()
+			return nil, err
+		}
+		k.off += take
+		if k.rem > 0 {
+			k.rem -= take
+		}
+	}
+	if k.rem == 0 && !k.drained {
+		// LIMIT satisfied: stop the producers; the stream ends here.
+		k.drained = true
+		engine.RecycleChunk(k.cur)
+		k.cs.Close()
+	}
+	return out, nil
+}
+
+// clusteredOrderedStream serves ORDER BY over a clustered relation: the
+// fan-out's chunks arrive one per shard, in ascending shard order, and
+// shard value ranges are disjoint — so sorting each shard independently
+// and emitting shards in order (reverse order for DESC) reproduces the
+// global stable sort exactly, without ever sorting the concatenation.
+// Ascending sorts stream: the first shard's sorted rows flush while
+// later shards are still scanning, so even ORDER BY has morsel-level
+// time-to-first-chunk. Descending needs the last shard first, so it
+// drains the fan-out, sorts the shards in parallel, and streams the
+// buffered output in reverse. Clustered relations are value-only (one
+// stored attribute), so every output cell is the sort key itself.
+func clusteredOrderedStream(headers []string, ints []bool, ncols int, cs *engine.ChunkStream, desc bool, limit, par int) (*ResultStream, error) {
+	emit := func(out [][]float64, v int64) [][]float64 {
+		row := make([]float64, ncols)
+		for i := range row {
+			row[i] = float64(v)
+		}
+		return append(out, row)
+	}
+	if !desc {
+		cursor := &chunkCursor{cs: cs, rem: limit,
+			onChunk: func(c engine.SelChunk) { slices.Sort(c.Values) },
+			emit: func(out [][]float64, c engine.SelChunk, off, end int) ([][]float64, error) {
+				for _, v := range c.Values[off:end] {
+					out = emit(out, v)
+				}
+				return out, nil
+			},
+		}
+		st := NewResultStream(headers, ints, cursor.next)
+		st.closeFn = cs.Close
+		st.scanDone = cs.ScanDone()
+		st.earlyRelease = true
+		return st, nil
+	}
+
+	// DESC: barrier on the fan-out, per-shard sorts in parallel, then
+	// stream shards in reverse, each walked back to front.
+	chunks, err := cs.Collect()
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c.Values)
+	}
+	engine.ForEachTask(engine.Workers(par, total), len(chunks), func(i int) {
+		slices.Sort(chunks[i].Values)
+	})
+	si := len(chunks) - 1
+	off, rem := 0, limit
+	next := func() ([][]float64, error) {
+		var out [][]float64
+		for len(out) < StreamChunkRows && rem != 0 && si >= 0 {
+			vals := chunks[si].Values
+			if off >= len(vals) {
+				si, off = si-1, 0
+				continue
+			}
+			out = emit(out, vals[len(vals)-1-off])
+			off++
 			if rem > 0 {
-				rem -= take
+				rem--
 			}
 		}
 		return out, nil
 	}
 	st := NewResultStream(headers, ints, next)
-	st.Detached = valueOnly
+	st.Detached = true
 	return st, nil
 }
 
@@ -255,6 +409,7 @@ func orderedSelectStream(rel Relation, headers []string, ints []bool, cols []str
 	for _, c := range chunks {
 		rows = append(rows, c.Rows...)
 		vals = append(vals, c.Values...)
+		engine.RecycleChunk(c)
 	}
 	// Relations without global positions (partitioned sets) carry nil
 	// chunk Rows; their single column projects — and sorts — by value.

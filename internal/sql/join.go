@@ -120,7 +120,10 @@ func execJoinStream(cat Catalog, q *Query, o Opts) (*ResultStream, error) {
 		return emptyStream(headers, ints), nil
 	}
 
-	jr, err := engine.HashJoinPar(sides[0].rel.tbl, sides[0].key, sides[1].rel.tbl, sides[1].key, pred, engine.ScanActive, o.Parallelism)
+	// The join pipelines internally: both side collections stream
+	// concurrently and the predicted build side scatters as chunks
+	// arrive. A cancelled request context tears the collections down.
+	jr, err := engine.HashJoinCtx(o.context(), sides[0].rel.tbl, sides[0].key, sides[1].rel.tbl, sides[1].key, pred, engine.ScanActive, o.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,15 @@
 package sql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"reflect"
+	"slices"
 	"testing"
 
+	"amnesiadb/internal/expr"
 	"amnesiadb/internal/partition"
 	"amnesiadb/internal/xrand"
 )
@@ -157,6 +160,93 @@ func TestStreamChunking(t *testing.T) {
 	for i := range res.Rows {
 		if res.Rows[i][0] != float64(i) {
 			t.Fatalf("row %d = %v", i, res.Rows[i])
+		}
+	}
+}
+
+// TestPartitionedStreamMatchesScanChunks pins the pipelined shard
+// fan-out: concatenating ScanChunkStream's chunks must reproduce
+// ScanChunks (and with it the set's Select) exactly — shard order,
+// value order, every shard.
+func TestPartitionedStreamMatchesScanChunks(t *testing.T) {
+	set, _ := partFixture(t, 8)
+	pred := expr.NewRange(50, 900)
+	chunks, err := set.ScanChunks(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int64
+	for _, c := range chunks {
+		want = append(want, c.Values...)
+	}
+	st, err := set.ScanChunkStream(context.Background(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		c, ok, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, c.Values...)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed fan-out = %d values, want %d (order or content diverged)", len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate case: empty fan-out")
+	}
+}
+
+// TestClusteredOrderByMatchesGlobalSort pins the shard-merge ORDER BY:
+// per-shard sorts emitted in (reverse) shard order must equal the
+// global stable sort of the whole fan-out, across directions, limits
+// and parallelism.
+func TestClusteredOrderByMatchesGlobalSort(t *testing.T) {
+	set, cat := partFixture(t, 8)
+	// The reference order is computed directly: sort the unordered scan.
+	base, err := set.Select(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asc := append([]int64(nil), base...)
+	slices.Sort(asc)
+	desc := make([]int64, len(asc))
+	for i, v := range asc {
+		desc[len(asc)-1-i] = v
+	}
+	cases := []struct {
+		q    string
+		want []int64
+	}{
+		{"SELECT v FROM p ORDER BY v", asc},
+		{"SELECT v FROM p ORDER BY v DESC", desc},
+		{"SELECT v FROM p ORDER BY v LIMIT 7", asc[:7]},
+		{"SELECT v FROM p ORDER BY v DESC LIMIT 7", desc[:7]},
+		{"SELECT v, v FROM p ORDER BY v LIMIT 3", asc[:3]},
+		{"SELECT v FROM p WHERE v >= 1000 ORDER BY v", nil},
+		{"SELECT v FROM p ORDER BY v LIMIT 0", nil},
+	}
+	for _, tc := range cases {
+		for _, par := range []int{1, 4} {
+			res, err := RunOpts(cat, tc.q, Opts{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s: %v", tc.q, err)
+			}
+			if len(res.Rows) != len(tc.want) {
+				t.Fatalf("%s par=%d: %d rows, want %d", tc.q, par, len(res.Rows), len(tc.want))
+			}
+			for i, row := range res.Rows {
+				for _, cell := range row {
+					if cell != float64(tc.want[i]) {
+						t.Fatalf("%s par=%d: row %d = %v, want %d", tc.q, par, i, row, tc.want[i])
+					}
+				}
+			}
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 
 	"amnesiadb/internal/engine"
@@ -24,6 +25,17 @@ type Relation interface {
 	// parallelism knob; relations with their own stamped knob may
 	// ignore it.
 	ScanChunks(col string, pred expr.Expr, par int) ([]engine.SelChunk, error)
+	// ScanChunkStream is the pipelined form of ScanChunks: chunks
+	// arrive over a bounded channel, in the same deterministic order,
+	// while producers are still scanning. Cancelling ctx tears the
+	// producers down; the stream's ScanDone reports when relation
+	// storage is no longer read.
+	ScanChunkStream(ctx context.Context, col string, pred expr.Expr, par int) (*engine.ChunkStream, error)
+	// Clustered reports that scan chunks arrive as disjoint, ascending
+	// value ranges (partitioned sets: one chunk per shard, in shard
+	// order). ORDER BY exploits it to sort shard-locally and merge
+	// instead of sorting the whole fan-out.
+	Clustered() bool
 	// Gather materializes col at the given scan positions. Relations
 	// without a global position space (partitioned sets) reject it;
 	// the executor projects their scan values directly.
@@ -79,6 +91,16 @@ func (r *TableRelation) ScanChunks(col string, pred expr.Expr, par int) ([]engin
 	return r.exec(par).SelectChunks(col, pred, engine.ScanActive)
 }
 
+// ScanChunkStream implements Relation: the engine's pipelined morsel
+// scan, touching access frequencies like every catalog scan.
+func (r *TableRelation) ScanChunkStream(ctx context.Context, col string, pred expr.Expr, par int) (*engine.ChunkStream, error) {
+	return r.exec(par).SelectChunkStream(ctx, col, pred, engine.ScanActive)
+}
+
+// Clustered implements Relation: table chunks are insertion-ordered,
+// not value-ordered.
+func (r *TableRelation) Clustered() bool { return false }
+
 // Gather implements Relation.
 func (r *TableRelation) Gather(col string, rows []int32, buf []int64) ([]int64, error) {
 	c, err := r.tbl.Column(col)
@@ -133,6 +155,20 @@ func (r *PartitionRelation) ScanChunks(col string, pred expr.Expr, _ int) ([]eng
 	}
 	return r.set.ScanChunks(pred)
 }
+
+// ScanChunkStream implements Relation: the set's pipelined shard
+// fan-out, one chunk per shard in value order.
+func (r *PartitionRelation) ScanChunkStream(ctx context.Context, col string, pred expr.Expr, _ int) (*engine.ChunkStream, error) {
+	if err := r.checkCol(col); err != nil {
+		return nil, err
+	}
+	return r.set.ScanChunkStream(ctx, pred)
+}
+
+// Clustered implements Relation: shards are contiguous value ranges
+// scanned in range order, so chunk values are disjoint and ascending
+// across chunks.
+func (r *PartitionRelation) Clustered() bool { return true }
 
 // Gather implements Relation. Positions are shard-local, so partitioned
 // relations cannot project by position; the executor never asks, since

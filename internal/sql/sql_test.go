@@ -404,8 +404,10 @@ func TestWhereMixedQualification(t *testing.T) {
 }
 
 // TestDetachedStreams pins which streams release their relations early:
-// value-only projections and aggregates are detached, projections that
-// gather other columns are not.
+// value-only projections and aggregates stop reading storage once their
+// scan side completes — either born detached (materialized results) or
+// advertising the pipeline's ScanDone signal — while projections that
+// gather other columns lazily pin their relations until Close.
 func TestDetachedStreams(t *testing.T) {
 	tb := table.New("t", "a", "b")
 	if _, err := tb.AppendBatch(map[string][]int64{"a": {1, 2}, "b": {10, 20}}); err != nil {
@@ -430,8 +432,9 @@ func TestDetachedStreams(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", src, err)
 		}
-		if st.Detached != want {
-			t.Fatalf("%s: Detached = %v, want %v", src, st.Detached, want)
+		if got := st.Detached || (st.EarlyRelease() && st.ScanDone() != nil); got != want {
+			t.Fatalf("%s: early release = %v (Detached=%v, EarlyRelease=%v), want %v",
+				src, got, st.Detached, st.EarlyRelease(), want)
 		}
 		if _, err := st.Collect(); err != nil {
 			t.Fatalf("%s: collect: %v", src, err)

@@ -30,7 +30,39 @@ type ResultStream struct {
 	next func() ([][]float64, error)
 	done bool
 	err  error
+	// closeFn tears down the stream's pipelined producers (cancelling
+	// in-flight scans); nil for materialized streams.
+	closeFn func()
+	// scanDone is closed once the stream's producers have exited; nil
+	// for materialized streams with no producers. Lock holders must
+	// wait on it after Close before dropping read locks — a cancelled
+	// worker may still be mid-morsel.
+	scanDone <-chan struct{}
+	// earlyRelease reports that Next never reads relation storage —
+	// only buffers the stream owns — once scanDone closes: value-only
+	// projections. Lazily gathering streams (multi-column projections,
+	// joins) keep it false and pin their relations until Close.
+	earlyRelease bool
 }
+
+// Close cancels the stream's producers, if it has live ones. Idempotent;
+// a drained stream needs no Close, but abandoning an unconsumed stream
+// without one leaks the producers until their scan completes.
+func (s *ResultStream) Close() {
+	if s.closeFn != nil {
+		s.closeFn()
+	}
+}
+
+// ScanDone returns the scan-completion channel: closed once the
+// stream's producers have exited, nil when the stream never had any.
+// After Close, lock holders must wait on it before dropping read locks.
+func (s *ResultStream) ScanDone() <-chan struct{} { return s.scanDone }
+
+// EarlyRelease reports that the stream stops reading relation storage
+// as soon as ScanDone closes — catalog holders can then release read
+// locks mid-stream, even with a slow consumer still draining.
+func (s *ResultStream) EarlyRelease() bool { return s.earlyRelease }
 
 // NewResultStream builds a stream over a generator. next returns the
 // next non-empty chunk of rows, a nil slice once drained, or an error;

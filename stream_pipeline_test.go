@@ -1,0 +1,260 @@
+package amnesiadb_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"amnesiadb"
+	"amnesiadb/internal/xrand"
+)
+
+// pipelineDB builds a database with one large table (several morsels)
+// and one partitioned table, both populated.
+func pipelineDB(t *testing.T, par int) (*amnesiadb.DB, *amnesiadb.Table) {
+	t.Helper()
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 5, Parallelism: par})
+	tab, err := db.CreateTable("big", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300_000
+	src := xrand.New(3)
+	av := make([]int64, n)
+	bv := make([]int64, n)
+	for i := range av {
+		av[i] = src.Int63n(1 << 18)
+		bv[i] = int64(i)
+	}
+	if err := tab.Insert(map[string][]int64{"a": av, "b": bv}); err != nil {
+		t.Fatal(err)
+	}
+	return db, tab
+}
+
+// TestQueryStreamCtxCancelStopsProducers pins the satellite contract: a
+// cancelled request context stops the morsel producers mid-scan — the
+// stream errors with the cancellation, table writers are not blocked
+// afterwards, and no goroutine outlives the query (the -race job runs
+// this fully instrumented).
+func TestQueryStreamCtxCancelStopsProducers(t *testing.T) {
+	db, tab := pipelineDB(t, 4)
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	qs, err := db.QueryStreamCtx(ctx, "SELECT a FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows, err := qs.Next(); err != nil || rows == nil {
+		t.Fatalf("first chunk: rows=%v err=%v", rows != nil, err)
+	}
+	cancel()
+	sawCancel := false
+	for i := 0; i < 1_000_000; i++ {
+		rows, err := qs.Next()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("post-cancel error = %v, want context.Canceled", err)
+			}
+			sawCancel = true
+			break
+		}
+		if rows == nil {
+			break
+		}
+	}
+	if !sawCancel {
+		t.Fatal("cancelled stream drained cleanly; producers were not stopped")
+	}
+	qs.Close()
+	// Producers are gone: a writer acquires the exclusive lock promptly.
+	done := make(chan error, 1)
+	go func() { done <- tab.Insert(map[string][]int64{"a": {1}, "b": {1}}) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("insert blocked after cancelled stream closed")
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestQueryStreamAbandonedCloseCancelsScan pins Close as a teardown for
+// a stream the client walked away from: producers stop and locks
+// release without draining.
+func TestQueryStreamAbandonedCloseCancelsScan(t *testing.T) {
+	db, tab := pipelineDB(t, 4)
+	baseline := runtime.NumGoroutine()
+	qs, err := db.QueryStream("SELECT a, b FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qs.Next(); err != nil {
+		t.Fatal(err)
+	}
+	qs.Close()
+	qs.Close() // idempotent
+	if err := tab.Insert(map[string][]int64{"a": {7}, "b": {7}}); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestQueryStreamPipelinedByteIdentity pins the end-to-end equivalence
+// acceptance criterion at the facade: the pipelined stream's
+// concatenation equals the materialized Query result for SELECT, JOIN
+// and partitioned ORDER BY, at serial and parallel settings.
+func TestQueryStreamPipelinedByteIdentity(t *testing.T) {
+	for _, par := range []int{1, 0} {
+		db := amnesiadb.Open(amnesiadb.Options{Seed: 9, Parallelism: par})
+		tab, err := db.CreateTable("t", "k", "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := xrand.New(21)
+		const n = 150_000
+		kv := make([]int64, n)
+		vv := make([]int64, n)
+		for i := range kv {
+			kv[i] = src.Int63n(5000)
+			vv[i] = src.Int63n(1 << 20)
+		}
+		if err := tab.Insert(map[string][]int64{"k": kv, "v": vv}); err != nil {
+			t.Fatal(err)
+		}
+		other, err := db.CreateTable("u", "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := other.InsertColumn("k", kv[:20000]); err != nil {
+			t.Fatal(err)
+		}
+		pt, err := db.CreatePartitionedTable("p", "w", 10000, 8, "uniform", 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw := make([]int64, 40000)
+		for i := range pw {
+			pw[i] = src.Int63n(10000)
+		}
+		if err := pt.Insert(pw); err != nil {
+			t.Fatal(err)
+		}
+		queries := []string{
+			"SELECT k FROM t WHERE k >= 100 AND k < 4000",
+			"SELECT k, v FROM t WHERE k < 2500 LIMIT 31000",
+			"SELECT t.v, u.k FROM t JOIN u ON t.k = u.k WHERE t.k < 800",
+			"SELECT w FROM p WHERE w >= 500 AND w < 9000",
+			"SELECT w FROM p ORDER BY w",
+			"SELECT w FROM p ORDER BY w DESC LIMIT 5000",
+		}
+		for _, q := range queries {
+			want, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("par=%d %s: %v", par, q, err)
+			}
+			qs, err := db.QueryStream(q)
+			if err != nil {
+				t.Fatalf("par=%d %s: %v", par, q, err)
+			}
+			var got [][]float64
+			for {
+				rows, err := qs.Next()
+				if err != nil {
+					t.Fatalf("par=%d %s: %v", par, q, err)
+				}
+				if rows == nil {
+					break
+				}
+				got = append(got, rows...)
+			}
+			if len(got) != len(want.Rows) {
+				t.Fatalf("par=%d %s: streamed %d rows, materialized %d", par, q, len(got), len(want.Rows))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want.Rows[i]) {
+					t.Fatalf("par=%d %s: row %d = %v, want %v", par, q, i, got[i], want.Rows[i])
+				}
+			}
+			if len(got) == 0 {
+				t.Fatalf("par=%d %s: degenerate empty result", par, q)
+			}
+		}
+	}
+}
+
+// TestQueryStreamStalledConsumerAllowsWrites pins the scan-side lock
+// release: a value-only stream whose consumer never drains must not
+// block writers once the scan itself has finished. The query is
+// selective enough that its whole backlog fits the pipeline's bounded
+// buffers, so the producers run to completion with the consumer stalled
+// — at which point the read locks drop even though the stream still
+// holds undelivered rows.
+func TestQueryStreamStalledConsumerAllowsWrites(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 5})
+	tab, err := db.CreateTable("big", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 262_144 // four base morsels
+	src := xrand.New(3)
+	av := make([]int64, n)
+	for i := range av {
+		av[i] = src.Int63n(1 << 18)
+	}
+	if err := tab.InsertColumn("a", av); err != nil {
+		t.Fatal(err)
+	}
+	// ~0.3% selectivity: a handful of batch-sized chunks, all of which
+	// fit in the pipeline's channel buffer.
+	qs, err := db.QueryStream("SELECT a FROM big WHERE a < 700")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs.Close()
+	done := make(chan error, 1)
+	go func() { done <- tab.InsertColumn("a", []int64{42}) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("writer still blocked by a stalled value-only stream whose scan finished")
+	}
+	// The stalled stream still delivers its rows afterwards.
+	total := 0
+	for {
+		rows, err := qs.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows == nil {
+			break
+		}
+		total += len(rows)
+	}
+	if total == 0 {
+		t.Fatal("degenerate case: no qualifying rows")
+	}
+}
+
+// waitGoroutines polls until the goroutine count settles near baseline.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
