@@ -56,12 +56,14 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"amnesiadb/internal/amnesia"
 	"amnesiadb/internal/coldstore"
 	"amnesiadb/internal/engine"
+	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/snapshot"
 	"amnesiadb/internal/sql"
@@ -81,9 +83,42 @@ type Options struct {
 	// across GOMAXPROCS morsel workers and keeps small scans serial;
 	// 1 forces all scans serial; n > 1 forces n workers. Results are
 	// identical at every setting — rows stay in insertion order and
-	// aggregates are exact — only the core count changes.
+	// aggregates are exact — only the core count changes. Forced counts
+	// above the worker pool's width are clamped to it.
 	Parallelism int
+	// PoolSize selects the shared worker pool that executes every
+	// query's morsels. 0 (default) uses the process-global pool of
+	// GOMAXPROCS workers shared by every DB in the process, so total
+	// engine concurrency stays bounded by the core count no matter how
+	// many queries run at once; n > 0 gives this DB a dedicated pool of
+	// n workers (Close releases it); n < 0 disables the pool entirely
+	// and every query spawns its own goroutines, the pre-pool behavior.
+	// Results are identical at every setting.
+	PoolSize int
+	// MaxQueries is the advisory admission limit the serving layer
+	// reads via DB.MaxQueries: the number of queries allowed to execute
+	// concurrently before new arrivals queue (and, past the queue
+	// watermark, are shed with 429). Zero means unlimited; the library
+	// itself never blocks on it.
+	MaxQueries int
+	// CacheEntries bounds the result cache: up to this many small,
+	// fully-materialized results (at most one stream chunk of rows
+	// each) are kept, keyed by normalized SQL text and the mutation
+	// epochs of every relation the query read, so any insert, forget,
+	// remember or vacuum invalidates exactly the answers it could have
+	// changed. Zero disables result caching. Cached hits are served
+	// without scanning — and therefore without the §3.2 access-
+	// frequency touches a live scan feeds back; workloads tuning
+	// "frequent"-style amnesia strategies should keep this off or
+	// accept that only cache-missing queries train the counters. The
+	// parsed-plan cache is always on and unaffected by this knob.
+	CacheEntries int
 }
+
+// planCacheSize bounds the always-on parsed-plan LRU. Plans are tiny
+// (an AST, no data), so a few hundred hot statements cost nothing and
+// skip the lexer/parser on every serving-path query.
+const planCacheSize = 256
 
 // DB is a collection of tables sharing one deterministic random stream.
 // DB and Table methods are safe for concurrent use. Reads and writes are
@@ -104,6 +139,17 @@ type DB struct {
 	// par is Options.Parallelism, stamped onto every executor built for
 	// this database (tables, SQL runs, partition shards).
 	par int
+	// pool is the shared morsel scheduler stamped onto every executor;
+	// nil runs the legacy per-query-goroutine paths. ownPool marks a
+	// dedicated (PoolSize > 0) pool that Close must shut down.
+	pool    *sched.Pool
+	ownPool bool
+	// plans caches parsed statements by normalized SQL; results caches
+	// small materialized answers by (normalized SQL, relation epochs).
+	// results is nil when Options.CacheEntries is zero.
+	plans      *sql.PlanCache
+	results    *sql.ResultCache
+	maxQueries int
 
 	// srcMu guards src: strategy construction splits the shared seed
 	// stream, and SetPolicy runs under its table's lock only, so two
@@ -129,13 +175,81 @@ func Open(opts Options) *DB {
 	if par < 0 {
 		par = 0
 	}
-	return &DB{
-		src:    xrand.New(opts.Seed),
-		tables: make(map[string]*Table),
-		parts:  make(map[string]*PartitionedTable),
-		par:    par,
+	db := &DB{
+		src:        xrand.New(opts.Seed),
+		tables:     make(map[string]*Table),
+		parts:      make(map[string]*PartitionedTable),
+		par:        par,
+		plans:      sql.NewPlanCache(planCacheSize),
+		results:    sql.NewResultCache(opts.CacheEntries),
+		maxQueries: max(opts.MaxQueries, 0),
+	}
+	switch {
+	case opts.PoolSize > 0:
+		db.pool = sched.New(opts.PoolSize)
+		db.ownPool = true
+	case opts.PoolSize == 0:
+		db.pool = sched.Default()
+	}
+	return db
+}
+
+// Close releases resources the database owns: a dedicated worker pool
+// (Options.PoolSize > 0) is shut down after in-flight steps drain. The
+// process-global shared pool is never closed. Close is idempotent;
+// queries must not be started after it.
+func (db *DB) Close() {
+	if db.ownPool {
+		db.pool.Close()
 	}
 }
+
+// PoolStats is a point-in-time snapshot of the worker pool serving this
+// database's queries; the /healthz endpoint reports it.
+type PoolStats struct {
+	// Workers is the pool width — the hard bound on concurrently
+	// executing morsel steps. Zero means no pool (PoolSize < 0).
+	Workers int `json:"workers"`
+	// Running counts steps executing right now.
+	Running int `json:"running"`
+	// Queries counts queries currently attached to the pool.
+	Queries int `json:"queries"`
+}
+
+// PoolStats snapshots the worker pool; zeros when the DB runs without
+// one.
+func (db *DB) PoolStats() PoolStats {
+	if db.pool == nil {
+		return PoolStats{}
+	}
+	s := db.pool.Stats()
+	return PoolStats{Workers: s.Workers, Running: s.Running, Queries: s.Queries}
+}
+
+// CacheStats reports plan- and result-cache occupancy and cumulative
+// hit/miss counters (result-cache stale evictions count as misses).
+type CacheStats struct {
+	PlanEntries   int    `json:"plan_entries"`
+	PlanHits      uint64 `json:"plan_hits"`
+	PlanMisses    uint64 `json:"plan_misses"`
+	ResultEntries int    `json:"result_entries"`
+	ResultHits    uint64 `json:"result_hits"`
+	ResultMisses  uint64 `json:"result_misses"`
+}
+
+// CacheStats snapshots both query caches.
+func (db *DB) CacheStats() CacheStats {
+	ph, pm := db.plans.Counters()
+	rh, rm := db.results.Counters()
+	return CacheStats{
+		PlanEntries: db.plans.Len(), PlanHits: ph, PlanMisses: pm,
+		ResultEntries: db.results.Len(), ResultHits: rh, ResultMisses: rm,
+	}
+}
+
+// MaxQueries returns Options.MaxQueries: the advisory concurrent-query
+// admission limit the serving layer enforces. Zero means unlimited.
+func (db *DB) MaxQueries() int { return db.maxQueries }
 
 // CreateTable adds a table with the given columns. Every column stores
 // int64 values. It fails if the name is taken.
@@ -151,6 +265,7 @@ func (db *DB) CreateTable(name string, columns ...string) (*Table, error) {
 	tbl := table.New(name, columns...)
 	ex := engine.New(tbl)
 	ex.SetParallelism(db.par)
+	ex.SetScheduler(db.pool)
 	t := &Table{
 		db:  db,
 		tbl: tbl,
@@ -263,11 +378,21 @@ func (db *DB) Query(q string) (*QueryResult, error) {
 		return nil, err
 	}
 	defer qs.Close()
-	res, err := qs.st.Collect()
-	if err != nil {
-		return nil, err
+	// Drain through Next rather than the stream's Collect so the
+	// materialized path feeds (and is fed by) the result cache exactly
+	// like the streaming one.
+	var rows [][]float64
+	for {
+		chunk, err := qs.Next()
+		if err != nil {
+			return nil, err
+		}
+		if chunk == nil {
+			break
+		}
+		rows = append(rows, chunk...)
 	}
-	return &QueryResult{Columns: res.Columns, Rows: res.Rows, Ints: res.Ints}, nil
+	return &QueryResult{Columns: qs.Columns, Rows: rows, Ints: qs.Ints}, nil
 }
 
 // QueryStream is a query result delivered as a pipeline: the engine's
@@ -300,11 +425,48 @@ type QueryStream struct {
 
 	mu      sync.Mutex
 	release func()
+
+	// cached marks a stream replaying a result-cache hit; no relation
+	// storage is read and no locks are held.
+	cached bool
+	// The recorder tees drained rows into the result cache: rows
+	// accumulate (as copies — consumers may scribble on theirs) until
+	// the stream drains cleanly, then commit under the epoch signature
+	// captured at query start. An error, or growth past the cacheable
+	// bound, drops the recording. Single-consumer like the stream
+	// itself, so these fields need no lock.
+	cache     *sql.ResultCache
+	cacheKey  string
+	cacheSig  string
+	recording bool
+	recRows   [][]float64
 }
+
+// Cached reports whether this stream is served from the result cache
+// rather than a live scan. The HTTP layer surfaces it as a response
+// header.
+func (qs *QueryStream) Cached() bool { return qs.cached }
 
 // Next returns the next chunk of rows, nil once the stream is drained.
 func (qs *QueryStream) Next() ([][]float64, error) {
 	rows, err := qs.st.Next()
+	if qs.recording {
+		switch {
+		case err != nil:
+			qs.recording, qs.recRows = false, nil
+		case rows == nil:
+			qs.cache.Put(qs.cacheKey, qs.cacheSig, &sql.CachedResult{
+				Columns: qs.Columns, Ints: qs.Ints, Rows: qs.recRows,
+			})
+			qs.recording, qs.recRows = false, nil
+		case len(qs.recRows)+len(rows) > sql.MaxCachedResultRows:
+			qs.recording, qs.recRows = false, nil
+		default:
+			for _, r := range rows {
+				qs.recRows = append(qs.recRows, append([]float64(nil), r...))
+			}
+		}
+	}
 	if err != nil || rows == nil {
 		qs.Close()
 	}
@@ -353,7 +515,11 @@ func (db *DB) QueryStream(q string) (*QueryStream, error) {
 // shard fan-outs mid-scan: a disconnected HTTP client stops consuming
 // cores within one morsel.
 func (db *DB) QueryStreamCtx(ctx context.Context, q string) (*QueryStream, error) {
-	pq, err := sql.Parse(q)
+	// Normalize once and key both caches on the canonical text; the
+	// grammar has no literals where whitespace matters, so the
+	// normalized form parses identically.
+	norm := sql.NormalizeSQL(q)
+	pq, err := db.plans.Parse(norm)
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +541,9 @@ func (db *DB) QueryStreamCtx(ctx context.Context, q string) (*QueryStream, error
 		case okT:
 			t.mu.RLock()
 			unlocks = append(unlocks, t.mu.RUnlock)
-			rels[n] = sql.NewTableRelation(t.tbl)
+			tr := sql.NewTableRelation(t.tbl)
+			tr.SetScheduler(db.pool)
+			rels[n] = tr
 		case okP:
 			p.mu.RLock()
 			unlocks = append(unlocks, p.mu.RUnlock)
@@ -385,18 +553,39 @@ func (db *DB) QueryStreamCtx(ctx context.Context, q string) (*QueryStream, error
 			return nil, fmt.Errorf("amnesiadb: %w %q", ErrUnknownTable, n)
 		}
 	}
+	// The epoch signature is read under the relations' read locks, so
+	// it identifies exactly the data this query will scan: a cached
+	// entry at the same signature is byte-identical to what a live run
+	// would return, and any mutation since makes the lookup miss (and
+	// evict the stale entry).
+	var sig string
+	if db.results != nil {
+		var sb strings.Builder
+		for _, n := range names {
+			fmt.Fprintf(&sb, "%s:%d;", n, rels[n].Epoch())
+		}
+		sig = sb.String()
+		if res, ok := db.results.Get(norm, sig); ok {
+			release()
+			st := sql.NewCachedStream(res)
+			return &QueryStream{Columns: st.Columns, Ints: st.Ints, st: st, cached: true}, nil
+		}
+	}
 	st, err := sql.ExecStream(sql.CatalogFunc(func(n string) (sql.Relation, error) {
 		r, ok := rels[n]
 		if !ok {
 			return nil, fmt.Errorf("amnesiadb: %w %q", ErrUnknownTable, n)
 		}
 		return r, nil
-	}), pq, sql.Opts{Parallelism: db.par, Ctx: ctx})
+	}), pq, sql.Opts{Parallelism: db.par, Ctx: ctx, Sched: db.pool})
 	if err != nil {
 		release()
 		return nil, err
 	}
 	qs := &QueryStream{Columns: st.Columns, Ints: st.Ints, st: st, release: release}
+	if db.results != nil {
+		qs.cache, qs.cacheKey, qs.cacheSig, qs.recording = db.results, norm, sig, true
+	}
 	switch {
 	case st.Detached:
 		// The stream owns every buffer its chunks will be built from;
@@ -821,7 +1010,7 @@ type JoinRow struct {
 func (db *DB) Join(left *Table, leftCol string, right *Table, rightCol string, p Pred) ([]JoinRow, error) {
 	lockPair(left, right)
 	defer unlockPair(left, right)
-	res, err := engine.HashJoinPar(left.tbl, leftCol, right.tbl, rightCol, p.expr(), engine.ScanActive, db.par)
+	res, err := engine.HashJoinSched(context.Background(), db.pool, left.tbl, leftCol, right.tbl, rightCol, p.expr(), engine.ScanActive, db.par)
 	if err != nil {
 		return nil, err
 	}
@@ -839,7 +1028,7 @@ func (db *DB) Join(left *Table, leftCol string, right *Table, rightCol string, p
 func (db *DB) JoinPrecision(left *Table, leftCol string, right *Table, rightCol string, p Pred) (rf, mf int, pf float64, err error) {
 	lockPair(left, right)
 	defer unlockPair(left, right)
-	return engine.JoinPrecisionPar(left.tbl, leftCol, right.tbl, rightCol, p.expr(), db.par)
+	return engine.JoinPrecisionSched(db.pool, left.tbl, leftCol, right.tbl, rightCol, p.expr(), db.par)
 }
 
 // lockPair acquires both tables' read locks in a stable order. Joins are
@@ -891,6 +1080,7 @@ func (db *DB) LoadTable(r io.Reader) (*Table, error) {
 	}
 	ex := engine.New(tbl)
 	ex.SetParallelism(db.par)
+	ex.SetScheduler(db.pool)
 	t := &Table{db: db, tbl: tbl, ex: ex}
 	db.tables[tbl.Name()] = t
 	return t, nil

@@ -32,6 +32,14 @@
 // overlapping scan with serialization:
 //
 //	amnesiabench -stream 4000000 [-workers 0]
+//
+// -serve N benchmarks the whole serving stack: an in-process HTTP
+// server over an N-row table, driven closed-loop with a mixed /query
+// workload at 1/16/64/256 concurrent clients (p50/p95/p99 latency,
+// QPS, result-cache hit ratio, engine pool width, peak goroutines),
+// plus a cold-versus-cached contrast on one hot statement:
+//
+//	amnesiabench -serve 1000000
 package main
 
 import (
@@ -60,6 +68,7 @@ func main() {
 		sqlJoin    = flag.Int("sqljoin", 0, "benchmark the SQL JOIN path against the direct DB.Join over this many probe rows")
 		partRows   = flag.Int("partscan", 0, "run the partitioned fan-out micro-benchmark over this many rows instead of the sweep")
 		streamRows = flag.Int("stream", 0, "benchmark time-to-first-chunk vs total drain of a streaming SELECT over this many rows")
+		serveRows  = flag.Int("serve", 0, "benchmark the HTTP serving stack closed-loop (mixed /query workload at concurrency 1/16/64/256, plus cold-vs-cached hot query) over this many rows")
 		workers    = flag.Int("workers", 0, "parallelism knob for -scan/-join/-sqljoin/-partscan/-stream (0 = auto/GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -90,6 +99,12 @@ func main() {
 	}
 	if *streamRows > 0 {
 		if err := runStreamBench(*streamRows, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *serveRows > 0 {
+		if err := runServeBench(*serveRows); err != nil {
 			fatal(err)
 		}
 		return

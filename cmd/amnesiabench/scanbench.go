@@ -10,6 +10,7 @@ import (
 
 	"amnesiadb/internal/column"
 	"amnesiadb/internal/engine"
+	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/table"
 	"amnesiadb/internal/xrand"
@@ -53,10 +54,12 @@ func runScanBench(n, workers int) error {
 
 	// Resolve the knob the way the engine will, so the JSON reports the
 	// workers that actually ran: no scan uses more workers than it has
-	// morsels.
+	// morsels, and forced counts clamp to the shared pool's width —
+	// asking for 64 workers on an 8-wide pool runs 8.
+	pool := sched.Default()
 	rowsPerMorsel := engine.MorselBlocks * column.DefaultBlockSize
 	numMorsels := (n + rowsPerMorsel - 1) / rowsPerMorsel
-	resolved := engine.Workers(workers, n)
+	resolved := engine.WorkersSched(pool, workers, n)
 	if resolved > numMorsels {
 		resolved = numMorsels
 	}
@@ -72,6 +75,7 @@ func runScanBench(n, workers int) error {
 	for _, cell := range cells {
 		ex := engine.NewSilent(tb)
 		ex.SetParallelism(cell.par)
+		ex.SetScheduler(pool)
 		selOp := func() error {
 			_, err := ex.Select("a", pred, engine.ScanActive)
 			return err

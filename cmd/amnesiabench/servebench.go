@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amnesiadb"
+	"amnesiadb/internal/server"
+	"amnesiadb/internal/xrand"
+)
+
+// serveResult is one closed-loop serving-bench cell: fixed concurrency,
+// every client immediately issuing the next query when its previous one
+// drains, so QPS reflects the server's capacity at that offered load
+// and the percentiles its latency under it.
+type serveResult struct {
+	Bench       string  `json:"bench"`
+	Rows        int     `json:"rows"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	// CacheHitRatio is the result-cache hit fraction over this cell's
+	// requests (from the DB's cumulative counters, differenced).
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// PoolWorkers is the engine pool width bounding scan concurrency
+	// regardless of client count.
+	PoolWorkers int `json:"pool_workers"`
+	// PeakGoroutines is the process-wide goroutine high-water mark
+	// sampled during the cell — evidence the engine does not spawn
+	// per-query worker armies under load.
+	PeakGoroutines int `json:"peak_goroutines"`
+	Errors         int `json:"errors"`
+}
+
+// hotResult contrasts the first (scanning) execution of a hot query
+// with its cached replays — the repeated-query speedup the result
+// cache exists for.
+type hotResult struct {
+	Bench      string  `json:"bench"`
+	Rows       int     `json:"rows"`
+	ColdMs     float64 `json:"cold_ms"`
+	CachedP50  float64 `json:"cached_p50_ms"`
+	Speedup    float64 `json:"speedup"`
+	CacheHits  uint64  `json:"cache_hits"`
+	CacheMiss  uint64  `json:"cache_misses"`
+	PlanHits   uint64  `json:"plan_hits"`
+	PlanMisses uint64  `json:"plan_misses"`
+}
+
+// runServeBench stands up the HTTP serving stack in-process (shared
+// worker pool, admission off so saturation shows up as queueing, result
+// cache on) over an n-row table and drives POST /query closed-loop at
+// several client counts with a mixed workload: a hot cacheable
+// aggregate, a rotating set of aggregate variants, and a selective
+// projection. One JSON line per concurrency cell, plus one contrasting
+// cold-vs-cached latency on the hot statement.
+func runServeBench(n int) error {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 1, CacheEntries: 256})
+	defer db.Close()
+	t, err := db.CreateTable("big", "a", "b")
+	if err != nil {
+		return err
+	}
+	src := xrand.New(7)
+	as := make([]int64, n)
+	bs := make([]int64, n)
+	for i := range as {
+		as[i] = src.Int63n(1 << 20)
+		bs[i] = int64(i)
+	}
+	if err := t.Insert(map[string][]int64{"a": as, "b": bs}); err != nil {
+		return err
+	}
+
+	ts := httptest.NewServer(server.New(db))
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 512}}
+
+	// The workload: index i picks a statement. Half the traffic is the
+	// same hot aggregate (cache-friendly); the rest rotates through
+	// variants so the cache sees a realistic hit/miss mix, including a
+	// selective projection that streams real rows.
+	statement := func(i int) string {
+		switch {
+		case i%2 == 0:
+			return "SELECT AVG(a) FROM big WHERE a < 524288"
+		case i%4 == 1:
+			return fmt.Sprintf("SELECT SUM(a) FROM big WHERE a < %d", 1<<(10+i%8))
+		default:
+			return "SELECT a, b FROM big WHERE a < 1024 LIMIT 100"
+		}
+	}
+	post := func(sqlText string) (time.Duration, error) {
+		body, _ := json.Marshal(map[string]string{"sql": sqlText})
+		start := time.Now()
+		resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, conc := range []int{1, 16, 64, 256} {
+		reqs := 40 * conc
+		if reqs < 400 {
+			reqs = 400
+		}
+		hits0, miss0 := cacheCounters(db)
+		lat := make([]time.Duration, reqs)
+		var next, errs atomic.Int64
+		var peak atomic.Int64
+		stopSample := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-stopSample:
+					return
+				case <-time.After(5 * time.Millisecond):
+					g := int64(runtime.NumGoroutine())
+					for {
+						old := peak.Load()
+						if g <= old || peak.CompareAndSwap(old, g) {
+							break
+						}
+					}
+				}
+			}
+		}()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= reqs {
+						return
+					}
+					d, err := post(statement(i))
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					lat[i] = d
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(stopSample)
+		hits1, miss1 := cacheCounters(db)
+		ok := lat[:0:len(lat)]
+		for _, d := range lat {
+			if d > 0 {
+				ok = append(ok, d)
+			}
+		}
+		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+		dh, dm := float64(hits1-hits0), float64(miss1-miss0)
+		ratio := 0.0
+		if dh+dm > 0 {
+			ratio = dh / (dh + dm)
+		}
+		if err := enc.Encode(serveResult{
+			Bench:          "serve_mixed",
+			Rows:           n,
+			Concurrency:    conc,
+			Requests:       reqs,
+			QPS:            float64(reqs) / elapsed.Seconds(),
+			P50Ms:          pctMs(ok, 0.50),
+			P95Ms:          pctMs(ok, 0.95),
+			P99Ms:          pctMs(ok, 0.99),
+			CacheHitRatio:  ratio,
+			PoolWorkers:    db.PoolStats().Workers,
+			PeakGoroutines: int(peak.Load()),
+			Errors:         int(errs.Load()),
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Cold-vs-cached: a fresh statement's first run scans; replays hit.
+	hot := "SELECT SUM(a) FROM big WHERE a < 917504"
+	coldDur, err := post(hot)
+	if err != nil {
+		return err
+	}
+	var reps []time.Duration
+	for i := 0; i < 50; i++ {
+		d, err := post(hot)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, d)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+	cs := db.CacheStats()
+	cold := float64(coldDur.Nanoseconds()) / 1e6
+	cachedP50 := pctMs(reps, 0.50)
+	speedup := 0.0
+	if cachedP50 > 0 {
+		speedup = cold / cachedP50
+	}
+	return enc.Encode(hotResult{
+		Bench:      "serve_hot_cached",
+		Rows:       n,
+		ColdMs:     cold,
+		CachedP50:  cachedP50,
+		Speedup:    speedup,
+		CacheHits:  cs.ResultHits,
+		CacheMiss:  cs.ResultMisses,
+		PlanHits:   cs.PlanHits,
+		PlanMisses: cs.PlanMisses,
+	})
+}
+
+func cacheCounters(db *amnesiadb.DB) (hits, misses uint64) {
+	cs := db.CacheStats()
+	return cs.ResultHits, cs.ResultMisses
+}
+
+// pctMs returns the p-quantile of sorted durations in milliseconds.
+func pctMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i].Nanoseconds()) / 1e6
+}

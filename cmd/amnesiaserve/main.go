@@ -1,20 +1,32 @@
 // Command amnesiaserve runs an amnesiadb HTTP server.
 //
-//	amnesiaserve -addr :8080 -seed 1
+//	amnesiaserve -addr :8080 -seed 1 -max-queries 64 -cache-entries 256
 //
 // Endpoints (see internal/server): POST /query, POST /insert,
-// POST /policy, GET /stats, GET /tables, GET /precision.
+// POST /policy, GET /stats, GET /tables, GET /precision, GET /healthz.
 //
 //	curl -s localhost:8080/insert -d '{"table":"t","create":["a"],"columns":{"a":[1,2,3]}}'
 //	curl -s localhost:8080/policy -d '{"table":"t","strategy":"fifo","budget":2}'
 //	curl -s localhost:8080/query  -d '{"sql":"SELECT COUNT(*) FROM t"}'
+//	curl -s localhost:8080/healthz
+//
+// Queries execute on a shared worker pool (GOMAXPROCS wide by default),
+// so engine concurrency stays bounded no matter how many clients
+// connect; -max-queries bounds concurrently executing queries, with a
+// bounded wait queue beyond which requests are shed with 429 and a
+// Retry-After header. SIGINT/SIGTERM starts a graceful drain: new
+// queries get 503, in-flight ones finish (up to -write-timeout), then
+// the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"amnesiadb"
@@ -26,16 +38,48 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		seed         = flag.Uint64("seed", 1, "seed for amnesia decisions")
 		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "max time to stream one response; a query stream that projects lazily holds its table read lock until the response finishes, so this bounds how long a stalled client can block writers")
+		maxQueries   = flag.Int("max-queries", 64, "queries allowed to execute concurrently before new arrivals queue; 0 = unlimited")
+		queueDepth   = flag.Int("queue-depth", 0, "queued queries beyond which arrivals are shed with 429; 0 = 2x max-queries")
+		cacheEntries = flag.Int("cache-entries", 256, "result-cache capacity (small materialized results, invalidated by mutation epochs); 0 disables")
+		poolSize     = flag.Int("pool", 0, "engine worker-pool width: 0 = shared GOMAXPROCS pool, n>0 = dedicated pool of n workers, n<0 = per-query goroutines")
 	)
 	flag.Parse()
 
-	db := amnesiadb.Open(amnesiadb.Options{Seed: *seed})
+	db := amnesiadb.Open(amnesiadb.Options{
+		Seed:         *seed,
+		PoolSize:     *poolSize,
+		MaxQueries:   *maxQueries,
+		CacheEntries: *cacheEntries,
+	})
+	defer db.Close()
+	h := server.NewConfigured(db, server.Config{MaxQueries: *maxQueries, QueueDepth: *queueDepth})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(db),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      *writeTimeout,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("amnesiaserve listening on %s\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Graceful drain: refuse new queries first, then let http.Server
+	// wait out in-flight responses, bounded by the same budget a single
+	// stalled stream gets.
+	fmt.Println("amnesiaserve draining...")
+	h.StartDraining()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *writeTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	fmt.Println("amnesiaserve stopped")
 }

@@ -71,6 +71,7 @@ import (
 
 	"amnesiadb/internal/bitvec"
 	"amnesiadb/internal/column"
+	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/table"
 )
@@ -122,6 +123,10 @@ type Exec struct {
 	touch bool
 	// par is the intra-query parallelism knob; see SetParallelism.
 	par int
+	// sched, when non-nil, dispatches parallel work through a shared
+	// worker pool instead of spawning per-query goroutines; see
+	// SetScheduler.
+	sched *sched.Pool
 }
 
 // New returns an executor for t that records access frequencies (Touch)
@@ -229,36 +234,54 @@ func (e *Exec) collectAll(c *column.Int64, pred expr.Expr, active *bitvec.Vector
 	if w <= 1 {
 		return collectChunks(c, pred, active, 0, c.Len())
 	}
-	cur := newAdaptiveMorsels(c)
+	cur := e.newMorsels(c)
 	var mu sync.Mutex
 	var slots [][]*Batch
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				r, seq, ok := cur.claim()
-				if !ok {
-					return
-				}
-				t0 := time.Now()
-				cs := collectChunks(c, pred, active, r.start, r.end)
-				qual := 0
-				for _, b := range cs {
-					qual += len(b.Sel)
-				}
-				cur.observe(time.Since(t0), qual)
-				mu.Lock()
-				for len(slots) <= seq {
-					slots = append(slots, nil)
-				}
-				slots[seq] = cs
-				mu.Unlock()
-			}
-		}()
+	runOne := func() bool {
+		r, seq, ok := cur.claim()
+		if !ok {
+			return false
+		}
+		t0 := time.Now()
+		cs := collectChunks(c, pred, active, r.start, r.end)
+		qual := 0
+		for _, b := range cs {
+			qual += len(b.Sel)
+		}
+		cur.observe(time.Since(t0), qual)
+		mu.Lock()
+		for len(slots) <= seq {
+			slots = append(slots, nil)
+		}
+		slots[seq] = cs
+		mu.Unlock()
+		return true
 	}
-	wg.Wait()
+	if e.sched != nil {
+		// Shared-pool dispatch: the scan becomes one pool query of w
+		// concurrent steps, scheduled fair-share against every other
+		// active query; the calling goroutine drives its own steps while
+		// it waits, so a saturated pool never idles the caller.
+		q := e.sched.Attach(w, shortScan(c.Len()), func() sched.Status {
+			if !runOne() {
+				return sched.Done
+			}
+			return sched.Ran
+		})
+		q.Wait()
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for runOne() {
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	e.recordStride(cur)
 	var flat []*Batch
 	for _, cs := range slots {
 		flat = append(flat, cs...)

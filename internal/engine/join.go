@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/table"
 )
@@ -81,10 +82,20 @@ func joinSize(t *table.Table, mode ScanMode) int {
 // build-side insertion order, and the probe emits in probe order.
 // Cancelling ctx tears down the side scans mid-collection.
 func HashJoinCtx(ctx context.Context, left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, mode ScanMode, par int) (*JoinResult, error) {
+	return HashJoinSched(ctx, nil, left, leftCol, right, rightCol, pred, mode, par)
+}
+
+// HashJoinSched is HashJoinCtx with collection, build and probe all
+// dispatched through a shared worker pool when sp is non-nil: the side
+// scans stream through pool-scheduled pipelines and the scatter, map
+// build and probe morsels run as pool queries, so a join competes
+// fair-share with every other active query instead of spawning its own
+// worker complement. Results stay byte-identical to every other path.
+func HashJoinSched(ctx context.Context, sp *sched.Pool, left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, mode ScanMode, par int) (*JoinResult, error) {
 	if pred == nil {
 		pred = expr.True{}
 	}
-	workers := Workers(par, joinSize(left, mode)+joinSize(right, mode))
+	workers := WorkersSched(sp, par, joinSize(left, mode)+joinSize(right, mode))
 	if workers <= 1 {
 		return hashJoinSerial(left, leftCol, right, rightCol, pred, mode, par)
 	}
@@ -125,6 +136,7 @@ func HashJoinCtx(ctx context.Context, left *table.Table, leftCol string, right *
 			st := sides[i]
 			ex := NewSilent(tables[i])
 			ex.SetParallelism(par)
+			ex.SetScheduler(sp)
 			cs, err := ex.SelectChunkStream(jctx, cols[i], pred, mode)
 			if err != nil {
 				st.err = err
@@ -180,13 +192,13 @@ func HashJoinCtx(ctx context.Context, left *table.Table, leftCol string, right *
 	probe := chunksToResult(sides[1-buildIdx].chunks)
 	var ht *joinTable
 	if buildIdx == buildGuess {
-		ht = sides[buildGuess].scat.table(workers)
+		ht = sides[buildGuess].scat.table(sp, workers)
 		recycleChunks(sides[buildGuess].chunks)
 	} else {
 		// Misprediction: scatter the true build side the old two-pass
 		// way; the speculative scatter is discarded.
 		build := chunksToResult(sides[buildIdx].chunks)
-		ht = buildJoinTable(build.Values, build.Rows, workers)
+		ht = buildJoinTableSched(sp, build.Values, build.Rows, workers)
 	}
 
 	// Morsel-parallel probe: each morsel fills its own output slot (the
@@ -195,7 +207,7 @@ func HashJoinCtx(ctx context.Context, left *table.Table, leftCol string, right *
 	// them.
 	nm := (probe.Count() + ProbeMorselRows - 1) / ProbeMorselRows
 	slots := make([][]JoinRow, nm)
-	forEachMorsel(workers, nm, func(_, m int) {
+	forEachMorselSched(sp, workers, nm, func(_, m int) {
 		start := m * ProbeMorselRows
 		end := start + ProbeMorselRows
 		if end > probe.Count() {
@@ -294,9 +306,9 @@ func (s *radixScatter) add(c SelChunk) {
 
 // table builds the per-partition hash maps — one worker per partition,
 // lock-free — over the scattered arrays.
-func (s *radixScatter) table(workers int) *joinTable {
+func (s *radixScatter) table(sp *sched.Pool, workers int) *joinTable {
 	jt := &joinTable{bits: s.bits, parts: make([]map[int64][]int32, len(s.keys))}
-	forEachMorsel(workers, len(s.keys), func(_, p int) {
+	forEachMorselSched(sp, workers, len(s.keys), func(_, p int) {
 		ht := make(map[int64][]int32, len(s.keys[p]))
 		for i, k := range s.keys[p] {
 			ht[k] = append(ht[k], s.rows[p][i])
@@ -343,6 +355,12 @@ func radixOf(k int64, bits uint) int {
 // worker. Every pass writes disjoint memory, so the build takes no
 // locks.
 func buildJoinTable(keys []int64, rows []int32, workers int) *joinTable {
+	return buildJoinTableSched(nil, keys, rows, workers)
+}
+
+// buildJoinTableSched is buildJoinTable with the scatter passes
+// dispatched through a shared pool when sp is non-nil.
+func buildJoinTableSched(sp *sched.Pool, keys []int64, rows []int32, workers int) *joinTable {
 	if workers > len(keys) {
 		workers = len(keys)
 	}
@@ -369,7 +387,7 @@ func buildJoinTable(keys []int64, rows []int32, workers int) *joinTable {
 		return lo, hi
 	}
 	counts := make([][]int, nchunks)
-	forEachMorsel(workers, nchunks, func(_, c int) {
+	forEachMorselSched(sp, workers, nchunks, func(_, c int) {
 		cnt := make([]int, nparts)
 		lo, hi := chunkBounds(c)
 		for _, k := range keys[lo:hi] {
@@ -396,7 +414,7 @@ func buildJoinTable(keys []int64, rows []int32, workers int) *joinTable {
 		partKeys[p] = make([]int64, totals[p])
 		partRows[p] = make([]int32, totals[p])
 	}
-	forEachMorsel(workers, nchunks, func(_, c int) {
+	forEachMorselSched(sp, workers, nchunks, func(_, c int) {
 		off := append([]int(nil), offsets[c]...)
 		lo, hi := chunkBounds(c)
 		for i := lo; i < hi; i++ {
@@ -407,7 +425,7 @@ func buildJoinTable(keys []int64, rows []int32, workers int) *joinTable {
 		}
 	})
 	jt := &joinTable{bits: rbits, parts: make([]map[int64][]int32, nparts)}
-	forEachMorsel(workers, nparts, func(_, p int) {
+	forEachMorselSched(sp, workers, nparts, func(_, p int) {
 		ht := make(map[int64][]int32, len(partKeys[p]))
 		for i, k := range partKeys[p] {
 			ht[k] = append(ht[k], partRows[p][i])
@@ -448,11 +466,16 @@ func JoinPrecision(left *table.Table, leftCol string, right *table.Table, rightC
 
 // JoinPrecisionPar is JoinPrecision with an explicit parallelism knob.
 func JoinPrecisionPar(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, par int) (rf, mf int, pf float64, err error) {
-	act, err := HashJoinPar(left, leftCol, right, rightCol, pred, ScanActive, par)
+	return JoinPrecisionSched(nil, left, leftCol, right, rightCol, pred, par)
+}
+
+// JoinPrecisionSched is JoinPrecisionPar over a shared worker pool.
+func JoinPrecisionSched(sp *sched.Pool, left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, par int) (rf, mf int, pf float64, err error) {
+	act, err := HashJoinSched(context.Background(), sp, left, leftCol, right, rightCol, pred, ScanActive, par)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	all, err := HashJoinPar(left, leftCol, right, rightCol, pred, ScanAll, par)
+	all, err := HashJoinSched(context.Background(), sp, left, leftCol, right, rightCol, pred, ScanAll, par)
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"amnesiadb/internal/bitvec"
 	"amnesiadb/internal/column"
+	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 )
 
@@ -39,9 +40,34 @@ func (e *Exec) SetParallelism(n int) {
 // Parallelism returns the configured knob (0 = auto).
 func (e *Exec) Parallelism() int { return e.par }
 
+// SetScheduler routes the executor's parallel work through a shared
+// worker pool: morsel steps are dispatched from the pool's per-query
+// queues instead of spawning this executor's own goroutines, and a
+// forced Parallelism(n) with n above the pool width is clamped to it.
+// nil (the default) keeps the legacy spawn-per-query behaviour.
+// Configure before sharing the executor, like SetParallelism.
+func (e *Exec) SetScheduler(p *sched.Pool) { e.sched = p }
+
+// Scheduler returns the configured pool, nil when unset.
+func (e *Exec) Scheduler() *sched.Pool { return e.sched }
+
 // workersFor resolves the knob to a worker count for a scan of rows
-// tuples.
-func (e *Exec) workersFor(rows int) int { return Workers(e.par, rows) }
+// tuples, clamped to the scheduler pool's width when one is set.
+func (e *Exec) workersFor(rows int) int { return WorkersSched(e.sched, e.par, rows) }
+
+// EffectiveWorkers reports the worker count a scan of rows tuples
+// actually admits under the executor's knob and scheduler clamp; the
+// bench CLI surfaces it next to the requested count.
+func (e *Exec) EffectiveWorkers(rows int) int { return e.workersFor(rows) }
+
+// shortScanRows is the priority-boost threshold: queries scanning at
+// most this many tuples count as short for the shared pool's
+// fair-share dispatch, so point lookups overtake long scans without
+// starving them (the boost is burst-bounded in sched).
+const shortScanRows = 8 * parallelMinRows
+
+// shortScan classifies a scan of rows tuples for pool priority.
+func shortScan(rows int) bool { return rows <= shortScanRows }
 
 // Workers resolves a parallelism knob for a task over rows tuples:
 // 1 forces serial, n > 1 forces n workers, 0 (auto) uses GOMAXPROCS
@@ -62,6 +88,18 @@ func Workers(par, rows int) int {
 	}
 }
 
+// WorkersSched is Workers with the shared-pool clamp: a forced
+// Parallelism(n) with n above the pool width would oversubscribe the
+// box the moment queries share one pool, so the resolved count never
+// exceeds the pool size. A nil pool resolves exactly like Workers.
+func WorkersSched(p *sched.Pool, par, rows int) int {
+	w := Workers(par, rows)
+	if p != nil && w > p.Size() {
+		w = p.Size()
+	}
+	return w
+}
+
 // ForEachTask is the morsel scheduler generalised to any indexed task
 // list: workers goroutines pull indices [0, n) from a shared atomic
 // counter until none remain. Workers is clamped to n. fn must be safe
@@ -69,6 +107,14 @@ func Workers(par, rows int) int {
 // layer's shard fan-out and SQL's run sort schedule through this.
 func ForEachTask(workers, n int, fn func(i int)) {
 	forEachMorsel(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachTaskSched is ForEachTask dispatched through a shared pool
+// when p is non-nil: the tasks become one pool query of the given
+// width, scheduled fair-share against every other active query, and
+// the calling goroutine drives its own steps while it waits.
+func ForEachTaskSched(p *sched.Pool, workers, n int, fn func(i int)) {
+	forEachMorselSched(p, workers, n, func(_, i int) { fn(i) })
 }
 
 // morselGeometry splits c into morsels of MorselBlocks blocks.
@@ -111,6 +157,45 @@ func forEachMorsel(workers, numMorsels int, fn func(worker, morsel int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// forEachMorselSched is forEachMorsel dispatched through a shared pool
+// when p is non-nil (nil falls back to spawn-per-call). One pool query
+// of the given width covers all morsels; steps run on arbitrary pool
+// workers plus the calling goroutine, so the dense worker indices fn
+// expects (per-worker partials) are leased from a slot channel — the
+// pool caps concurrent steps at width, so a lease never blocks.
+func forEachMorselSched(p *sched.Pool, workers, numMorsels int, fn func(worker, morsel int)) {
+	if workers > numMorsels {
+		workers = numMorsels
+	}
+	if p == nil || workers <= 1 {
+		forEachMorsel(workers, numMorsels, fn)
+		return
+	}
+	var next atomic.Int64
+	slots := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		slots <- w
+	}
+	q := p.Attach(workers, numMorsels <= workers, func() sched.Status {
+		m := int(next.Add(1)) - 1
+		if m >= numMorsels {
+			return sched.Done
+		}
+		w := <-slots
+		fn(w, m)
+		slots <- w
+		return sched.Ran
+	})
+	q.Wait()
+}
+
+// forEachMorsel routes through the executor's scheduler when one is
+// configured; the parallel operators all dispatch through this method
+// so direct engine users and pool-backed facades share one code path.
+func (e *Exec) forEachMorsel(workers, numMorsels int, fn func(worker, morsel int)) {
+	forEachMorselSched(e.sched, workers, numMorsels, fn)
 }
 
 // scanMorselBatches runs the batch pipeline — range-bounded scan kernel,
@@ -177,7 +262,7 @@ func (e *Exec) aggregateParallel(c *column.Int64, pred expr.Expr, active *bitvec
 	if touching {
 		rower = make([][]int32, nm)
 	}
-	forEachMorsel(workers, nm, func(w, m int) {
+	e.forEachMorsel(workers, nm, func(w, m int) {
 		p := &partials[w]
 		scanMorselBatches(c, lo, hi, exact, pred, active, m*rowsPer, (m+1)*rowsPer, func(sel []int32, val []int64) {
 			if touching {
@@ -233,7 +318,7 @@ func (e *Exec) groupByParallel(c *column.Int64, pred expr.Expr, active *bitvec.V
 	if touching {
 		touched = make([][]int32, nm)
 	}
-	forEachMorsel(workers, nm, func(w, m int) {
+	e.forEachMorsel(workers, nm, func(w, m int) {
 		byKey := maps[w]
 		if byKey == nil {
 			byKey = make(map[int64]*Group)
@@ -288,7 +373,7 @@ func (e *Exec) countMatchesParallel(c *column.Int64, pred expr.Expr, active *bit
 	lo, hi, exact := pred.Bounds()
 	rowsPer, nm := morselGeometry(c)
 	counts := make([]int, nm)
-	forEachMorsel(workers, nm, func(_, m int) {
+	e.forEachMorsel(workers, nm, func(_, m int) {
 		start, end := m*rowsPer, (m+1)*rowsPer
 		if exact {
 			counts[m] = c.CountRangeIn(lo, hi, active, start, end)

@@ -8,6 +8,7 @@ import (
 
 	"amnesiadb/internal/bitvec"
 	"amnesiadb/internal/column"
+	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 )
 
@@ -133,7 +134,16 @@ func (s *ChunkStream) Collect() ([]SelChunk, error) {
 // distinct tasks); finish, when non-nil, runs exactly once after every
 // producer has exited and before ScanDone closes — the touch-flush hook.
 // ctx cancellation and Close are equivalent teardowns.
-func runPipeline[T any](ctx context.Context, s *ChunkStream, workers int,
+//
+// With a nil pool the pipeline spawns its own workers goroutines, the
+// pre-scheduler behaviour. With a pool, production becomes one sched
+// query of the given width: steps claim and produce tasks on shared
+// pool workers, the in-flight token budget is enforced by try-acquire
+// (a step that cannot take a token returns Blocked instead of holding
+// a pool worker hostage), and the emitter wakes the query every time
+// consuming a task returns a token. Teardown (Close, ctx, an error)
+// wakes a parked query so its next step observes stop and finishes.
+func runPipeline[T any](ctx context.Context, s *ChunkStream, sp *sched.Pool, workers int, short bool,
 	claim func() (T, int, bool),
 	produce func(T) ([]SelChunk, error),
 	finish func()) {
@@ -165,32 +175,31 @@ func runPipeline[T any](ctx context.Context, s *ChunkStream, workers int,
 	}
 
 	var wg sync.WaitGroup
-	worker := func() {
-		defer wg.Done()
-		defer func() {
-			mu.Lock()
-			producing--
-			mu.Unlock()
-			wake()
-		}()
-		for {
-			// Teardown has priority: once stop closes, no new morsel may
-			// be claimed, even if a semaphore slot is free (a two-way
-			// select would pick between the ready cases at random).
+	// wakeProducers, in pool mode, unparks the production query after
+	// the emitter returns an in-flight token; a no-op otherwise.
+	wakeProducers := func() {}
+	if sp != nil {
+		// Pool mode: one sched query produces every task. Steps never
+		// block — teardown and token exhaustion turn into Done/Blocked —
+		// so shared pool workers cannot deadlock across queries.
+		producing = 1
+		step := func() sched.Status {
+			// Teardown has priority over a free token, like the
+			// goroutine worker's ordered selects.
 			select {
 			case <-s.stop:
-				return
+				return sched.Done
 			default:
 			}
 			select {
 			case sem <- struct{}{}:
-			case <-s.stop:
-				return
+			default:
+				return sched.Blocked
 			}
 			task, seq, ok := claim()
 			if !ok {
 				<-sem
-				return
+				return sched.Done
 			}
 			chunks, err := produce(task)
 			mu.Lock()
@@ -201,17 +210,78 @@ func runPipeline[T any](ctx context.Context, s *ChunkStream, workers int,
 			mu.Unlock()
 			wake()
 			if err != nil {
-				// Fail fast: wake every worker out of its sem wait so the
-				// pipeline drains promptly. The recorded error wins over
-				// the close cause.
 				s.closeWith(err)
-				return
+				return sched.Done
+			}
+			return sched.Ran
+		}
+		q := sp.Attach(workers, short, step)
+		wakeProducers = q.Wake
+		go func() { // teardown watcher: a parked query must observe stop
+			select {
+			case <-s.stop:
+				q.Wake()
+			case <-s.scanDone:
+			}
+		}()
+		wg.Add(1)
+		go func() { // production ends when the pool query finishes
+			defer wg.Done()
+			<-q.Done()
+			mu.Lock()
+			producing = 0
+			mu.Unlock()
+			wake()
+		}()
+	} else {
+		worker := func() {
+			defer wg.Done()
+			defer func() {
+				mu.Lock()
+				producing--
+				mu.Unlock()
+				wake()
+			}()
+			for {
+				// Teardown has priority: once stop closes, no new morsel may
+				// be claimed, even if a semaphore slot is free (a two-way
+				// select would pick between the ready cases at random).
+				select {
+				case <-s.stop:
+					return
+				default:
+				}
+				select {
+				case sem <- struct{}{}:
+				case <-s.stop:
+					return
+				}
+				task, seq, ok := claim()
+				if !ok {
+					<-sem
+					return
+				}
+				chunks, err := produce(task)
+				mu.Lock()
+				if err != nil && perr == nil {
+					perr = err
+				}
+				ready[seq] = chunks
+				mu.Unlock()
+				wake()
+				if err != nil {
+					// Fail fast: wake every worker out of its sem wait so the
+					// pipeline drains promptly. The recorded error wins over
+					// the close cause.
+					s.closeWith(err)
+					return
+				}
 			}
 		}
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go worker()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go worker()
+		}
 	}
 
 	wg.Add(1)
@@ -242,6 +312,7 @@ func runPipeline[T any](ctx context.Context, s *ChunkStream, workers int,
 					}
 				}
 				<-sem
+				wakeProducers()
 				next++
 				continue
 			}
@@ -314,6 +385,15 @@ func RecycleChunk(c SelChunk) {
 // partition layer's shard fan-out streams through this; tests drive it
 // directly to pin the backpressure bound.
 func NewChunkPipeline(ctx context.Context, workers, n int, produce func(task int) ([]SelChunk, error)) *ChunkStream {
+	return NewChunkPipelineSched(ctx, nil, workers, n, produce)
+}
+
+// NewChunkPipelineSched is NewChunkPipeline with production dispatched
+// through a shared pool when sp is non-nil: the fan-out becomes one
+// sched query of the given width instead of spawning its own
+// goroutines. Shard fan-outs are whole-shard tasks, so they never get
+// the short-query boost.
+func NewChunkPipelineSched(ctx context.Context, sp *sched.Pool, workers, n int, produce func(task int) ([]SelChunk, error)) *ChunkStream {
 	if workers > n {
 		workers = n
 	}
@@ -333,7 +413,7 @@ func NewChunkPipeline(ctx context.Context, workers, n int, produce func(task int
 		next++
 		return i, i, true
 	}
-	runPipeline(ctx, s, workers, claim, produce, nil)
+	runPipeline(ctx, s, sp, workers, false, claim, produce, nil)
 	return s
 }
 
@@ -383,6 +463,23 @@ type adaptiveMorsels struct {
 func newAdaptiveMorsels(c *column.Int64) *adaptiveMorsels {
 	return &adaptiveMorsels{blockRows: c.BlockSize(), total: c.Len(), stride: MorselBlocks}
 }
+
+// newMorsels builds the adaptive cursor for a scan of c, seeded from
+// the table's last recorded effective stride so steady-state scans
+// skip the warm-up doublings. A stale hint is self-correcting: observe
+// shrinks an oversized stride within a couple of morsels, and results
+// are stride-independent by construction.
+func (e *Exec) newMorsels(c *column.Int64) *adaptiveMorsels {
+	cur := newAdaptiveMorsels(c)
+	if h := e.t.ScanStrideHint(); h >= MorselBlocks && h <= MaxMorselBlocks {
+		cur.stride = h
+	}
+	return cur
+}
+
+// recordStride stores a finished scan's effective stride as the
+// table's seed for the next one.
+func (e *Exec) recordStride(cur *adaptiveMorsels) { e.t.RecordScanStride(cur.Stride()) }
 
 func (a *adaptiveMorsels) claim() (rowRange, int, bool) {
 	a.mu.Lock()
@@ -450,7 +547,7 @@ func (e *Exec) SelectChunkStream(ctx context.Context, col string, pred expr.Expr
 	workers := e.workersFor(c.Len())
 	touching := e.touch && mode == ScanActive
 
-	cur := newAdaptiveMorsels(c)
+	cur := e.newMorsels(c)
 	s := newChunkStream()
 	s.stride = cur.Stride
 
@@ -480,22 +577,23 @@ func (e *Exec) SelectChunkStream(ctx context.Context, col string, pred expr.Expr
 		}
 		return chunks, nil
 	}
-	var finish func()
-	if touching {
-		finish = func() {
-			// One flush per query, like Select; TouchMany counts are
-			// order-independent, so the worker interleaving never shows.
-			// This runs before ScanDone closes, i.e. still under the
-			// caller's read lock.
-			touchMu.Lock()
-			rows := touched
-			touched = nil
-			touchMu.Unlock()
-			if len(rows) > 0 {
-				e.t.TouchMany(rows)
-			}
+	finish := func() {
+		e.recordStride(cur)
+		if !touching {
+			return
+		}
+		// One flush per query, like Select; TouchMany counts are
+		// order-independent, so the worker interleaving never shows.
+		// This runs before ScanDone closes, i.e. still under the
+		// caller's read lock.
+		touchMu.Lock()
+		rows := touched
+		touched = nil
+		touchMu.Unlock()
+		if len(rows) > 0 {
+			e.t.TouchMany(rows)
 		}
 	}
-	runPipeline(ctx, s, workers, cur.claim, produce, finish)
+	runPipeline(ctx, s, e.sched, workers, shortScan(c.Len()), cur.claim, produce, finish)
 	return s, nil
 }

@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsAllSteps pins the basic contract: every step of an
+// attached query runs exactly once and Wait returns only after the
+// last one finished.
+func TestPoolRunsAllSteps(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 1000
+	var next, ran atomic.Int64
+	q := p.Attach(4, false, func() Status {
+		i := next.Add(1) - 1
+		if i >= n {
+			return Done
+		}
+		ran.Add(1)
+		return Ran
+	})
+	q.Wait()
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d steps, want %d", got, n)
+	}
+	select {
+	case <-q.Done():
+	default:
+		t.Fatal("Done channel not closed after Wait")
+	}
+}
+
+// TestWidthRespected pins the per-query concurrency cap: a query
+// attached with width w never has more than w steps executing, even on
+// a wider pool.
+func TestWidthRespected(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	const width = 3
+	var cur, peak, next atomic.Int64
+	q := p.Attach(width, false, func() Status {
+		if next.Add(1) > 200 {
+			return Done
+		}
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+		return Ran
+	})
+	q.Wait()
+	if got := peak.Load(); got > width {
+		t.Fatalf("peak concurrent steps %d exceeds width %d", got, width)
+	}
+}
+
+// TestBlockedWake pins the park/unpark path: a query whose steps
+// return Blocked makes no progress until Wake, then resumes and
+// finishes; a Wake racing the Blocked return is not lost.
+func TestBlockedWake(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var gate atomic.Bool
+	var ran atomic.Int64
+	q := p.Attach(1, false, func() Status {
+		if !gate.Load() {
+			return Blocked
+		}
+		if ran.Add(1) >= 3 {
+			return Done
+		}
+		return Ran
+	})
+	time.Sleep(10 * time.Millisecond)
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("blocked query ran %d steps before Wake", got)
+	}
+	gate.Store(true)
+	q.Wake()
+	q.Wait()
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("ran %d steps after Wake, want 3", got)
+	}
+}
+
+// TestWaitParticipates pins the caller-participation guarantee: a
+// query attached to a pool whose only worker is stuck on another
+// query still finishes, because Wait drives its own steps.
+func TestWaitParticipates(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	release := make(chan struct{})
+	hogRunning := make(chan struct{})
+	var once sync.Once
+	hog := p.Attach(1, false, func() Status {
+		once.Do(func() { close(hogRunning) })
+		<-release
+		return Done
+	})
+	<-hogRunning // the pool's one worker is now occupied
+	var ran atomic.Int64
+	q := p.Attach(2, false, func() Status {
+		if ran.Add(1) >= 50 {
+			return Done
+		}
+		return Ran
+	})
+	done := make(chan struct{})
+	go func() {
+		q.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not drive the query while the pool was saturated")
+	}
+	close(release)
+	hog.Wait()
+}
+
+// TestFairShare pins starvation-freedom: with one long query and a
+// stream of short ones on a width-1 pool, the long query still
+// completes — the shortBurst cap forces round-robin picks through.
+func TestFairShare(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	var longSteps atomic.Int64
+	long := p.Attach(1, false, func() Status {
+		if longSteps.Add(1) >= 20 {
+			return Done
+		}
+		return Ran
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // keep a supply of short queries attached
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var n atomic.Int64
+			s := p.Attach(1, true, func() Status {
+				if n.Add(1) >= 2 {
+					return Done
+				}
+				return Ran
+			})
+			s.Wait()
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		long.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("long query starved by short-query stream")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCloseAfterDrain pins Close: it returns once workers exit and is
+// idempotent; queries driven by Wait still complete on a closed pool.
+func TestCloseAfterDrain(t *testing.T) {
+	p := New(2)
+	p.Close()
+	p.Close()
+	var ran atomic.Int64
+	q := p.Attach(1, false, func() Status {
+		if ran.Add(1) >= 5 {
+			return Done
+		}
+		return Ran
+	})
+	q.Wait() // caller participation: finishes with zero pool workers
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("ran %d steps on closed pool, want 5", got)
+	}
+}
+
+// TestStats sanity-checks the snapshot fields.
+func TestStats(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	st := p.Stats()
+	if st.Workers != 3 || st.Queries != 0 {
+		t.Fatalf("fresh pool stats = %+v", st)
+	}
+	if p.Size() != 3 {
+		t.Fatalf("Size() = %d, want 3", p.Size())
+	}
+}

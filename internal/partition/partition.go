@@ -30,6 +30,7 @@ import (
 
 	"amnesiadb/internal/amnesia"
 	"amnesiadb/internal/engine"
+	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/table"
 	"amnesiadb/internal/xrand"
@@ -92,6 +93,9 @@ type Set struct {
 	src    *xrand.Source
 	// par is the fan-out parallelism knob; see SetParallelism.
 	par int
+	// sched, when non-nil, dispatches fan-outs and shard scans through
+	// a shared worker pool; see SetScheduler.
+	sched *sched.Pool
 }
 
 // New builds a Set over [0, domain) split into n equal-width partitions,
@@ -156,6 +160,30 @@ func (s *Set) SetParallelism(n int) {
 	}
 }
 
+// SetScheduler routes the set's fan-outs and every shard executor
+// through a shared worker pool (nil restores spawn-per-query), so
+// partitioned queries compete fair-share with everything else on the
+// pool. Configure before serving concurrent queries, like
+// SetParallelism.
+func (s *Set) SetScheduler(p *sched.Pool) {
+	s.sched = p
+	for _, part := range s.parts {
+		part.ex.SetScheduler(p)
+	}
+}
+
+// Epoch sums the shard tables' mutation epochs: any insert, forget,
+// remember or vacuum anywhere in the set changes the sum, so it plays
+// the same result-cache role as a flat table's epoch. Monotonic
+// because every term is.
+func (s *Set) Epoch() uint64 {
+	var e uint64
+	for _, p := range s.parts {
+		e += p.tbl.Epoch()
+	}
+	return e
+}
+
 // FanWorkers resolves the parallelism knob to the worker count a
 // fan-out over n shards actually runs with. Unlike engine.Workers there
 // is no row threshold: a shard is a coarse unit of work, so any
@@ -175,6 +203,11 @@ func (s *Set) FanWorkers(n int) int {
 			w = g
 		}
 	}
+	// A fan-out wider than the shared pool would oversubscribe it the
+	// same way a forced scan parallelism would; clamp to pool width.
+	if s.sched != nil && w > s.sched.Size() {
+		w = s.sched.Size()
+	}
 	return w
 }
 
@@ -185,7 +218,7 @@ func (s *Set) FanWorkers(n int) int {
 func (s *Set) fanOut(hit []*Partition, fn func(i int, ex *engine.Exec) error) error {
 	errs := make([]error, len(hit))
 	w := s.FanWorkers(len(hit))
-	engine.ForEachTask(w, len(hit), func(i int) {
+	engine.ForEachTaskSched(s.sched, w, len(hit), func(i int) {
 		errs[i] = fn(i, s.shardExec(hit[i], w))
 	})
 	for _, err := range errs {
@@ -298,7 +331,7 @@ func (s *Set) ScanChunkStream(ctx context.Context, pred expr.Expr) (*engine.Chun
 	lo, hi, _ := pred.Bounds()
 	hit := s.intersecting(lo, hi)
 	w := s.FanWorkers(len(hit))
-	return engine.NewChunkPipeline(ctx, w, len(hit), func(i int) ([]engine.SelChunk, error) {
+	return engine.NewChunkPipelineSched(ctx, s.sched, w, len(hit), func(i int) ([]engine.SelChunk, error) {
 		hit[i].hits.Add(1)
 		res, err := s.shardExec(hit[i], w).Select(s.column, pred, engine.ScanActive)
 		if err != nil {

@@ -35,28 +35,87 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"amnesiadb"
 	"amnesiadb/internal/sql"
 )
 
+// Config tunes the serving layer's admission control. The zero value
+// defers to the database's Options.MaxQueries (and is unlimited when
+// that is zero too).
+type Config struct {
+	// MaxQueries bounds the queries executing concurrently; arrivals
+	// beyond it queue. Zero defers to db.MaxQueries(); if that is also
+	// zero, admission is unlimited.
+	MaxQueries int
+	// QueueDepth is the shed watermark: arrivals finding this many
+	// queries already waiting for a slot are rejected immediately with
+	// 429 and a Retry-After header rather than queued — bounded queues
+	// keep overload latency bounded instead of unbounded. Zero means
+	// twice MaxQueries.
+	QueueDepth int
+	// RetryAfterSeconds is the Retry-After value sent with 429s;
+	// zero means 1.
+	RetryAfterSeconds int
+}
+
 // Server routes HTTP requests to a DB.
 type Server struct {
 	db  *amnesiadb.DB
 	mux *http.ServeMux
+
+	// slots is the admission semaphore for /query: one token per
+	// executing query. nil disables admission control.
+	slots      chan struct{}
+	queueDepth int64
+	// queued counts requests waiting for a slot; past queueDepth new
+	// arrivals shed.
+	queued     atomic.Int64
+	retryAfter string
+	// draining flags graceful shutdown: new queries get 503 while
+	// in-flight ones finish.
+	draining atomic.Bool
 }
 
-// New returns a Server wrapping db.
-func New(db *amnesiadb.DB) *Server {
+// New returns a Server wrapping db with admission defaults taken from
+// the database's options.
+func New(db *amnesiadb.DB) *Server { return NewConfigured(db, Config{}) }
+
+// NewConfigured returns a Server wrapping db under the given admission
+// configuration.
+func NewConfigured(db *amnesiadb.DB, cfg Config) *Server {
 	s := &Server{db: db, mux: http.NewServeMux()}
+	maxQ := cfg.MaxQueries
+	if maxQ == 0 {
+		maxQ = db.MaxQueries()
+	}
+	if maxQ > 0 {
+		s.slots = make(chan struct{}, maxQ)
+		s.queueDepth = int64(cfg.QueueDepth)
+		if s.queueDepth == 0 {
+			s.queueDepth = int64(2 * maxQ)
+		}
+	}
+	retry := cfg.RetryAfterSeconds
+	if retry <= 0 {
+		retry = 1
+	}
+	s.retryAfter = strconv.Itoa(retry)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /insert", s.handleInsert)
 	s.mux.HandleFunc("POST /policy", s.handlePolicy)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /tables", s.handleTables)
 	s.mux.HandleFunc("GET /precision", s.handlePrecision)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
+
+// StartDraining moves the server into graceful shutdown: new queries
+// are refused with 503 while requests already admitted run to
+// completion. The caller then drains connections via http.Server.Shutdown.
+func (s *Server) StartDraining() { s.draining.Store(true) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -153,7 +212,54 @@ func queryStatus(err error) int {
 	}
 }
 
+// errOverloaded is the 429 body; the paired Retry-After header tells
+// well-behaved clients when to come back.
+var errOverloaded = errors.New("server overloaded: concurrent-query limit and queue are full")
+
+// errDraining is the 503 body during graceful shutdown.
+var errDraining = errors.New("server draining: shutting down, not admitting new queries")
+
+// admit applies admission control for one /query request: it acquires
+// an execution slot, queueing while fewer than queueDepth requests
+// wait and shedding with 429 + Retry-After beyond that. It returns a
+// non-nil release exactly when the request may proceed; otherwise the
+// response has been written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func()) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, errDraining)
+		return nil
+	}
+	if s.slots == nil {
+		return func() {}
+	}
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		// All slots busy: wait in the bounded queue or shed.
+		if s.queued.Add(1) > s.queueDepth {
+			s.queued.Add(-1)
+			w.Header().Set("Retry-After", s.retryAfter)
+			writeErr(w, http.StatusTooManyRequests, errOverloaded)
+			return nil
+		}
+		select {
+		case s.slots <- struct{}{}:
+			s.queued.Add(-1)
+		case <-r.Context().Done():
+			// Client gave up while queued; nothing to write to.
+			s.queued.Add(-1)
+			return nil
+		}
+	}
+	return func() { <-s.slots }
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
@@ -171,7 +277,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer qs.Close()
+	// Surface cache hits so clients (and the bench harness) can tell a
+	// replayed answer from a live scan.
+	if qs.Cached() {
+		w.Header().Set("X-Amnesia-Cache", "hit")
+	} else {
+		w.Header().Set("X-Amnesia-Cache", "miss")
+	}
 	streamResult(w, qs.Columns, qs.Ints, qs)
+}
+
+// healthReport is the /healthz body: worker-pool saturation, admission
+// pressure and cache occupancy in one scrape-friendly object.
+type healthReport struct {
+	Status    string              `json:"status"` // "ok" | "draining"
+	Pool      amnesiadb.PoolStats `json:"pool"`
+	Admission struct {
+		MaxQueries int   `json:"max_queries"` // 0 = unlimited
+		InFlight   int   `json:"in_flight"`
+		Queued     int64 `json:"queued"`
+		QueueDepth int64 `json:"queue_depth"`
+	} `json:"admission"`
+	Cache amnesiadb.CacheStats `json:"cache"`
+}
+
+// handleHealthz serves the liveness/saturation snapshot. It bypasses
+// admission control — a saturated or draining server must still answer
+// its health checks (draining reports as such with a 200, so
+// orchestrators see a live process that is deliberately finishing up).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	var h healthReport
+	h.Status = "ok"
+	if s.draining.Load() {
+		h.Status = "draining"
+	}
+	h.Pool = s.db.PoolStats()
+	h.Admission.MaxQueries = cap(s.slots)
+	h.Admission.InFlight = len(s.slots)
+	h.Admission.Queued = s.queued.Load()
+	h.Admission.QueueDepth = s.queueDepth
+	h.Cache = s.db.CacheStats()
+	writeJSON(w, http.StatusOK, h)
 }
 
 // rowSource yields result rows chunk by chunk; nil means drained. The

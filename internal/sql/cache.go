@@ -1,0 +1,249 @@
+package sql
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the SQL layer's caching tier for the serving path: a
+// parsed-plan LRU that skips the lexer/parser on hot statements, and a
+// bounded result cache keyed by (normalized SQL, relation epochs) that
+// serves repeated hot queries without scanning at all. Both are
+// correctness-transparent: plans are immutable after Parse, and a
+// result entry is only ever served while every underlying relation
+// still has the epoch it was computed at — any insert, forget,
+// remember or vacuum bumps an epoch and the stale entry is evicted on
+// its next lookup. Access-frequency touches do not bump epochs (they
+// cannot change a result), which also means a cache hit skips the
+// §3.2 touch feedback; see the facade docs for that trade-off.
+
+// NormalizeSQL canonicalizes a statement for cache keying: whitespace
+// runs collapse to single spaces and the ends are trimmed. The grammar
+// has no string literals, so whitespace is never significant and the
+// normalized text parses identically to the original.
+func NormalizeSQL(query string) string {
+	return strings.Join(strings.Fields(query), " ")
+}
+
+// MaxCachedResultRows bounds which results are cacheable: only small,
+// fully-materialized results — aggregates, point lookups, tight LIMITs
+// — are worth pinning; anything larger is cheaper to re-stream than to
+// hold resident. One stream chunk is the natural cut-off.
+const MaxCachedResultRows = StreamChunkRows
+
+// PlanCache is an LRU of parsed statements keyed by normalized SQL
+// text. Parsed Query values are never mutated after Parse, so one
+// cached plan may serve any number of concurrent executions.
+type PlanCache struct {
+	mu   sync.Mutex
+	cap  int
+	m    map[string]*list.Element
+	lru  list.List // front = most recent; values are *planEntry
+	hits atomic.Uint64
+	miss atomic.Uint64
+}
+
+type planEntry struct {
+	key string
+	q   *Query
+}
+
+// NewPlanCache builds a plan cache holding up to capacity statements;
+// capacity < 1 returns nil, and a nil cache parses straight through.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		return nil
+	}
+	return &PlanCache{cap: capacity, m: make(map[string]*list.Element, capacity)}
+}
+
+// Parse returns the parsed form of query, from cache when hot. Parse
+// errors are not cached; a hot bad statement re-parses (and re-fails)
+// each time, which keeps error messages exact and the cache clean.
+func (c *PlanCache) Parse(query string) (*Query, error) {
+	if c == nil {
+		return Parse(query)
+	}
+	c.mu.Lock()
+	if el, ok := c.m[query]; ok {
+		c.lru.MoveToFront(el)
+		q := el.Value.(*planEntry).q
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return q, nil
+	}
+	c.mu.Unlock()
+	c.miss.Add(1)
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, ok := c.m[query]; !ok {
+		c.m[query] = c.lru.PushFront(&planEntry{key: query, q: q})
+		if c.lru.Len() > c.cap {
+			old := c.lru.Back()
+			c.lru.Remove(old)
+			delete(c.m, old.Value.(*planEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return q, nil
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Counters returns cumulative hit/miss counts.
+func (c *PlanCache) Counters() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.miss.Load()
+}
+
+// CachedResult is one fully-materialized query result as the stream
+// layer shapes it. Rows are shared between the cache and every hit;
+// consumers receive per-row copies so cached data stays immutable.
+type CachedResult struct {
+	Columns []string
+	Ints    []bool
+	Rows    [][]float64
+}
+
+// resultEntry pairs a cached result with the epoch signature it was
+// computed at.
+type resultEntry struct {
+	key string // normalized SQL
+	sig string // relation epoch signature at compute time
+	res *CachedResult
+}
+
+// ResultCache is a bounded LRU of materialized results keyed by
+// normalized SQL, each entry stamped with the epoch signature of every
+// relation the query read. A lookup whose current signature differs
+// finds the entry stale and evicts it on the spot — that eviction is
+// exactly how an Insert/Adapt/forget invalidates cached answers.
+type ResultCache struct {
+	mu   sync.Mutex
+	cap  int
+	m    map[string]*list.Element
+	lru  list.List // front = most recent; values are *resultEntry
+	hits atomic.Uint64
+	miss atomic.Uint64
+}
+
+// NewResultCache builds a result cache holding up to capacity results;
+// capacity < 1 returns nil, and a nil cache never hits.
+func NewResultCache(capacity int) *ResultCache {
+	if capacity < 1 {
+		return nil
+	}
+	return &ResultCache{cap: capacity, m: make(map[string]*list.Element, capacity)}
+}
+
+// Get returns the cached result for key if present and computed at the
+// given epoch signature. A present entry with any other signature is
+// stale — some relation mutated since — and is evicted immediately.
+func (c *ResultCache) Get(key, sig string) (*CachedResult, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.m[key]
+	if !ok {
+		c.mu.Unlock()
+		c.miss.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*resultEntry)
+	if ent.sig != sig {
+		c.lru.Remove(el)
+		delete(c.m, key)
+		c.mu.Unlock()
+		c.miss.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return ent.res, true
+}
+
+// Put stores a result computed at the given epoch signature,
+// displacing any entry under the same key (a concurrent writer may
+// have stored a staler one; signatures disambiguate at Get time) and
+// the least-recently-used entry past capacity. Oversized results are
+// rejected — see MaxCachedResultRows.
+func (c *ResultCache) Put(key, sig string, res *CachedResult) {
+	if c == nil || len(res.Rows) > MaxCachedResultRows {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		el.Value = &resultEntry{key: key, sig: sig, res: res}
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.m[key] = c.lru.PushFront(&resultEntry{key: key, sig: sig, res: res})
+	if c.lru.Len() > c.cap {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.m, old.Value.(*resultEntry).key)
+	}
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached results.
+func (c *ResultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Counters returns cumulative hit/miss counts (stale evictions count
+// as misses).
+func (c *ResultCache) Counters() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.miss.Load()
+}
+
+// NewCachedStream replays a cached result as a detached ResultStream,
+// chunked like a live one. Rows are copied per chunk so consumers that
+// mutate their rows (or hold them past the next query) cannot corrupt
+// the cache.
+func NewCachedStream(res *CachedResult) *ResultStream {
+	pos := 0
+	st := NewResultStream(res.Columns, res.Ints, func() ([][]float64, error) {
+		if pos >= len(res.Rows) {
+			return nil, nil
+		}
+		end := pos + StreamChunkRows
+		if end > len(res.Rows) {
+			end = len(res.Rows)
+		}
+		out := make([][]float64, end-pos)
+		for i, row := range res.Rows[pos:end] {
+			out[i] = append([]float64(nil), row...)
+		}
+		pos = end
+		return out, nil
+	})
+	st.Detached = true
+	return st
+}

@@ -7,6 +7,7 @@ import (
 	"slices"
 
 	"amnesiadb/internal/engine"
+	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 )
 
@@ -36,6 +37,11 @@ type Opts struct {
 	// collections mid-scan. The HTTP server threads the request context
 	// through here so a disconnected client stops paying for its query.
 	Ctx context.Context
+	// Sched, when non-nil, dispatches the query's parallel work — sort
+	// runs and join phases — through a shared worker pool; relation
+	// scans use the scheduler stamped on the relation itself. A forced
+	// Parallelism above the pool width is clamped to it.
+	Sched *sched.Pool
 }
 
 // context resolves the optional Ctx.
@@ -219,14 +225,14 @@ func execSelectStream(rel Relation, q *Query, o Opts) (*ResultStream, error) {
 	}
 	if orderCol != "" {
 		if rel.Clustered() && orderCol == scanCol && valueOnly {
-			return clusteredOrderedStream(headers, ints, len(cols), cs, q.OrderDesc, limit, o.Parallelism)
+			return clusteredOrderedStream(headers, ints, len(cols), cs, q.OrderDesc, limit, o.Parallelism, o.Sched)
 		}
 		// The sort is a barrier: drain the pipeline, then sort.
 		chunks, err := cs.Collect()
 		if err != nil {
 			return nil, err
 		}
-		return orderedSelectStream(rel, headers, ints, cols, scanCol, orderCol, chunks, q.OrderDesc, limit, o.Parallelism, valueOnly)
+		return orderedSelectStream(rel, headers, ints, cols, scanCol, orderCol, chunks, q.OrderDesc, limit, o.Parallelism, o.Sched, valueOnly)
 	}
 
 	// Unordered pipelined path: pull chunks off the bounded channel as
@@ -336,7 +342,7 @@ func (k *chunkCursor) next() ([][]float64, error) {
 // drains the fan-out, sorts the shards in parallel, and streams the
 // buffered output in reverse. Clustered relations are value-only (one
 // stored attribute), so every output cell is the sort key itself.
-func clusteredOrderedStream(headers []string, ints []bool, ncols int, cs *engine.ChunkStream, desc bool, limit, par int) (*ResultStream, error) {
+func clusteredOrderedStream(headers []string, ints []bool, ncols int, cs *engine.ChunkStream, desc bool, limit, par int, sp *sched.Pool) (*ResultStream, error) {
 	emit := func(out [][]float64, v int64) [][]float64 {
 		row := make([]float64, ncols)
 		for i := range row {
@@ -371,7 +377,7 @@ func clusteredOrderedStream(headers []string, ints []bool, ncols int, cs *engine
 	for _, c := range chunks {
 		total += len(c.Values)
 	}
-	engine.ForEachTask(engine.Workers(par, total), len(chunks), func(i int) {
+	engine.ForEachTaskSched(sp, engine.WorkersSched(sp, par, total), len(chunks), func(i int) {
 		slices.Sort(chunks[i].Values)
 	})
 	si := len(chunks) - 1
@@ -399,7 +405,7 @@ func clusteredOrderedStream(headers []string, ints []bool, ncols int, cs *engine
 
 // orderedSelectStream sorts the qualifying set and streams the sorted
 // projection window by window.
-func orderedSelectStream(rel Relation, headers []string, ints []bool, cols []string, scanCol, orderCol string, chunks []engine.SelChunk, desc bool, limit, par int, valueOnly bool) (*ResultStream, error) {
+func orderedSelectStream(rel Relation, headers []string, ints []bool, cols []string, scanCol, orderCol string, chunks []engine.SelChunk, desc bool, limit, par int, sp *sched.Pool, valueOnly bool) (*ResultStream, error) {
 	total := 0
 	for _, c := range chunks {
 		total += len(c.Values)
@@ -425,7 +431,7 @@ func orderedSelectStream(rel Relation, headers []string, ints []bool, cols []str
 			return nil, err
 		}
 	}
-	perm := orderPerm(keys, desc, limit, par)
+	perm := orderPerm(keys, desc, limit, par, sp)
 	pos := 0
 	wrows := make([]int32, 0, StreamChunkRows)
 	wvals := make([]int64, 0, StreamChunkRows)

@@ -123,7 +123,7 @@ func execJoinStream(cat Catalog, q *Query, o Opts) (*ResultStream, error) {
 	// The join pipelines internally: both side collections stream
 	// concurrently and the predicted build side scatters as chunks
 	// arrive. A cancelled request context tears the collections down.
-	jr, err := engine.HashJoinCtx(o.context(), sides[0].rel.tbl, sides[0].key, sides[1].rel.tbl, sides[1].key, pred, engine.ScanActive, o.Parallelism)
+	jr, err := engine.HashJoinSched(o.context(), o.Sched, sides[0].rel.tbl, sides[0].key, sides[1].rel.tbl, sides[1].key, pred, engine.ScanActive, o.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +133,7 @@ func execJoinStream(cat Catalog, q *Query, o Opts) (*ResultStream, error) {
 		if err != nil {
 			return nil, err
 		}
-		perm := orderPerm(keys, q.OrderDesc, limit, o.Parallelism)
+		perm := orderPerm(keys, q.OrderDesc, limit, o.Parallelism, o.Sched)
 		sorted := make([]engine.JoinRow, len(perm))
 		for i, p := range perm {
 			sorted[i] = rows[p]

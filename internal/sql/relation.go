@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"amnesiadb/internal/engine"
+	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/partition"
 	"amnesiadb/internal/table"
@@ -47,6 +48,12 @@ type Relation interface {
 	Precision(col string, pred expr.Expr, par int) (rf, mf int, pf float64, err error)
 	// Stats sums the relation's tuple counters.
 	Stats() table.Stats
+	// Epoch returns the relation's monotonic mutation epoch: it changes
+	// whenever a mutation (insert, forget, remember, vacuum — anywhere
+	// in the relation) could change a query result, and is stable while
+	// the caller holds the relation's read lock. The result cache keys
+	// on it.
+	Epoch() uint64
 }
 
 // Catalog resolves relation names; the amnesiadb facade and the tests
@@ -66,11 +73,16 @@ func (f CatalogFunc) Lookup(name string) (Relation, error) { return f(name) }
 // relation kind the join executor accepts, since hash joins need the
 // table's global position space.
 type TableRelation struct {
-	tbl *table.Table
+	tbl   *table.Table
+	sched *sched.Pool
 }
 
 // NewTableRelation wraps t as a catalog Relation.
 func NewTableRelation(t *table.Table) *TableRelation { return &TableRelation{tbl: t} }
+
+// SetScheduler routes the relation's scans through a shared worker
+// pool; nil (the default) keeps per-query goroutines.
+func (r *TableRelation) SetScheduler(p *sched.Pool) { r.sched = p }
 
 // Kind implements Relation.
 func (r *TableRelation) Kind() string { return "table" }
@@ -83,6 +95,7 @@ func (r *TableRelation) Columns() []string { return r.tbl.Columns() }
 func (r *TableRelation) exec(par int) *engine.Exec {
 	ex := engine.New(r.tbl)
 	ex.SetParallelism(par)
+	ex.SetScheduler(r.sched)
 	return ex
 }
 
@@ -122,6 +135,9 @@ func (r *TableRelation) Precision(col string, pred expr.Expr, par int) (rf, mf i
 
 // Stats implements Relation.
 func (r *TableRelation) Stats() table.Stats { return r.tbl.Stats() }
+
+// Epoch implements Relation.
+func (r *TableRelation) Epoch() uint64 { return r.tbl.Epoch() }
 
 // PartitionRelation adapts a partitioned set to the catalog: scans fan
 // out per shard (chunks come back one per shard, in value order) and
@@ -196,3 +212,7 @@ func (r *PartitionRelation) Precision(col string, pred expr.Expr, _ int) (rf, mf
 
 // Stats implements Relation.
 func (r *PartitionRelation) Stats() table.Stats { return r.set.Stats() }
+
+// Epoch implements Relation: the sum of the shard epochs, monotonic
+// and mutation-sensitive like the flat-table one.
+func (r *PartitionRelation) Epoch() uint64 { return r.set.Epoch() }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"amnesiadb/internal/engine"
+	"amnesiadb/internal/engine/sched"
 )
 
 // sortRunRows is the run granularity for ORDER BY: qualifying rows are
@@ -28,7 +29,7 @@ const sortRunRows = 64 * 1024
 // top-k: each sorted run is clipped to its first limit entries (a run
 // cannot contribute more than that to the global top) and the merge
 // stops after emitting limit rows.
-func orderPerm(keys []int64, desc bool, limit, par int) []int {
+func orderPerm(keys []int64, desc bool, limit, par int, sp *sched.Pool) []int {
 	n := len(keys)
 	k := n
 	if limit >= 0 && limit < n {
@@ -40,7 +41,7 @@ func orderPerm(keys []int64, desc bool, limit, par int) []int {
 
 	nRuns := (n + sortRunRows - 1) / sortRunRows
 	runs := make([][]int, nRuns) // per-run permutations of global indices
-	engine.ForEachTask(engine.Workers(par, n), nRuns, func(r int) {
+	engine.ForEachTaskSched(sp, engine.WorkersSched(sp, par, n), nRuns, func(r int) {
 		start := r * sortRunRows
 		end := start + sortRunRows
 		if end > n {

@@ -11,6 +11,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"amnesiadb/internal/bitvec"
 	"amnesiadb/internal/column"
@@ -49,6 +50,18 @@ type Table struct {
 	// synchronisation here.
 	touchMu     sync.Mutex
 	accessCount []uint32 // times the tuple appeared in a query result
+
+	// epoch counts result-changing mutations: appends, forgetting,
+	// remembering, vacuuming. Touches do not bump it — access counts
+	// never change what a query returns. The SQL layer's result cache
+	// keys on it; see Epoch.
+	epoch atomic.Uint64
+
+	// scanStride remembers the last effective adaptive-morsel stride a
+	// full scan of this table settled on (in blocks; 0 = none yet), so
+	// the next query's cursor skips the warm-up doublings. A hint only:
+	// results are stride-independent by construction.
+	scanStride atomic.Int32
 }
 
 // New creates an empty table with the given column names. It panics on an
@@ -110,6 +123,29 @@ func (t *Table) ForgottenCount() int { return t.Len() - t.ActiveCount() }
 // Batches returns the number of update batches appended so far.
 func (t *Table) Batches() int { return t.batches }
 
+// Epoch returns the table's mutation epoch: a counter bumped by every
+// result-changing mutation (AppendBatch, Forget, ForgetMany, Remember,
+// Vacuum) under the caller's exclusive lock. Readers holding the
+// shared lock see a stable value, so (query, epoch) identifies a
+// result: any later mutation makes the pair stale. Touch feedback
+// does not bump it.
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
+
+// bumpEpoch marks a result-changing mutation.
+func (t *Table) bumpEpoch() { t.epoch.Add(1) }
+
+// ScanStrideHint returns the last recorded effective morsel stride in
+// blocks, 0 when no scan has recorded one yet.
+func (t *Table) ScanStrideHint() int { return int(t.scanStride.Load()) }
+
+// RecordScanStride stores the effective morsel stride a completed scan
+// settled on, seeding the next query's adaptive cursor.
+func (t *Table) RecordScanStride(blocks int) {
+	if blocks > 0 {
+		t.scanStride.Store(int32(blocks))
+	}
+}
+
 // Active exposes the activity bitmap. Callers must not mutate it directly;
 // use Forget/Remember so metadata stays consistent. Strategies and scans
 // read it.
@@ -156,6 +192,7 @@ func (t *Table) AppendBatch(vals map[string][]int64) (int, error) {
 	}
 	clear(t.accessCount[old:])
 	t.active.GrowSet(old + n)
+	t.bumpEpoch()
 	return batch, nil
 }
 
@@ -169,17 +206,27 @@ func (t *Table) AppendSingleColumn(vs []int64) (int, error) {
 
 // Forget marks tuple i inactive. Forgetting an already-forgotten tuple is a
 // no-op. It panics if i is out of range.
-func (t *Table) Forget(i int) { t.active.Clear(i) }
+func (t *Table) Forget(i int) {
+	t.active.Clear(i)
+	t.bumpEpoch()
+}
 
 // ForgetMany marks all given tuples inactive.
 func (t *Table) ForgetMany(idx []int) {
+	if len(idx) == 0 {
+		return
+	}
 	for _, i := range idx {
 		t.active.Clear(i)
 	}
+	t.bumpEpoch()
 }
 
 // Remember reactivates tuple i (used by cold-storage recovery).
-func (t *Table) Remember(i int) { t.active.Set(i) }
+func (t *Table) Remember(i int) {
+	t.active.Set(i)
+	t.bumpEpoch()
+}
 
 // IsActive reports whether tuple i is active.
 func (t *Table) IsActive(i int) bool { return t.active.Test(i) }
@@ -257,6 +304,7 @@ func (t *Table) Vacuum() []int32 {
 	t.insertBatch = newBatch
 	t.accessCount = newAccess
 	t.active = bitvec.NewSet(nActive)
+	t.bumpEpoch()
 	return remap
 }
 

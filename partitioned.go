@@ -45,6 +45,7 @@ func (db *DB) CreatePartitionedTable(name, column string, domain int64, parts in
 		return nil, err
 	}
 	set.SetParallelism(db.par)
+	set.SetScheduler(db.pool)
 	pt := &PartitionedTable{name: name, set: set}
 	db.parts[name] = pt
 	return pt, nil
