@@ -58,10 +58,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"amnesiadb/internal/amnesia"
 	"amnesiadb/internal/coldstore"
+	"amnesiadb/internal/durability"
 	"amnesiadb/internal/engine"
 	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
@@ -69,6 +71,7 @@ import (
 	"amnesiadb/internal/sql"
 	"amnesiadb/internal/summary"
 	"amnesiadb/internal/table"
+	"amnesiadb/internal/wal"
 	"amnesiadb/internal/xrand"
 )
 
@@ -113,6 +116,18 @@ type Options struct {
 	// accept that only cache-missing queries train the counters. The
 	// parsed-plan cache is always on and unaffected by this knob.
 	CacheEntries int
+	// Fsync selects the WAL commit discipline for durable databases
+	// (OpenDir): "always" syncs every batch before acknowledging,
+	// "group" (the default) coalesces ~2ms windows, "off" leaves
+	// syncing to the OS. Ignored by Open.
+	Fsync string
+	// GroupCommitWindow overrides the "group" policy's coalescing
+	// window; zero means 2ms. Ignored by Open.
+	GroupCommitWindow time.Duration
+	// SegmentBytes is the WAL segment size past which the background
+	// snapshotter rotates and truncates; zero means 64 MiB. Ignored by
+	// Open.
+	SegmentBytes int64
 }
 
 // planCacheSize bounds the always-on parsed-plan LRU. Plans are tiny
@@ -150,6 +165,15 @@ type DB struct {
 	plans      *sql.PlanCache
 	results    *sql.ResultCache
 	maxQueries int
+
+	// dur is the durability wiring attached by OpenDir; nil for
+	// in-memory databases, which skip WAL logging entirely.
+	dur *durableState
+	// incarnation counts relation registrations; each relation's epoch
+	// is advanced into the range incarnation<<32 at creation or
+	// restore, so a same-named successor of a dropped table can never
+	// reproduce a (query, epochs) result-cache signature.
+	incarnation atomic.Uint64
 
 	// srcMu guards src: strategy construction splits the shared seed
 	// stream, and SetPolicy runs under its table's lock only, so two
@@ -194,11 +218,15 @@ func Open(opts Options) *DB {
 	return db
 }
 
-// Close releases resources the database owns: a dedicated worker pool
+// Close releases resources the database owns: the durability log (if
+// OpenDir attached one) is flushed, fsynced and closed — deliberately
+// without a final snapshot, so reopening replays the WAL tail exactly
+// like crash recovery — and a dedicated worker pool
 // (Options.PoolSize > 0) is shut down after in-flight steps drain. The
 // process-global shared pool is never closed. Close is idempotent;
 // queries must not be started after it.
 func (db *DB) Close() {
+	db.closeDurable()
 	if db.ownPool {
 		db.pool.Close()
 	}
@@ -254,12 +282,16 @@ func (db *DB) MaxQueries() int { return db.maxQueries }
 // CreateTable adds a table with the given columns. Every column stores
 // int64 values. It fails if the name is taken.
 func (db *DB) CreateTable(name string, columns ...string) (*Table, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.taken(name) {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("amnesiadb: table %q already exists", name)
 	}
 	if len(columns) == 0 {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("amnesiadb: table %q needs at least one column", name)
 	}
 	tbl := table.New(name, columns...)
@@ -271,7 +303,13 @@ func (db *DB) CreateTable(name string, columns ...string) (*Table, error) {
 		tbl: tbl,
 		ex:  ex,
 	}
+	tbl.AdvanceEpoch(db.nextIncarnation())
 	db.tables[name] = t
+	p := db.logRecord(wal.RecordCreate(name, columns))
+	db.mu.Unlock()
+	if err := db.commitWait(p); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -649,33 +687,48 @@ func (t *Table) Columns() []string { return t.tbl.Columns() }
 
 // SetPolicy installs (or with a zero Policy removes) the amnesia policy.
 func (t *Table) SetPolicy(p Policy) error {
+	if err := t.db.writable(); err != nil {
+		return err
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if p.Budget < 0 {
-		return fmt.Errorf("amnesiadb: negative budget %d", p.Budget)
-	}
-	if p.MaxAgeBatches < 0 {
-		return fmt.Errorf("amnesiadb: negative MaxAgeBatches %d", p.MaxAgeBatches)
-	}
-	if p.Budget == 0 && p.MaxAgeBatches == 0 {
-		t.policy, t.strat = Policy{}, nil
-		return nil
-	}
-	if p.Budget == 0 {
-		// Pure retention-window policy: no budget strategy needed.
-		t.policy, t.strat = p, nil
-		return nil
-	}
-	col := p.Column
-	if col == "" {
-		col = t.tbl.Columns()[0]
-	}
-	strat, err := amnesia.New(p.Strategy, col, t.db.splitSrc())
+	pend, err := t.setPolicyLocked(p)
+	t.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	t.policy, t.strat = p, strat
-	return nil
+	return t.db.commitWait(pend)
+}
+
+func (t *Table) setPolicyLocked(p Policy) (*durability.Pending, error) {
+	if p.Budget < 0 {
+		return nil, fmt.Errorf("amnesiadb: negative budget %d", p.Budget)
+	}
+	if p.MaxAgeBatches < 0 {
+		return nil, fmt.Errorf("amnesiadb: negative MaxAgeBatches %d", p.MaxAgeBatches)
+	}
+	switch {
+	case p.Budget == 0 && p.MaxAgeBatches == 0:
+		t.policy, t.strat = Policy{}, nil
+	case p.Budget == 0:
+		// Pure retention-window policy: no budget strategy needed.
+		t.policy, t.strat = p, nil
+	default:
+		col := p.Column
+		if col == "" {
+			col = t.tbl.Columns()[0]
+		}
+		strat, err := amnesia.New(p.Strategy, col, t.db.splitSrc())
+		if err != nil {
+			return nil, err
+		}
+		t.policy, t.strat = p, strat
+	}
+	return t.db.logRecord(wal.RecordPolicy(t.Name(), wal.PolicySpec{
+		Strategy:      t.policy.Strategy,
+		Budget:        t.policy.Budget,
+		Column:        t.policy.Column,
+		MaxAgeBatches: t.policy.MaxAgeBatches,
+	})), nil
 }
 
 // Policy returns the active policy; Budget 0 means amnesia is off.
@@ -686,14 +739,52 @@ func (t *Table) Policy() Policy {
 }
 
 // Insert appends one batch of rows given as column-name -> values (all
-// slices the same length), then enforces the amnesia budget.
+// slices the same length), then enforces the amnesia budget. On a
+// durable database Insert returns only after the WAL records — the
+// batch plus whatever positions enforcement forgot — are fsynced per
+// the commit policy; a persistence failure degrades the database to
+// read-only and surfaces ErrReadOnly.
 func (t *Table) Insert(cols map[string][]int64) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, err := t.tbl.AppendBatch(cols); err != nil {
+	if err := t.db.writable(); err != nil {
 		return err
 	}
-	return t.enforceBudgetLocked()
+	t.mu.Lock()
+	pends, err := t.insertLocked(cols)
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return t.db.commitWait(pends...)
+}
+
+// insertLocked applies the batch and, on durable databases, captures
+// the mutation outcome into WAL records: the decay strategy picks
+// forgets stochastically, so the positions are recovered by diffing
+// the active bitmap around enforcement — the log records what was
+// forgotten, never why.
+func (t *Table) insertLocked(cols map[string][]int64) ([]*durability.Pending, error) {
+	logging := t.db.dur != nil
+	var words []uint64
+	var oldLen int
+	if logging {
+		words, oldLen = t.tbl.ActiveSnapshot(nil)
+	}
+	if _, err := t.tbl.AppendBatch(cols); err != nil {
+		return nil, err
+	}
+	enfErr := t.enforceBudgetLocked()
+	if !logging {
+		return nil, enfErr
+	}
+	rec, err := wal.RecordInsert(t.Name(), t.tbl.Columns(), cols)
+	if err != nil {
+		return nil, err
+	}
+	pends := []*durability.Pending{t.db.logRecord(rec)}
+	if fg := t.tbl.ForgottenSince(words, oldLen); len(fg) > 0 {
+		pends = append(pends, t.db.logRecord(wal.RecordForget(t.Name(), fg)))
+	}
+	return pends, enfErr
 }
 
 // InsertColumn appends a batch to a table, providing values for the named
@@ -706,9 +797,31 @@ func (t *Table) InsertColumn(col string, vals []int64) error {
 // until the active count is within budget. It is called automatically by
 // Insert; manual calls are useful after policy changes.
 func (t *Table) EnforceBudget() error {
+	if err := t.db.writable(); err != nil {
+		return err
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.enforceBudgetLocked()
+	var pend *durability.Pending
+	err := func() error {
+		logging := t.db.dur != nil
+		var words []uint64
+		var oldLen int
+		if logging {
+			words, oldLen = t.tbl.ActiveSnapshot(nil)
+		}
+		eerr := t.enforceBudgetLocked()
+		if logging {
+			if fg := t.tbl.ForgottenSince(words, oldLen); len(fg) > 0 {
+				pend = t.db.logRecord(wal.RecordForget(t.Name(), fg))
+			}
+		}
+		return eerr
+	}()
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return t.db.commitWait(pend)
 }
 
 func (t *Table) enforceBudgetLocked() error {
@@ -873,14 +986,21 @@ func (t *Table) ActivePerBatch() (active, total []int) {
 
 // Vacuum physically removes forgotten tuples (that have not been demoted)
 // and reclaims their storage. Summary segments survive; cold-tier
-// snapshots survive; positions are renumbered.
-func (t *Table) Vacuum() {
+// snapshots survive; positions are renumbered. On a durable database the
+// renumbering is itself a logged mutation, so Vacuum returns an error
+// when the database is read-only or the WAL append fails.
+func (t *Table) Vacuum() error {
+	if err := t.db.writable(); err != nil {
+		return err
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.tbl.Vacuum()
 	if t.book != nil {
 		t.book.Rebase()
 	}
+	pend := t.db.logRecord(wal.RecordVacuum(t.Name()))
+	t.mu.Unlock()
+	return t.db.commitWait(pend)
 }
 
 // DemoteForgotten moves every forgotten tuple into the simulated cold
@@ -898,12 +1018,29 @@ func (t *Table) DemoteForgotten() int {
 // in [lo, hi), reactivating them. It returns the recovered positions and
 // the simulated retrieval latency.
 func (t *Table) RecoverRange(col string, lo, hi int64) ([]int, time.Duration, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.cold == nil {
-		return nil, 0, fmt.Errorf("amnesiadb: table %q has no cold tier", t.Name())
+	if err := t.db.writable(); err != nil {
+		return nil, 0, err
 	}
-	return t.cold.RecoverRange(col, lo, hi)
+	t.mu.Lock()
+	var pend *durability.Pending
+	hits, lat, err := func() ([]int, time.Duration, error) {
+		if t.cold == nil {
+			return nil, 0, fmt.Errorf("amnesiadb: table %q has no cold tier", t.Name())
+		}
+		hits, lat, err := t.cold.RecoverRange(col, lo, hi)
+		if err == nil && len(hits) > 0 {
+			pend = t.db.logRecord(wal.RecordRemember(t.Name(), hits))
+		}
+		return hits, lat, err
+	}()
+	t.mu.Unlock()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := t.db.commitWait(pend); err != nil {
+		return nil, 0, err
+	}
+	return hits, lat, nil
 }
 
 // Bill reports accumulated cold-tier costs under the Glacier model.
@@ -1067,22 +1204,38 @@ func (t *Table) Save(w io.Writer) error {
 
 // LoadTable restores a table previously written by Save into the
 // database under its saved name. The table arrives without a policy;
-// call SetPolicy to resume forgetting.
+// call SetPolicy to resume forgetting. The restored table gets a fresh
+// epoch incarnation so cached results from an earlier same-named table
+// (saved snapshots start at epoch 0, like freshly dropped-and-recreated
+// tables) can never be served against the new contents. On a durable
+// database the load is persisted by cutting a catalog snapshot, since a
+// table snapshot's batch and access state cannot be expressed as
+// insert records.
 func (db *DB) LoadTable(r io.Reader) (*Table, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	tbl, err := snapshot.Read(r)
 	if err != nil {
 		return nil, err
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.taken(tbl.Name()) {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("amnesiadb: table %q already exists", tbl.Name())
 	}
 	ex := engine.New(tbl)
 	ex.SetParallelism(db.par)
 	ex.SetScheduler(db.pool)
+	tbl.AdvanceEpoch(db.nextIncarnation())
 	t := &Table{db: db, tbl: tbl, ex: ex}
 	db.tables[tbl.Name()] = t
+	db.mu.Unlock()
+	if db.dur != nil {
+		if err := db.Snapshot(); err != nil {
+			return nil, err
+		}
+	}
 	return t, nil
 }
 

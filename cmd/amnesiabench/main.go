@@ -69,6 +69,7 @@ func main() {
 		partRows   = flag.Int("partscan", 0, "run the partitioned fan-out micro-benchmark over this many rows instead of the sweep")
 		streamRows = flag.Int("stream", 0, "benchmark time-to-first-chunk vs total drain of a streaming SELECT over this many rows")
 		serveRows  = flag.Int("serve", 0, "benchmark the HTTP serving stack closed-loop (mixed /query workload at concurrency 1/16/64/256, plus cold-vs-cached hot query) over this many rows")
+		recRows    = flag.Int("recover", 0, "benchmark the durability layer over this many rows: WAL insert-path overhead per fsync policy vs in-memory, plus cold-start recovery (snapshot restore + WAL replay)")
 		workers    = flag.Int("workers", 0, "parallelism knob for -scan/-join/-sqljoin/-partscan/-stream (0 = auto/GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -105,6 +106,12 @@ func main() {
 	}
 	if *serveRows > 0 {
 		if err := runServeBench(*serveRows); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *recRows > 0 {
+		if err := runRecoverBench(*recRows); err != nil {
 			fatal(err)
 		}
 		return

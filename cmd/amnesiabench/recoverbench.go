@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+
+	"amnesiadb"
+)
+
+// walOverheadResult is one insert-path cell: the same workload run
+// in-memory (baseline) and against a durable directory under one fsync
+// policy; Overhead is the durable/baseline wall-clock ratio — the price
+// of group-commit WAL acknowledgement.
+type walOverheadResult struct {
+	Bench      string  `json:"bench"`
+	Rows       int     `json:"rows"`
+	Fsync      string  `json:"fsync"` // "none" = in-memory baseline
+	Ms         float64 `json:"ms"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Overhead   float64 `json:"overhead"` // 1.0 for the baseline
+}
+
+// recoverResult measures cold-start recovery: closing a WAL-heavy
+// directory and reopening it (snapshot restore + full tail replay).
+type recoverResult struct {
+	Bench     string  `json:"bench"`
+	Rows      int     `json:"rows"`
+	WalBytes  int64   `json:"wal_bytes"`
+	RecoverMs float64 `json:"recover_ms"`
+}
+
+// insertWorkload drives the shared workload: one table under a uniform
+// budget (so the WAL carries forget records too, not just inserts),
+// n rows in 1024-row batches.
+func insertWorkload(db *amnesiadb.DB, n int) error {
+	t, err := db.CreateTable("events", "v")
+	if err != nil {
+		return err
+	}
+	if err := t.SetPolicy(amnesiadb.Policy{Strategy: "uniform", Budget: n / 2}); err != nil {
+		return err
+	}
+	const batch = 1024
+	buf := make([]int64, 0, batch)
+	for i := 0; i < n; i++ {
+		buf = append(buf, int64(i))
+		if len(buf) == batch || i == n-1 {
+			if err := t.InsertColumn("v", buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	return nil
+}
+
+// runRecoverBench reports the WAL's insert-path overhead per fsync
+// policy against an in-memory baseline, then kills the warmest durable
+// directory (close without snapshot) and times recovery on reopen.
+func runRecoverBench(n int) error {
+	enc := json.NewEncoder(os.Stdout)
+
+	base := amnesiadb.Open(amnesiadb.Options{Seed: 1})
+	start := time.Now()
+	if err := insertWorkload(base, n); err != nil {
+		return err
+	}
+	baseMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	base.Close()
+	if err := enc.Encode(walOverheadResult{
+		Bench: "wal_insert_overhead", Rows: n, Fsync: "none",
+		Ms: baseMs, RowsPerSec: float64(n) / (baseMs / 1e3), Overhead: 1.0,
+	}); err != nil {
+		return err
+	}
+
+	var recoverDir string
+	for _, fsync := range []string{"off", "group", "always"} {
+		dir, err := os.MkdirTemp("", "amnesia-recover-*")
+		if err != nil {
+			return err
+		}
+		db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 1, Fsync: fsync})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := insertWorkload(db, n); err != nil {
+			return err
+		}
+		ms := float64(time.Since(start).Nanoseconds()) / 1e6
+		db.Close()
+		if err := enc.Encode(walOverheadResult{
+			Bench: "wal_insert_overhead", Rows: n, Fsync: fsync,
+			Ms: ms, RowsPerSec: float64(n) / (ms / 1e3), Overhead: ms / baseMs,
+		}); err != nil {
+			return err
+		}
+		if fsync == "always" {
+			recoverDir = dir
+		} else {
+			os.RemoveAll(dir)
+		}
+	}
+
+	// Recovery: the directory holds the initial (empty) snapshot plus
+	// the whole workload as WAL tail — the worst-case replay for this
+	// size. Close left no fresh snapshot, so reopen replays everything.
+	var walBytes int64
+	segs, _ := filepath.Glob(filepath.Join(recoverDir, "wal-*.log"))
+	for _, s := range segs {
+		if st, err := os.Stat(s); err == nil {
+			walBytes += st.Size()
+		}
+	}
+	start = time.Now()
+	db, err := amnesiadb.OpenDir(recoverDir, amnesiadb.Options{Seed: 1, Fsync: "always"})
+	if err != nil {
+		return err
+	}
+	recoverMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	db.Close()
+	os.RemoveAll(recoverDir)
+	return enc.Encode(recoverResult{
+		Bench: "recover", Rows: n, WalBytes: walBytes, RecoverMs: recoverMs,
+	})
+}

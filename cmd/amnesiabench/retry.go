@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amnesiadb/internal/xrand"
+)
+
+const (
+	// retryLimit bounds attempts per request: the client backs off, it
+	// does not hammer a shedding server forever.
+	retryLimit = 5
+	// retryBase/retryCap bound the exponential backoff when the server
+	// sent no Retry-After.
+	retryBase = 2 * time.Millisecond
+	retryCap  = 500 * time.Millisecond
+)
+
+// retryClient posts JSON with bounded retry on 429 (admission shed) and
+// 503 (draining or durability-degraded): exponential backoff with full
+// jitter, honoring the server's Retry-After when present. Counters
+// accumulate across requests so benches can report how much of the
+// offered load was shed and retried.
+type retryClient struct {
+	c *http.Client
+
+	mu  sync.Mutex
+	src *xrand.Source
+
+	// Retries counts backoff-then-retry transitions; Shed counts 429/503
+	// responses received (including ones that exhausted the budget).
+	Retries atomic.Int64
+	Shed    atomic.Int64
+}
+
+func newRetryClient(c *http.Client, seed uint64) *retryClient {
+	return &retryClient{c: c, src: xrand.New(seed)}
+}
+
+// jitter returns a uniform duration in [1ms/4, d].
+func (rc *retryClient) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Millisecond
+	}
+	rc.mu.Lock()
+	n := rc.src.Int63n(int64(d))
+	rc.mu.Unlock()
+	return time.Duration(n) + time.Millisecond/4
+}
+
+// Post issues one logical request, retrying shed responses. The
+// returned response's body is unconsumed; any shed response consumed on
+// the way is drained and closed.
+func (rc *retryClient) Post(url string, body []byte) (*http.Response, error) {
+	delay := retryBase
+	for attempt := 0; ; attempt++ {
+		resp, err := rc.c.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		rc.Shed.Add(1)
+		ra := resp.Header.Get("Retry-After")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if attempt >= retryLimit {
+			return nil, fmt.Errorf("gave up after %d attempts: status %d", attempt+1, resp.StatusCode)
+		}
+		rc.Retries.Add(1)
+		sleep := delay
+		if s, err := strconv.Atoi(ra); err == nil && s > 0 {
+			// The server named its price; jitter below it so retries
+			// from many clients do not re-arrive in one thundering herd.
+			sleep = time.Duration(s) * time.Second
+		}
+		time.Sleep(rc.jitter(sleep))
+		if delay *= 2; delay > retryCap {
+			delay = retryCap
+		}
+	}
+}

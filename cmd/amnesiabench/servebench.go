@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -43,6 +42,11 @@ type serveResult struct {
 	// per-query worker armies under load.
 	PeakGoroutines int `json:"peak_goroutines"`
 	Errors         int `json:"errors"`
+	// Retries counts backoff-then-retry transitions the client took on
+	// 429/503 responses; ShedRate is shed responses over total HTTP
+	// attempts (0 on an unsaturated server).
+	Retries  int64   `json:"retries"`
+	ShedRate float64 `json:"shed_rate"`
 }
 
 // hotResult contrasts the first (scanning) execution of a hot query
@@ -87,7 +91,7 @@ func runServeBench(n int) error {
 
 	ts := httptest.NewServer(server.New(db))
 	defer ts.Close()
-	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 512}}
+	rc := newRetryClient(&http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 512}}, 99)
 
 	// The workload: index i picks a statement. Half the traffic is the
 	// same hot aggregate (cache-friendly); the rest rotates through
@@ -106,7 +110,7 @@ func runServeBench(n int) error {
 	post := func(sqlText string) (time.Duration, error) {
 		body, _ := json.Marshal(map[string]string{"sql": sqlText})
 		start := time.Now()
-		resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		resp, err := rc.Post(ts.URL+"/query", body)
 		if err != nil {
 			return 0, err
 		}
@@ -128,6 +132,7 @@ func runServeBench(n int) error {
 			reqs = 400
 		}
 		hits0, miss0 := cacheCounters(db)
+		retries0, shed0 := rc.Retries.Load(), rc.Shed.Load()
 		lat := make([]time.Duration, reqs)
 		var next, errs atomic.Int64
 		var peak atomic.Int64
@@ -184,6 +189,12 @@ func runServeBench(n int) error {
 		if dh+dm > 0 {
 			ratio = dh / (dh + dm)
 		}
+		cellRetries := rc.Retries.Load() - retries0
+		cellShed := rc.Shed.Load() - shed0
+		shedRate := 0.0
+		if attempts := int64(reqs) + cellShed; attempts > 0 {
+			shedRate = float64(cellShed) / float64(attempts)
+		}
 		if err := enc.Encode(serveResult{
 			Bench:          "serve_mixed",
 			Rows:           n,
@@ -197,6 +208,8 @@ func runServeBench(n int) error {
 			PoolWorkers:    db.PoolStats().Workers,
 			PeakGoroutines: int(peak.Load()),
 			Errors:         int(errs.Load()),
+			Retries:        cellRetries,
+			ShedRate:       shedRate,
 		}); err != nil {
 			return err
 		}

@@ -1,14 +1,23 @@
 // Command amnesiaserve runs an amnesiadb HTTP server.
 //
 //	amnesiaserve -addr :8080 -seed 1 -max-queries 64 -cache-entries 256
+//	amnesiaserve -addr :8080 -dir /var/lib/amnesiadb -fsync always
 //
 // Endpoints (see internal/server): POST /query, POST /insert,
-// POST /policy, GET /stats, GET /tables, GET /precision, GET /healthz.
+// POST /policy, POST /partitioned, GET /stats, GET /tables,
+// GET /precision, GET /healthz.
 //
 //	curl -s localhost:8080/insert -d '{"table":"t","create":["a"],"columns":{"a":[1,2,3]}}'
 //	curl -s localhost:8080/policy -d '{"table":"t","strategy":"fifo","budget":2}'
 //	curl -s localhost:8080/query  -d '{"sql":"SELECT COUNT(*) FROM t"}'
 //	curl -s localhost:8080/healthz
+//
+// With -dir the catalog is durable: recovery (snapshot restore + WAL
+// replay) runs before the listener opens, every mutation is
+// acknowledged only after its WAL batch reaches disk per -fsync, and a
+// persistence failure degrades the instance to read-only (mutations
+// answer 503 + Retry-After, /healthz reports degraded) until restart.
+// Without -dir the database is in-memory, as before.
 //
 // Queries execute on a shared worker pool (GOMAXPROCS wide by default),
 // so engine concurrency stays bounded no matter how many clients
@@ -24,12 +33,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"amnesiadb"
+	"amnesiadb/internal/durability/failpoint"
 	"amnesiadb/internal/server"
 )
 
@@ -37,6 +48,8 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		seed         = flag.Uint64("seed", 1, "seed for amnesia decisions")
+		dir          = flag.String("dir", "", "durable data directory; empty = in-memory")
+		fsync        = flag.String("fsync", "group", "WAL fsync policy with -dir: always | group | off")
 		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "max time to stream one response; a query stream that projects lazily holds its table read lock until the response finishes, so this bounds how long a stalled client can block writers")
 		maxQueries   = flag.Int("max-queries", 64, "queries allowed to execute concurrently before new arrivals queue; 0 = unlimited")
 		queueDepth   = flag.Int("queue-depth", 0, "queued queries beyond which arrivals are shed with 429; 0 = 2x max-queries")
@@ -45,26 +58,52 @@ func main() {
 	)
 	flag.Parse()
 
-	db := amnesiadb.Open(amnesiadb.Options{
+	// Fault injection for the crash/recovery suites; a no-op unless
+	// AMNESIADB_FAILPOINTS is set.
+	if err := failpoint.ArmFromEnv(); err != nil {
+		log.Fatalf("failpoints: %v", err)
+	}
+
+	opts := amnesiadb.Options{
 		Seed:         *seed,
 		PoolSize:     *poolSize,
 		MaxQueries:   *maxQueries,
 		CacheEntries: *cacheEntries,
-	})
+		Fsync:        *fsync,
+	}
+	var db *amnesiadb.DB
+	if *dir != "" {
+		start := time.Now()
+		var err error
+		db, err = amnesiadb.OpenDir(*dir, opts)
+		if err != nil {
+			log.Fatalf("recovery: %v", err)
+		}
+		fmt.Printf("amnesiaserve recovered %s in %dms (fsync=%s)\n", *dir, time.Since(start).Milliseconds(), *fsync)
+	} else {
+		db = amnesiadb.Open(opts)
+	}
 	defer db.Close()
 	h := server.NewConfigured(db, server.Config{MaxQueries: *maxQueries, QueueDepth: *queueDepth})
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      *writeTimeout,
 	}
 
+	// Listen explicitly so ":0" resolves to a real port before the ready
+	// line prints — the crash-kill harness (and humans scripting
+	// against ephemeral ports) parse it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("amnesiaserve listening on %s\n", *addr)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("amnesiaserve listening on %s\n", ln.Addr())
 
 	select {
 	case err := <-errc:

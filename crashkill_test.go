@@ -1,0 +1,295 @@
+package amnesiadb_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// crashServer is one live amnesiaserve process under test.
+type crashServer struct {
+	cmd  *exec.Cmd
+	url  string
+	wait chan error
+	// ready is the wall-clock from Start to the listening line — the
+	// kill-to-ready recovery metric when the directory has state.
+	ready time.Duration
+}
+
+func buildServe(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "amnesiaserve")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/amnesiaserve")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build amnesiaserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServe launches amnesiaserve on an ephemeral port over dir and
+// waits for the ready line (recovery happens before the listener
+// opens, so ready time includes replay).
+func startServe(t *testing.T, bin, dir string) *crashServer {
+	t.Helper()
+	return startServeEnv(t, bin, dir, nil)
+}
+
+func (s *crashServer) kill(t *testing.T) {
+	t.Helper()
+	if err := s.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	<-s.wait
+}
+
+func postJSON(url string, v any) (int, []byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+func mustPost(t *testing.T, url string, v any) []byte {
+	t.Helper()
+	code, data, err := postJSON(url, v)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("POST %s: %d %v %s", url, code, err, data)
+	}
+	return data
+}
+
+// queryBytes returns the raw response body of a SQL query — the
+// byte-identical unit the crash test compares across restarts.
+func queryBytes(t *testing.T, base, sqlText string) []byte {
+	t.Helper()
+	return mustPost(t, base+"/query", map[string]string{"sql": sqlText})
+}
+
+// TestCrashKillRecovery is the headline durability test: a real server
+// process is SIGKILLed mid-workload under -fsync=always; on restart,
+// every acknowledged write must have survived, and query results must
+// be byte-identical across a further (clean) kill/restart pair — flat
+// and partitioned tables both.
+func TestCrashKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real server processes")
+	}
+	bin := buildServe(t)
+	dir := t.TempDir()
+
+	// ---- Session A: seed state, then die mid-workload. ----
+	a := startServe(t, bin, dir)
+	// Flat table without a policy: nothing is ever forgotten, so every
+	// acknowledged row must be present after recovery.
+	mustPost(t, a.url+"/insert", map[string]any{
+		"table": "acked", "create": []string{"v"},
+		"columns": map[string][]int64{"v": {0}},
+	})
+	// Partitioned table with budgets: survival here means the logged
+	// per-shard outcomes replay, not that every row stays active.
+	mustPost(t, a.url+"/partitioned", map[string]any{
+		"table": "m", "column": "v", "domain": 1000, "parts": 4,
+		"strategy": "uniform", "budget": 200,
+	})
+
+	var acked atomic.Int64
+	acked.Store(1) // the seed row above
+	var sent atomic.Int64
+	sent.Store(1)
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		next := int64(1)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := []int64{next, next + 1, next + 2}
+			sent.Add(3)
+			code, _, err := postJSON(a.url+"/insert", map[string]any{
+				"table": "acked", "columns": map[string][]int64{"v": batch},
+			})
+			if err == nil && code == http.StatusOK {
+				acked.Add(3)
+			}
+			next += 3
+			pv := make([]int64, 20)
+			for j := range pv {
+				pv[j] = (next*7 + int64(j)*37) % 1000
+			}
+			code, _, err = postJSON(a.url+"/insert", map[string]any{
+				"table": "m", "columns": map[string][]int64{"v": pv},
+			})
+			_ = code
+			_ = err
+		}
+	}()
+	// Let a healthy stream of acknowledgements build up, then kill the
+	// process out from under the writer.
+	for acked.Load() < 60 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	a.kill(t)
+	close(stop)
+	<-writerDone
+	ackedRows, sentRows := acked.Load(), sent.Load()
+
+	// ---- Session B: recover; every acknowledged write survived. ----
+	b := startServe(t, bin, dir)
+	t.Logf("kill-to-ready: %dms (acked %d rows before kill)", b.ready.Milliseconds(), ackedRows)
+	var count struct {
+		Rows [][]float64 `json:"rows"`
+	}
+	if err := json.Unmarshal(queryBytes(t, b.url, "SELECT COUNT(*) FROM acked"), &count); err != nil {
+		t.Fatalf("count response: %v", err)
+	}
+	got := int64(count.Rows[0][0])
+	if got < ackedRows {
+		t.Fatalf("lost acknowledged writes: %d rows after recovery, %d were acked", got, ackedRows)
+	}
+	if got > sentRows {
+		t.Fatalf("phantom rows: %d after recovery, only %d ever sent", got, sentRows)
+	}
+	// Contiguity check: rows are the prefix 0..count-1 of the value
+	// stream, so SUM pins exact contents, not just cardinality.
+	var sum struct {
+		Rows [][]float64 `json:"rows"`
+	}
+	if err := json.Unmarshal(queryBytes(t, b.url, "SELECT SUM(v) FROM acked"), &sum); err != nil {
+		t.Fatalf("sum response: %v", err)
+	}
+	if want := float64(got*(got-1)) / 2; sum.Rows[0][0] != want {
+		t.Fatalf("recovered contents are not the acknowledged prefix: SUM=%v want %v", sum.Rows[0][0], want)
+	}
+
+	fingerprints := func(base string) [][]byte {
+		return [][]byte{
+			queryBytes(t, base, "SELECT v FROM acked ORDER BY v"),
+			queryBytes(t, base, "SELECT SUM(v) FROM acked"),
+			queryBytes(t, base, "SELECT MAX(v) FROM acked"),
+			queryBytes(t, base, "SELECT v FROM m ORDER BY v"),
+			queryBytes(t, base, "SELECT SUM(v) FROM m"),
+			queryBytes(t, base, "SELECT COUNT(*) FROM m"),
+		}
+	}
+	before := fingerprints(b.url)
+	b.kill(t)
+
+	// ---- Session C: a second recovery must reproduce results byte-identically. ----
+	c := startServe(t, bin, dir)
+	defer c.kill(t)
+	after := fingerprints(c.url)
+	for i := range before {
+		if !bytes.Equal(before[i], after[i]) {
+			t.Fatalf("query %d diverged across restart:\n before: %s\n after:  %s", i, before[i], after[i])
+		}
+	}
+}
+
+// TestCrashKillWithFailpointTornWrite arms the torn-write failpoint in
+// the child process via the environment, drives it until the WAL tears,
+// and verifies the restarted server recovers everything acknowledged
+// before the tear.
+func TestCrashKillWithFailpointTornWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real server processes")
+	}
+	bin := buildServe(t)
+	dir := t.TempDir()
+
+	cmdEnv := append(os.Environ(), "AMNESIADB_FAILPOINTS=wal.write=torn:7:after:12")
+	a := startServeEnv(t, bin, dir, cmdEnv)
+	mustPost(t, a.url+"/insert", map[string]any{
+		"table": "t", "create": []string{"v"},
+		"columns": map[string][]int64{"v": {1}},
+	})
+	acked := int64(1)
+	for i := int64(0); i < 100; i++ {
+		code, _, err := postJSON(a.url+"/insert", map[string]any{
+			"table": "t", "columns": map[string][]int64{"v": {100 + i}},
+		})
+		if err != nil || code != http.StatusOK {
+			break // the tear hit: this write was NOT acknowledged
+		}
+		acked++
+	}
+	if acked == 101 {
+		t.Fatal("failpoint never fired; torn-write path untested")
+	}
+	a.kill(t)
+
+	b := startServe(t, bin, dir) // no failpoints in the recovered process
+	defer b.kill(t)
+	var count struct {
+		Rows [][]float64 `json:"rows"`
+	}
+	if err := json.Unmarshal(queryBytes(t, b.url, "SELECT COUNT(*) FROM t"), &count); err != nil {
+		t.Fatalf("count response: %v", err)
+	}
+	if got := int64(count.Rows[0][0]); got < acked {
+		t.Fatalf("torn write lost acknowledged rows: %d recovered, %d acked", got, acked)
+	}
+}
+
+// startServeEnv is startServe with an explicit child environment.
+func startServeEnv(t *testing.T, bin, dir string, env []string) *crashServer {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-dir", dir, "-fsync", "always")
+	cmd.Env = env
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	start := time.Now()
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start server: %v", err)
+	}
+	s := &crashServer{cmd: cmd, wait: make(chan error, 1)}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	go func() { s.wait <- cmd.Wait() }()
+	select {
+	case addr := <-addrCh:
+		s.ready = time.Since(start)
+		s.url = "http://" + addr
+	case err := <-s.wait:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("server never printed its listening line")
+	}
+	return s
+}

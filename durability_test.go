@@ -1,0 +1,482 @@
+package amnesiadb_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"amnesiadb"
+	"amnesiadb/internal/durability/failpoint"
+)
+
+// relationFingerprint captures everything queries can observe about a
+// flat table: full active contents plus the §2.3 precision triple over
+// a few ranges, and the stats counters.
+func relationFingerprint(t *testing.T, db *amnesiadb.DB, table string) string {
+	t.Helper()
+	res, err := db.Query(fmt.Sprintf("SELECT v FROM %s ORDER BY v", table))
+	if err != nil {
+		t.Fatalf("fingerprint query: %v", err)
+	}
+	tb, ok := db.Table(table)
+	if !ok {
+		t.Fatalf("table %q missing", table)
+	}
+	st := tb.Stats()
+	return fmt.Sprintf("%v|%+v", res.Rows, st)
+}
+
+func partFingerprint(t *testing.T, db *amnesiadb.DB, name string, domain int64) string {
+	t.Helper()
+	pt, ok := db.Partitioned(name)
+	if !ok {
+		t.Fatalf("partitioned table %q missing", name)
+	}
+	vals, err := pt.Select(0, domain)
+	if err != nil {
+		t.Fatalf("fingerprint select: %v", err)
+	}
+	return fmt.Sprintf("%v|%+v|%+v", vals, pt.Partitions(), pt.Stats())
+}
+
+// seedFlat populates a flat table with enough churn to exercise every
+// WAL record kind: inserts past budget (stochastic forgets), an
+// explicit policy change, and a vacuum.
+func seedFlat(t *testing.T, db *amnesiadb.DB) {
+	t.Helper()
+	tb, err := db.CreateTable("events", "v")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if err := tb.SetPolicy(amnesiadb.Policy{Strategy: "uniform", Budget: 64}); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	for b := 0; b < 8; b++ {
+		vals := make([]int64, 32)
+		for i := range vals {
+			vals[i] = int64(b*32 + i)
+		}
+		if err := tb.InsertColumn("v", vals); err != nil {
+			t.Fatalf("insert batch %d: %v", b, err)
+		}
+	}
+	if err := tb.Vacuum(); err != nil {
+		t.Fatalf("Vacuum: %v", err)
+	}
+	for b := 8; b < 12; b++ {
+		vals := make([]int64, 32)
+		for i := range vals {
+			vals[i] = int64(b*32 + i)
+		}
+		if err := tb.InsertColumn("v", vals); err != nil {
+			t.Fatalf("insert batch %d: %v", b, err)
+		}
+	}
+}
+
+func TestDurableReopenReplaysFlatTable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 7, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	seedFlat(t, db)
+	want := relationFingerprint(t, db, "events")
+	db.Close()
+
+	re, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 7, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if got := relationFingerprint(t, re, "events"); got != want {
+		t.Fatalf("replayed state diverged\n got %s\nwant %s", got, want)
+	}
+	// The recovered database must stay writable and keep forgetting.
+	tb, _ := re.Table("events")
+	if err := tb.InsertColumn("v", []int64{9999}); err != nil {
+		t.Fatalf("post-recovery insert: %v", err)
+	}
+	if got := tb.Stats().Active; got > 64 {
+		t.Fatalf("budget not enforced after recovery: %d active", got)
+	}
+}
+
+func TestDurableReopenReplaysPartitionedTable(t *testing.T) {
+	const domain = 1000
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 11, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	pt, err := db.CreatePartitionedTable("metrics", "m", domain, 4, "uniform", 120)
+	if err != nil {
+		t.Fatalf("CreatePartitionedTable: %v", err)
+	}
+	vals := make([]int64, 400)
+	for i := range vals {
+		vals[i] = int64((i * 37) % domain)
+	}
+	if err := pt.Insert(vals); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	// Skew the workload toward the first quarter, then adapt so the
+	// budgets move and enforcement forgets in the starved shards.
+	for i := 0; i < 50; i++ {
+		if _, err := pt.Select(0, domain/4); err != nil {
+			t.Fatalf("Select: %v", err)
+		}
+	}
+	if err := pt.Adapt(); err != nil {
+		t.Fatalf("Adapt: %v", err)
+	}
+	if err := pt.Insert(vals[:100]); err != nil {
+		t.Fatalf("Insert after adapt: %v", err)
+	}
+	want := partFingerprint(t, db, "metrics", domain)
+	db.Close()
+
+	re, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 11, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if got := partFingerprint(t, re, "metrics", domain); got != want {
+		t.Fatalf("replayed partitioned state diverged\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestDurableSnapshotTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 3, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	seedFlat(t, db)
+	if err := db.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// Mutations after the snapshot land in the new segment and must
+	// replay on top of it.
+	tb, _ := db.Table("events")
+	if err := tb.InsertColumn("v", []int64{5000, 5001}); err != nil {
+		t.Fatalf("post-snapshot insert: %v", err)
+	}
+	want := relationFingerprint(t, db, "events")
+	db.Close()
+
+	re, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 3, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if got := relationFingerprint(t, re, "events"); got != want {
+		t.Fatalf("post-snapshot state diverged\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestDurableTornTailIsCrashBoundary(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 5, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	seedFlat(t, db)
+	want := relationFingerprint(t, db, "events")
+	db.Close()
+
+	// Append a partial record to the newest segment — the on-disk image
+	// of a process that died mid-write. Recovery must stop at the
+	// boundary and keep everything acknowledged before it.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	newest := segs[len(segs)-1]
+	f, err := os.OpenFile(newest, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open segment: %v", err)
+	}
+	if _, err := f.Write([]byte{0x01, 0xff, 0x00}); err != nil {
+		t.Fatalf("append torn bytes: %v", err)
+	}
+	f.Close()
+
+	re, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 5, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("reopen across torn tail: %v", err)
+	}
+	defer re.Close()
+	if got := relationFingerprint(t, re, "events"); got != want {
+		t.Fatalf("torn-tail recovery diverged\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestDurableCorruptSnapshotFallsBackAGeneration(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 9, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	seedFlat(t, db)
+	db.Close()
+
+	// Second session: another snapshot generation plus more WAL.
+	db, err = amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 9, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("second open: %v", err)
+	}
+	tb, _ := db.Table("events")
+	if err := tb.InsertColumn("v", []int64{7000, 7001, 7002}); err != nil {
+		t.Fatalf("second-session insert: %v", err)
+	}
+	want := relationFingerprint(t, db, "events")
+	db.Close()
+
+	// Corrupt the newest snapshot; recovery must fall back to the
+	// previous generation and replay the longer WAL chain to the same
+	// state.
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.db"))
+	if err != nil || len(snaps) < 2 {
+		t.Fatalf("want >= 2 snapshots, have %v (%v)", snaps, err)
+	}
+	newest := snaps[len(snaps)-1]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+
+	re, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 9, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("reopen with corrupt snapshot: %v", err)
+	}
+	defer re.Close()
+	if got := relationFingerprint(t, re, "events"); got != want {
+		t.Fatalf("generation fallback diverged\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestDurableFsyncFailureDegradesToReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 1, Fsync: "always"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	defer db.Close()
+	tb, err := db.CreateTable("t", "v")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if err := tb.InsertColumn("v", []int64{1, 2, 3}); err != nil {
+		t.Fatalf("healthy insert: %v", err)
+	}
+
+	failpoint.Enable("wal.fsync", failpoint.Error(failpoint.ErrInjected))
+	defer failpoint.DisableAll()
+	if err := tb.InsertColumn("v", []int64{4}); !errors.Is(err, amnesiadb.ErrReadOnly) {
+		t.Fatalf("insert during fsync failure: got %v, want ErrReadOnly", err)
+	}
+	failpoint.DisableAll()
+
+	// Degradation is sticky: the disk being healthy again does not lift
+	// read-only mode, and every mutator sees it.
+	if deg, cause := db.Degraded(); !deg || cause == nil {
+		t.Fatalf("Degraded() = %v, %v; want true with a cause", deg, cause)
+	}
+	if err := tb.InsertColumn("v", []int64{5}); !errors.Is(err, amnesiadb.ErrReadOnly) {
+		t.Fatalf("insert after degradation: got %v, want ErrReadOnly", err)
+	}
+	if _, err := db.CreateTable("t2", "v"); !errors.Is(err, amnesiadb.ErrReadOnly) {
+		t.Fatalf("create after degradation: got %v, want ErrReadOnly", err)
+	}
+	if err := tb.Vacuum(); !errors.Is(err, amnesiadb.ErrReadOnly) {
+		t.Fatalf("vacuum after degradation: got %v, want ErrReadOnly", err)
+	}
+	// Reads keep serving.
+	if _, err := db.Query("SELECT COUNT(*) FROM t"); err != nil {
+		t.Fatalf("read in degraded mode: %v", err)
+	}
+}
+
+func TestDurableTornWriteLosesOnlyUnacknowledged(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 2, Fsync: "always"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	tb, err := db.CreateTable("t", "v")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if err := tb.InsertColumn("v", []int64{1, 2, 3}); err != nil {
+		t.Fatalf("acknowledged insert: %v", err)
+	}
+	want := relationFingerprint(t, db, "t")
+
+	// The next batch dies mid-write: a few bytes land, the rest do not,
+	// and the mutation is NOT acknowledged.
+	failpoint.Enable("wal.write", failpoint.Torn(3))
+	if err := tb.InsertColumn("v", []int64{100, 200}); err == nil {
+		t.Fatal("torn insert unexpectedly acknowledged")
+	}
+	failpoint.DisableAll()
+	db.Close()
+
+	re, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 2, Fsync: "always"})
+	if err != nil {
+		t.Fatalf("reopen across torn write: %v", err)
+	}
+	defer re.Close()
+	if got := relationFingerprint(t, re, "t"); got != want {
+		t.Fatalf("acknowledged state lost or phantom rows appeared\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestDurableDropAndDDLReplay(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 4, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	if _, err := db.CreateTable("keep", "v"); err != nil {
+		t.Fatalf("create keep: %v", err)
+	}
+	if _, err := db.CreateTable("tmp", "v"); err != nil {
+		t.Fatalf("create tmp: %v", err)
+	}
+	if err := db.DropTable("tmp"); err != nil {
+		t.Fatalf("drop tmp: %v", err)
+	}
+	tb, _ := db.Table("keep")
+	if err := tb.InsertColumn("v", []int64{42}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	db.Close()
+
+	re, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 4, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if _, ok := re.Table("tmp"); ok {
+		t.Fatal("dropped table resurrected by replay")
+	}
+	if got := relationFingerprint(t, re, "keep"); got != relationFingerprint(t, re, "keep") {
+		t.Fatal("unstable fingerprint")
+	}
+	res, err := re.Query("SELECT v FROM keep")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0] != 42 {
+		t.Fatalf("keep contents wrong: %v %v", res, err)
+	}
+}
+
+// TestDropRecreateInvalidatesResultCache pins the incarnation fix: a
+// dropped table's cached results must never serve for a new same-named
+// table, even though both start life at table epoch zero.
+func TestDropRecreateInvalidatesResultCache(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 1})
+	defer db.Close()
+	tb, err := db.CreateTable("t", "v")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := tb.InsertColumn("v", []int64{1, 2, 3}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	const q = "SELECT SUM(v) FROM t"
+	first, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	// Query again so the result is cached at the current signature.
+	if _, err := db.Query(q); err != nil {
+		t.Fatalf("cache-filling query: %v", err)
+	}
+	if err := db.DropTable("t"); err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+	tb2, err := db.CreateTable("t", "v")
+	if err != nil {
+		t.Fatalf("recreate: %v", err)
+	}
+	if err := tb2.InsertColumn("v", []int64{10, 20, 30}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	second, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("query after recreate: %v", err)
+	}
+	if reflect.DeepEqual(first.Rows, second.Rows) {
+		t.Fatalf("stale cached result served across drop/recreate: %v", second.Rows)
+	}
+	if second.Rows[0][0] != 60 {
+		t.Fatalf("SUM after recreate = %v, want 60", second.Rows[0][0])
+	}
+}
+
+// TestLoadTableInvalidatesResultCache pins the same fix on the
+// Save/LoadTable path: a loaded snapshot starts at epoch zero too.
+func TestLoadTableInvalidatesResultCache(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 1})
+	defer db.Close()
+	tb, err := db.CreateTable("t", "v")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := tb.InsertColumn("v", []int64{5, 6}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+
+	// Snapshot a DIFFERENT state to load under the same name later.
+	other := amnesiadb.Open(amnesiadb.Options{Seed: 1})
+	otb, err := other.CreateTable("t", "v")
+	if err != nil {
+		t.Fatalf("other create: %v", err)
+	}
+	if err := otb.InsertColumn("v", []int64{100}); err != nil {
+		t.Fatalf("other insert: %v", err)
+	}
+	tmp := filepath.Join(t.TempDir(), "t.snap")
+	f, err := os.Create(tmp)
+	if err != nil {
+		t.Fatalf("create snap: %v", err)
+	}
+	if err := otb.Save(f); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	f.Close()
+	other.Close()
+
+	const q = "SELECT COUNT(*) FROM t"
+	if _, err := db.Query(q); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if _, err := db.Query(q); err != nil {
+		t.Fatalf("cache-filling query: %v", err)
+	}
+	if err := db.DropTable("t"); err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+	rf, err := os.Open(tmp)
+	if err != nil {
+		t.Fatalf("open snap: %v", err)
+	}
+	if _, err := db.LoadTable(rf); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	rf.Close()
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("query after load: %v", err)
+	}
+	if res.Rows[0][0] != 1 {
+		t.Fatalf("COUNT after load = %v, want 1 (stale cache?)", res.Rows[0][0])
+	}
+}

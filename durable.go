@@ -1,0 +1,607 @@
+package amnesiadb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"amnesiadb/internal/durability"
+	"amnesiadb/internal/engine"
+	"amnesiadb/internal/partition"
+	"amnesiadb/internal/snapshot"
+	"amnesiadb/internal/wal"
+)
+
+// ErrReadOnly is wrapped by every mutation attempted after a
+// persistence failure degraded the database to read-only mode. Queries
+// keep working; the serving layer maps this to 503 + Retry-After.
+var ErrReadOnly = errors.New("amnesiadb: read-only (durability degraded)")
+
+// durableState is the durability wiring OpenDir attaches to a DB: the
+// group-commit segment log, the background snapshotter, and the sticky
+// degraded flag.
+type durableState struct {
+	dir  string
+	opts durability.Options
+	log  *durability.Log
+
+	// degraded latches the first persistence failure; once set, every
+	// mutator returns ErrReadOnly and the server reports
+	// degraded:true. Recovery is a restart.
+	degraded atomicErr
+
+	// snapMu serialises snapshots; seq (guarded by it) is the live
+	// segment's sequence number.
+	snapMu sync.Mutex
+	seq    int
+
+	snapCh    chan struct{}
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// atomicErr is a set-once error slot; the first Store wins.
+type atomicErr struct{ p atomic.Pointer[error] }
+
+func (a *atomicErr) Load() error {
+	if e := a.p.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+func (a *atomicErr) Store(err error) { a.p.CompareAndSwap(nil, &err) }
+
+// OpenDir opens (or creates) a durable database rooted at dir.
+// Recovery runs first: the newest valid catalog snapshot is restored
+// and the WAL tail behind it replayed, a torn trailing record marking
+// the crash boundary; a corrupt snapshot falls back to the previous
+// generation. Then a fresh segment and a fresh snapshot are written —
+// the engine never appends to a possibly-torn segment — and the
+// group-commit log attaches, so every subsequent mutation is
+// acknowledged only after its batch reaches disk under Options.Fsync.
+// Close flushes and detaches the log without snapshotting, so a
+// reopen exercises WAL replay.
+func OpenDir(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	pol := durability.FsyncGroup
+	if opts.Fsync != "" {
+		var err error
+		if pol, err = durability.ParsePolicy(opts.Fsync); err != nil {
+			return nil, err
+		}
+	}
+	dopts := durability.Options{
+		Policy:       pol,
+		GroupWindow:  opts.GroupCommitWindow,
+		SegmentBytes: opts.SegmentBytes,
+	}
+	gens, nextSeq, err := durability.Plan(dir)
+	if err != nil {
+		return nil, err
+	}
+	var db *DB
+	var lastErr error
+	for _, g := range gens {
+		cand := Open(opts)
+		if err := cand.restoreGeneration(g); err != nil {
+			lastErr = err
+			cand.Close()
+			continue
+		}
+		db = cand
+		break
+	}
+	if db == nil {
+		return nil, fmt.Errorf("amnesiadb: recovery failed for every generation in %s: %w", dir, lastErr)
+	}
+	log, err := durability.CreateLog(dir, nextSeq, dopts)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	ds := &durableState{
+		dir: dir, opts: dopts, log: log, seq: nextSeq,
+		snapCh: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	db.dur = ds
+	// Snapshot the recovered state, paired with the fresh segment:
+	// recovery next time restores this snapshot and replays only the
+	// new segment, and everything older becomes prunable.
+	if err := db.writeSnapshot(nextSeq); err != nil {
+		db.dur = nil
+		log.Close()
+		db.Close()
+		return nil, err
+	}
+	durability.Prune(dir)
+	ds.wg.Add(1)
+	go db.snapshotLoop()
+	return db, nil
+}
+
+// Dir returns the durable directory, "" for an in-memory database.
+func (db *DB) Dir() string {
+	if db.dur == nil {
+		return ""
+	}
+	return db.dur.dir
+}
+
+// Degraded reports whether a persistence failure has latched the
+// database read-only, and the failure that did.
+func (db *DB) Degraded() (bool, error) {
+	if db.dur == nil {
+		return false, nil
+	}
+	err := db.dur.degraded.Load()
+	return err != nil, err
+}
+
+// writable gates every mutator: nil for in-memory databases and
+// healthy durable ones, ErrReadOnly after degradation.
+func (db *DB) writable() error {
+	if db.dur == nil {
+		return nil
+	}
+	if err := db.dur.degraded.Load(); err != nil {
+		return fmt.Errorf("%w: %v", ErrReadOnly, err)
+	}
+	return nil
+}
+
+// degrade latches read-only mode on the first persistence failure.
+func (db *DB) degrade(err error) {
+	if db.dur != nil {
+		db.dur.degraded.Store(err)
+	}
+}
+
+// logRecord enqueues one framed WAL record; nil-safe for in-memory
+// databases. Callers enqueue under the mutated relation's exclusive
+// lock (preserving per-relation log order) and Wait after unlocking.
+func (db *DB) logRecord(rec []byte) *durability.Pending {
+	if db.dur == nil {
+		return nil
+	}
+	return db.dur.log.Enqueue(rec)
+}
+
+// commitWait blocks until every pending record's batch is fsynced (per
+// policy). A failure degrades the database and surfaces ErrReadOnly;
+// success checks whether the segment has outgrown its threshold and
+// pokes the background snapshotter.
+func (db *DB) commitWait(ps ...*durability.Pending) error {
+	if db.dur == nil {
+		return nil
+	}
+	var err error
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		if e := p.Wait(); e != nil && err == nil {
+			err = e
+		}
+	}
+	if err != nil {
+		db.degrade(err)
+		return fmt.Errorf("%w: %v", ErrReadOnly, err)
+	}
+	if db.dur.log.Size() > db.dur.opts.SegmentThreshold() {
+		select {
+		case db.dur.snapCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// snapshotLoop is the background snapshotter: when the committer
+// signals an oversized segment, rotate and snapshot so the old
+// segments become prunable.
+func (db *DB) snapshotLoop() {
+	defer db.dur.wg.Done()
+	for {
+		select {
+		case <-db.dur.stop:
+			return
+		case <-db.dur.snapCh:
+			db.Snapshot()
+		}
+	}
+}
+
+// Snapshot rotates to a fresh WAL segment and writes a catalog
+// snapshot paired with it, truncating the replayable history to the
+// new segment. Runs under a full-catalog barrier (every relation
+// locked exclusively) so the cut is consistent; mutations block for
+// the duration. Safe to call concurrently; calls serialise.
+func (db *DB) Snapshot() error {
+	if db.dur == nil {
+		return errors.New("amnesiadb: Snapshot on an in-memory database")
+	}
+	if err := db.writable(); err != nil {
+		return err
+	}
+	db.dur.snapMu.Lock()
+	defer db.dur.snapMu.Unlock()
+	seq := db.dur.seq + 1
+	unlock := db.lockCatalog()
+	if err := db.dur.log.Rotate(db.dur.dir, seq); err != nil {
+		unlock()
+		db.degrade(err)
+		return fmt.Errorf("%w: %v", ErrReadOnly, err)
+	}
+	db.dur.seq = seq
+	cat := db.buildCatalogLocked()
+	unlock()
+	if err := durability.WriteSnapshot(db.dur.dir, seq, cat); err != nil {
+		// The rotation already happened, so recovery still works from
+		// the previous snapshot plus the full segment chain; an
+		// unwritable snapshot still means persistence is failing.
+		db.degrade(err)
+		return fmt.Errorf("%w: %v", ErrReadOnly, err)
+	}
+	if err := durability.RefreshManifest(db.dur.dir, seq); err != nil {
+		db.degrade(err)
+		return fmt.Errorf("%w: %v", ErrReadOnly, err)
+	}
+	durability.Prune(db.dur.dir)
+	return nil
+}
+
+// writeSnapshot writes catalog snapshot seq without rotating (OpenDir
+// pairs it with the just-created segment).
+func (db *DB) writeSnapshot(seq int) error {
+	unlock := db.lockCatalog()
+	cat := db.buildCatalogLocked()
+	unlock()
+	if err := durability.WriteSnapshot(db.dur.dir, seq, cat); err != nil {
+		return err
+	}
+	return durability.RefreshManifest(db.dur.dir, seq)
+}
+
+// lockCatalog takes db.mu plus every relation's exclusive lock in
+// name order (the same order QueryStreamCtx locks in) and returns the
+// matching unlock.
+func (db *DB) lockCatalog() func() {
+	db.mu.Lock()
+	names := make([]string, 0, len(db.tables)+len(db.parts))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	for n := range db.parts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var unlocks []func()
+	for _, n := range names {
+		if t, ok := db.tables[n]; ok {
+			t.mu.Lock()
+			unlocks = append(unlocks, t.mu.Unlock)
+		} else if p, ok := db.parts[n]; ok {
+			p.mu.Lock()
+			unlocks = append(unlocks, p.mu.Unlock)
+		}
+	}
+	return func() {
+		for i := len(unlocks) - 1; i >= 0; i-- {
+			unlocks[i]()
+		}
+		db.mu.Unlock()
+	}
+}
+
+// buildCatalogLocked assembles the snapshot catalog; the caller holds
+// the full barrier from lockCatalog.
+func (db *DB) buildCatalogLocked() *snapshot.Catalog {
+	var cat snapshot.Catalog
+	for _, t := range db.tables {
+		cat.Tables = append(cat.Tables, snapshot.TableEntry{
+			Table: t.tbl,
+			Policy: snapshot.Policy{
+				Strategy:      t.policy.Strategy,
+				Budget:        t.policy.Budget,
+				Column:        t.policy.Column,
+				MaxAgeBatches: t.policy.MaxAgeBatches,
+			},
+		})
+	}
+	for name, p := range db.parts {
+		pe := snapshot.PartEntry{
+			Name:     name,
+			Column:   p.set.Column(),
+			Strategy: p.set.Strategy(),
+			Domain:   p.set.Domain(),
+		}
+		for _, sp := range p.set.Partitions() {
+			pe.Shards = append(pe.Shards, snapshot.ShardEntry{
+				Lo: sp.Lo, Hi: sp.Hi, Budget: sp.Budget(), Table: sp.Table(),
+			})
+		}
+		cat.Parts = append(cat.Parts, pe)
+	}
+	// Deterministic section order keeps snapshots byte-comparable.
+	sort.Slice(cat.Tables, func(i, j int) bool { return cat.Tables[i].Table.Name() < cat.Tables[j].Table.Name() })
+	sort.Slice(cat.Parts, func(i, j int) bool { return cat.Parts[i].Name < cat.Parts[j].Name })
+	return &cat
+}
+
+// restoreGeneration rebuilds the catalog from one recovery candidate:
+// restore its snapshot (if any), then replay its WAL segments in
+// order. A truncated or corrupt tail in the LAST segment is the crash
+// boundary — everything before it is state the engine acknowledged or
+// was about to; everything after was never acknowledged. Any earlier
+// failure rejects the generation so OpenDir can fall back.
+func (db *DB) restoreGeneration(g durability.Generation) error {
+	if g.SnapshotPath != "" {
+		f, err := os.Open(g.SnapshotPath)
+		if err != nil {
+			return err
+		}
+		cat, err := snapshot.ReadCatalog(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		for _, te := range cat.Tables {
+			if err := db.registerRestoredTable(te); err != nil {
+				return err
+			}
+		}
+		for _, pe := range cat.Parts {
+			if err := db.registerRestoredPart(pe); err != nil {
+				return err
+			}
+		}
+	}
+	for i, seg := range g.Segments {
+		f, err := os.Open(seg)
+		if err != nil {
+			return err
+		}
+		rerr := wal.Replay(f, recoveryApplier{db})
+		f.Close()
+		if rerr == nil {
+			continue
+		}
+		if i == len(g.Segments)-1 && (errors.Is(rerr, wal.ErrTruncated) || errors.Is(rerr, wal.ErrCorrupt)) {
+			// Crash boundary: the prefix replayed cleanly and nothing
+			// past the boundary was ever acknowledged under
+			// fsync=always/group semantics.
+			return nil
+		}
+		return rerr
+	}
+	return nil
+}
+
+// registerRestoredTable installs a snapshotted flat table (and its
+// policy) into the catalog.
+func (db *DB) registerRestoredTable(te snapshot.TableEntry) error {
+	db.mu.Lock()
+	if db.taken(te.Table.Name()) {
+		db.mu.Unlock()
+		return fmt.Errorf("amnesiadb: snapshot names %q twice", te.Table.Name())
+	}
+	ex := engine.New(te.Table)
+	ex.SetParallelism(db.par)
+	ex.SetScheduler(db.pool)
+	t := &Table{db: db, tbl: te.Table, ex: ex}
+	te.Table.AdvanceEpoch(db.nextIncarnation())
+	db.tables[te.Table.Name()] = t
+	db.mu.Unlock()
+	if te.Policy.Budget != 0 || te.Policy.MaxAgeBatches != 0 {
+		return t.SetPolicy(Policy{
+			Strategy:      te.Policy.Strategy,
+			Budget:        te.Policy.Budget,
+			Column:        te.Policy.Column,
+			MaxAgeBatches: te.Policy.MaxAgeBatches,
+		})
+	}
+	return nil
+}
+
+// registerRestoredPart installs a snapshotted partition set.
+func (db *DB) registerRestoredPart(pe snapshot.PartEntry) error {
+	shards := make([]partition.RestoredShard, len(pe.Shards))
+	for i, sh := range pe.Shards {
+		shards[i] = partition.RestoredShard{Lo: sh.Lo, Hi: sh.Hi, Budget: sh.Budget, Table: sh.Table}
+	}
+	set, err := partition.Restore(pe.Column, pe.Domain, pe.Strategy, shards, db.splitSrc())
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.taken(pe.Name) {
+		return fmt.Errorf("amnesiadb: snapshot names %q twice", pe.Name)
+	}
+	set.SetParallelism(db.par)
+	set.SetScheduler(db.pool)
+	set.AdvanceEpoch(db.nextIncarnation())
+	db.parts[pe.Name] = &PartitionedTable{db: db, name: pe.Name, set: set}
+	return nil
+}
+
+// nextIncarnation returns an epoch advance that stamps a relation
+// incarnation into its own disjoint 2^32 epoch range, so a restored or
+// recreated same-named relation can never collide with a dropped
+// predecessor's result-cache signatures.
+func (db *DB) nextIncarnation() uint64 { return db.incarnation.Add(1) << 32 }
+
+// DropTable removes a relation — either kind — from the catalog. The
+// tuple storage is released; result-cache entries for the old table
+// die with its epoch signature (new same-named tables start in a fresh
+// incarnation epoch range).
+func (db *DB) DropTable(name string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	_, okT := db.tables[name]
+	_, okP := db.parts[name]
+	if !okT && !okP {
+		db.mu.Unlock()
+		return fmt.Errorf("amnesiadb: %w %q", ErrUnknownTable, name)
+	}
+	delete(db.tables, name)
+	delete(db.parts, name)
+	p := db.logRecord(wal.RecordDrop(name))
+	db.mu.Unlock()
+	return db.commitWait(p)
+}
+
+// recoveryApplier replays WAL records into the DB raw: appends without
+// budget enforcement, forgets by logged position — the log records
+// *what* was forgotten, never why, so replay reproduces state
+// bit-for-bit without re-running any stochastic strategy. db.dur is
+// nil during replay, so nothing re-logs.
+type recoveryApplier struct{ db *DB }
+
+func (a recoveryApplier) table(name string) (*Table, error) {
+	a.db.mu.RLock()
+	t, ok := a.db.tables[name]
+	a.db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("replay references unknown table %q", name)
+	}
+	return t, nil
+}
+
+func (a recoveryApplier) part(name string) (*PartitionedTable, error) {
+	a.db.mu.RLock()
+	p, ok := a.db.parts[name]
+	a.db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("replay references unknown partitioned table %q", name)
+	}
+	return p, nil
+}
+
+func (a recoveryApplier) CreateTable(name string, columns []string) error {
+	_, err := a.db.CreateTable(name, columns...)
+	return err
+}
+
+func (a recoveryApplier) CreatePartitioned(name, column string, domain int64, parts int, strategy string, totalBudget int) error {
+	_, err := a.db.CreatePartitionedTable(name, column, domain, parts, strategy, totalBudget)
+	return err
+}
+
+func (a recoveryApplier) Drop(name string) error { return a.db.DropTable(name) }
+
+func (a recoveryApplier) Insert(name string, vals map[string][]int64) error {
+	t, err := a.table(name)
+	if err != nil {
+		return err
+	}
+	_, err = t.tbl.AppendBatch(vals)
+	return err
+}
+
+func (a recoveryApplier) positions(name string, ps []int, remember bool) error {
+	t, err := a.table(name)
+	if err != nil {
+		return err
+	}
+	for _, p := range ps {
+		if p < 0 || p >= t.tbl.Len() {
+			return fmt.Errorf("replay position %d outside %q (%d tuples)", p, name, t.tbl.Len())
+		}
+	}
+	if remember {
+		for _, p := range ps {
+			t.tbl.Remember(p)
+		}
+		return nil
+	}
+	t.tbl.ForgetMany(ps)
+	return nil
+}
+
+func (a recoveryApplier) Forget(name string, ps []int) error {
+	return a.positions(name, ps, false)
+}
+
+func (a recoveryApplier) Remember(name string, ps []int) error {
+	return a.positions(name, ps, true)
+}
+
+func (a recoveryApplier) Vacuum(name string) error {
+	t, err := a.table(name)
+	if err != nil {
+		return err
+	}
+	t.tbl.Vacuum()
+	if t.book != nil {
+		t.book.Rebase()
+	}
+	return nil
+}
+
+func (a recoveryApplier) PartInsert(name string, shards []wal.ShardMutation) error {
+	p, err := a.part(name)
+	if err != nil {
+		return err
+	}
+	for _, s := range shards {
+		if err := p.set.ReplayShard(s.Shard, s.Values, s.Forgotten); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a recoveryApplier) PartAdapt(name string, shards []wal.ShardAdapt) error {
+	p, err := a.part(name)
+	if err != nil {
+		return err
+	}
+	for _, s := range shards {
+		if err := p.set.SetShardBudget(s.Shard, s.Budget); err != nil {
+			return err
+		}
+		if err := p.set.ReplayShard(s.Shard, nil, s.Forgotten); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a recoveryApplier) SetPolicy(name string, spec wal.PolicySpec) error {
+	t, err := a.table(name)
+	if err != nil {
+		return err
+	}
+	return t.SetPolicy(Policy{
+		Strategy:      spec.Strategy,
+		Budget:        spec.Budget,
+		Column:        spec.Column,
+		MaxAgeBatches: spec.MaxAgeBatches,
+	})
+}
+
+// closeDurable flushes and detaches the log. Deliberately no snapshot:
+// a clean Close and a crash recover through the identical replay path,
+// which keeps that path honest.
+func (db *DB) closeDurable() {
+	ds := db.dur
+	if ds == nil {
+		return
+	}
+	ds.closeOnce.Do(func() {
+		close(ds.stop)
+		ds.wg.Wait()
+		ds.log.Close()
+	})
+}

@@ -1,0 +1,212 @@
+// Package failpoint is a tiny fault-injection registry for the
+// durability subsystem, modeled on etcd's gofail pattern: named sites
+// in the write/fsync path call Eval, and tests (or an operator via the
+// AMNESIADB_FAILPOINTS environment variable) arm those sites with an
+// error or a torn-write directive. Disarmed sites cost one atomic load,
+// so the hooks stay in production builds.
+//
+// Arming syntax, programmatic or via the environment:
+//
+//	failpoint.Enable("wal.write", failpoint.Error(io.ErrShortWrite))
+//	failpoint.Enable("wal.fsync", failpoint.ErrorAfter(3, errDiskGone))
+//	failpoint.Enable("wal.write", failpoint.Torn(17))
+//
+//	AMNESIADB_FAILPOINTS="wal.fsync=error;wal.write=torn:17"
+//	AMNESIADB_FAILPOINTS="wal.write=torn:7:after:12"   # 12 healthy writes, then tear
+//
+// A torn directive does not return an error by itself: the site asks
+// TornAt for the byte offset to cut a write at and simulates the
+// partial write, which is how the recovery tests produce a torn
+// trailing record without killing the process.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar names the environment variable ArmFromEnv parses.
+const EnvVar = "AMNESIADB_FAILPOINTS"
+
+// ErrInjected is the default error an "error" directive returns.
+var ErrInjected = errors.New("failpoint: injected error")
+
+// Action is what an armed failpoint does when evaluated.
+type Action struct {
+	// err, when non-nil, is returned by Eval.
+	err error
+	// after delays the fault: the first `after` evaluations pass.
+	after int64
+	// torn >= 0 cuts writes at this byte offset (see TornAt).
+	torn int64
+}
+
+// Error arms a site to return err from Eval.
+func Error(err error) Action {
+	if err == nil {
+		err = ErrInjected
+	}
+	return Action{err: err, torn: -1}
+}
+
+// ErrorAfter arms a site to pass n evaluations and then return err.
+func ErrorAfter(n int, err error) Action {
+	a := Error(err)
+	a.after = int64(n)
+	return a
+}
+
+// Torn arms a write site to cut the batch at byte offset n (the bytes
+// before n are written, the rest vanish), simulating a crash mid-write.
+func Torn(n int) Action { return Action{torn: int64(n)} }
+
+// TornAfter arms a write site to pass k evaluations and then tear at
+// byte offset n — a process that ran healthily for a while before
+// dying mid-write.
+func TornAfter(k, n int) Action { return Action{torn: int64(n), after: int64(k)} }
+
+// site is one armed failpoint.
+type site struct {
+	action Action
+	hits   atomic.Int64
+}
+
+var (
+	mu    sync.RWMutex
+	armed = map[string]*site{}
+	// count is the number of armed sites; a zero fast-path keeps
+	// disarmed Eval calls at one atomic load.
+	count atomic.Int64
+)
+
+// Enable arms the named site. Re-arming replaces the previous action.
+func Enable(name string, a Action) {
+	mu.Lock()
+	if _, ok := armed[name]; !ok {
+		count.Add(1)
+	}
+	armed[name] = &site{action: a}
+	mu.Unlock()
+}
+
+// Disable disarms the named site; unknown names are a no-op.
+func Disable(name string) {
+	mu.Lock()
+	if _, ok := armed[name]; ok {
+		delete(armed, name)
+		count.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// DisableAll disarms every site (test cleanup).
+func DisableAll() {
+	mu.Lock()
+	armed = map[string]*site{}
+	count.Store(0)
+	mu.Unlock()
+}
+
+// Eval returns the injected error for an armed error site, nil
+// otherwise. Disarmed sites cost one atomic load.
+func Eval(name string) error {
+	if count.Load() == 0 {
+		return nil
+	}
+	mu.RLock()
+	s := armed[name]
+	mu.RUnlock()
+	if s == nil || s.action.err == nil {
+		return nil
+	}
+	if s.hits.Add(1) <= s.action.after {
+		return nil
+	}
+	return s.action.err
+}
+
+// TornAt returns (offset, true) when the named site is armed with a
+// torn-write directive: the caller should write only the first offset
+// bytes of its batch and then fail as if the process died. Offsets
+// beyond the batch length should be clamped by the caller.
+func TornAt(name string) (int, bool) {
+	if count.Load() == 0 {
+		return 0, false
+	}
+	mu.RLock()
+	s := armed[name]
+	mu.RUnlock()
+	if s == nil || s.action.torn < 0 {
+		return 0, false
+	}
+	if s.hits.Add(1) <= s.action.after {
+		return 0, false
+	}
+	return int(s.action.torn), true
+}
+
+// ArmFromEnv parses EnvVar ("site=error;site=torn:N;site=torn:N:after:K;site=error:after:N")
+// and arms the listed sites. Called once by the durability layer at
+// startup; parse failures return an error naming the bad clause.
+func ArmFromEnv() error {
+	return Arm(os.Getenv(EnvVar))
+}
+
+// Arm parses a failpoint spec string (the EnvVar syntax) and arms the
+// listed sites. Empty input is a no-op.
+func Arm(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, directive, ok := strings.Cut(clause, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: bad clause %q (want name=directive)", clause)
+		}
+		parts := strings.Split(directive, ":")
+		switch parts[0] {
+		case "error":
+			a := Error(nil)
+			if len(parts) == 3 && parts[1] == "after" {
+				n, err := strconv.Atoi(parts[2])
+				if err != nil {
+					return fmt.Errorf("failpoint: bad after count in %q", clause)
+				}
+				a = ErrorAfter(n, nil)
+			} else if len(parts) != 1 {
+				return fmt.Errorf("failpoint: bad error directive %q", clause)
+			}
+			Enable(name, a)
+		case "torn":
+			if len(parts) != 2 && !(len(parts) == 4 && parts[2] == "after") {
+				return fmt.Errorf("failpoint: torn needs an offset in %q (torn:N or torn:N:after:K)", clause)
+			}
+			n, err := strconv.Atoi(parts[1])
+			if err != nil || n < 0 {
+				return fmt.Errorf("failpoint: bad torn offset in %q", clause)
+			}
+			a := Torn(n)
+			if len(parts) == 4 {
+				k, err := strconv.Atoi(parts[3])
+				if err != nil || k < 0 {
+					return fmt.Errorf("failpoint: bad after count in %q", clause)
+				}
+				a = TornAfter(k, n)
+			}
+			Enable(name, a)
+		default:
+			return fmt.Errorf("failpoint: unknown directive %q in %q", parts[0], clause)
+		}
+	}
+	return nil
+}

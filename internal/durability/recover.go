@@ -1,0 +1,282 @@
+package durability
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"amnesiadb/internal/snapshot"
+)
+
+// On-disk layout of a durable directory:
+//
+//	wal-000001.log   WAL segments (AppendHeader + framed records)
+//	snap-000002.db   catalog snapshots; snap-K pairs with segment wal-K:
+//	                 the snapshot captures everything up to the moment
+//	                 segment K was opened, so recovery = restore snap-K,
+//	                 replay wal-K, wal-K+1, ...
+//	MANIFEST         JSON lineage record (informative; the directory
+//	                 scan is authoritative, so a lost MANIFEST never
+//	                 blocks recovery)
+//
+// Retention keeps the current and previous snapshot generations so a
+// corrupt newest snapshot still recovers from the one before it plus
+// the longer WAL tail.
+
+// SegmentPath names WAL segment seq in dir.
+func SegmentPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.log", seq))
+}
+
+// SnapshotPath names catalog snapshot seq in dir.
+func SnapshotPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%06d.db", seq))
+}
+
+// ManifestPath names the manifest file in dir.
+func ManifestPath(dir string) string { return filepath.Join(dir, "MANIFEST") }
+
+// Manifest records the directory's lineage for operators and, later,
+// snapshot-ship replication.
+type Manifest struct {
+	// SnapshotSeq is the newest snapshot generation, 0 when none.
+	SnapshotSeq int `json:"snapshot_seq"`
+	// SegmentSeq is the live (currently appended) WAL segment.
+	SegmentSeq int `json:"segment_seq"`
+	// Snapshots and Segments list the retained files in order.
+	Snapshots []string `json:"snapshots"`
+	Segments  []string `json:"segments"`
+}
+
+// WriteManifest atomically replaces the manifest (tmp, fsync, rename).
+func WriteManifest(dir string, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := ManifestPath(dir) + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, ManifestPath(dir)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ReadManifest loads the manifest; a missing file returns a zero
+// manifest and no error.
+func ReadManifest(dir string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(ManifestPath(dir))
+	if os.IsNotExist(err) {
+		return m, nil
+	}
+	if err != nil {
+		return m, err
+	}
+	err = json.Unmarshal(data, &m)
+	return m, err
+}
+
+// Generation is one recovery candidate: a snapshot (possibly none, for
+// the replay-from-genesis fallback) plus the WAL segments behind it in
+// replay order.
+type Generation struct {
+	// SnapshotPath is the catalog snapshot to restore first, "" for
+	// the no-snapshot fallback.
+	SnapshotPath string
+	// SnapshotSeq is the generation number, 0 for the fallback.
+	SnapshotSeq int
+	// Segments are the WAL segment paths to replay after the
+	// snapshot, ascending.
+	Segments []string
+}
+
+// Plan scans dir and returns recovery candidates, newest snapshot
+// first. The caller tries each in order: restore the snapshot, replay
+// the segments, accept a torn tail in the newest segment as the crash
+// boundary, and fall back to the next generation on corruption.
+// NextSeq is the first unused sequence number (1 on a fresh
+// directory).
+func Plan(dir string) (gens []Generation, nextSeq int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var snapSeqs, walSeqs []int
+	for _, e := range entries {
+		var seq int
+		switch {
+		case parseSeq(e.Name(), "wal-", ".log", &seq):
+			walSeqs = append(walSeqs, seq)
+		case parseSeq(e.Name(), "snap-", ".db", &seq):
+			snapSeqs = append(snapSeqs, seq)
+		}
+	}
+	sort.Ints(walSeqs)
+	sort.Sort(sort.Reverse(sort.IntSlice(snapSeqs)))
+	nextSeq = 1
+	if n := len(walSeqs); n > 0 && walSeqs[n-1] >= nextSeq {
+		nextSeq = walSeqs[n-1] + 1
+	}
+	if len(snapSeqs) > 0 && snapSeqs[0] >= nextSeq {
+		nextSeq = snapSeqs[0] + 1
+	}
+	tail := func(from int) []string {
+		var out []string
+		for _, s := range walSeqs {
+			if s >= from {
+				out = append(out, SegmentPath(dir, s))
+			}
+		}
+		return out
+	}
+	for _, s := range snapSeqs {
+		gens = append(gens, Generation{
+			SnapshotPath: SnapshotPath(dir, s),
+			SnapshotSeq:  s,
+			Segments:     tail(s),
+		})
+	}
+	// Full replay from genesis is only sound when the log still starts
+	// at segment 1 (pruning removes that option once snapshots exist).
+	if len(walSeqs) == 0 || walSeqs[0] == 1 {
+		gens = append(gens, Generation{Segments: tail(0)})
+	}
+	return gens, nextSeq, nil
+}
+
+func parseSeq(name, prefix, suffix string, out *int) bool {
+	if len(name) != len(prefix)+6+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return false
+	}
+	n := 0
+	for _, c := range name[len(prefix) : len(name)-len(suffix)] {
+		if c < '0' || c > '9' {
+			return false
+		}
+		n = n*10 + int(c-'0')
+	}
+	*out = n
+	return true
+}
+
+// WriteSnapshot atomically writes catalog snapshot seq (tmp, fsync,
+// rename, dir sync) and refreshes the manifest.
+func WriteSnapshot(dir string, seq int, c *snapshot.Catalog) error {
+	tmp := SnapshotPath(dir, seq) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.WriteCatalog(f, c); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, SnapshotPath(dir, seq)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// Prune removes snapshots older than the two newest generations and
+// the WAL segments no retained generation needs. Best-effort: removal
+// errors are ignored (a leftover file only wastes space).
+func Prune(dir string) {
+	gens, _, err := Plan(dir)
+	if err != nil {
+		return
+	}
+	var snapSeqs []int
+	for _, g := range gens {
+		if g.SnapshotSeq > 0 {
+			snapSeqs = append(snapSeqs, g.SnapshotSeq)
+		}
+	}
+	if len(snapSeqs) < 2 {
+		return
+	}
+	// Plan returns snapshots newest-first; keep the first two.
+	keepFrom := snapSeqs[1]
+	for _, s := range snapSeqs[2:] {
+		os.Remove(SnapshotPath(dir, s))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		var seq int
+		if parseSeq(e.Name(), "wal-", ".log", &seq) && seq < keepFrom {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// RefreshManifest rewrites the manifest from a directory scan.
+func RefreshManifest(dir string, segmentSeq int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	m := Manifest{SegmentSeq: segmentSeq}
+	for _, e := range entries {
+		var seq int
+		switch {
+		case parseSeq(e.Name(), "wal-", ".log", &seq):
+			m.Segments = append(m.Segments, e.Name())
+		case parseSeq(e.Name(), "snap-", ".db", &seq):
+			m.Snapshots = append(m.Snapshots, e.Name())
+			if seq > m.SnapshotSeq {
+				m.SnapshotSeq = seq
+			}
+		}
+	}
+	sort.Strings(m.Segments)
+	sort.Strings(m.Snapshots)
+	return WriteManifest(dir, m)
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}

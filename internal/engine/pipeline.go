@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -228,6 +229,12 @@ func runPipeline[T any](ctx context.Context, s *ChunkStream, sp *sched.Pool, wor
 		go func() { // production ends when the pool query finishes
 			defer wg.Done()
 			<-q.Done()
+			// A panicking producer step is contained by the pool; turn it
+			// into a stream error so the consumer unblocks with a cause
+			// instead of hanging on a stream nobody will ever fill.
+			if pan, _ := q.Panicked(); pan != nil {
+				s.closeWith(fmt.Errorf("engine: producer panicked: %v", pan))
+			}
 			mu.Lock()
 			producing = 0
 			mu.Unlock()

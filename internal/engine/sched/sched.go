@@ -26,7 +26,9 @@
 package sched
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -140,6 +142,8 @@ type Query struct {
 	done     bool // a step returned Done; schedule nothing further
 	finished bool
 	fin      chan struct{}
+	pan      any    // first step panic, if any
+	stack    []byte // its stack
 }
 
 // Attach registers a query with the pool. width caps how many of its
@@ -177,17 +181,34 @@ func (q *Query) Wake() {
 // returned Done and all in-flight steps returned.
 func (q *Query) Done() <-chan struct{} { return q.fin }
 
+// Panicked returns the first panic a step of this query raised and its
+// stack, nil when every step returned normally. Valid once Done is
+// closed. Consumers that wait via Done (detached streams) use this to
+// surface the failure; Wait callers get the panic re-raised instead.
+func (q *Query) Panicked() (any, []byte) {
+	p := q.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return q.pan, q.stack
+}
+
 // Wait blocks until the query finishes, driving the query's own steps
 // while it waits — the caller is an extra worker for exactly its own
 // query, so attached work always makes progress even on a saturated
 // (or closed) pool, and a nested Wait inside a pool step drives the
-// nested query rather than deadlocking its worker.
+// nested query rather than deadlocking its worker. A step panic is
+// re-raised here, in the query owner's goroutine, rather than on
+// whichever pool worker happened to run the step.
 func (q *Query) Wait() {
 	p := q.pool
 	p.mu.Lock()
 	for {
 		if q.finished {
+			pan, stack := q.pan, q.stack
 			p.mu.Unlock()
+			if pan != nil {
+				panic(fmt.Sprintf("sched: query step panicked: %v\n%s", pan, stack))
+			}
 			return
 		}
 		if q.runnable() {
@@ -205,16 +226,33 @@ func (q *Query) runnable() bool {
 }
 
 // runStep executes one step of q. Callers hold the pool mutex; it is
-// released around the step itself.
+// released around the step itself. A panicking step is contained to
+// this query: the panic is recorded, the step treated as Done, and the
+// worker survives to serve other queries — one query's bug must not
+// take down every query sharing the pool (or, for pool workers, the
+// process).
 func (p *Pool) runStep(q *Query) {
 	q.stepping++
 	p.running++
 	seen := q.wakes
 	p.mu.Unlock()
-	st := q.step()
+	var pan any
+	var stack []byte
+	st := func() (st Status) {
+		defer func() {
+			if r := recover(); r != nil {
+				pan, stack = r, debug.Stack()
+				st = Done
+			}
+		}()
+		return q.step()
+	}()
 	p.mu.Lock()
 	p.running--
 	q.stepping--
+	if pan != nil && q.pan == nil {
+		q.pan, q.stack = pan, stack
+	}
 	switch st {
 	case Done:
 		q.done = true

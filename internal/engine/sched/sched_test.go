@@ -207,3 +207,45 @@ func TestStats(t *testing.T) {
 		t.Fatalf("Size() = %d, want 3", p.Size())
 	}
 }
+
+// TestStepPanicIsContained pins the robustness contract: a panicking
+// step must not kill the pool worker that ran it (which would take the
+// whole process down) and must not wedge other queries. The panic is
+// re-raised in the owner's Wait, and detached consumers see it via
+// Panicked after Done closes.
+func TestStepPanicIsContained(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+
+	var steps atomic.Int64
+	bad := p.Attach(1, false, func() Status {
+		panic("boom")
+	})
+	good := p.Attach(1, false, func() Status {
+		if steps.Add(1) >= 50 {
+			return Done
+		}
+		return Ran
+	})
+
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Wait did not re-raise the step panic")
+		}
+	}()
+
+	good.Wait() // healthy query completes on workers that survived
+	if got := steps.Load(); got < 50 {
+		t.Fatalf("healthy query ran %d steps, want 50", got)
+	}
+	select {
+	case <-bad.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("panicked query never finished")
+	}
+	if pan, stack := bad.Panicked(); pan == nil || len(stack) == 0 {
+		t.Fatalf("Panicked() = %v, %d bytes of stack; want the recorded panic", pan, len(stack))
+	}
+	bad.Wait() // must re-raise; the deferred recover above asserts it
+	t.Fatal("unreachable: Wait on a panicked query returned normally")
+}

@@ -89,8 +89,12 @@ func (p *Partition) enforceBudget() {
 // Set is a partitioned single-column store with per-partition amnesia.
 type Set struct {
 	column string
-	parts  []*Partition
-	src    *xrand.Source
+	// domain and strategy echo the construction parameters so the
+	// durability layer can log DDL and snapshot the set faithfully.
+	domain   int64
+	strategy string
+	parts    []*Partition
+	src      *xrand.Source
 	// par is the fan-out parallelism knob; see SetParallelism.
 	par int
 	// sched, when non-nil, dispatches fan-outs and shard scans through
@@ -110,7 +114,7 @@ func New(column string, domain int64, n int, strategy string, totalBudget int, s
 	if totalBudget < n {
 		return nil, fmt.Errorf("partition: budget %d below one tuple per partition", totalBudget)
 	}
-	s := &Set{column: column, src: src}
+	s := &Set{column: column, domain: domain, strategy: strategy, src: src}
 	width := (domain + int64(n) - 1) / int64(n)
 	for i := 0; i < n; i++ {
 		lo := int64(i) * width
@@ -141,6 +145,13 @@ func (s *Set) Partitions() []*Partition { return s.parts }
 
 // Column returns the name of the set's single stored attribute.
 func (s *Set) Column() string { return s.column }
+
+// Domain returns the upper bound of the set's value domain [0, Domain).
+func (s *Set) Domain() int64 { return s.domain }
+
+// Strategy returns the per-shard amnesia strategy name the set was
+// built with.
+func (s *Set) Strategy() string { return s.strategy }
 
 // SetParallelism sets the fan-out parallelism (0 auto = GOMAXPROCS,
 // 1 serial, n > 1 forced) and stamps the same knob onto every shard
@@ -261,20 +272,38 @@ func (s *Set) intersecting(lo, hi int64) []*Partition {
 // affected shard's budget. Each shard's append-and-forget runs under the
 // shard's mutation lock, so Insert may interleave with a concurrent
 // Adapt.
-func (s *Set) Insert(vals []int64) error {
-	byPart := make(map[*Partition][]int64)
+func (s *Set) Insert(vals []int64) error { return s.InsertObserved(vals, nil) }
+
+// InsertObserved is Insert with a mutation observer: after each shard's
+// append-and-enforce commits, obs receives the shard index, the values
+// appended there, and the positions the budget enforcement forgot
+// (captured by diffing the active bitmap, since strategies choose
+// stochastically). The durability layer turns one call into one WAL
+// record that replays bit-for-bit without re-running the strategy. A
+// nil obs makes it plain Insert.
+func (s *Set) InsertObserved(vals []int64, obs func(shard int, appended []int64, forgotten []int)) error {
+	byShard := make(map[int][]int64)
 	for _, v := range vals {
-		p, err := s.locate(v)
+		i, err := s.locateIdx(v)
 		if err != nil {
 			return err
 		}
-		byPart[p] = append(byPart[p], v)
+		byShard[i] = append(byShard[i], v)
 	}
-	for p, vs := range byPart {
+	var words []uint64
+	for i, vs := range byShard {
+		p := s.parts[i]
 		p.mu.Lock()
+		var oldLen int
+		if obs != nil {
+			words, oldLen = p.tbl.ActiveSnapshot(words[:0])
+		}
 		_, err := p.tbl.AppendSingleColumn(vs)
 		if err == nil {
 			p.enforceBudgetLocked()
+			if obs != nil {
+				obs(i, vs, p.tbl.ForgottenSince(words, oldLen))
+			}
 		}
 		p.mu.Unlock()
 		if err != nil {
@@ -284,13 +313,88 @@ func (s *Set) Insert(vals []int64) error {
 	return nil
 }
 
-// locate returns the shard owning value v.
-func (s *Set) locate(v int64) (*Partition, error) {
+// ReplayShard applies a logged shard mutation: append the values, then
+// forget exactly the logged positions — no routing, no budget
+// enforcement, no strategy. Replaying a set's records in log order
+// reproduces its tuple state bit-for-bit.
+func (s *Set) ReplayShard(shard int, appended []int64, forgotten []int) error {
+	if shard < 0 || shard >= len(s.parts) {
+		return fmt.Errorf("partition: shard %d outside set of %d", shard, len(s.parts))
+	}
+	p := s.parts[shard]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(appended) > 0 {
+		if _, err := p.tbl.AppendSingleColumn(appended); err != nil {
+			return err
+		}
+	}
+	for _, pos := range forgotten {
+		if pos < 0 || pos >= p.tbl.Len() {
+			return fmt.Errorf("partition: replay position %d outside shard of %d tuples", pos, p.tbl.Len())
+		}
+		p.tbl.Forget(pos)
+	}
+	return nil
+}
+
+// SetShardBudget overwrites one shard's budget without enforcing it,
+// for replaying logged Adapt outcomes.
+func (s *Set) SetShardBudget(shard, budget int) error {
+	if shard < 0 || shard >= len(s.parts) {
+		return fmt.Errorf("partition: shard %d outside set of %d", shard, len(s.parts))
+	}
+	s.parts[shard].budget.Store(int64(budget))
+	return nil
+}
+
+// AdvanceEpoch jumps the set's summed mutation epoch forward by delta
+// (applied to the first shard; Epoch sums shard epochs). See
+// table.AdvanceEpoch for why incarnations need disjoint epoch ranges.
+func (s *Set) AdvanceEpoch(delta uint64) { s.parts[0].tbl.AdvanceEpoch(delta) }
+
+// RestoredShard is one shard's snapshotted state handed to Restore.
+type RestoredShard struct {
+	Lo, Hi int64
+	Budget int
+	Table  *table.Table
+}
+
+// Restore rebuilds a Set from snapshotted shards: ranges, budgets and
+// tuple stores come from the snapshot verbatim; fresh strategy
+// instances are built from the recorded name (their RNG state is not
+// durable — the WAL logs forget outcomes, so replay never consults
+// them).
+func Restore(column string, domain int64, strategy string, shards []RestoredShard, src *xrand.Source) (*Set, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("partition: restore with no shards")
+	}
+	s := &Set{column: column, domain: domain, strategy: strategy, src: src}
+	for _, sh := range shards {
+		strat, err := amnesia.New(strategy, column, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		p := &Partition{
+			Lo: sh.Lo, Hi: sh.Hi,
+			tbl:    sh.Table,
+			ex:     engine.New(sh.Table),
+			strat:  strat,
+			column: column,
+		}
+		p.budget.Store(int64(sh.Budget))
+		s.parts = append(s.parts, p)
+	}
+	return s, nil
+}
+
+// locateIdx returns the index of the shard owning value v.
+func (s *Set) locateIdx(v int64) (int, error) {
 	i := sort.Search(len(s.parts), func(i int) bool { return v < s.parts[i].Hi })
 	if i == len(s.parts) || v < s.parts[i].Lo {
-		return nil, fmt.Errorf("partition: value %d outside domain", v)
+		return 0, fmt.Errorf("partition: value %d outside domain", v)
 	}
-	return s.parts[i], nil
+	return i, nil
 }
 
 // ScanChunks returns the active tuples matching pred as one chunk per
@@ -476,7 +580,14 @@ func (s *Set) Stats() table.Stats {
 // once so shares stay consistent under concurrent Selects, and each
 // shard's forget runs under its mutation lock, so Adapt can run online,
 // interleaved with Inserts.
-func (s *Set) Adapt() {
+func (s *Set) Adapt() { s.AdaptObserved(nil) }
+
+// AdaptObserved is Adapt with a mutation observer: after each shard's
+// budget is rewritten and enforced, obs receives the shard index, the
+// new budget, and the positions enforcement forgot — one WAL record's
+// worth of replayable outcome per shard. A nil obs makes it plain
+// Adapt.
+func (s *Set) AdaptObserved(obs func(shard, budget int, forgotten []int)) {
 	total := 0
 	var weight int64
 	snap := make([]int64, len(s.parts))
@@ -486,6 +597,7 @@ func (s *Set) Adapt() {
 		weight += snap[i]
 	}
 	remaining := total
+	var words []uint64
 	for i, p := range s.parts {
 		var share int
 		if i == len(s.parts)-1 {
@@ -502,6 +614,15 @@ func (s *Set) Adapt() {
 		remaining -= share
 		p.budget.Store(int64(share))
 		p.hits.Store(0)
-		p.enforceBudget()
+		p.mu.Lock()
+		var oldLen int
+		if obs != nil {
+			words, oldLen = p.tbl.ActiveSnapshot(words[:0])
+		}
+		p.enforceBudgetLocked()
+		if obs != nil {
+			obs(i, share, p.tbl.ForgottenSince(words, oldLen))
+		}
+		p.mu.Unlock()
 	}
 }

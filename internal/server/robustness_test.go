@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"amnesiadb"
+	"amnesiadb/internal/durability/failpoint"
+)
+
+// TestHandlerPanicAnswers500 pins the recovery middleware: a panicking
+// handler answers that one request with a 500 JSON error and the server
+// keeps serving subsequent requests.
+func TestHandlerPanicAnswers500(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 1})
+	t.Cleanup(db.Close)
+	s := New(db)
+	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatalf("request across panic: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("500 body is not JSON: %v", err)
+	}
+	if body["error"] == "" {
+		t.Fatalf("500 body lacks error member: %v", body)
+	}
+
+	// The server survived: a healthy endpoint still answers.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz after panic: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestDegradedMutationsAnswer503 pins the read-only degradation
+// surface: once the WAL fails, mutations answer 503 + Retry-After,
+// reads keep serving, and /healthz reports degraded.
+func TestDegradedMutationsAnswer503(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 1, Fsync: "always"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	t.Cleanup(db.Close)
+	ts := httptest.NewServer(New(db))
+	t.Cleanup(ts.Close)
+
+	resp, out := post(t, ts.URL+"/insert", map[string]any{
+		"table": "t", "create": []string{"a"},
+		"columns": map[string][]int64{"a": {1, 2, 3}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy insert: %d %v", resp.StatusCode, out)
+	}
+
+	failpoint.Enable("wal.fsync", failpoint.Error(failpoint.ErrInjected))
+	t.Cleanup(failpoint.DisableAll)
+	resp, _ = post(t, ts.URL+"/insert", map[string]any{
+		"table": "t", "columns": map[string][]int64{"a": {4}},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("insert during fsync failure = %d, want 503", resp.StatusCode)
+	}
+	failpoint.DisableAll()
+
+	// Sticky: still 503 with Retry-After after the fault clears.
+	resp, _ = post(t, ts.URL+"/insert", map[string]any{
+		"table": "t", "columns": map[string][]int64{"a": {5}},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("insert after degradation = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 lacks Retry-After")
+	}
+
+	resp, out = post(t, ts.URL+"/query", map[string]any{"sql": "SELECT COUNT(*) FROM t"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read in degraded mode = %d %v", resp.StatusCode, out)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer hresp.Body.Close()
+	var h struct {
+		Status        string `json:"status"`
+		Degraded      bool   `json:"degraded"`
+		DegradedCause string `json:"degraded_cause"`
+	}
+	data, _ := io.ReadAll(hresp.Body)
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatalf("healthz body: %v (%s)", err, data)
+	}
+	if !h.Degraded || h.Status != "degraded" || h.DegradedCause == "" {
+		t.Fatalf("healthz = %+v, want degraded with cause", h)
+	}
+}
+
+// TestCreatePartitionedEndpoint covers the POST /partitioned route end
+// to end: create, insert through /insert, query through /query.
+func TestCreatePartitionedEndpoint(t *testing.T) {
+	ts, _ := newServer(t)
+	resp, out := post(t, ts.URL+"/partitioned", map[string]any{
+		"table": "m", "column": "v", "domain": 100, "parts": 4,
+		"strategy": "uniform", "budget": 40,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create partitioned: %d %v", resp.StatusCode, out)
+	}
+	resp, out = post(t, ts.URL+"/insert", map[string]any{
+		"table": "m", "columns": map[string][]int64{"v": {1, 25, 50, 75}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert into partitioned: %d %v", resp.StatusCode, out)
+	}
+	resp, out = post(t, ts.URL+"/query", map[string]any{"sql": "SELECT COUNT(*) FROM m"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query partitioned: %d %v", resp.StatusCode, out)
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != 1 || rows[0].([]any)[0].(float64) != 4 {
+		t.Fatalf("COUNT rows = %v, want [[4]]", rows)
+	}
+	// Duplicate create is the client's error, not a panic.
+	resp, _ = post(t, ts.URL+"/partitioned", map[string]any{
+		"table": "m", "column": "v", "domain": 100, "parts": 4,
+		"strategy": "uniform", "budget": 40,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate create = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStreamingStillFlushesThroughRecovery guards the middleware's
+// Flusher passthrough: streamed queries must keep their incremental
+// flush behavior under the committedWriter wrapper.
+func TestStreamingStillFlushesThroughRecovery(t *testing.T) {
+	rec := httptest.NewRecorder()
+	cw := &committedWriter{ResponseWriter: rec}
+	if _, ok := interface{}(cw).(http.Flusher); !ok {
+		t.Fatal("committedWriter lost http.Flusher")
+	}
+}

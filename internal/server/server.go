@@ -2,9 +2,10 @@
 // embedded library into the small network-facing DBMS the paper
 // envisions operating "with limited tuning knobs". Endpoints:
 //
-//	POST /query      {"sql": "SELECT ..."}            -> rows as JSON
-//	POST /insert     {"table": "t", "columns": {...}} -> new stats
-//	POST /policy     {"table": "t", "strategy": "rot", "budget": 1000}
+//	POST /query        {"sql": "SELECT ..."}            -> rows as JSON
+//	POST /insert       {"table": "t", "columns": {...}} -> new stats
+//	POST /policy       {"table": "t", "strategy": "rot", "budget": 1000}
+//	POST /partitioned  {"table": "t", "column": "v", "domain": 1000, "parts": 4, "strategy": "uniform", "budget": 100}
 //	GET  /stats?table=t
 //	GET  /tables
 //	GET  /precision?table=t&col=a&lo=0&hi=100
@@ -33,6 +34,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -105,6 +107,7 @@ func NewConfigured(db *amnesiadb.DB, cfg Config) *Server {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /insert", s.handleInsert)
 	s.mux.HandleFunc("POST /policy", s.handlePolicy)
+	s.mux.HandleFunc("POST /partitioned", s.handleCreatePartitioned)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /tables", s.handleTables)
 	s.mux.HandleFunc("GET /precision", s.handlePrecision)
@@ -117,8 +120,51 @@ func NewConfigured(db *amnesiadb.DB, cfg Config) *Server {
 // completion. The caller then drains connections via http.Server.Shutdown.
 func (s *Server) StartDraining() { s.draining.Store(true) }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request runs under panic
+// recovery: a handler bug answers that one request with a 500 instead
+// of killing the connection (or, for panics escaping the serving
+// goroutine, the process). Nothing can retract an already-committed
+// response, so the recovery wrapper tracks whether the handler wrote a
+// status and only sends the 500 body when it did not.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	cw := &committedWriter{ResponseWriter: w}
+	defer func() {
+		if rec := recover(); rec != nil {
+			if !cw.committed {
+				writeErr(cw, http.StatusInternalServerError,
+					fmt.Errorf("internal error: %v", rec))
+			}
+			// Keep the stack observable without crashing the server.
+			debug.PrintStack()
+		}
+	}()
+	s.mux.ServeHTTP(cw, r)
+}
+
+// committedWriter remembers whether a status line has been sent, so the
+// panic recovery path knows whether a 500 can still be written.
+type committedWriter struct {
+	http.ResponseWriter
+	committed bool
+}
+
+func (c *committedWriter) WriteHeader(status int) {
+	c.committed = true
+	c.ResponseWriter.WriteHeader(status)
+}
+
+func (c *committedWriter) Write(b []byte) (int, error) {
+	c.committed = true
+	return c.ResponseWriter.Write(b)
+}
+
+// Flush preserves http.Flusher through the wrapper; streaming responses
+// depend on it.
+func (c *committedWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -128,6 +174,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeMutErr maps a mutation failure to its status. A durability
+// degradation (ErrReadOnly) is the server's condition, not the
+// client's: it answers 503 with Retry-After so well-behaved clients
+// back off and retry against a restarted (recovered) instance.
+func (s *Server) writeMutErr(w http.ResponseWriter, fallback int, err error) {
+	if errors.Is(err, amnesiadb.ErrReadOnly) {
+		w.Header().Set("Retry-After", s.retryAfter)
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeErr(w, fallback, err)
 }
 
 type queryRequest struct {
@@ -290,9 +349,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // healthReport is the /healthz body: worker-pool saturation, admission
 // pressure and cache occupancy in one scrape-friendly object.
 type healthReport struct {
-	Status    string              `json:"status"` // "ok" | "draining"
-	Pool      amnesiadb.PoolStats `json:"pool"`
-	Admission struct {
+	Status string `json:"status"` // "ok" | "draining" | "degraded"
+	// Degraded reports a latched durability failure: the instance
+	// serves reads but refuses mutations (503) until restarted.
+	Degraded      bool                `json:"degraded"`
+	DegradedCause string              `json:"degraded_cause,omitempty"`
+	Pool          amnesiadb.PoolStats `json:"pool"`
+	Admission     struct {
 		MaxQueries int   `json:"max_queries"` // 0 = unlimited
 		InFlight   int   `json:"in_flight"`
 		Queued     int64 `json:"queued"`
@@ -308,6 +371,13 @@ type healthReport struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	var h healthReport
 	h.Status = "ok"
+	if deg, cause := s.db.Degraded(); deg {
+		h.Status = "degraded"
+		h.Degraded = true
+		if cause != nil {
+			h.DegradedCause = cause.Error()
+		}
+	}
 	if s.draining.Load() {
 		h.Status = "draining"
 	}
@@ -414,7 +484,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := p.Insert(vals); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeMutErr(w, http.StatusBadRequest, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, p.Stats())
@@ -429,15 +499,41 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		var err error
 		t, err = s.db.CreateTable(req.Table, req.Create...)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeMutErr(w, http.StatusBadRequest, err)
 			return
 		}
 	}
 	if err := t.Insert(req.Columns); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeMutErr(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, t.Stats())
+}
+
+// createPartitionedRequest is the POST /partitioned body.
+type createPartitionedRequest struct {
+	Table    string `json:"table"`
+	Column   string `json:"column"`
+	Domain   int64  `json:"domain"`
+	Parts    int    `json:"parts"`
+	Strategy string `json:"strategy"`
+	Budget   int    `json:"budget"`
+}
+
+// handleCreatePartitioned creates a partitioned table, making the §4.4
+// adaptive-partitioning catalog reachable over the wire.
+func (s *Server) handleCreatePartitioned(w http.ResponseWriter, r *http.Request) {
+	var req createPartitionedRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	p, err := s.db.CreatePartitionedTable(req.Table, req.Column, req.Domain, req.Parts, req.Strategy, req.Budget)
+	if err != nil {
+		s.writeMutErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p.Stats())
 }
 
 type policyRequest struct {
@@ -466,11 +562,11 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	}
 	p := amnesiadb.Policy{Strategy: req.Strategy, Budget: req.Budget, Column: req.Column}
 	if err := t.SetPolicy(p); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeMutErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := t.EnforceBudget(); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeMutErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, t.Stats())

@@ -1,0 +1,303 @@
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"amnesiadb/internal/table"
+)
+
+// Catalog snapshots cover the whole namespace — every flat table and
+// every partition set, with the policy and budget state that the WAL's
+// amnesia records assume — so recovery can restore one file and replay
+// the log tail. Layout: a header (magic, version, section count)
+// followed by self-delimiting sections, each kind-tagged,
+// length-prefixed, and closed by a CRC-32 of its body so a torn or
+// bit-rotted snapshot is detected section-by-section and recovery can
+// fall back to the previous generation.
+const (
+	catalogMagic   = 0x414d4e43 // "AMNC"
+	catalogVersion = 1
+
+	sectionTable = 1
+	sectionPart  = 2
+)
+
+// ErrCatalogCorrupt reports a snapshot that fails validation — bad
+// magic, bad CRC, or an undecodable section. Recovery treats it as
+// "try the previous generation".
+var ErrCatalogCorrupt = errors.New("snapshot: corrupt catalog")
+
+// Policy is the decay policy attached to a flat table, recorded so a
+// restored table keeps forgetting the way it was told to.
+type Policy struct {
+	Strategy      string
+	Budget        int
+	Column        string
+	MaxAgeBatches int
+}
+
+// TableEntry is one flat table plus its policy.
+type TableEntry struct {
+	Table  *table.Table
+	Policy Policy
+}
+
+// ShardEntry is one partition of a set: its key range, its current
+// (possibly adapted) budget, and its tuple store.
+type ShardEntry struct {
+	Lo, Hi int64
+	Budget int
+	Table  *table.Table
+}
+
+// PartEntry is one partition set.
+type PartEntry struct {
+	Name     string
+	Column   string
+	Strategy string
+	Domain   int64
+	Shards   []ShardEntry
+}
+
+// Catalog is the full namespace a snapshot captures.
+type Catalog struct {
+	Tables []TableEntry
+	Parts  []PartEntry
+}
+
+// WriteCatalog serialises the catalog.
+func WriteCatalog(w io.Writer, c *Catalog) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range []uint64{catalogMagic, catalogVersion, uint64(len(c.Tables) + len(c.Parts))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	var body bytes.Buffer
+	for _, te := range c.Tables {
+		body.Reset()
+		if err := encodeTableSection(&body, te); err != nil {
+			return err
+		}
+		if err := writeSection(bw, sectionTable, body.Bytes()); err != nil {
+			return err
+		}
+	}
+	for _, pe := range c.Parts {
+		body.Reset()
+		if err := encodePartSection(&body, pe); err != nil {
+			return err
+		}
+		if err := writeSection(bw, sectionPart, body.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSection(w io.Writer, kind byte, body []byte) error {
+	if _, err := w.Write([]byte{kind}); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(body))); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc32.ChecksumIEEE(body))
+}
+
+func encodeTableSection(w io.Writer, te TableEntry) error {
+	if err := writeString(w, te.Policy.Strategy); err != nil {
+		return err
+	}
+	if err := writeString(w, te.Policy.Column); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(te.Policy.Budget), uint64(te.Policy.MaxAgeBatches)} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	var tbl bytes.Buffer
+	if err := Write(&tbl, te.Table); err != nil {
+		return err
+	}
+	return writeBytes(w, tbl.Bytes())
+}
+
+func encodePartSection(w io.Writer, pe PartEntry) error {
+	for _, s := range []string{pe.Name, pe.Column, pe.Strategy} {
+		if err := writeString(w, s); err != nil {
+			return err
+		}
+	}
+	for _, v := range []uint64{uint64(pe.Domain), uint64(len(pe.Shards))} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, sh := range pe.Shards {
+		for _, v := range []uint64{uint64(sh.Lo), uint64(sh.Hi), uint64(sh.Budget)} {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		var tbl bytes.Buffer
+		if err := Write(&tbl, sh.Table); err != nil {
+			return err
+		}
+		if err := writeBytes(w, tbl.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCatalog restores a catalog written by WriteCatalog. Any
+// validation failure — truncation included, since a snapshot is
+// written whole and fsynced before its manifest entry — reports
+// ErrCatalogCorrupt.
+func ReadCatalog(r io.Reader) (*Catalog, error) {
+	br := bufio.NewReader(r)
+	var hdr [3]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("%w: short header: %v", ErrCatalogCorrupt, err)
+		}
+	}
+	if hdr[0] != catalogMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCatalogCorrupt, hdr[0])
+	}
+	if hdr[1] != catalogVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCatalogCorrupt, hdr[1])
+	}
+	nSections := int(hdr[2])
+	if nSections < 0 || nSections > 1<<24 {
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrCatalogCorrupt, nSections)
+	}
+	var c Catalog
+	for i := 0; i < nSections; i++ {
+		kind, body, err := readSection(br)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case sectionTable:
+			te, err := decodeTableSection(bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			c.Tables = append(c.Tables, te)
+		case sectionPart:
+			pe, err := decodePartSection(bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			c.Parts = append(c.Parts, pe)
+		default:
+			return nil, fmt.Errorf("%w: unknown section kind %d", ErrCatalogCorrupt, kind)
+		}
+	}
+	return &c, nil
+}
+
+func readSection(r io.Reader) (byte, []byte, error) {
+	var kind [1]byte
+	if _, err := io.ReadFull(r, kind[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: short section kind: %v", ErrCatalogCorrupt, err)
+	}
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return 0, nil, fmt.Errorf("%w: short section length: %v", ErrCatalogCorrupt, err)
+	}
+	if n > 1<<33 {
+		return 0, nil, fmt.Errorf("%w: implausible section length %d", ErrCatalogCorrupt, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: short section body: %v", ErrCatalogCorrupt, err)
+	}
+	var sum uint32
+	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+		return 0, nil, fmt.Errorf("%w: short section crc: %v", ErrCatalogCorrupt, err)
+	}
+	if sum != crc32.ChecksumIEEE(body) {
+		return 0, nil, fmt.Errorf("%w: section crc mismatch", ErrCatalogCorrupt)
+	}
+	return kind[0], body, nil
+}
+
+func decodeTableSection(r io.Reader) (TableEntry, error) {
+	var te TableEntry
+	var err error
+	if te.Policy.Strategy, err = readString(r); err != nil {
+		return te, fmt.Errorf("%w: %v", ErrCatalogCorrupt, err)
+	}
+	if te.Policy.Column, err = readString(r); err != nil {
+		return te, fmt.Errorf("%w: %v", ErrCatalogCorrupt, err)
+	}
+	var nums [2]uint64
+	for i := range nums {
+		if err := binary.Read(r, binary.LittleEndian, &nums[i]); err != nil {
+			return te, fmt.Errorf("%w: short policy: %v", ErrCatalogCorrupt, err)
+		}
+	}
+	te.Policy.Budget, te.Policy.MaxAgeBatches = int(nums[0]), int(nums[1])
+	tblBytes, err := readBytes(r)
+	if err != nil {
+		return te, fmt.Errorf("%w: %v", ErrCatalogCorrupt, err)
+	}
+	if te.Table, err = Read(bytes.NewReader(tblBytes)); err != nil {
+		return te, fmt.Errorf("%w: %v", ErrCatalogCorrupt, err)
+	}
+	return te, nil
+}
+
+func decodePartSection(r io.Reader) (PartEntry, error) {
+	var pe PartEntry
+	var err error
+	for _, dst := range []*string{&pe.Name, &pe.Column, &pe.Strategy} {
+		if *dst, err = readString(r); err != nil {
+			return pe, fmt.Errorf("%w: %v", ErrCatalogCorrupt, err)
+		}
+	}
+	var nums [2]uint64
+	for i := range nums {
+		if err := binary.Read(r, binary.LittleEndian, &nums[i]); err != nil {
+			return pe, fmt.Errorf("%w: short part header: %v", ErrCatalogCorrupt, err)
+		}
+	}
+	pe.Domain = int64(nums[0])
+	nShards := int(nums[1])
+	if nShards <= 0 || nShards > 1<<16 {
+		return pe, fmt.Errorf("%w: implausible shard count %d", ErrCatalogCorrupt, nShards)
+	}
+	for s := 0; s < nShards; s++ {
+		var hdr [3]uint64
+		for i := range hdr {
+			if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
+				return pe, fmt.Errorf("%w: short shard header: %v", ErrCatalogCorrupt, err)
+			}
+		}
+		tblBytes, err := readBytes(r)
+		if err != nil {
+			return pe, fmt.Errorf("%w: %v", ErrCatalogCorrupt, err)
+		}
+		tbl, err := Read(bytes.NewReader(tblBytes))
+		if err != nil {
+			return pe, fmt.Errorf("%w: %v", ErrCatalogCorrupt, err)
+		}
+		pe.Shards = append(pe.Shards, ShardEntry{
+			Lo: int64(hdr[0]), Hi: int64(hdr[1]), Budget: int(hdr[2]), Table: tbl,
+		})
+	}
+	return pe, nil
+}

@@ -134,6 +134,46 @@ func (t *Table) Epoch() uint64 { return t.epoch.Load() }
 // bumpEpoch marks a result-changing mutation.
 func (t *Table) bumpEpoch() { t.epoch.Add(1) }
 
+// AdvanceEpoch jumps the mutation epoch forward by delta. The facade
+// uses it to stamp each relation incarnation into a disjoint epoch
+// range, so a restored or recreated table of the same name can never
+// reproduce a (query, epoch) pair a dropped predecessor already put in
+// the result cache.
+func (t *Table) AdvanceEpoch(delta uint64) { t.epoch.Add(delta) }
+
+// ActiveSnapshot appends the active bitmap's words to dst and returns
+// the extended slice plus the current tuple count. Together with
+// ForgottenSince it lets the durability layer capture exactly which
+// positions a stochastic decay strategy forgot — the WAL logs *what*
+// was forgotten, never why — by diffing the bitmap around the
+// enforcement call instead of instrumenting every strategy.
+func (t *Table) ActiveSnapshot(dst []uint64) ([]uint64, int) {
+	n := t.Len()
+	for wi := 0; wi < (n+63)/64; wi++ {
+		dst = append(dst, t.active.Word(wi))
+	}
+	return dst, n
+}
+
+// ForgottenSince returns the positions that flipped from active (or did
+// not exist) in the snapshot to forgotten now: a tuple counts when its
+// bit is clear and it was either set at snapshot time or appended after
+// it (appended-then-immediately-forgotten). Positions ascend. Must not
+// span a Vacuum, which renumbers positions.
+func (t *Table) ForgottenSince(words []uint64, oldLen int) []int {
+	var out []int
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		if t.active.Test(i) {
+			continue
+		}
+		if i >= oldLen || words[i/64]&(1<<(uint(i)%64)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // ScanStrideHint returns the last recorded effective morsel stride in
 // blocks, 0 when no scan has recorded one yet.
 func (t *Table) ScanStrideHint() int { return int(t.scanStride.Load()) }

@@ -1,0 +1,32 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReplay feeds arbitrary bytes to Replay. The contract under fuzzing:
+// never panic, never report success-with-garbage as anything other than
+// nil/ErrTruncated/ErrCorrupt.
+func FuzzReplay(f *testing.F) {
+	valid := sampleLog(f)
+	f.Add(valid)
+	f.Add(valid[:HeaderSize])
+	f.Add([]byte{})
+	f.Add(AppendHeader(nil))
+	// A few canned corruptions so the corpus starts near the format.
+	for _, cut := range []int{1, HeaderSize - 1, HeaderSize + 3, len(valid) / 2, len(valid) - 1} {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+	flip := append([]byte(nil), valid...)
+	flip[HeaderSize+2] ^= 0x40
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := Replay(bytes.NewReader(data), newMemCatalog())
+		if err != nil && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("replay returned unexpected error class: %v", err)
+		}
+	})
+}

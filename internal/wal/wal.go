@@ -1,13 +1,18 @@
-// Package wal implements a write-ahead log for amnesiadb tables:
-// length-prefixed, CRC-32-guarded records for inserts, forgets, explicit
-// remembers and vacuums. Replaying a log reproduces the table state
-// bit-for-bit (including amnesia decisions, which are logged as plain
-// forget records — the log captures *what* was forgotten, not why, so
-// replay needs no strategy or seed).
+// Package wal implements the catalog-wide write-ahead log for
+// amnesiadb: length-prefixed, CRC-32-guarded records framed with a
+// relation name and a record kind, covering every mutating operation of
+// the whole namespace — flat-table inserts/forgets/remembers/vacuums,
+// partition-set inserts and budget adaptations, policy changes, and the
+// DDL that creates and drops relations. Replaying a log reproduces the
+// catalog state bit-for-bit (including amnesia decisions, which are
+// logged as plain forget records — the log captures *what* was
+// forgotten, not why, so replay needs no strategy or seed).
 //
-// Snapshots (package snapshot) capture a moment; the WAL captures the
-// journey — together they give point-in-time recovery: restore the last
-// snapshot, replay the tail of the log.
+// The stream starts with a versioned file header (magic "AMWL",
+// format version), so segments from older layouts are rejected rather
+// than misparsed. Snapshots (package snapshot) capture a moment; the
+// WAL captures the journey — together they give point-in-time
+// recovery: restore the last snapshot, replay the tail of the log.
 package wal
 
 import (
@@ -17,112 +22,255 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-
-	"amnesiadb/internal/table"
 )
 
-// recordKind tags log records.
-type recordKind byte
+// Kind tags log records.
+type Kind byte
 
 const (
-	recInsert recordKind = iota + 1
-	recForget
-	recRemember
-	recVacuum
+	// KindInsert appends one batch to a flat table.
+	KindInsert Kind = iota + 1
+	// KindForget marks tuple positions inactive.
+	KindForget
+	// KindRemember reactivates tuple positions (cold-storage recovery).
+	KindRemember
+	// KindVacuum physically compacts a relation.
+	KindVacuum
+	// KindCreate creates a flat table (DDL).
+	KindCreate
+	// KindCreatePart creates a partitioned table (DDL).
+	KindCreatePart
+	// KindDrop removes a relation from the catalog (DDL).
+	KindDrop
+	// KindPartInsert appends a routed batch to a partition set, with the
+	// per-shard forgets its budget enforcement chose.
+	KindPartInsert
+	// KindPartAdapt rewrites a partition set's per-shard budgets, with
+	// the per-shard forgets the re-enforcement chose.
+	KindPartAdapt
+	// KindPolicy installs (or clears) a flat table's amnesia policy.
+	KindPolicy
+	kindMax
 )
 
-// ErrTruncated reports a partial trailing record; everything before it
-// replayed fine. Callers treat it as a clean crash boundary.
+// File header: magic + format version, so a segment from a different
+// layout fails loudly instead of misparsing.
+const (
+	Magic   = 0x414d574c // "AMWL"
+	Version = 2
+)
+
+// HeaderSize is the encoded file header length in bytes.
+const HeaderSize = 8
+
+// ErrTruncated reports a partial trailing record (or header); everything
+// before it replayed fine. Callers treat it as a clean crash boundary.
 var ErrTruncated = errors.New("wal: truncated trailing record")
 
-// ErrCorrupt reports a record whose checksum failed.
-var ErrCorrupt = errors.New("wal: checksum mismatch")
+// ErrCorrupt reports a record whose checksum failed, whose payload does
+// not decode, or whose content contradicts the catalog it replays into.
+var ErrCorrupt = errors.New("wal: corrupt record")
 
-// Writer appends records to a log stream.
-type Writer struct {
-	w   *bufio.Writer
-	buf []byte
+// ShardMutation is one shard's slice of a partition-set insert: the
+// values routed to it and the positions its budget enforcement forgot.
+type ShardMutation struct {
+	Shard     int
+	Values    []int64
+	Forgotten []int
 }
 
-// NewWriter returns a Writer over w.
-func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriter(w)}
+// ShardAdapt is one shard's slice of a partition-set Adapt: its new
+// budget and the positions the re-enforcement forgot.
+type ShardAdapt struct {
+	Shard     int
+	Budget    int
+	Forgotten []int
 }
 
-// record frames and writes one payload: kind, length, payload, crc.
-func (l *Writer) record(kind recordKind, payload []byte) error {
-	var hdr [1 + 4]byte
+// PolicySpec mirrors the facade's Policy for logging: strategy name,
+// budget, value column and retention window.
+type PolicySpec struct {
+	Strategy      string
+	Budget        int
+	Column        string
+	MaxAgeBatches int
+}
+
+// Applier receives decoded records during Replay. Implementations
+// apply them to a live catalog; errors abort the replay (wrapped in
+// ErrCorrupt — a log that does not fit the catalog is corrupt).
+type Applier interface {
+	CreateTable(name string, columns []string) error
+	CreatePartitioned(name, column string, domain int64, parts int, strategy string, totalBudget int) error
+	Drop(name string) error
+	Insert(name string, vals map[string][]int64) error
+	Forget(name string, positions []int) error
+	Remember(name string, positions []int) error
+	Vacuum(name string) error
+	PartInsert(name string, shards []ShardMutation) error
+	PartAdapt(name string, shards []ShardAdapt) error
+	SetPolicy(name string, p PolicySpec) error
+}
+
+// AppendHeader appends the versioned file header to dst. Every segment
+// starts with one.
+func AppendHeader(dst []byte) []byte {
+	var h [HeaderSize]byte
+	binary.LittleEndian.PutUint32(h[0:], Magic)
+	binary.LittleEndian.PutUint32(h[4:], Version)
+	return append(dst, h[:]...)
+}
+
+// frame appends one framed record — kind, length, payload, CRC-32 over
+// all three — to dst.
+func frame(dst []byte, kind Kind, payload []byte) []byte {
+	var hdr [5]byte
 	hdr[0] = byte(kind)
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	crc := crc32.NewIEEE()
 	crc.Write(hdr[:])
 	crc.Write(payload)
-	if _, err := l.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := l.w.Write(payload); err != nil {
-		return err
-	}
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
-	if _, err := l.w.Write(sum[:]); err != nil {
-		return err
-	}
-	return l.w.Flush()
+	return append(dst, sum[:]...)
 }
 
-// Insert logs one batch: per schema column, the values appended.
-// Columns must arrive in schema order on every call.
-func (l *Writer) Insert(cols []string, vals map[string][]int64) error {
-	b := l.buf[:0]
-	b = binary.AppendUvarint(b, uint64(len(cols)))
-	for _, c := range cols {
-		vs, ok := vals[c]
-		if !ok {
-			return fmt.Errorf("wal: insert missing column %q", c)
-		}
-		b = binary.AppendUvarint(b, uint64(len(c)))
-		b = append(b, c...)
-		b = binary.AppendUvarint(b, uint64(len(vs)))
-		for _, v := range vs {
-			b = binary.AppendVarint(b, v)
-		}
-	}
-	l.buf = b
-	return l.record(recInsert, b)
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
 }
 
-// Forget logs tuple positions marked inactive.
-func (l *Writer) Forget(positions []int) error {
-	return l.positions(recForget, positions)
-}
-
-// Remember logs tuple positions reactivated (cold-storage recovery).
-func (l *Writer) Remember(positions []int) error {
-	return l.positions(recRemember, positions)
-}
-
-func (l *Writer) positions(kind recordKind, positions []int) error {
-	b := l.buf[:0]
+func appendPositions(b []byte, positions []int) []byte {
 	b = binary.AppendUvarint(b, uint64(len(positions)))
 	prev := 0
 	for _, p := range positions {
 		b = binary.AppendVarint(b, int64(p-prev)) // delta encoding
 		prev = p
 	}
-	l.buf = b
-	return l.record(kind, b)
+	return b
 }
 
-// Vacuum logs a physical compaction point.
-func (l *Writer) Vacuum() error { return l.record(recVacuum, nil) }
+func appendValues(b []byte, vs []int64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = binary.AppendVarint(b, v)
+	}
+	return b
+}
 
-// Replay applies every record in r to t, which must be a freshly created
-// table with the same schema the log was written against. On a truncated
-// tail it returns ErrTruncated after applying all complete records; on a
-// checksum failure it returns ErrCorrupt.
-func Replay(r io.Reader, t *table.Table) error {
+// RecordCreate encodes a flat-table CREATE.
+func RecordCreate(name string, columns []string) []byte {
+	b := appendString(nil, name)
+	b = binary.AppendUvarint(b, uint64(len(columns)))
+	for _, c := range columns {
+		b = appendString(b, c)
+	}
+	return frame(nil, KindCreate, b)
+}
+
+// RecordCreatePart encodes a partitioned-table CREATE.
+func RecordCreatePart(name, column string, domain int64, parts int, strategy string, totalBudget int) []byte {
+	b := appendString(nil, name)
+	b = appendString(b, column)
+	b = binary.AppendVarint(b, domain)
+	b = binary.AppendUvarint(b, uint64(parts))
+	b = appendString(b, strategy)
+	b = binary.AppendUvarint(b, uint64(totalBudget))
+	return frame(nil, KindCreatePart, b)
+}
+
+// RecordDrop encodes a DROP of either relation kind.
+func RecordDrop(name string) []byte {
+	return frame(nil, KindDrop, appendString(nil, name))
+}
+
+// RecordInsert encodes one flat-table batch: per schema column (in
+// schema order), the values appended.
+func RecordInsert(name string, cols []string, vals map[string][]int64) ([]byte, error) {
+	b := appendString(nil, name)
+	b = binary.AppendUvarint(b, uint64(len(cols)))
+	for _, c := range cols {
+		vs, ok := vals[c]
+		if !ok {
+			return nil, fmt.Errorf("wal: insert missing column %q", c)
+		}
+		b = appendString(b, c)
+		b = appendValues(b, vs)
+	}
+	return frame(nil, KindInsert, b), nil
+}
+
+// RecordForget encodes tuple positions marked inactive.
+func RecordForget(name string, positions []int) []byte {
+	return frame(nil, KindForget, appendPositions(appendString(nil, name), positions))
+}
+
+// RecordRemember encodes tuple positions reactivated.
+func RecordRemember(name string, positions []int) []byte {
+	return frame(nil, KindRemember, appendPositions(appendString(nil, name), positions))
+}
+
+// RecordVacuum encodes a physical compaction point.
+func RecordVacuum(name string) []byte {
+	return frame(nil, KindVacuum, appendString(nil, name))
+}
+
+// RecordPartInsert encodes a partition-set insert: per affected shard,
+// the values routed to it and the forgets its budget enforcement chose.
+func RecordPartInsert(name string, shards []ShardMutation) []byte {
+	b := appendString(nil, name)
+	b = binary.AppendUvarint(b, uint64(len(shards)))
+	for _, s := range shards {
+		b = binary.AppendUvarint(b, uint64(s.Shard))
+		b = appendValues(b, s.Values)
+		b = appendPositions(b, s.Forgotten)
+	}
+	return frame(nil, KindPartInsert, b)
+}
+
+// RecordPartAdapt encodes a partition-set Adapt: per shard, the new
+// budget and the forgets the re-enforcement chose.
+func RecordPartAdapt(name string, shards []ShardAdapt) []byte {
+	b := appendString(nil, name)
+	b = binary.AppendUvarint(b, uint64(len(shards)))
+	for _, s := range shards {
+		b = binary.AppendUvarint(b, uint64(s.Shard))
+		b = binary.AppendUvarint(b, uint64(s.Budget))
+		b = appendPositions(b, s.Forgotten)
+	}
+	return frame(nil, KindPartAdapt, b)
+}
+
+// RecordPolicy encodes a flat-table policy change.
+func RecordPolicy(name string, p PolicySpec) []byte {
+	b := appendString(nil, name)
+	b = appendString(b, p.Strategy)
+	b = binary.AppendUvarint(b, uint64(p.Budget))
+	b = appendString(b, p.Column)
+	b = binary.AppendUvarint(b, uint64(p.MaxAgeBatches))
+	return frame(nil, KindPolicy, b)
+}
+
+// Replay applies every record in r — which must start with the file
+// header — to a. On a truncated tail (or truncated header of an
+// otherwise empty stream) it returns ErrTruncated after applying all
+// complete records; on a checksum or decode failure, or an applier
+// error, it returns an error wrapping ErrCorrupt. Replay never panics
+// on malformed input.
+func Replay(r io.Reader, a Applier) error {
 	br := bufio.NewReader(r)
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return ErrTruncated
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != Magic {
+		return fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[4:]); got != Version {
+		return fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, got)
+	}
 	for {
 		kind, payload, err := readRecord(br)
 		if err == io.EOF {
@@ -131,13 +279,16 @@ func Replay(r io.Reader, t *table.Table) error {
 		if err != nil {
 			return err
 		}
-		if err := apply(t, kind, payload); err != nil {
-			return err
+		if err := apply(a, kind, payload); err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				return err
+			}
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 	}
 }
 
-func readRecord(br *bufio.Reader) (recordKind, []byte, error) {
+func readRecord(br *bufio.Reader) (Kind, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
 		if err == io.EOF {
@@ -150,11 +301,20 @@ func readRecord(br *bufio.Reader) (recordKind, []byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
 	if n > 1<<30 {
-		return 0, nil, fmt.Errorf("wal: implausible record length %d", n)
+		return 0, nil, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(br, payload); err != nil {
-		return 0, nil, ErrTruncated
+	// The length field is untrusted (corruption can claim up to the 1GiB
+	// cap), so grow the buffer chunk by chunk as bytes actually arrive
+	// instead of allocating the claimed size upfront.
+	payload := make([]byte, 0, min(int(n), 1<<20))
+	for remaining := int(n); remaining > 0; {
+		chunk := min(remaining, 1<<20)
+		off := len(payload)
+		payload = append(payload, make([]byte, chunk)...)
+		if _, err := io.ReadFull(br, payload[off:]); err != nil {
+			return 0, nil, ErrTruncated
+		}
+		remaining -= chunk
 	}
 	var sum [4]byte
 	if _, err := io.ReadFull(br, sum[:]); err != nil {
@@ -164,150 +324,216 @@ func readRecord(br *bufio.Reader) (recordKind, []byte, error) {
 	crc.Write(hdr[:])
 	crc.Write(payload)
 	if crc.Sum32() != binary.LittleEndian.Uint32(sum[:]) {
-		return 0, nil, ErrCorrupt
+		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	return recordKind(hdr[0]), payload, nil
+	return Kind(hdr[0]), payload, nil
 }
 
-func apply(t *table.Table, kind recordKind, payload []byte) error {
-	switch kind {
-	case recInsert:
-		vals, err := decodeInsert(payload)
-		if err != nil {
-			return err
-		}
-		_, err = t.AppendBatch(vals)
-		return err
-	case recForget, recRemember:
-		positions, err := decodePositions(payload)
-		if err != nil {
-			return err
-		}
-		for _, p := range positions {
-			if p < 0 || p >= t.Len() {
-				return fmt.Errorf("wal: position %d outside table of %d tuples", p, t.Len())
-			}
-			if kind == recForget {
-				t.Forget(p)
-			} else {
-				t.Remember(p)
-			}
-		}
+// dec is a cursor over one record's payload; decoding errors stick so
+// call sites stay linear.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) uvar() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: bad varint", ErrCorrupt)
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uvar()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < n || n > 1<<20 {
+		d.err = fmt.Errorf("%w: short string", ErrCorrupt)
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) values() []int64 {
+	n := d.uvar()
+	if d.err != nil {
 		return nil
-	case recVacuum:
-		t.Vacuum()
+	}
+	if n > uint64(len(d.b)) { // every varint takes >= 1 byte
+		d.err = fmt.Errorf("%w: implausible value count %d", ErrCorrupt, n)
 		return nil
-	default:
-		return fmt.Errorf("wal: unknown record kind %d", kind)
 	}
+	out := make([]int64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.varint())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
 }
 
-func decodeInsert(b []byte) (map[string][]int64, error) {
-	nCols, b, err := uvar(b)
-	if err != nil {
-		return nil, err
+func (d *dec) positions() []int {
+	n := d.uvar()
+	if d.err != nil {
+		return nil
 	}
-	if nCols > 1<<16 {
-		return nil, fmt.Errorf("wal: implausible column count %d", nCols)
+	if n > uint64(len(d.b)) {
+		d.err = fmt.Errorf("%w: implausible position count %d", ErrCorrupt, n)
+		return nil
 	}
-	out := make(map[string][]int64, nCols)
-	for c := uint64(0); c < nCols; c++ {
-		nameLen, rest, err := uvar(b)
-		if err != nil {
-			return nil, err
-		}
-		b = rest
-		if uint64(len(b)) < nameLen {
-			return nil, fmt.Errorf("wal: short column name")
-		}
-		name := string(b[:nameLen])
-		b = b[nameLen:]
-		count, rest, err := uvar(b)
-		if err != nil {
-			return nil, err
-		}
-		b = rest
-		vs := make([]int64, 0, count)
-		for i := uint64(0); i < count; i++ {
-			v, n := binary.Varint(b)
-			if n <= 0 {
-				return nil, fmt.Errorf("wal: bad value varint")
-			}
-			b = b[n:]
-			vs = append(vs, v)
-		}
-		out[name] = vs
-	}
-	return out, nil
-}
-
-func decodePositions(b []byte) ([]int, error) {
-	count, b, err := uvar(b)
-	if err != nil {
-		return nil, err
-	}
-	if count > 1<<30 {
-		return nil, fmt.Errorf("wal: implausible position count %d", count)
-	}
-	out := make([]int, 0, count)
+	out := make([]int, 0, n)
 	prev := int64(0)
-	for i := uint64(0); i < count; i++ {
-		d, n := binary.Varint(b)
-		if n <= 0 {
-			return nil, fmt.Errorf("wal: bad position varint")
+	for i := uint64(0); i < n; i++ {
+		prev += d.varint()
+		if d.err != nil {
+			return nil
 		}
-		b = b[n:]
-		prev += d
 		out = append(out, int(prev))
 	}
-	return out, nil
+	return out
 }
 
-func uvar(b []byte) (uint64, []byte, error) {
-	v, n := binary.Uvarint(b)
-	if n <= 0 {
-		return 0, nil, fmt.Errorf("wal: bad uvarint")
+func apply(a Applier, kind Kind, payload []byte) error {
+	d := &dec{b: payload}
+	name := d.str()
+	if d.err != nil {
+		return d.err
 	}
-	return v, b[n:], nil
-}
-
-// Recorder wraps a table so that every mutation is logged before being
-// applied — the write-ahead discipline. Reads go to the table directly.
-type Recorder struct {
-	t   *table.Table
-	log *Writer
-}
-
-// NewRecorder returns a Recorder logging t's mutations to w.
-func NewRecorder(t *table.Table, w io.Writer) *Recorder {
-	return &Recorder{t: t, log: NewWriter(w)}
-}
-
-// Table returns the wrapped table for reads.
-func (r *Recorder) Table() *table.Table { return r.t }
-
-// AppendBatch logs then applies an insert.
-func (r *Recorder) AppendBatch(vals map[string][]int64) (int, error) {
-	if err := r.log.Insert(r.t.Columns(), vals); err != nil {
-		return 0, err
+	switch kind {
+	case KindCreate:
+		nCols := d.uvar()
+		if d.err != nil {
+			return d.err
+		}
+		if nCols == 0 || nCols > 1<<16 {
+			return fmt.Errorf("%w: implausible column count %d", ErrCorrupt, nCols)
+		}
+		cols := make([]string, 0, nCols)
+		for i := uint64(0); i < nCols; i++ {
+			cols = append(cols, d.str())
+		}
+		if d.err != nil {
+			return d.err
+		}
+		return a.CreateTable(name, cols)
+	case KindCreatePart:
+		column := d.str()
+		domain := d.varint()
+		parts := d.uvar()
+		strategy := d.str()
+		budget := d.uvar()
+		if d.err != nil {
+			return d.err
+		}
+		if parts > 1<<20 || budget > 1<<40 {
+			return fmt.Errorf("%w: implausible partition spec", ErrCorrupt)
+		}
+		return a.CreatePartitioned(name, column, domain, int(parts), strategy, int(budget))
+	case KindDrop:
+		return a.Drop(name)
+	case KindInsert:
+		nCols := d.uvar()
+		if d.err != nil {
+			return d.err
+		}
+		if nCols > 1<<16 {
+			return fmt.Errorf("%w: implausible column count %d", ErrCorrupt, nCols)
+		}
+		vals := make(map[string][]int64, nCols)
+		for i := uint64(0); i < nCols; i++ {
+			col := d.str()
+			vs := d.values()
+			if d.err != nil {
+				return d.err
+			}
+			vals[col] = vs
+		}
+		return a.Insert(name, vals)
+	case KindForget:
+		ps := d.positions()
+		if d.err != nil {
+			return d.err
+		}
+		return a.Forget(name, ps)
+	case KindRemember:
+		ps := d.positions()
+		if d.err != nil {
+			return d.err
+		}
+		return a.Remember(name, ps)
+	case KindVacuum:
+		return a.Vacuum(name)
+	case KindPartInsert:
+		n := d.uvar()
+		if d.err != nil {
+			return d.err
+		}
+		if n > 1<<20 {
+			return fmt.Errorf("%w: implausible shard count %d", ErrCorrupt, n)
+		}
+		shards := make([]ShardMutation, 0, n)
+		for i := uint64(0); i < n; i++ {
+			idx := d.uvar()
+			vs := d.values()
+			ps := d.positions()
+			if d.err != nil {
+				return d.err
+			}
+			shards = append(shards, ShardMutation{Shard: int(idx), Values: vs, Forgotten: ps})
+		}
+		return a.PartInsert(name, shards)
+	case KindPartAdapt:
+		n := d.uvar()
+		if d.err != nil {
+			return d.err
+		}
+		if n > 1<<20 {
+			return fmt.Errorf("%w: implausible shard count %d", ErrCorrupt, n)
+		}
+		shards := make([]ShardAdapt, 0, n)
+		for i := uint64(0); i < n; i++ {
+			idx := d.uvar()
+			budget := d.uvar()
+			ps := d.positions()
+			if d.err != nil {
+				return d.err
+			}
+			shards = append(shards, ShardAdapt{Shard: int(idx), Budget: int(budget), Forgotten: ps})
+		}
+		return a.PartAdapt(name, shards)
+	case KindPolicy:
+		p := PolicySpec{Strategy: d.str()}
+		p.Budget = int(d.uvar())
+		p.Column = d.str()
+		p.MaxAgeBatches = int(d.uvar())
+		if d.err != nil {
+			return d.err
+		}
+		return a.SetPolicy(name, p)
+	default:
+		return fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
 	}
-	return r.t.AppendBatch(vals)
-}
-
-// ForgetMany logs then applies forgetting.
-func (r *Recorder) ForgetMany(positions []int) error {
-	if err := r.log.Forget(positions); err != nil {
-		return err
-	}
-	r.t.ForgetMany(positions)
-	return nil
-}
-
-// Vacuum logs then applies compaction.
-func (r *Recorder) Vacuum() error {
-	if err := r.log.Vacuum(); err != nil {
-		return err
-	}
-	r.t.Vacuum()
-	return nil
 }

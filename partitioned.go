@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 
+	"amnesiadb/internal/durability"
 	"amnesiadb/internal/partition"
+	"amnesiadb/internal/wal"
 )
 
 // PartitionedTable is a single-column store split into contiguous
@@ -27,6 +29,7 @@ import (
 // bitmap that lock-free scans read.
 type PartitionedTable struct {
 	mu   sync.RWMutex
+	db   *DB
 	name string
 	set  *partition.Set
 }
@@ -35,19 +38,29 @@ type PartitionedTable struct {
 // the value domain [0, domain), split into parts equal-width shards that
 // share totalBudget active tuples under the named strategy.
 func (db *DB) CreatePartitionedTable(name, column string, domain int64, parts int, strategy string, totalBudget int) (*PartitionedTable, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.taken(name) {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("amnesiadb: table %q already exists", name)
 	}
 	set, err := partition.New(column, domain, parts, strategy, totalBudget, db.splitSrc())
 	if err != nil {
+		db.mu.Unlock()
 		return nil, err
 	}
 	set.SetParallelism(db.par)
 	set.SetScheduler(db.pool)
-	pt := &PartitionedTable{name: name, set: set}
+	set.AdvanceEpoch(db.nextIncarnation())
+	pt := &PartitionedTable{db: db, name: name, set: set}
 	db.parts[name] = pt
+	pend := db.logRecord(wal.RecordCreatePart(name, column, domain, parts, strategy, totalBudget))
+	db.mu.Unlock()
+	if err := db.commitWait(pend); err != nil {
+		return nil, err
+	}
 	return pt, nil
 }
 
@@ -58,10 +71,41 @@ func (p *PartitionedTable) Name() string { return p.name }
 func (p *PartitionedTable) Column() string { return p.set.Column() }
 
 // Insert routes values to their shards and enforces per-shard budgets.
+// On a durable database the per-shard outcome — appended values plus
+// the positions budget enforcement forgot — is logged as one record, so
+// replay reproduces the shard state without re-running the stochastic
+// strategies.
 func (p *PartitionedTable) Insert(vals []int64) error {
+	if err := p.db.writable(); err != nil {
+		return err
+	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.set.Insert(vals)
+	var pend *durability.Pending
+	err := func() error {
+		if p.db.dur == nil {
+			return p.set.Insert(vals)
+		}
+		var shards []wal.ShardMutation
+		err := p.set.InsertObserved(vals, func(shard int, appended []int64, forgotten []int) {
+			shards = append(shards, wal.ShardMutation{
+				Shard:     shard,
+				Values:    appended,
+				Forgotten: forgotten,
+			})
+		})
+		if err != nil {
+			return err
+		}
+		if len(shards) > 0 {
+			pend = p.db.logRecord(wal.RecordPartInsert(p.name, shards))
+		}
+		return nil
+	}()
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return p.db.commitWait(pend)
 }
 
 // Select returns active values in [lo, hi) across the relevant shards,
@@ -80,11 +124,33 @@ func (p *PartitionedTable) Precision(lo, hi int64) (rf, mf int, pf float64, err 
 }
 
 // Adapt reallocates the total budget toward the shards the workload has
-// been querying, then re-enforces the new budgets.
-func (p *PartitionedTable) Adapt() {
+// been querying, then re-enforces the new budgets. On a durable
+// database the new per-shard budgets and the forgotten positions are
+// logged, so Adapt returns an error when the database is read-only or
+// the WAL append fails.
+func (p *PartitionedTable) Adapt() error {
+	if err := p.db.writable(); err != nil {
+		return err
+	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.set.Adapt()
+	var pend *durability.Pending
+	if p.db.dur == nil {
+		p.set.Adapt()
+	} else {
+		var shards []wal.ShardAdapt
+		p.set.AdaptObserved(func(shard, budget int, forgotten []int) {
+			shards = append(shards, wal.ShardAdapt{
+				Shard:     shard,
+				Budget:    budget,
+				Forgotten: forgotten,
+			})
+		})
+		if len(shards) > 0 {
+			pend = p.db.logRecord(wal.RecordPartAdapt(p.name, shards))
+		}
+	}
+	p.mu.Unlock()
+	return p.db.commitWait(pend)
 }
 
 // PartitionInfo describes one shard's state.
