@@ -677,6 +677,22 @@ type Table struct {
 	strat  amnesia.Strategy
 	cold   *coldstore.Store
 	book   *summary.Book
+	// dropped (guarded by mu) marks a handle whose relation left the
+	// catalog: DropTable sets it under the exclusive lock before
+	// logging the drop record, so mutations through a stale handle fail
+	// instead of appending WAL records after their relation's drop.
+	dropped bool
+}
+
+// liveLocked fails mutation through a handle that outlived its
+// relation's drop; callers hold t.mu exclusively. The check must run
+// before any WAL record is enqueued, or replay would encounter a
+// mutation on a dropped relation and reject the log.
+func (t *Table) liveLocked() error {
+	if t.dropped {
+		return fmt.Errorf("amnesiadb: %w %q (dropped)", ErrUnknownTable, t.Name())
+	}
+	return nil
 }
 
 // Name returns the table name.
@@ -691,6 +707,10 @@ func (t *Table) SetPolicy(p Policy) error {
 		return err
 	}
 	t.mu.Lock()
+	if err := t.liveLocked(); err != nil {
+		t.mu.Unlock()
+		return err
+	}
 	pend, err := t.setPolicyLocked(p)
 	t.mu.Unlock()
 	if err != nil {
@@ -749,6 +769,10 @@ func (t *Table) Insert(cols map[string][]int64) error {
 		return err
 	}
 	t.mu.Lock()
+	if err := t.liveLocked(); err != nil {
+		t.mu.Unlock()
+		return err
+	}
 	pends, err := t.insertLocked(cols)
 	t.mu.Unlock()
 	if err != nil {
@@ -801,6 +825,10 @@ func (t *Table) EnforceBudget() error {
 		return err
 	}
 	t.mu.Lock()
+	if err := t.liveLocked(); err != nil {
+		t.mu.Unlock()
+		return err
+	}
 	var pend *durability.Pending
 	err := func() error {
 		logging := t.db.dur != nil
@@ -994,6 +1022,10 @@ func (t *Table) Vacuum() error {
 		return err
 	}
 	t.mu.Lock()
+	if err := t.liveLocked(); err != nil {
+		t.mu.Unlock()
+		return err
+	}
 	t.tbl.Vacuum()
 	if t.book != nil {
 		t.book.Rebase()
@@ -1022,6 +1054,10 @@ func (t *Table) RecoverRange(col string, lo, hi int64) ([]int, time.Duration, er
 		return nil, 0, err
 	}
 	t.mu.Lock()
+	if err := t.liveLocked(); err != nil {
+		t.mu.Unlock()
+		return nil, 0, err
+	}
 	var pend *durability.Pending
 	hits, lat, err := func() ([]int, time.Duration, error) {
 		if t.cold == nil {
@@ -1233,6 +1269,16 @@ func (db *DB) LoadTable(r io.Reader) (*Table, error) {
 	db.mu.Unlock()
 	if db.dur != nil {
 		if err := db.Snapshot(); err != nil {
+			// Half-done load: the table is registered in memory but its
+			// state never reached disk. Deregister it so memory and
+			// disk stay in agreement — a caller that retries hits the
+			// normal "create or load again" path, not a phantom table.
+			db.mu.Lock()
+			t.mu.Lock()
+			t.dropped = true
+			delete(db.tables, tbl.Name())
+			t.mu.Unlock()
+			db.mu.Unlock()
 			return nil, err
 		}
 	}

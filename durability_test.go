@@ -339,6 +339,248 @@ func TestDurableTornWriteLosesOnlyUnacknowledged(t *testing.T) {
 	}
 }
 
+// TestDurableSnapshotConcurrentWithInserts pins the snapshot barrier:
+// the catalog must be serialized while every relation is locked, so a
+// mutation can never land in both snap-K and wal-K (which replay would
+// double-apply) and the serializer never reads a table an Insert is
+// appending to (a data race under -race).
+func TestDurableSnapshotConcurrentWithInserts(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 6, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	tb, err := db.CreateTable("s", "v")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	const n = 200
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			if err := tb.InsertColumn("v", []int64{int64(i)}); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if err := db.Snapshot(); err != nil {
+			t.Errorf("snapshot %d: %v", i, err)
+		}
+	}
+	<-done
+	db.Close()
+
+	re, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 6, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	res, err := re.Query("SELECT v FROM s ORDER BY v")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(res.Rows) != n {
+		t.Fatalf("recovered %d rows, want %d (lost or duplicated mutations)", len(res.Rows), n)
+	}
+	for i, row := range res.Rows {
+		if row[0] != float64(i) {
+			t.Fatalf("row %d = %v, want %d (double-applied or lost mutation)", i, row[0], i)
+		}
+	}
+}
+
+// TestDurableMidSegmentCorruptionRejectsGeneration pins the crash
+// boundary discrimination: damage in the middle of acknowledged
+// history — valid records still follow the corrupt one — must fail
+// recovery rather than silently truncate everything after the flip.
+func TestDurableMidSegmentCorruptionRejectsGeneration(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 8, Fsync: "always"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	tb, err := db.CreateTable("t", "v")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	for b := 0; b < 20; b++ {
+		if err := tb.InsertColumn("v", []int64{int64(b * 3), int64(b*3 + 1), int64(b*3 + 2)}); err != nil {
+			t.Fatalf("insert %d: %v", b, err)
+		}
+	}
+	db.Close()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	newest := segs[len(segs)-1]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	// Flip a bit mid-stream: roughly the 10th of 20+ records, so plenty
+	// of acknowledged records follow the damage.
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatalf("corrupt segment: %v", err)
+	}
+
+	re, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 8, Fsync: "always"})
+	if err == nil {
+		re.Close()
+		t.Fatal("mid-segment corruption silently accepted as a crash boundary")
+	}
+}
+
+// TestDroppedHandleMutationsFail pins the drop/mutate race fix: a
+// handle that outlived its relation's DropTable must refuse to mutate
+// (and so never log), or replay would see a mutation record after the
+// drop record and refuse to reopen the database.
+func TestDroppedHandleMutationsFail(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 12, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	tb, err := db.CreateTable("flat", "v")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if err := tb.InsertColumn("v", []int64{1, 2}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	pt, err := db.CreatePartitionedTable("parted", "m", 100, 2, "uniform", 50)
+	if err != nil {
+		t.Fatalf("CreatePartitionedTable: %v", err)
+	}
+	if err := pt.Insert([]int64{3, 40, 80}); err != nil {
+		t.Fatalf("part insert: %v", err)
+	}
+	if err := db.DropTable("flat"); err != nil {
+		t.Fatalf("drop flat: %v", err)
+	}
+	if err := db.DropTable("parted"); err != nil {
+		t.Fatalf("drop parted: %v", err)
+	}
+
+	if err := tb.InsertColumn("v", []int64{99}); !errors.Is(err, amnesiadb.ErrUnknownTable) {
+		t.Fatalf("insert on dropped handle: got %v, want ErrUnknownTable", err)
+	}
+	if err := tb.SetPolicy(amnesiadb.Policy{Strategy: "uniform", Budget: 4}); !errors.Is(err, amnesiadb.ErrUnknownTable) {
+		t.Fatalf("setpolicy on dropped handle: got %v, want ErrUnknownTable", err)
+	}
+	if err := tb.Vacuum(); !errors.Is(err, amnesiadb.ErrUnknownTable) {
+		t.Fatalf("vacuum on dropped handle: got %v, want ErrUnknownTable", err)
+	}
+	if err := pt.Insert([]int64{5}); !errors.Is(err, amnesiadb.ErrUnknownTable) {
+		t.Fatalf("part insert on dropped handle: got %v, want ErrUnknownTable", err)
+	}
+	if err := pt.Adapt(); !errors.Is(err, amnesiadb.ErrUnknownTable) {
+		t.Fatalf("adapt on dropped handle: got %v, want ErrUnknownTable", err)
+	}
+
+	db.Close()
+	re, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 12, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("reopen after drops: %v", err)
+	}
+	defer re.Close()
+	if _, ok := re.Table("flat"); ok {
+		t.Fatal("dropped flat table resurrected")
+	}
+	if _, ok := re.Partitioned("parted"); ok {
+		t.Fatal("dropped partitioned table resurrected")
+	}
+}
+
+// TestDropConcurrentWithInsertStaysRecoverable races DropTable against
+// a mutator that already holds a handle: whatever interleaving wins,
+// the WAL must stay replayable (no insert record after the drop
+// record) and the database must reopen.
+func TestDropConcurrentWithInsertStaysRecoverable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 13, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	tb, err := db.CreateTable("r", "v")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			if err := tb.InsertColumn("v", []int64{int64(i)}); err != nil {
+				if !errors.Is(err, amnesiadb.ErrUnknownTable) {
+					t.Errorf("racing insert: %v", err)
+				}
+				return
+			}
+		}
+	}()
+	if err := db.DropTable("r"); err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+	<-done
+	db.Close()
+
+	re, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 13, Fsync: "off"})
+	if err != nil {
+		t.Fatalf("reopen after racing drop: %v", err)
+	}
+	re.Close()
+}
+
+// TestLoadTableSnapshotFailureUnregisters pins the half-loaded-table
+// fix: when persisting a LoadTable fails, the table must not stay
+// registered (and queryable) in a catalog that disk knows nothing
+// about.
+func TestLoadTableSnapshotFailureUnregisters(t *testing.T) {
+	other := amnesiadb.Open(amnesiadb.Options{Seed: 1})
+	otb, err := other.CreateTable("x", "v")
+	if err != nil {
+		t.Fatalf("other create: %v", err)
+	}
+	if err := otb.InsertColumn("v", []int64{7}); err != nil {
+		t.Fatalf("other insert: %v", err)
+	}
+	tmp := filepath.Join(t.TempDir(), "x.snap")
+	f, err := os.Create(tmp)
+	if err != nil {
+		t.Fatalf("create snap: %v", err)
+	}
+	if err := otb.Save(f); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	f.Close()
+	other.Close()
+
+	db, err := amnesiadb.OpenDir(t.TempDir(), amnesiadb.Options{Seed: 2, Fsync: "always"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	defer db.Close()
+
+	failpoint.Enable("wal.fsync", failpoint.Error(failpoint.ErrInjected))
+	defer failpoint.DisableAll()
+	rf, err := os.Open(tmp)
+	if err != nil {
+		t.Fatalf("open snap: %v", err)
+	}
+	defer rf.Close()
+	if _, err := db.LoadTable(rf); err == nil {
+		t.Fatal("LoadTable succeeded despite failing snapshot")
+	}
+	if _, ok := db.Table("x"); ok {
+		t.Fatal("half-loaded table left registered after snapshot failure")
+	}
+}
+
 func TestDurableDropAndDDLReplay(t *testing.T) {
 	dir := t.TempDir()
 	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 4, Fsync: "off"})

@@ -1,9 +1,12 @@
 package amnesiadb
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"log"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -221,9 +224,13 @@ func (db *DB) snapshotLoop() {
 
 // Snapshot rotates to a fresh WAL segment and writes a catalog
 // snapshot paired with it, truncating the replayable history to the
-// new segment. Runs under a full-catalog barrier (every relation
-// locked exclusively) so the cut is consistent; mutations block for
-// the duration. Safe to call concurrently; calls serialise.
+// new segment. The rotation AND the catalog serialization both run
+// under a full-catalog barrier (every relation locked exclusively), so
+// the encoded bytes are exactly the state at the moment the new
+// segment opened — mutations block until the encoding is complete and
+// can never land in both the snapshot and the new segment. Only the
+// file write happens after mutations resume. Safe to call
+// concurrently; calls serialise.
 func (db *DB) Snapshot() error {
 	if db.dur == nil {
 		return errors.New("amnesiadb: Snapshot on an in-memory database")
@@ -241,9 +248,14 @@ func (db *DB) Snapshot() error {
 		return fmt.Errorf("%w: %v", ErrReadOnly, err)
 	}
 	db.dur.seq = seq
-	cat := db.buildCatalogLocked()
+	var buf bytes.Buffer
+	encErr := snapshot.WriteCatalog(&buf, db.buildCatalogLocked())
 	unlock()
-	if err := durability.WriteSnapshot(db.dur.dir, seq, cat); err != nil {
+	if encErr != nil {
+		db.degrade(encErr)
+		return fmt.Errorf("%w: %v", ErrReadOnly, encErr)
+	}
+	if err := durability.WriteSnapshot(db.dur.dir, seq, buf.Bytes()); err != nil {
 		// The rotation already happened, so recovery still works from
 		// the previous snapshot plus the full segment chain; an
 		// unwritable snapshot still means persistence is failing.
@@ -259,12 +271,17 @@ func (db *DB) Snapshot() error {
 }
 
 // writeSnapshot writes catalog snapshot seq without rotating (OpenDir
-// pairs it with the just-created segment).
+// pairs it with the just-created segment). Like Snapshot, the catalog
+// is encoded under the barrier and only file I/O runs outside it.
 func (db *DB) writeSnapshot(seq int) error {
 	unlock := db.lockCatalog()
-	cat := db.buildCatalogLocked()
+	var buf bytes.Buffer
+	err := snapshot.WriteCatalog(&buf, db.buildCatalogLocked())
 	unlock()
-	if err := durability.WriteSnapshot(db.dur.dir, seq, cat); err != nil {
+	if err != nil {
+		return err
+	}
+	if err := durability.WriteSnapshot(db.dur.dir, seq, buf.Bytes()); err != nil {
 		return err
 	}
 	return durability.RefreshManifest(db.dur.dir, seq)
@@ -338,10 +355,13 @@ func (db *DB) buildCatalogLocked() *snapshot.Catalog {
 
 // restoreGeneration rebuilds the catalog from one recovery candidate:
 // restore its snapshot (if any), then replay its WAL segments in
-// order. A truncated or corrupt tail in the LAST segment is the crash
-// boundary — everything before it is state the engine acknowledged or
-// was about to; everything after was never acknowledged. Any earlier
-// failure rejects the generation so OpenDir can fall back.
+// order. A truncated — or corrupt-with-nothing-decodable-after —
+// record at the tail of the LAST segment is the crash boundary:
+// everything before it is state the engine acknowledged or was about
+// to; everything after was never acknowledged. Any other failure
+// (damage in an earlier segment, a valid record following the corrupt
+// one, a record the catalog rejects) rejects the generation so OpenDir
+// can fall back.
 func (db *DB) restoreGeneration(g durability.Generation) error {
 	if g.SnapshotPath != "" {
 		f, err := os.Open(g.SnapshotPath)
@@ -369,18 +389,44 @@ func (db *DB) restoreGeneration(g durability.Generation) error {
 		if err != nil {
 			return err
 		}
-		rerr := wal.Replay(f, recoveryApplier{db})
+		off, rerr := wal.ReplayOffset(f, recoveryApplier{db})
 		f.Close()
 		if rerr == nil {
 			continue
 		}
-		if i == len(g.Segments)-1 && (errors.Is(rerr, wal.ErrTruncated) || errors.Is(rerr, wal.ErrCorrupt)) {
-			// Crash boundary: the prefix replayed cleanly and nothing
-			// past the boundary was ever acknowledged under
-			// fsync=always/group semantics.
-			return nil
+		if i < len(g.Segments)-1 || errors.Is(rerr, wal.ErrApply) {
+			// Damage before the newest segment, or a fully-written
+			// record the catalog rejects, is never a crash artifact;
+			// reject the generation so OpenDir can fall back.
+			return rerr
 		}
-		return rerr
+		switch {
+		case errors.Is(rerr, wal.ErrTruncated):
+			// Torn trailing record: the classic crash boundary. The
+			// prefix replayed cleanly and nothing past the boundary was
+			// ever acknowledged under fsync=always/group semantics.
+		case errors.Is(rerr, wal.ErrCorrupt):
+			// A corrupt record in the newest segment is the crash
+			// boundary only when it sits at the physical tail. A
+			// decodable record after it means acknowledged history was
+			// damaged mid-segment — silently truncating there would
+			// drop every acknowledged write behind the damage, so
+			// reject the generation instead.
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				return err
+			}
+			if int64(len(data)) > off+1 && wal.ContainsRecord(data[off+1:]) {
+				return fmt.Errorf("mid-segment corruption at offset %d of %s: %w", off, filepath.Base(seg), rerr)
+			}
+		default:
+			return rerr
+		}
+		if st, err := os.Stat(seg); err == nil && st.Size() > off {
+			log.Printf("amnesiadb: recovery: %s: crash boundary at offset %d, dropping %d trailing bytes",
+				filepath.Base(seg), off, st.Size()-off)
+		}
+		return nil
 	}
 	return nil
 }
@@ -442,21 +488,36 @@ func (db *DB) nextIncarnation() uint64 { return db.incarnation.Add(1) << 32 }
 // DropTable removes a relation — either kind — from the catalog. The
 // tuple storage is released; result-cache entries for the old table
 // die with its epoch signature (new same-named tables start in a fresh
-// incarnation epoch range).
+// incarnation epoch range). The handle is killed under its exclusive
+// lock before the drop record is enqueued: an in-flight mutation
+// holding the lock gets its WAL record sequenced before the drop, and
+// any later one sees the dead handle and fails without logging — so no
+// mutation record can ever follow its relation's drop record.
 func (db *DB) DropTable(name string) error {
 	if err := db.writable(); err != nil {
 		return err
 	}
 	db.mu.Lock()
-	_, okT := db.tables[name]
-	_, okP := db.parts[name]
+	t, okT := db.tables[name]
+	pt, okP := db.parts[name]
 	if !okT && !okP {
 		db.mu.Unlock()
 		return fmt.Errorf("amnesiadb: %w %q", ErrUnknownTable, name)
 	}
-	delete(db.tables, name)
-	delete(db.parts, name)
-	p := db.logRecord(wal.RecordDrop(name))
+	var p *durability.Pending
+	if okT {
+		t.mu.Lock()
+		t.dropped = true
+		delete(db.tables, name)
+		p = db.logRecord(wal.RecordDrop(name))
+		t.mu.Unlock()
+	} else {
+		pt.mu.Lock()
+		pt.dropped = true
+		delete(db.parts, name)
+		p = db.logRecord(wal.RecordDrop(name))
+		pt.mu.Unlock()
+	}
 	db.mu.Unlock()
 	return db.commitWait(p)
 }

@@ -6,8 +6,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-
-	"amnesiadb/internal/snapshot"
 )
 
 // On-disk layout of a durable directory:
@@ -166,24 +164,12 @@ func parseSeq(name, prefix, suffix string, out *int) bool {
 }
 
 // WriteSnapshot atomically writes catalog snapshot seq (tmp, fsync,
-// rename, dir sync) and refreshes the manifest.
-func WriteSnapshot(dir string, seq int, c *snapshot.Catalog) error {
+// rename, dir sync). It takes the snapshot pre-serialized: the owner
+// encodes the catalog while holding its consistency barrier and hands
+// the bytes here, so file I/O never overlaps live mutation.
+func WriteSnapshot(dir string, seq int, data []byte) error {
 	tmp := SnapshotPath(dir, seq) + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := snapshot.WriteCatalog(f, c); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
 		os.Remove(tmp)
 		return err
 	}

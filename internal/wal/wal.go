@@ -71,6 +71,13 @@ var ErrTruncated = errors.New("wal: truncated trailing record")
 // not decode, or whose content contradicts the catalog it replays into.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// ErrApply marks the subset of ErrCorrupt where the record itself was
+// structurally intact (framing and checksum valid) but the applier
+// rejected it — the log does not fit the catalog it is replayed into.
+// Recovery must never treat such a record as a torn tail: it was fully
+// written, so discarding it would discard acknowledged history.
+var ErrApply = errors.New("wal: applier rejected record")
+
 // ShardMutation is one shard's slice of a partition-set insert: the
 // values routed to it and the positions its budget enforcement forgot.
 type ShardMutation struct {
@@ -257,35 +264,89 @@ func RecordPolicy(name string, p PolicySpec) []byte {
 // header — to a. On a truncated tail (or truncated header of an
 // otherwise empty stream) it returns ErrTruncated after applying all
 // complete records; on a checksum or decode failure, or an applier
-// error, it returns an error wrapping ErrCorrupt. Replay never panics
-// on malformed input.
+// error, it returns an error wrapping ErrCorrupt (applier errors also
+// wrap ErrApply). Replay never panics on malformed input.
 func Replay(r io.Reader, a Applier) error {
-	br := bufio.NewReader(r)
+	_, err := ReplayOffset(r, a)
+	return err
+}
+
+// ReplayOffset is Replay reporting where it stopped: off is the byte
+// offset of the first record NOT fully applied — the stream length on
+// success, the failing record's start on error. Recovery uses the
+// offset to examine what a failure left behind (torn tail vs damage in
+// the middle of acknowledged history).
+func ReplayOffset(r io.Reader, a Applier) (off int64, err error) {
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return ErrTruncated
+		return 0, ErrTruncated
 	}
 	if got := binary.LittleEndian.Uint32(hdr[0:]); got != Magic {
-		return fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
+		return 0, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[4:]); got != Version {
-		return fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, got)
+		return 0, fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, got)
 	}
 	for {
+		off = cr.n - int64(br.Buffered())
 		kind, payload, err := readRecord(br)
 		if err == io.EOF {
-			return nil
+			return off, nil
 		}
 		if err != nil {
-			return err
+			return off, err
 		}
 		if err := apply(a, kind, payload); err != nil {
 			if errors.Is(err, ErrCorrupt) {
-				return err
+				return off, err
 			}
-			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return off, fmt.Errorf("%w: %w: %v", ErrCorrupt, ErrApply, err)
 		}
 	}
+}
+
+// countingReader tracks how many bytes the underlying reader has
+// yielded, so ReplayOffset can locate a record even through bufio's
+// readahead (position = yielded − still buffered).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ContainsRecord reports whether data holds a well-formed framed record
+// (known kind, plausible length, valid CRC) starting at ANY byte
+// offset. Recovery uses it to classify a corrupt record in the newest
+// segment: nothing decodable after the failure point means a torn tail
+// (a crash mid-write, safe crash boundary), while a valid record after
+// it means acknowledged history was damaged mid-segment. The scan is
+// quadratic in the worst case but only ever runs over the bytes past a
+// failed replay, which a genuine torn write keeps short.
+func ContainsRecord(data []byte) bool {
+	const overhead = 5 + 4 // kind + length prefix, CRC suffix
+	for i := 0; i+overhead <= len(data); i++ {
+		if data[i] == 0 || Kind(data[i]) >= kindMax {
+			continue
+		}
+		n := int64(binary.LittleEndian.Uint32(data[i+1:]))
+		end := int64(i) + overhead + n
+		if n > 1<<30 || end > int64(len(data)) {
+			continue
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(data[i : i+5+int(n)])
+		if crc.Sum32() == binary.LittleEndian.Uint32(data[end-4:]) {
+			return true
+		}
+	}
+	return false
 }
 
 func readRecord(br *bufio.Reader) (Kind, []byte, error) {

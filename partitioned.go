@@ -32,6 +32,18 @@ type PartitionedTable struct {
 	db   *DB
 	name string
 	set  *partition.Set
+	// dropped (guarded by mu) marks a handle whose relation left the
+	// catalog; see Table.dropped.
+	dropped bool
+}
+
+// liveLocked fails mutation through a handle that outlived its
+// relation's drop; callers hold p.mu exclusively.
+func (p *PartitionedTable) liveLocked() error {
+	if p.dropped {
+		return fmt.Errorf("amnesiadb: %w %q (dropped)", ErrUnknownTable, p.name)
+	}
+	return nil
 }
 
 // CreatePartitionedTable creates a partitioned single-column table over
@@ -80,6 +92,10 @@ func (p *PartitionedTable) Insert(vals []int64) error {
 		return err
 	}
 	p.mu.Lock()
+	if err := p.liveLocked(); err != nil {
+		p.mu.Unlock()
+		return err
+	}
 	var pend *durability.Pending
 	err := func() error {
 		if p.db.dur == nil {
@@ -133,6 +149,10 @@ func (p *PartitionedTable) Adapt() error {
 		return err
 	}
 	p.mu.Lock()
+	if err := p.liveLocked(); err != nil {
+		p.mu.Unlock()
+		return err
+	}
 	var pend *durability.Pending
 	if p.db.dur == nil {
 		p.set.Adapt()
