@@ -19,6 +19,9 @@ type Advisor struct {
 func (t *Table) NewAdvisor(col string) (*Advisor, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := t.liveLocked(); err != nil {
+		return nil, err
+	}
 	c, err := advisor.NewCollector(t.tbl, col)
 	if err != nil {
 		return nil, err
@@ -30,6 +33,9 @@ func (t *Table) NewAdvisor(col string) (*Advisor, error) {
 func (a *Advisor) Select(p Pred) (*Result, error) {
 	a.t.mu.Lock()
 	defer a.t.mu.Unlock()
+	if err := a.t.liveLocked(); err != nil {
+		return nil, err
+	}
 	res, err := a.t.ex.Select(a.col, p.expr(), engine.ScanActive)
 	if err != nil {
 		return nil, err
@@ -43,6 +49,9 @@ func (a *Advisor) Select(p Pred) (*Result, error) {
 func (a *Advisor) Aggregate(p Pred) (Agg, error) {
 	a.t.mu.Lock()
 	defer a.t.mu.Unlock()
+	if err := a.t.liveLocked(); err != nil {
+		return Agg{}, err
+	}
 	agg, err := a.t.ex.Aggregate(a.col, p.expr(), engine.ScanActive)
 	if err != nil {
 		return Agg{}, err
@@ -70,6 +79,9 @@ type Advice struct {
 func (a *Advisor) Advise(target float64) (Advice, error) {
 	a.t.mu.Lock()
 	defer a.t.mu.Unlock()
+	if err := a.t.liveLocked(); err != nil {
+		return Advice{}, err
+	}
 	r, err := a.c.Analyze(target)
 	if err != nil {
 		return Advice{}, err

@@ -539,6 +539,7 @@ func (qs *QueryStream) releaseLocks() {
 // QueryStream parses, validates and starts one SQL SELECT, returning the
 // chunked result stream; see QueryStreamCtx.
 func (db *DB) QueryStream(q string) (*QueryStream, error) {
+	//lint:ignore ctxflow QueryStream is the public ctx-less compat entry; request paths use QueryStreamCtx.
 	return db.QueryStreamCtx(context.Background(), q)
 }
 
@@ -1036,14 +1037,19 @@ func (t *Table) Vacuum() error {
 }
 
 // DemoteForgotten moves every forgotten tuple into the simulated cold
-// tier (AWS-Glacier-like cost model) and returns how many moved.
-func (t *Table) DemoteForgotten() int {
+// tier (AWS-Glacier-like cost model) and returns how many moved. A
+// dropped handle reports ErrUnknownTable instead of demoting into a
+// cold tier nothing can recover from.
+func (t *Table) DemoteForgotten() (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := t.liveLocked(); err != nil {
+		return 0, err
+	}
 	if t.cold == nil {
 		t.cold = coldstore.New(t.tbl, coldstore.Glacier2016)
 	}
-	return t.cold.Demote()
+	return t.cold.Demote(), nil
 }
 
 // RecoverRange explicitly recovers cold tuples of column col with values
@@ -1109,6 +1115,9 @@ const summaryEps = 0.01
 func (t *Table) Summarize(col string) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := t.liveLocked(); err != nil {
+		return 0, err
+	}
 	if t.book == nil {
 		b, err := summary.NewBookWithQuantiles(t.tbl, col, summaryEps)
 		if err != nil {
@@ -1183,6 +1192,7 @@ type JoinRow struct {
 func (db *DB) Join(left *Table, leftCol string, right *Table, rightCol string, p Pred) ([]JoinRow, error) {
 	lockPair(left, right)
 	defer unlockPair(left, right)
+	//lint:ignore ctxflow Join is a public ctx-less facade method; SQL joins thread the request context via Opts.Ctx.
 	res, err := engine.HashJoinSched(context.Background(), db.pool, left.tbl, leftCol, right.tbl, rightCol, p.expr(), engine.ScanActive, db.par)
 	if err != nil {
 		return nil, err
@@ -1201,7 +1211,8 @@ func (db *DB) Join(left *Table, leftCol string, right *Table, rightCol string, p
 func (db *DB) JoinPrecision(left *Table, leftCol string, right *Table, rightCol string, p Pred) (rf, mf int, pf float64, err error) {
 	lockPair(left, right)
 	defer unlockPair(left, right)
-	return engine.JoinPrecisionSched(db.pool, left.tbl, leftCol, right.tbl, rightCol, p.expr(), db.par)
+	//lint:ignore ctxflow JoinPrecision is a public ctx-less facade method; precision runs are operator-driven, not request-driven.
+	return engine.JoinPrecisionSched(context.Background(), db.pool, left.tbl, leftCol, right.tbl, rightCol, p.expr(), db.par)
 }
 
 // lockPair acquires both tables' read locks in a stable order. Joins are
@@ -1235,6 +1246,9 @@ func unlockPair(a, b *Table) {
 func (t *Table) Save(w io.Writer) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := t.liveLocked(); err != nil {
+		return err
+	}
 	return snapshot.Write(w, t.tbl)
 }
 

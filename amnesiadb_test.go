@@ -236,7 +236,10 @@ func TestColdTierLifecycle(t *testing.T) {
 	if err := tbl.InsertColumn("a", seq(100)); err != nil {
 		t.Fatal(err)
 	}
-	moved := tbl.DemoteForgotten()
+	moved, err := tbl.DemoteForgotten()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if moved != 50 {
 		t.Fatalf("demoted %d", moved)
 	}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -83,7 +84,7 @@ func runWorkload(name string, query func(*amnesiadb.Advisor, int64) error) resul
 		insert(tb)
 		next += 2000
 		for q := 0; q < 20; q++ {
-			if err := query(adv, next-1); err != nil && err != amnesiadb.ErrNoRows {
+			if err := query(adv, next-1); err != nil && !errors.Is(err, amnesiadb.ErrNoRows) {
 				log.Fatal(err)
 			}
 		}
@@ -120,7 +121,7 @@ func runWorkload(name string, query func(*amnesiadb.Advisor, int64) error) resul
 			}
 			n += 2000
 			for q := 0; q < 20; q++ {
-				if err := query(a2, n-1); err != nil && err != amnesiadb.ErrNoRows {
+				if err := query(a2, n-1); err != nil && !errors.Is(err, amnesiadb.ErrNoRows) {
 					log.Fatal(err)
 				}
 			}

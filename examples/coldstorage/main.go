@@ -42,7 +42,10 @@ func main() {
 			log.Fatal(err)
 		}
 		// Monthly maintenance: demote what FIFO forgot.
-		moved := audit.DemoteForgotten()
+		moved, err := audit.DemoteForgotten()
+		if err != nil {
+			log.Fatal(err)
+		}
 		if moved > 0 {
 			fmt.Printf("month %2d: demoted %6d events to cold storage\n", month+1, moved)
 		}

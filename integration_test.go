@@ -134,7 +134,11 @@ func TestFourFatesCompose(t *testing.T) {
 		t.Fatalf("absorbed %d", absorbed)
 	}
 	// Fate 3: also demote the same tuples to cold storage.
-	if moved := tb.DemoteForgotten(); moved != 900 {
+	moved, err := tb.DemoteForgotten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 900 {
 		t.Fatalf("demoted %d", moved)
 	}
 	// Fate 1 is the default (marked; complete scan still sees them).

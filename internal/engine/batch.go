@@ -38,8 +38,15 @@ var batchPool = sync.Pool{
 // GetBatch returns a full-size batch from the pool.
 func GetBatch() *Batch { return batchPool.Get().(*Batch) }
 
+// putHook, when non-nil, observes every pool return; tests use it to
+// pin that teardown and error paths recycle their batches.
+var putHook func(*Batch)
+
 // PutBatch returns a batch obtained from GetBatch to the pool.
 func PutBatch(b *Batch) {
+	if putHook != nil {
+		putHook(b)
+	}
 	b.Sel = b.Sel[:BatchSize]
 	b.Val = b.Val[:BatchSize]
 	batchPool.Put(b)

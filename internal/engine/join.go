@@ -52,6 +52,7 @@ func HashJoin(left *table.Table, leftCol string, right *table.Table, rightCol st
 // radix scatter is chunk-major) and the probe emits per-morsel output
 // slots concatenated in probe order.
 func HashJoinPar(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, mode ScanMode, par int) (*JoinResult, error) {
+	//lint:ignore ctxflow HashJoinPar is the sanctioned ctx-less compat entry; request paths use HashJoinCtx.
 	return HashJoinCtx(context.Background(), left, leftCol, right, rightCol, pred, mode, par)
 }
 
@@ -466,16 +467,18 @@ func JoinPrecision(left *table.Table, leftCol string, right *table.Table, rightC
 
 // JoinPrecisionPar is JoinPrecision with an explicit parallelism knob.
 func JoinPrecisionPar(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, par int) (rf, mf int, pf float64, err error) {
-	return JoinPrecisionSched(nil, left, leftCol, right, rightCol, pred, par)
+	//lint:ignore ctxflow JoinPrecisionPar is the sanctioned ctx-less compat entry; request paths use JoinPrecisionSched.
+	return JoinPrecisionSched(context.Background(), nil, left, leftCol, right, rightCol, pred, par)
 }
 
-// JoinPrecisionSched is JoinPrecisionPar over a shared worker pool.
-func JoinPrecisionSched(sp *sched.Pool, left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, par int) (rf, mf int, pf float64, err error) {
-	act, err := HashJoinSched(context.Background(), sp, left, leftCol, right, rightCol, pred, ScanActive, par)
+// JoinPrecisionSched is JoinPrecisionPar over a shared worker pool with
+// request-scoped cancellation: ctx tears down both underlying joins.
+func JoinPrecisionSched(ctx context.Context, sp *sched.Pool, left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, par int) (rf, mf int, pf float64, err error) {
+	act, err := HashJoinSched(ctx, sp, left, leftCol, right, rightCol, pred, ScanActive, par)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	all, err := HashJoinSched(context.Background(), sp, left, leftCol, right, rightCol, pred, ScanAll, par)
+	all, err := HashJoinSched(ctx, sp, left, leftCol, right, rightCol, pred, ScanAll, par)
 	if err != nil {
 		return 0, 0, 0, err
 	}

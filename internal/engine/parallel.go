@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -115,6 +116,29 @@ func ForEachTask(workers, n int, fn func(i int)) {
 // the calling goroutine drives its own steps while it waits.
 func ForEachTaskSched(p *sched.Pool, workers, n int, fn func(i int)) {
 	forEachMorselSched(p, workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachTaskCtx is ForEachTaskSched with cooperative cancellation:
+// once ctx is done, workers stop claiming tasks (already-started tasks
+// finish) and the call reports ctx's error, so a disconnected client's
+// fan-out releases its cores within one task instead of running the
+// barrier to completion. A nil ctx degrades to ForEachTaskSched.
+// Callers must treat a non-nil return as "results incomplete".
+func ForEachTaskCtx(ctx context.Context, p *sched.Pool, workers, n int, fn func(i int)) error {
+	if ctx == nil {
+		ForEachTaskSched(p, workers, n, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	forEachMorselSched(p, workers, n, func(_, i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		fn(i)
+	})
+	return ctx.Err()
 }
 
 // morselGeometry splits c into morsels of MorselBlocks blocks.

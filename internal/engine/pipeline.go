@@ -120,6 +120,11 @@ func (s *ChunkStream) Collect() ([]SelChunk, error) {
 	for {
 		c, ok, err := s.Next()
 		if err != nil {
+			// The chunks already collected came off the pool; dropping
+			// them on the error path would leak their buffers for the
+			// life of the query churn (ORDER BY barriers collect whole
+			// scans before sorting).
+			recycleChunks(out)
 			return nil, err
 		}
 		if !ok {

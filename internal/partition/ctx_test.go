@@ -1,0 +1,42 @@
+package partition
+
+// Regression tests for the context-threaded fan-out: the ctxflow
+// analyzer flagged the shard fan-out for dropping the request context,
+// and the fix (fanOut over engine.ForEachTaskCtx) must make a canceled
+// context win over shard work.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"amnesiadb/internal/expr"
+)
+
+func TestFanOutHonorsCanceledContext(t *testing.T) {
+	s := newSet(t, 4, 400)
+	if err := s.Insert([]int64{10, 260, 510, 760}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pred := expr.NewRange(0, 1000)
+
+	if _, err := s.ScanChunksCtx(ctx, pred); !errors.Is(err, context.Canceled) {
+		t.Errorf("ScanChunksCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.AggregateExprCtx(ctx, pred); !errors.Is(err, context.Canceled) {
+		t.Errorf("AggregateExprCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, _, _, err := s.PrecisionExprCtx(ctx, pred); !errors.Is(err, context.Canceled) {
+		t.Errorf("PrecisionExprCtx on canceled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// The ctx-less compat entries must keep working unchanged.
+	if _, err := s.ScanChunks(pred); err != nil {
+		t.Errorf("ScanChunks without ctx: %v", err)
+	}
+	if _, err := s.AggregateExpr(pred); err != nil {
+		t.Errorf("AggregateExpr without ctx: %v", err)
+	}
+}

@@ -21,6 +21,7 @@ package partition
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -224,14 +225,19 @@ func (s *Set) FanWorkers(n int) int {
 
 // fanOut runs fn over every shard in hit — concurrently up to the
 // parallelism knob — handing each call the executor shardExec picks for
-// this fan-out width, and returns the first error in shard order. Both
-// Select and Precision schedule through this one scaffold.
-func (s *Set) fanOut(hit []*Partition, fn func(i int, ex *engine.Exec) error) error {
+// this fan-out width, and returns the first error in shard order. A
+// cancelled ctx skips shards not yet started and reports ctx.Err(),
+// which outranks shard errors (partial fan-outs have no meaningful
+// first error). Both Select and Precision schedule through this one
+// scaffold.
+func (s *Set) fanOut(ctx context.Context, hit []*Partition, fn func(i int, ex *engine.Exec) error) error {
 	errs := make([]error, len(hit))
 	w := s.FanWorkers(len(hit))
-	engine.ForEachTaskSched(s.sched, w, len(hit), func(i int) {
+	if err := engine.ForEachTaskCtx(ctx, s.sched, w, len(hit), func(i int) {
 		errs[i] = fn(i, s.shardExec(hit[i], w))
-	})
+	}); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -406,10 +412,17 @@ func (s *Set) locateIdx(v int64) (int, error) {
 // globally, so partitioned results project by value. Concatenating the
 // chunk values yields exactly Select's output.
 func (s *Set) ScanChunks(pred expr.Expr) ([]engine.SelChunk, error) {
+	//lint:ignore ctxflow ScanChunks is the public ctx-less compat entry; request paths use ScanChunksCtx.
+	return s.ScanChunksCtx(context.Background(), pred)
+}
+
+// ScanChunksCtx is ScanChunks with request-scoped cancellation: a
+// cancelled ctx abandons shards not yet started and returns ctx.Err().
+func (s *Set) ScanChunksCtx(ctx context.Context, pred expr.Expr) ([]engine.SelChunk, error) {
 	lo, hi, _ := pred.Bounds()
 	hit := s.intersecting(lo, hi)
 	chunks := make([]engine.SelChunk, len(hit))
-	err := s.fanOut(hit, func(i int, ex *engine.Exec) error {
+	err := s.fanOut(ctx, hit, func(i int, ex *engine.Exec) error {
 		hit[i].hits.Add(1)
 		res, err := ex.Select(s.column, pred, engine.ScanActive)
 		if err != nil {
@@ -484,13 +497,20 @@ func (s *Set) Select(lo, hi int64) ([]int64, error) {
 // Each touched shard records a workload hit, so SQL aggregates feed
 // Adapt like selects do.
 func (s *Set) AggregateExpr(pred expr.Expr) (*engine.AggResult, error) {
+	//lint:ignore ctxflow AggregateExpr is the public ctx-less compat entry; request paths use AggregateExprCtx.
+	return s.AggregateExprCtx(context.Background(), pred)
+}
+
+// AggregateExprCtx is AggregateExpr with request-scoped cancellation: a
+// cancelled ctx abandons shards not yet started and returns ctx.Err().
+func (s *Set) AggregateExprCtx(ctx context.Context, pred expr.Expr) (*engine.AggResult, error) {
 	lo, hi, _ := pred.Bounds()
 	hit := s.intersecting(lo, hi)
 	partials := make([]*engine.AggResult, len(hit))
-	err := s.fanOut(hit, func(i int, ex *engine.Exec) error {
+	err := s.fanOut(ctx, hit, func(i int, ex *engine.Exec) error {
 		hit[i].hits.Add(1)
 		a, err := ex.Aggregate(s.column, pred, engine.ScanActive)
-		if err == engine.ErrNoRows {
+		if errors.Is(err, engine.ErrNoRows) {
 			return nil
 		}
 		if err != nil {
@@ -528,11 +548,18 @@ func (s *Set) AggregateExpr(pred expr.Expr) (*engine.AggResult, error) {
 // concurrently like Select. Metrics do not record workload hits, so
 // measuring precision never perturbs Adapt.
 func (s *Set) PrecisionExpr(pred expr.Expr) (rf, mf int, pf float64, err error) {
+	//lint:ignore ctxflow PrecisionExpr is the public ctx-less compat entry; request paths use PrecisionExprCtx.
+	return s.PrecisionExprCtx(context.Background(), pred)
+}
+
+// PrecisionExprCtx is PrecisionExpr with request-scoped cancellation: a
+// cancelled ctx abandons shards not yet started and returns ctx.Err().
+func (s *Set) PrecisionExprCtx(ctx context.Context, pred expr.Expr) (rf, mf int, pf float64, err error) {
 	lo, hi, _ := pred.Bounds()
 	hit := s.intersecting(lo, hi)
 	rfs := make([]int, len(hit))
 	mfs := make([]int, len(hit))
-	ferr := s.fanOut(hit, func(i int, ex *engine.Exec) error {
+	ferr := s.fanOut(ctx, hit, func(i int, ex *engine.Exec) error {
 		r, m, _, err := ex.Precision(s.column, pred)
 		if err != nil {
 			return err

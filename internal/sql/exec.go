@@ -2,6 +2,7 @@ package sql
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -49,6 +50,7 @@ func (o Opts) context() context.Context {
 	if o.Ctx != nil {
 		return o.Ctx
 	}
+	//lint:ignore ctxflow Opts.Ctx is optional by contract; this is the one sanctioned fallback root for ctx-less callers.
 	return context.Background()
 }
 
@@ -225,14 +227,14 @@ func execSelectStream(rel Relation, q *Query, o Opts) (*ResultStream, error) {
 	}
 	if orderCol != "" {
 		if rel.Clustered() && orderCol == scanCol && valueOnly {
-			return clusteredOrderedStream(headers, ints, len(cols), cs, q.OrderDesc, limit, o.Parallelism, o.Sched)
+			return clusteredOrderedStream(o.context(), headers, ints, len(cols), cs, q.OrderDesc, limit, o.Parallelism, o.Sched)
 		}
 		// The sort is a barrier: drain the pipeline, then sort.
 		chunks, err := cs.Collect()
 		if err != nil {
 			return nil, err
 		}
-		return orderedSelectStream(rel, headers, ints, cols, scanCol, orderCol, chunks, q.OrderDesc, limit, o.Parallelism, o.Sched, valueOnly)
+		return orderedSelectStream(o.context(), rel, headers, ints, cols, scanCol, orderCol, chunks, q.OrderDesc, limit, o.Parallelism, o.Sched, valueOnly)
 	}
 
 	// Unordered pipelined path: pull chunks off the bounded channel as
@@ -342,7 +344,7 @@ func (k *chunkCursor) next() ([][]float64, error) {
 // drains the fan-out, sorts the shards in parallel, and streams the
 // buffered output in reverse. Clustered relations are value-only (one
 // stored attribute), so every output cell is the sort key itself.
-func clusteredOrderedStream(headers []string, ints []bool, ncols int, cs *engine.ChunkStream, desc bool, limit, par int, sp *sched.Pool) (*ResultStream, error) {
+func clusteredOrderedStream(ctx context.Context, headers []string, ints []bool, ncols int, cs *engine.ChunkStream, desc bool, limit, par int, sp *sched.Pool) (*ResultStream, error) {
 	emit := func(out [][]float64, v int64) [][]float64 {
 		row := make([]float64, ncols)
 		for i := range row {
@@ -377,9 +379,14 @@ func clusteredOrderedStream(headers []string, ints []bool, ncols int, cs *engine
 	for _, c := range chunks {
 		total += len(c.Values)
 	}
-	engine.ForEachTaskSched(sp, engine.WorkersSched(sp, par, total), len(chunks), func(i int) {
+	if err := engine.ForEachTaskCtx(ctx, sp, engine.WorkersSched(sp, par, total), len(chunks), func(i int) {
 		slices.Sort(chunks[i].Values)
-	})
+	}); err != nil {
+		for _, c := range chunks {
+			engine.RecycleChunk(c)
+		}
+		return nil, err
+	}
 	si := len(chunks) - 1
 	off, rem := 0, limit
 	next := func() ([][]float64, error) {
@@ -405,7 +412,7 @@ func clusteredOrderedStream(headers []string, ints []bool, ncols int, cs *engine
 
 // orderedSelectStream sorts the qualifying set and streams the sorted
 // projection window by window.
-func orderedSelectStream(rel Relation, headers []string, ints []bool, cols []string, scanCol, orderCol string, chunks []engine.SelChunk, desc bool, limit, par int, sp *sched.Pool, valueOnly bool) (*ResultStream, error) {
+func orderedSelectStream(ctx context.Context, rel Relation, headers []string, ints []bool, cols []string, scanCol, orderCol string, chunks []engine.SelChunk, desc bool, limit, par int, sp *sched.Pool, valueOnly bool) (*ResultStream, error) {
 	total := 0
 	for _, c := range chunks {
 		total += len(c.Values)
@@ -431,7 +438,10 @@ func orderedSelectStream(rel Relation, headers []string, ints []bool, cols []str
 			return nil, err
 		}
 	}
-	perm := orderPerm(keys, desc, limit, par, sp)
+	perm, err := orderPerm(ctx, keys, desc, limit, par, sp)
+	if err != nil {
+		return nil, err
+	}
 	pos := 0
 	wrows := make([]int32, 0, StreamChunkRows)
 	wvals := make([]int64, 0, StreamChunkRows)
@@ -524,7 +534,7 @@ func execAggregateStream(rel Relation, q *Query, o Opts) (*ResultStream, error) 
 		return emptyStream(headers, ints), nil
 	}
 	agg, err := rel.Aggregate(col, pred, o.Parallelism)
-	if err == engine.ErrNoRows {
+	if errors.Is(err, engine.ErrNoRows) {
 		// SQL semantics over an empty qualifying set: COUNT is 0, every
 		// other aggregate is NULL (one row, NaN standing in for NULL).
 		if kind == engine.Count {

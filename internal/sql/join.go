@@ -133,7 +133,10 @@ func execJoinStream(cat Catalog, q *Query, o Opts) (*ResultStream, error) {
 		if err != nil {
 			return nil, err
 		}
-		perm := orderPerm(keys, q.OrderDesc, limit, o.Parallelism, o.Sched)
+		perm, err := orderPerm(o.context(), keys, q.OrderDesc, limit, o.Parallelism, o.Sched)
+		if err != nil {
+			return nil, err
+		}
 		sorted := make([]engine.JoinRow, len(perm))
 		for i, p := range perm {
 			sorted[i] = rows[p]

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"sort"
 
 	"amnesiadb/internal/engine"
@@ -29,19 +30,22 @@ const sortRunRows = 64 * 1024
 // top-k: each sorted run is clipped to its first limit entries (a run
 // cannot contribute more than that to the global top) and the merge
 // stops after emitting limit rows.
-func orderPerm(keys []int64, desc bool, limit, par int, sp *sched.Pool) []int {
+//
+// The sort is a barrier, so it honours request cancellation: a
+// cancelled ctx abandons runs not yet started and returns ctx.Err().
+func orderPerm(ctx context.Context, keys []int64, desc bool, limit, par int, sp *sched.Pool) ([]int, error) {
 	n := len(keys)
 	k := n
 	if limit >= 0 && limit < n {
 		k = limit
 	}
 	if k == 0 {
-		return nil
+		return nil, nil
 	}
 
 	nRuns := (n + sortRunRows - 1) / sortRunRows
 	runs := make([][]int, nRuns) // per-run permutations of global indices
-	engine.ForEachTaskSched(sp, engine.WorkersSched(sp, par, n), nRuns, func(r int) {
+	err := engine.ForEachTaskCtx(ctx, sp, engine.WorkersSched(sp, par, n), nRuns, func(r int) {
 		start := r * sortRunRows
 		end := start + sortRunRows
 		if end > n {
@@ -66,9 +70,12 @@ func orderPerm(keys []int64, desc bool, limit, par int, sp *sched.Pool) []int {
 		}
 		runs[r] = perm
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	if nRuns == 1 {
-		return runs[0]
+		return runs[0], nil
 	}
 
 	// K-way merge: a binary heap of run cursors ordered by head key,
@@ -91,7 +98,7 @@ func orderPerm(keys []int64, desc bool, limit, par int, sp *sched.Pool) []int {
 			h.fix()
 		}
 	}
-	return out
+	return out, nil
 }
 
 // runCursor is one sorted run's remaining entries.

@@ -292,7 +292,7 @@ func ReplayOffset(r io.Reader, a Applier) (off int64, err error) {
 	for {
 		off = cr.n - int64(br.Buffered())
 		kind, payload, err := readRecord(br)
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return off, nil
 		}
 		if err != nil {
@@ -352,7 +352,7 @@ func ContainsRecord(data []byte) bool {
 func readRecord(br *bufio.Reader) (Kind, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return 0, nil, io.EOF
 		}
 		return 0, nil, ErrTruncated

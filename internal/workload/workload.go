@@ -8,6 +8,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 
 	"amnesiadb/internal/engine"
@@ -182,14 +183,14 @@ func RunAggBatch(ex *engine.Exec, g *AggGen, n int) (*metrics.Batch, error) {
 		approx, errA := ex.Aggregate(col, pred, engine.ScanActive)
 		exact, errE := ex.Aggregate(col, pred, engine.ScanAll)
 		switch {
-		case errE == engine.ErrNoRows:
+		case errors.Is(errE, engine.ErrNoRows):
 			// Nothing qualifies anywhere: vacuously precise.
 			b.Observe(metrics.Query{})
 			continue
 		case errE != nil:
 			return nil, errE
 		}
-		if errA == engine.ErrNoRows {
+		if errors.Is(errA, engine.ErrNoRows) {
 			// Everything in range was forgotten.
 			b.Observe(metrics.Query{RF: 0, MF: exact.Rows})
 			b.ObserveAggregate(0, exact.Avg)

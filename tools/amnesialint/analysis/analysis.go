@@ -1,0 +1,184 @@
+// Package analysis is a minimal, dependency-free take on the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package and reports Diagnostics through its Pass. The
+// repo cannot vendor x/tools, so amnesialint carries just the slice of
+// the API its analyzers need; the shapes match upstream so the
+// analyzers could migrate to the real framework wholesale.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore comments. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph invariant statement shown by `amnesialint help`.
+	Doc string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass hands one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding, positioned at Pos.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The
+// invariants amnesialint enforces are production-path rules; tests get
+// to break them (constructing torn WALs, comparing sentinels for
+// identity, using context.Background freely).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// A Finding is a Diagnostic resolved to a printable position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// ignoreRe matches an audited suppression: //lint:ignore <analyzers> <reason>.
+// <analyzers> is a comma-separated list of analyzer names or "all"; the
+// reason is mandatory — an unexplained suppression is itself reported.
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s*(.*)$`)
+
+type suppression struct {
+	analyzers string // comma-separated names, or "all"
+	reason    string
+	line      int // the comment's own line; it covers this line and the next
+	pos       token.Pos
+}
+
+// Run applies every analyzer to one type-checked package and returns
+// the surviving findings, sorted by position. Suppression comments are
+// honoured here so every entry point (go vet protocol, standalone
+// driver, the linttest harness) filters identically.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	sups := collectSuppressions(fset, files)
+
+	var findings []Finding
+	add := func(d Diagnostic) {
+		pos := fset.Position(d.Pos)
+		for _, s := range sups {
+			if fset.Position(s.pos).Filename != pos.Filename {
+				continue
+			}
+			if pos.Line != s.line && pos.Line != s.line+1 {
+				continue
+			}
+			if matchesAnalyzer(s.analyzers, d.Analyzer) {
+				return
+			}
+		}
+		findings = append(findings, Finding{Analyzer: d.Analyzer, Pos: pos, Message: d.Message})
+	}
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    add,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+
+	// A suppression without a reason defeats the audit trail; flag it
+	// unconditionally (it cannot suppress itself).
+	for _, s := range sups {
+		if s.reason == "" {
+			findings = append(findings, Finding{
+				Analyzer: "suppress",
+				Pos:      fset.Position(s.pos),
+				Message:  "lint:ignore needs a reason: //lint:ignore <analyzer> <why this is safe>",
+			})
+		}
+	}
+
+	sortFindings(findings)
+	return findings, nil
+}
+
+func matchesAnalyzer(list, name string) bool {
+	for _, n := range strings.Split(list, ",") {
+		if n == name || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var out []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				out = append(out, suppression{
+					analyzers: m[1],
+					reason:    strings.TrimSpace(m[2]),
+					line:      fset.Position(c.Pos()).Line,
+					pos:       c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool { return less(fs[i], fs[j]) })
+}
+
+func less(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

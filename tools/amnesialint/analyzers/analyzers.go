@@ -1,0 +1,16 @@
+package analyzers
+
+import "amnesiadb/tools/amnesialint/analysis"
+
+// All returns the full amnesialint suite in the order findings are
+// reported.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Liveness,
+		BatchLifecycle,
+		WALExhaustive,
+		CtxFlow,
+		SentErr,
+		NoFsyncSkip,
+	}
+}

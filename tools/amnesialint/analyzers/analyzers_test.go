@@ -1,0 +1,35 @@
+package analyzers
+
+import (
+	"testing"
+
+	"amnesiadb/tools/amnesialint/internal/linttest"
+)
+
+// Each fixture under testdata/src is a self-contained module carrying
+// positive cases (want comments) and negative cases (clean lines the
+// harness asserts stay silent).
+
+func TestLiveness(t *testing.T) {
+	linttest.Run(t, "testdata/src/liveness", Liveness)
+}
+
+func TestBatchLifecycle(t *testing.T) {
+	linttest.Run(t, "testdata/src/batchlifecycle", BatchLifecycle)
+}
+
+func TestWALExhaustive(t *testing.T) {
+	linttest.Run(t, "testdata/src/walexhaustive", WALExhaustive)
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata/src/ctxflow", CtxFlow)
+}
+
+func TestSentErr(t *testing.T) {
+	linttest.Run(t, "testdata/src/senterr", SentErr)
+}
+
+func TestNoFsyncSkip(t *testing.T) {
+	linttest.Run(t, "testdata/src/nofsyncskip", NoFsyncSkip)
+}

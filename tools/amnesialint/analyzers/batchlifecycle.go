@@ -1,0 +1,184 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"amnesiadb/tools/amnesialint/analysis"
+)
+
+// BatchLifecycle enforces pooled-batch hygiene around the engine's
+// sync.Pool: a *engine.Batch obtained from GetBatch must be returned
+// exactly once (PutBatch, or RecycleChunk on the chunk built from it)
+// on every path. The check is intraprocedural and conservative: a
+// batch that escapes the function (returned, appended into a result,
+// captured by another call) transfers ownership and is the consumer's
+// responsibility; a batch that stays local and never reaches a release
+// call is a definite leak, and two releases in the same statement list
+// are a definite double-free (the next GetBatch would hand the same
+// backing arrays to two scans).
+var BatchLifecycle = &analysis.Analyzer{
+	Name: "batchlifecycle",
+	Doc:  "pooled engine.Batch values must reach PutBatch/RecycleChunk exactly once on every path",
+	Run:  runBatchLifecycle,
+}
+
+const enginePath = "internal/engine"
+
+func runBatchLifecycle(pass *analysis.Pass) error {
+	funcDecls(pass.Files, pass.Fset, func(fd *ast.FuncDecl) {
+		checkBatches(pass, fd)
+	})
+	return nil
+}
+
+type batchUse struct {
+	acquire  *ast.Ident // LHS of b := GetBatch()
+	released bool
+	escaped  bool
+	// releaseBlocks maps a statement list (BlockStmt) to the release
+	// statements directly inside it, for double-free detection.
+	releases []releaseSite
+}
+
+type releaseSite struct {
+	call  *ast.CallExpr
+	block *ast.BlockStmt // nearest enclosing block reached via plain statements
+}
+
+func checkBatches(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	vars := make(map[types.Object]*batchUse)
+
+	// Pass 1: find acquisitions b := engine.GetBatch().
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isFuncNamed(info, call, enginePath, "GetBatch") {
+			return true
+		}
+		if len(as.Lhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			vars[obj] = &batchUse{acquire: id}
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+
+	// Pass 2: classify every other use of each batch variable.
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		use, tracked := vars[obj]
+		if !tracked || id == use.acquire {
+			return
+		}
+		switch classifyUse(info, id, stack) {
+		case useRelease:
+			use.released = true
+			call := stack[len(stack)-1].(*ast.CallExpr)
+			use.releases = append(use.releases, releaseSite{call: call, block: directBlock(stack)})
+		case useEscape:
+			use.escaped = true
+		}
+	})
+
+	for _, use := range vars {
+		if !use.released && !use.escaped {
+			pass.Reportf(use.acquire.Pos(),
+				"pooled batch %s is never returned to the pool (PutBatch/RecycleChunk) and never escapes %s; every early return leaks it",
+				use.acquire.Name, fd.Name.Name)
+		}
+		reportDoubleRelease(pass, fd, use)
+	}
+}
+
+type useKind int
+
+const (
+	useBenign useKind = iota
+	useRelease
+	useEscape
+)
+
+// classifyUse decides what one appearance of a batch variable means:
+// a field read (b.Sel, b.Val) is benign, an argument to a release
+// function is a release, and anything else — another call's argument, a
+// return value, a composite literal, a channel send, an alias
+// assignment — makes the batch escape this function's responsibility.
+func classifyUse(info *types.Info, id *ast.Ident, stack []ast.Node) useKind {
+	if len(stack) == 0 {
+		return useEscape
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X == id {
+			return useBenign // field access b.Sel / b.Val
+		}
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if arg == id {
+				if isFuncNamed(info, p, enginePath, "PutBatch") || isFuncNamed(info, p, enginePath, "RecycleChunk") {
+					return useRelease
+				}
+				return useEscape
+			}
+		}
+	}
+	return useEscape
+}
+
+// directBlock walks outward past expression statements and defers to
+// the statement list the release call executes in.
+func directBlock(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.BlockStmt:
+			return n
+		case *ast.ExprStmt, *ast.DeferStmt, *ast.CallExpr:
+			continue
+		default:
+			return nil // release is nested in some larger expression
+		}
+	}
+	return nil
+}
+
+func reportDoubleRelease(pass *analysis.Pass, fd *ast.FuncDecl, use *batchUse) {
+	byBlock := make(map[*ast.BlockStmt]*releaseSite)
+	for i := range use.releases {
+		r := &use.releases[i]
+		if r.block == nil {
+			continue
+		}
+		if first, dup := byBlock[r.block]; dup {
+			pass.Reportf(r.call.Pos(),
+				"pooled batch %s is returned to the pool twice on the same path in %s (first release at line %d)",
+				use.acquire.Name, fd.Name.Name, pass.Fset.Position(first.call.Pos()).Line)
+		} else {
+			byBlock[r.block] = r
+		}
+	}
+}

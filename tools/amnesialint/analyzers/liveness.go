@@ -1,0 +1,204 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"amnesiadb/tools/amnesialint/analysis"
+)
+
+// Liveness enforces the facade's drop-safety protocol (PR 7): a
+// relation handle (any type declaring a liveLocked method) can outlive
+// its relation's drop, so every exported function that takes a handle's
+// exclusive lock must call liveLocked before using the locked state —
+// otherwise a mutation through a stale handle would enqueue WAL records
+// against a relation that no longer exists and break replay. Functions
+// that themselves mark the handle dropped (assign .dropped) are the
+// drop path and are exempt.
+//
+// It also enforces the deadlock rule for multi-relation operations:
+// when one function acquires locks on two or more distinct relation
+// handles that can be held together, the acquisition must be ordered by
+// relation name (a Name() comparison or a sort over the names), the
+// same order Join and QueryStream use.
+var Liveness = &analysis.Analyzer{
+	Name: "liveness",
+	Doc:  "exported relation mutators must check liveLocked under the exclusive lock, and multi-relation lock acquisition must be name-ordered",
+	Run:  runLiveness,
+}
+
+type lockSite struct {
+	call  *ast.CallExpr
+	base  ast.Expr
+	write bool
+	stack []ast.Node
+}
+
+func runLiveness(pass *analysis.Pass) error {
+	funcDecls(pass.Files, pass.Fset, func(fd *ast.FuncDecl) {
+		sites := relationLockSites(pass.TypesInfo, fd)
+		if len(sites) == 0 {
+			return
+		}
+		checkLiveLocked(pass, fd, sites)
+		checkLockOrder(pass, fd, sites)
+	})
+	return nil
+}
+
+// relationLockSites finds calls of the form X.mu.Lock()/RLock() where
+// X's type declares liveLocked.
+func relationLockSites(info *types.Info, fd *ast.FuncDecl) []lockSite {
+	var sites []lockSite
+	walkStack(fd, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return
+		}
+		mu, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if tv, ok := info.Types[sel.X]; !ok || !isMutexType(tv.Type) {
+			return
+		}
+		if !hasMethod(info.Types[mu.X].Type, "liveLocked") {
+			return
+		}
+		sites = append(sites, lockSite{
+			call:  call,
+			base:  mu.X,
+			write: sel.Sel.Name == "Lock",
+			stack: append([]ast.Node(nil), stack...),
+		})
+	})
+	return sites
+}
+
+func isMutexType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	name := n.Obj().Name()
+	return n.Obj().Pkg().Path() == "sync" && (name == "Mutex" || name == "RWMutex")
+}
+
+func checkLiveLocked(pass *analysis.Pass, fd *ast.FuncDecl, sites []lockSite) {
+	if !fd.Name.IsExported() {
+		return
+	}
+	if assignsDropped(fd) {
+		return
+	}
+	for _, s := range sites {
+		if !s.write {
+			continue
+		}
+		if !callsAfter(fd, s.call.Pos(), "liveLocked") {
+			pass.Reportf(s.call.Pos(),
+				"%s takes %s's exclusive lock without a liveLocked check; a dropped handle would mutate an orphaned relation",
+				fd.Name.Name, types.ExprString(s.base))
+		}
+	}
+}
+
+// assignsDropped reports whether the function assigns a .dropped field
+// — the signature of the drop path itself.
+func assignsDropped(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "dropped" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callsAfter reports whether a method named name is called at a
+// position after pos anywhere in fd.
+func callsAfter(fd *ast.FuncDecl, pos token.Pos, name string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == name && call.Pos() > pos {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func checkLockOrder(pass *analysis.Pass, fd *ast.FuncDecl, sites []lockSite) {
+	for i := 0; i < len(sites); i++ {
+		for j := i + 1; j < len(sites); j++ {
+			a, b := sites[i], sites[j]
+			if types.ExprString(a.base) == types.ExprString(b.base) {
+				continue // same handle (re-lock bugs are the race detector's turf)
+			}
+			if exclusiveBranches(a.stack, b.stack) {
+				continue // only one acquisition runs
+			}
+			if hasNameOrderingEvidence(fd) {
+				return // one ordering guard covers the whole function
+			}
+			pass.Reportf(b.call.Pos(),
+				"%s locks %s and %s together without ordering them by relation name; unordered multi-relation locking can deadlock against Join/QueryStream",
+				fd.Name.Name, types.ExprString(a.base), types.ExprString(b.base))
+			return // one report per function is enough
+		}
+	}
+}
+
+// hasNameOrderingEvidence looks for a Name() comparison or a sort call
+// — the two ways the repo orders relation lock acquisition.
+func hasNameOrderingEvidence(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				if containsNameCall(x.X) || containsNameCall(x.Y) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func containsNameCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Name" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

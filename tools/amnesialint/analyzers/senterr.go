@@ -1,0 +1,154 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"amnesiadb/tools/amnesialint/analysis"
+)
+
+// SentErr protects the sentinel-error contracts the HTTP status mapping
+// and the read-only degradation path rely on (sql.ErrInvalid,
+// ErrUnknownTable, ErrReadOnly, engine.ErrNoRows, the wal recovery
+// sentinels): once any layer wraps a sentinel with %w, identity
+// comparison silently stops matching. So sentinels must be tested with
+// errors.Is — never == / != — never matched by message string, and
+// fmt.Errorf must wrap them with %w so errors.Is keeps seeing them
+// through the wrap chain.
+var SentErr = &analysis.Analyzer{
+	Name: "senterr",
+	Doc:  "sentinel errors must be wrapped with %w and tested with errors.Is, never == or string matching",
+	Run:  runSentErr,
+}
+
+func runSentErr(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if isNil(info, x.X) || isNil(info, x.Y) {
+					return true
+				}
+				if isErrorSentinel(info, x.X) || isErrorSentinel(info, x.Y) {
+					pass.Reportf(x.OpPos,
+						"sentinel error compared with %s; use errors.Is so wrapped sentinels still match", x.Op)
+					return true
+				}
+				if isErrorStringCall(info, x.X) || isErrorStringCall(info, x.Y) {
+					pass.Reportf(x.OpPos,
+						"error matched by message string; use errors.Is against the sentinel instead")
+				}
+			case *ast.CallExpr:
+				checkStringMatch(pass, x)
+				checkErrorfWrap(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorStringCall reports whether e is err.Error().
+func isErrorStringCall(info *types.Info, e ast.Expr) bool { return isErrCall(info, e) }
+
+func isErrCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && isErrorType(tv.Type)
+}
+
+// checkStringMatch flags strings.Contains/HasPrefix/HasSuffix over
+// err.Error().
+func checkStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	switch fn.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold", "Index":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrCall(pass.TypesInfo, arg) {
+			pass.Reportf(call.Pos(),
+				"error matched by message substring (strings.%s on err.Error()); use errors.Is against the sentinel", fn.Name())
+			return
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that interpolate a sentinel
+// with a verb other than %w.
+func checkErrorfWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if !isFuncNamed(info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return // indexed or otherwise exotic format; stay silent
+	}
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		if verbs[i] != 'w' && isErrorSentinel(info, arg) {
+			pass.Reportf(arg.Pos(),
+				"sentinel error wrapped with %%%c; use %%w so errors.Is sees it through the wrap", verbs[i])
+		}
+	}
+}
+
+// formatVerbs returns the verb letter for each consumed argument of a
+// Printf-style format, or ok=false when the format uses explicit
+// argument indexes or * widths this simple scanner cannot map.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) && strings.ContainsRune("+-# 0.0123456789", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			continue
+		case '[', '*':
+			return nil, false
+		default:
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}

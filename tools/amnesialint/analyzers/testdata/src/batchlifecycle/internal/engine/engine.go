@@ -1,0 +1,16 @@
+// Package engine stubs the real engine's batch pool: the analyzer keys
+// on the GetBatch/PutBatch/RecycleChunk names under an import path
+// ending in internal/engine, so this fixture engages it exactly like
+// the real package.
+package engine
+
+type Batch struct {
+	Sel []int32
+	Val []int64
+}
+
+func GetBatch() *Batch { return new(Batch) }
+
+func PutBatch(*Batch) {}
+
+func RecycleChunk(*Batch) {}

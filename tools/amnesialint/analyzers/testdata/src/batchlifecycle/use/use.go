@@ -1,0 +1,60 @@
+// Package use exercises the batch lifecycle rules: leaks, clean
+// releases, double releases, and ownership-transferring escapes.
+package use
+
+import "fixture/internal/engine"
+
+// leak never returns its batch to the pool and never escapes it.
+func leak(n int) int {
+	b := engine.GetBatch() // want batchlifecycle "never returned to the pool"
+	if n > len(b.Sel) {
+		return 0
+	}
+	return len(b.Val)
+}
+
+// good releases on every path via defer.
+func good() int {
+	b := engine.GetBatch()
+	defer engine.PutBatch(b)
+	return len(b.Sel)
+}
+
+// recycled counts as released through RecycleChunk.
+func recycled() {
+	b := engine.GetBatch()
+	engine.RecycleChunk(b)
+}
+
+// double returns the same batch to the pool twice on one path.
+func double() {
+	b := engine.GetBatch()
+	engine.PutBatch(b)
+	engine.PutBatch(b) // want batchlifecycle "returned to the pool twice"
+}
+
+// escape hands ownership to the caller; the pool return is their job.
+func escape() *engine.Batch {
+	b := engine.GetBatch()
+	return b
+}
+
+// branches releases in both arms — distinct statement lists, so this is
+// exactly-once, not a double release.
+func branches(fast bool) {
+	b := engine.GetBatch()
+	if fast {
+		engine.PutBatch(b)
+	} else {
+		engine.PutBatch(b)
+	}
+}
+
+var (
+	_ = leak
+	_ = good
+	_ = recycled
+	_ = double
+	_ = escape
+	_ = branches
+)

@@ -1,0 +1,10 @@
+// Command tool is an entry layer: creating root contexts here is the
+// point, so the analyzer stays silent.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,14 @@
+// Package engine stubs the scheduler-dispatch surface: the analyzer
+// keys on *Sched functions under an import path ending in
+// internal/engine.
+package engine
+
+import "context"
+
+type Pool struct{}
+
+func ForEachTaskSched(p *Pool, workers, n int, fn func(int)) {}
+
+func ForEachTaskCtx(ctx context.Context, p *Pool, workers, n int, fn func(int)) error {
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package query sits below the server layer: fresh root contexts and
+// un-threaded scheduler dispatch are both violations here.
+package query
+
+import (
+	"context"
+
+	"fixture/internal/engine"
+)
+
+func freshRoot() context.Context {
+	return context.Background() // want ctxflow "below the server layer"
+}
+
+func todoRoot() context.Context {
+	return context.TODO() // want ctxflow "below the server layer"
+}
+
+func unthreaded(n int) {
+	engine.ForEachTaskSched(nil, 1, n, func(int) {}) // want ctxflow "threads no context"
+}
+
+// threaded has cancellation plumbing in reach: the enclosing function
+// takes a context, so the fan-out is wireable.
+func threaded(ctx context.Context, n int) {
+	_ = ctx
+	engine.ForEachTaskSched(nil, 1, n, func(int) {})
+}
+
+// threadedCall passes the context into the dispatch itself.
+func threadedCall(ctx context.Context, n int) error {
+	return engine.ForEachTaskCtx(ctx, nil, 1, n, func(int) {})
+}
+
+// suppressed is the audited escape hatch.
+func suppressed() context.Context {
+	//lint:ignore ctxflow fixture-sanctioned root context for the suppression test.
+	return context.Background()
+}
+
+var (
+	_ = freshRoot
+	_ = todoRoot
+	_ = unthreaded
+	_ = threaded
+	_ = threadedCall
+	_ = suppressed
+)

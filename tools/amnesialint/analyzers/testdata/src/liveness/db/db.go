@@ -1,0 +1,89 @@
+// Package db is the liveness fixture: a relation handle type (declares
+// liveLocked) with exported mutators that must check it under the
+// exclusive lock, and multi-handle lockers that must order by name.
+package db
+
+import "sync"
+
+type Table struct {
+	mu      sync.RWMutex
+	dropped bool
+	name    string
+}
+
+func (t *Table) liveLocked() error { return nil }
+
+func (t *Table) Name() string { return t.name }
+
+// BadMutate takes the exclusive lock but never checks liveness.
+func (t *Table) BadMutate() error {
+	t.mu.Lock() // want liveness "without a liveLocked check"
+	defer t.mu.Unlock()
+	t.name = "x"
+	return nil
+}
+
+// GoodMutate checks liveLocked under the lock.
+func (t *Table) GoodMutate() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.liveLocked(); err != nil {
+		return err
+	}
+	t.name = "y"
+	return nil
+}
+
+// Drop is the drop path itself: assigning dropped exempts it.
+func (t *Table) Drop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropped = true
+}
+
+// rename is unexported; internal helpers are trusted to be called under
+// the protocol.
+func (t *Table) rename(n string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.name = n
+}
+
+// Peek takes only the read lock; reads through a dropped handle are
+// sanctioned, so no liveness check is required.
+func (t *Table) Peek() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.name
+}
+
+// badPair acquires two handles' locks with no name ordering.
+func badPair(a, b *Table) {
+	a.mu.Lock()
+	b.mu.Lock() // want liveness "without ordering them by relation name"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// goodPair orders the acquisition by relation name first.
+func goodPair(a, b *Table) {
+	if a.Name() > b.Name() {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// exclusivePair locks at most one handle per execution; the two sites
+// can never be held together.
+func exclusivePair(a, b *Table, left bool) {
+	if left {
+		a.mu.Lock()
+		a.mu.Unlock()
+	} else {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}
+}

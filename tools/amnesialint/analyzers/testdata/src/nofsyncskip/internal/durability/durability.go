@@ -1,0 +1,6 @@
+// Package durability stubs the group-commit handle: the analyzer keys
+// on the Pending type under an import path ending in
+// internal/durability.
+package durability
+
+type Pending struct{}

@@ -1,0 +1,56 @@
+// Package errs exercises the sentinel-error contract: identity
+// comparison, message matching and non-%w wrapping are violations;
+// errors.Is, nil checks and %w wraps are clean.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrMissing is a package-level sentinel.
+var ErrMissing = errors.New("missing")
+
+func badEq(err error) bool {
+	return err == ErrMissing // want senterr "compared with =="
+}
+
+func badNe(err error) bool {
+	return err != ErrMissing // want senterr "compared with !="
+}
+
+func good(err error) bool {
+	return errors.Is(err, ErrMissing)
+}
+
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+func msgCompare(err error) bool {
+	return err.Error() == "missing" // want senterr "matched by message string"
+}
+
+func msgSubstr(err error) bool {
+	return strings.Contains(err.Error(), "missing") // want senterr "message substring"
+}
+
+func badWrap() error {
+	return fmt.Errorf("lookup: %v", ErrMissing) // want senterr "use %w"
+}
+
+func goodWrap() error {
+	return fmt.Errorf("lookup: %w", ErrMissing)
+}
+
+var (
+	_ = badEq
+	_ = badNe
+	_ = good
+	_ = nilCheck
+	_ = msgCompare
+	_ = msgSubstr
+	_ = badWrap
+	_ = goodWrap
+)

@@ -1,0 +1,24 @@
+// Package wal (the bad twin) declares a record kind no Record* encoder
+// ever references: dead plumbing the analyzer must surface.
+package wal
+
+type Kind uint8
+
+const (
+	KindPut    Kind = 1
+	KindOrphan Kind = 2 // want walexhaustive "has no Record"
+)
+
+func RecordPut() Kind { return KindPut }
+
+func apply(k Kind) int {
+	switch k {
+	case KindPut:
+		return 1
+	case KindOrphan:
+		return 2
+	}
+	return 0
+}
+
+var _ = apply

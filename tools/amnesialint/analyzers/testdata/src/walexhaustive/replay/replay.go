@@ -1,0 +1,29 @@
+// Package replay consumes the wal fixture from outside: its dispatch
+// switch misses a kind, and a default clause does not excuse the gap.
+package replay
+
+import "fixture/wal"
+
+func incomplete(k wal.Kind) int {
+	switch k { // want walexhaustive "missing record kinds KindVacuum"
+	case wal.KindInsert:
+		return 1
+	case wal.KindDrop:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func complete(k wal.Kind) int {
+	switch k {
+	case wal.KindInsert, wal.KindDrop:
+		return 1
+	case wal.KindVacuum:
+		return 3
+	}
+	return 0
+}
+
+var _ = incomplete
+var _ = complete

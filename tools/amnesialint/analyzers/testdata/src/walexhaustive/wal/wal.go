@@ -1,0 +1,36 @@
+// Package wal stubs the real log package: a Kind enumeration whose
+// constants the analyzer collects, each with a Record* encoder and a
+// complete apply switch — the fully-plumbed, clean shape.
+package wal
+
+type Kind uint8
+
+const (
+	KindInsert Kind = iota + 1
+	KindDrop
+	KindVacuum
+	kindMax
+)
+
+func RecordInsert() Kind { return KindInsert }
+
+func RecordDrop() Kind { return KindDrop }
+
+func RecordVacuum() Kind { return KindVacuum }
+
+// apply covers every kind; the default clause handles corruption.
+func apply(k Kind) int {
+	switch k {
+	case KindInsert:
+		return 1
+	case KindDrop:
+		return 2
+	case KindVacuum:
+		return 3
+	default:
+		return 0
+	}
+}
+
+var _ = apply
+var _ = kindMax

@@ -1,0 +1,160 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"amnesiadb/tools/amnesialint/analysis"
+)
+
+// WALExhaustive makes adding a WAL record kind without full plumbing a
+// lint error: every switch whose tag is the wal package's Kind type
+// must carry a case for every declared Kind constant (a default clause
+// handles corruption, not missing plumbing), and inside the wal package
+// each Kind must be referenced by a Record* encoder. Replay, apply,
+// and any future snapshot-diff dispatch all hit the switch rule, so a
+// new kind that only partially lands fails CI instead of silently
+// skipping records at recovery.
+var WALExhaustive = &analysis.Analyzer{
+	Name: "walexhaustive",
+	Doc:  "every wal record Kind must appear in every Kind switch and have a Record* encoder",
+	Run:  runWALExhaustive,
+}
+
+var kindNameRe = regexp.MustCompile(`^Kind[A-Z]`)
+
+func runWALExhaustive(pass *analysis.Pass) error {
+	checkKindSwitches(pass)
+	checkEncoders(pass)
+	return nil
+}
+
+// kindType reports whether t is a named type Kind declared in a wal
+// package.
+func kindType(t types.Type) *types.Named {
+	n, _ := t.(*types.Named)
+	if n == nil || n.Obj().Name() != "Kind" || n.Obj().Pkg() == nil {
+		return nil
+	}
+	if !pkgPathHasSuffix(n.Obj().Pkg(), "wal") {
+		return nil
+	}
+	return n
+}
+
+// kindConsts returns every package-level constant of type kind whose
+// name matches Kind[A-Z]*, keyed by name. For a foreign package only
+// exported constants are visible, which is exactly the record-kind set
+// (sentinels like kindMax stay internal).
+func kindConsts(kind *types.Named) map[string]*types.Const {
+	out := make(map[string]*types.Const)
+	scope := kind.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !kindNameRe.MatchString(name) {
+			continue
+		}
+		if types.Identical(c.Type(), kind) {
+			out[name] = c
+		}
+	}
+	return out
+}
+
+func checkKindSwitches(pass *analysis.Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			if pass.InTestFile(sw.Pos()) {
+				return true
+			}
+			tv, ok := info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			kind := kindType(tv.Type)
+			if kind == nil {
+				return true
+			}
+			universe := kindConsts(kind)
+			if len(universe) == 0 {
+				return true
+			}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					var id *ast.Ident
+					switch x := ast.Unparen(e).(type) {
+					case *ast.Ident:
+						id = x
+					case *ast.SelectorExpr:
+						id = x.Sel
+					default:
+						continue
+					}
+					if c, ok := info.Uses[id].(*types.Const); ok {
+						delete(universe, c.Name())
+					}
+				}
+			}
+			if len(universe) > 0 {
+				missing := make([]string, 0, len(universe))
+				for name := range universe {
+					missing = append(missing, name)
+				}
+				sort.Strings(missing)
+				pass.Reportf(sw.Pos(),
+					"switch over %s.Kind is missing record kinds %s; a replayed log would skip those records",
+					kind.Obj().Pkg().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// checkEncoders runs only when the pass analyzes the wal package
+// itself: every Kind constant must be referenced from some Record*
+// encoder, otherwise the kind can never be written and is dead
+// plumbing (or, worse, awaiting an encoder that was forgotten).
+func checkEncoders(pass *analysis.Pass) {
+	if !pkgPathHasSuffix(pass.Pkg, "wal") {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	pending := make(map[types.Object]*types.Const)
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && kindNameRe.MatchString(name) {
+			pending[c] = c
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	info := pass.TypesInfo
+	funcDecls(pass.Files, pass.Fset, func(fd *ast.FuncDecl) {
+		if !strings.HasPrefix(fd.Name.Name, "Record") {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					delete(pending, obj)
+				}
+			}
+			return true
+		})
+	})
+	for _, c := range pending {
+		pass.Reportf(c.Pos(), "record kind %s has no Record* encoder; it can never be written to the log", c.Name())
+	}
+}

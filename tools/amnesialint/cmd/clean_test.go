@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestTreeIsClean runs the full suite over the repository: the tree
+// must stay free of findings (modulo audited lint:ignore suppressions),
+// so a regression anywhere fails `go test` as well as the CI lint job.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree lint is not a short test")
+	}
+	findings, err := Check("../../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,138 @@
+// Package load type-checks packages for amnesialint's standalone mode
+// (and the analyzer test harness) without golang.org/x/tools: package
+// metadata and compiled export data come from `go list -deps -export`,
+// and the target packages themselves are parsed and type-checked from
+// source so the analyzers see syntax.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Unit is one `go list` package: a target to analyze (DepOnly false)
+// or a dependency contributing export data only.
+type Unit struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// A Checked is one parsed, type-checked target package.
+type Checked struct {
+	Unit  *Unit
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// List runs `go list -e -deps -export -json` in dir over the patterns
+// and returns every unit keyed by import path plus the analysis targets
+// in listing order.
+func List(dir string, patterns ...string) (map[string]*Unit, []*Unit, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	units := make(map[string]*Unit)
+	var targets []*Unit
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		u := new(Unit)
+		if err := dec.Decode(u); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		units[u.ImportPath] = u
+		if !u.DepOnly && !u.Standard {
+			targets = append(targets, u)
+		}
+	}
+	return units, targets, nil
+}
+
+// A Checker type-checks target units against the export data of every
+// listed unit. One Checker shares a FileSet and importer cache across
+// packages, so common dependencies are imported once.
+type Checker struct {
+	Fset  *token.FileSet
+	units map[string]*Unit
+	imp   types.Importer
+}
+
+func NewChecker(units map[string]*Unit) *Checker {
+	fset := token.NewFileSet()
+	c := &Checker{Fset: fset, units: units}
+	c.imp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		u, ok := units[path]
+		if !ok || u.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(u.Export)
+	})
+	return c
+}
+
+// Check parses and type-checks one target unit from source.
+func (c *Checker) Check(u *Unit) (*Checked, error) {
+	if u.Error != nil && u.Error.Err != "" {
+		return nil, fmt.Errorf("%s: %s", u.ImportPath, u.Error.Err)
+	}
+	var files []*ast.File
+	for _, name := range u.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(u.Dir, name)
+		}
+		f, err := parser.ParseFile(c.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{
+		Importer: c.imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg, err := conf.Check(u.ImportPath, c.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", u.ImportPath, err)
+	}
+	return &Checked{Unit: u, Fset: c.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}
