@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race lint fmt vet fuzz-smoke clean
+.PHONY: all build test race lint lint-audit lint-audit-check fmt vet fuzz-smoke clean
 
 all: build test lint
 
@@ -11,8 +11,10 @@ build:
 test:
 	$(GO) test ./...
 
+# race builds with the amnesiadebug tag so internal/lockrank's runtime
+# lock-order assertions run alongside the race detector.
 race:
-	$(GO) test -race -timeout 25m ./...
+	$(GO) test -race -tags amnesiadebug -timeout 25m ./...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -22,15 +24,31 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's own go/analysis suite (tools/amnesialint) over
-# the whole tree through the vettool protocol, after stock go vet. The
-# suite enforces the engine's cross-cutting invariants: liveness checks
-# under handle locks, batch pool lifecycle, WAL kind exhaustiveness,
-# context threading below the server layer, sentinel error hygiene, and
-# the group-commit fsync handshake. Suppress a finding only with an
-# audited `//lint:ignore <analyzer> <reason>` comment.
+# the whole tree twice, after stock go vet: once through the vettool
+# protocol (facts flow through .vetx files exactly as `go vet` users
+# see them) and once through the parallel standalone driver, which
+# prints packages analyzed, wall time and parallelism, and enforces
+# LINT_BUDGET (exit 3 past it). The suite enforces the engine's
+# cross-cutting invariants: the lock-order hierarchy and cycle freedom,
+# goroutine lifecycle accountability, path-sensitive pooled-batch
+# recycling, liveness checks under handle locks, WAL kind
+# exhaustiveness, context threading below the server layer, sentinel
+# error hygiene, and the group-commit fsync handshake. Suppress a
+# finding only with an audited `//lint:ignore <analyzer> <reason>`
+# comment (see `make lint-audit`).
+LINT_BUDGET ?= 120s
 lint: vet
 	$(GO) build -o $(BIN)/amnesialint ./tools/amnesialint/cmd
 	$(GO) vet -vettool=$(abspath $(BIN)/amnesialint) ./...
+	$(BIN)/amnesialint -budget $(LINT_BUDGET) ./...
+
+# lint-audit regenerates the //lint:ignore inventory; paste the output
+# between the lint-audit markers in README.md. CI fails on drift.
+lint-audit:
+	$(GO) run ./tools/amnesialint/cmd -audit ./...
+
+lint-audit-check:
+	$(GO) run ./tools/amnesialint/cmd -auditcheck README.md ./...
 
 # fuzz-smoke runs both fuzzers briefly under the race detector with a
 # shared local corpus dir, mirroring the CI step.

@@ -67,6 +67,7 @@ import (
 	"amnesiadb/internal/engine"
 	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
+	"amnesiadb/internal/lockrank"
 	"amnesiadb/internal/snapshot"
 	"amnesiadb/internal/sql"
 	"amnesiadb/internal/summary"
@@ -145,7 +146,7 @@ const planCacheSize = 256
 // in one internally synchronized batch, keeping the read path contention
 // to one short critical section per query.
 type DB struct {
-	mu sync.RWMutex
+	mu lockrank.Catalog
 	// tables and parts are the two kinds of the relation catalog; they
 	// share one namespace (CreateTable and CreatePartitionedTable check
 	// both), and SQL queries route to either kind transparently.
@@ -564,6 +565,33 @@ func (db *DB) QueryStreamCtx(ctx context.Context, q string) (*QueryStream, error
 	}
 	names := pq.Tables()
 	sort.Strings(names)
+	// Resolve every relation under one catalog read-lock, then take the
+	// relation locks in name order with the catalog lock already
+	// released. Re-entering db.mu while holding a relation lock would
+	// invert the hierarchy (docs/LOCKING.md): lockCatalog holds db.mu
+	// exclusively while it waits for each relation in the same name
+	// order, so a query holding table A's read lock and waiting on
+	// db.mu deadlocks against a snapshot holding db.mu and waiting on A.
+	type resolvedRel struct {
+		t *Table
+		p *PartitionedTable
+	}
+	resolved := make([]resolvedRel, len(names))
+	db.mu.RLock()
+	for i, n := range names {
+		t, okT := db.tables[n]
+		p, okP := db.parts[n]
+		switch {
+		case okT:
+			resolved[i].t = t
+		case okP:
+			resolved[i].p = p
+		default:
+			db.mu.RUnlock()
+			return nil, fmt.Errorf("amnesiadb: %w %q", ErrUnknownTable, n)
+		}
+	}
+	db.mu.RUnlock()
 	rels := make(map[string]sql.Relation, len(names))
 	var unlocks []func()
 	release := func() {
@@ -571,25 +599,18 @@ func (db *DB) QueryStreamCtx(ctx context.Context, q string) (*QueryStream, error
 			u()
 		}
 	}
-	for _, n := range names {
-		db.mu.RLock()
-		t, okT := db.tables[n]
-		p, okP := db.parts[n]
-		db.mu.RUnlock()
-		switch {
-		case okT:
+	for i, n := range names {
+		if t := resolved[i].t; t != nil {
 			t.mu.RLock()
 			unlocks = append(unlocks, t.mu.RUnlock)
 			tr := sql.NewTableRelation(t.tbl)
 			tr.SetScheduler(db.pool)
 			rels[n] = tr
-		case okP:
+		} else {
+			p := resolved[i].p
 			p.mu.RLock()
 			unlocks = append(unlocks, p.mu.RUnlock)
 			rels[n] = sql.NewPartitionRelation(p.set)
-		default:
-			release()
-			return nil, fmt.Errorf("amnesiadb: %w %q", ErrUnknownTable, n)
 		}
 	}
 	// The epoch signature is read under the relations' read locks, so
@@ -670,7 +691,7 @@ type Policy struct {
 // anything that reads access frequencies (policy enforcement, snapshots)
 // takes it exclusively.
 type Table struct {
-	mu     sync.RWMutex
+	mu     lockrank.Relation
 	db     *DB
 	tbl    *table.Table
 	ex     *engine.Exec

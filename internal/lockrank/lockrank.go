@@ -1,0 +1,33 @@
+// Package lockrank wraps the engine's ranked mutexes so the documented
+// lock hierarchy (docs/LOCKING.md) is machine-checked twice: statically
+// by amnesialint's lockorder analyzer, which recognizes these wrapper
+// types by name, and dynamically under the amnesiadebug build tag,
+// where every acquisition asserts against the goroutine's held ranks
+// and panics on a descent the static pass could not see.
+//
+// The release build (no tag) embeds the sync primitives directly: zero
+// wrapping cost, identical method sets.
+//
+// Two protocols the assertions encode:
+//   - relation locks may nest with each other freely at rank level;
+//     their real order is the table-name order (docs/LOCKING.md).
+//   - a lock may be released on a different goroutine than the one
+//     that acquired it: QueryStream hands its relation read locks to a
+//     drain watcher. Release therefore searches all goroutines and
+//     ignores unmatched unlocks rather than panicking.
+package lockrank
+
+// Ranks ascend the hierarchy: catalog → relation → shard. The sched
+// pool lock sits below shard but stays a plain sync.Mutex — it is
+// owner-internal and never wraps other engine locks.
+const (
+	rankCatalog = iota + 1
+	rankRelation
+	rankShard
+)
+
+var rankNames = map[int]string{
+	rankCatalog:  "catalog",
+	rankRelation: "relation",
+	rankShard:    "shard",
+}

@@ -1,0 +1,114 @@
+//go:build amnesiadebug
+
+package lockrank
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// reg tracks, per goroutine, the stack of ranks currently held. It is
+// global and mutex-guarded: the debug build trades throughput for the
+// assertion, and the -race CI job is the only consumer.
+var reg = struct {
+	sync.Mutex
+	held map[uint64][]int
+}{held: map[uint64][]int{}}
+
+// gid extracts the current goroutine's id from its stack header —
+// the only portable handle the runtime exposes.
+func gid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// "goroutine 123 [running]:"
+	var id uint64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// acquire asserts rank order against this goroutine's held ranks. The
+// check runs before blocking on the real lock: a would-be deadlock
+// panics with the hierarchy witness instead of hanging the test.
+func acquire(rank int) {
+	g := gid()
+	reg.Lock()
+	defer reg.Unlock()
+	for _, h := range reg.held[g] {
+		if h > rank || (h == rank && rank != rankRelation) {
+			panic(fmt.Sprintf(
+				"lockrank: acquiring %s while holding %s descends the lock hierarchy (docs/LOCKING.md)",
+				rankNames[rank], rankNames[h]))
+		}
+	}
+}
+
+// record pushes the rank after the real lock succeeded.
+func record(rank int) {
+	g := gid()
+	reg.Lock()
+	reg.held[g] = append(reg.held[g], rank)
+	reg.Unlock()
+}
+
+// release pops one instance of rank: from this goroutine when present,
+// else from whichever goroutine holds it (QueryStream's watcher
+// releases relation locks its spawner acquired). An unmatched release
+// is ignored — the registry asserts order, not pairing.
+func release(rank int) {
+	g := gid()
+	reg.Lock()
+	defer reg.Unlock()
+	if popRank(g, rank) {
+		return
+	}
+	for other := range reg.held {
+		if popRank(other, rank) {
+			return
+		}
+	}
+}
+
+func popRank(g uint64, rank int) bool {
+	stack := reg.held[g]
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == rank {
+			stack = append(stack[:i], stack[i+1:]...)
+			if len(stack) == 0 {
+				delete(reg.held, g)
+			} else {
+				reg.held[g] = stack
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Catalog is the database-wide catalog lock (rank 1).
+type Catalog struct{ mu sync.RWMutex }
+
+func (c *Catalog) Lock()    { acquire(rankCatalog); c.mu.Lock(); record(rankCatalog) }
+func (c *Catalog) Unlock()  { c.mu.Unlock(); release(rankCatalog) }
+func (c *Catalog) RLock()   { acquire(rankCatalog); c.mu.RLock(); record(rankCatalog) }
+func (c *Catalog) RUnlock() { c.mu.RUnlock(); release(rankCatalog) }
+
+// Relation is a per-relation lock (rank 2); distinct relations nest in
+// table-name order.
+type Relation struct{ mu sync.RWMutex }
+
+func (r *Relation) Lock()    { acquire(rankRelation); r.mu.Lock(); record(rankRelation) }
+func (r *Relation) Unlock()  { r.mu.Unlock(); release(rankRelation) }
+func (r *Relation) RLock()   { acquire(rankRelation); r.mu.RLock(); record(rankRelation) }
+func (r *Relation) RUnlock() { r.mu.RUnlock(); release(rankRelation) }
+
+// Shard is a partition-shard lock (rank 3).
+type Shard struct{ mu sync.Mutex }
+
+func (s *Shard) Lock()   { acquire(rankShard); s.mu.Lock(); record(rankShard) }
+func (s *Shard) Unlock() { s.mu.Unlock(); release(rankShard) }

@@ -1,0 +1,75 @@
+//go:build amnesiadebug
+
+package lockrank
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAscendingIsClean(t *testing.T) {
+	var c Catalog
+	var r Relation
+	var s Shard
+	c.RLock()
+	r.Lock()
+	s.Lock()
+	s.Unlock()
+	r.Unlock()
+	c.RUnlock()
+}
+
+func TestRelationNestingAllowed(t *testing.T) {
+	var a, b Relation
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+func TestDescendingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("catalog under relation did not panic")
+		}
+	}()
+	var c Catalog
+	var r Relation
+	r.Lock()
+	defer r.Unlock()
+	c.RLock()
+	c.RUnlock()
+}
+
+func TestSameRankShardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shard under shard did not panic")
+		}
+	}()
+	var a, b Shard
+	a.Lock()
+	defer a.Unlock()
+	b.Lock()
+	b.Unlock()
+}
+
+// TestCrossGoroutineRelease pins the QueryStream handoff protocol: the
+// spawning goroutine acquires, a watcher releases, and the registry
+// must neither panic nor leak the held rank (a later catalog
+// acquisition on the spawner would otherwise see a phantom relation).
+func TestCrossGoroutineRelease(t *testing.T) {
+	var r Relation
+	var c Catalog
+	r.RLock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.RUnlock()
+	}()
+	wg.Wait()
+	// The relation rank must be gone from this goroutine's stack.
+	c.RLock()
+	c.RUnlock()
+}

@@ -1,0 +1,17 @@
+//go:build !amnesiadebug
+
+package lockrank
+
+import "sync"
+
+// Catalog is the database-wide catalog lock (rank 1).
+type Catalog struct{ sync.RWMutex }
+
+// Relation is a per-relation lock (rank 2); distinct relations nest in
+// table-name order.
+type Relation struct{ sync.RWMutex }
+
+// Shard is a partition-shard lock (rank 3).
+type Shard struct{ sync.Mutex }
+
+var _ = rankNames // referenced by the amnesiadebug build

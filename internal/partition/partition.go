@@ -26,13 +26,13 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"amnesiadb/internal/amnesia"
 	"amnesiadb/internal/engine"
 	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
+	"amnesiadb/internal/lockrank"
 	"amnesiadb/internal/table"
 	"amnesiadb/internal/xrand"
 )
@@ -49,7 +49,7 @@ type Partition struct {
 	// mu serialises mutation of the shard's table — Insert's
 	// append-and-forget and Adapt's forget — so budget enforcement from
 	// the two paths cannot interleave mid-shard.
-	mu sync.Mutex
+	mu lockrank.Shard
 
 	tbl   *table.Table
 	ex    *engine.Exec

@@ -2,9 +2,9 @@ package amnesiadb
 
 import (
 	"fmt"
-	"sync"
 
 	"amnesiadb/internal/durability"
+	"amnesiadb/internal/lockrank"
 	"amnesiadb/internal/partition"
 	"amnesiadb/internal/wal"
 )
@@ -28,7 +28,7 @@ import (
 // this facade's exclusive lock, because forgetting mutates the active
 // bitmap that lock-free scans read.
 type PartitionedTable struct {
-	mu   sync.RWMutex
+	mu   lockrank.Relation
 	db   *DB
 	name string
 	set  *partition.Set

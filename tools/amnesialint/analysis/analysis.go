@@ -4,6 +4,15 @@
 // repo cannot vendor x/tools, so amnesialint carries just the slice of
 // the API its analyzers need; the shapes match upstream so the
 // analyzers could migrate to the real framework wholesale.
+//
+// Beyond the per-package shape, a Session threads cross-package state:
+// every analyzed package contributes a summary.Package (lock classes
+// acquired, lock-graph edges, goroutine/batch shape bits) to a shared
+// summary.Program, and analyzers with a Finalize hook get a
+// whole-program pass once every package has run — that is where
+// lockorder's cycle detection lives. Under `go vet -vettool` the same
+// flow happens per compilation unit, with dependency summaries read
+// back from .vetx facts files.
 package analysis
 
 import (
@@ -14,6 +23,9 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
+
+	"amnesiadb/tools/amnesialint/analysis/summary"
 )
 
 // An Analyzer describes one invariant check.
@@ -25,6 +37,12 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package and reports findings via pass.Reportf.
 	Run func(*Pass) error
+	// Finalize, if set, runs once after every package of the session has
+	// been summarized — the whole-program hook. Under go vet it runs per
+	// unit over that unit plus its dependencies' facts; OwnPkgs tells the
+	// hook which packages this process owns so diagnostics are not
+	// duplicated across units.
+	Finalize func(*FinalPass) error
 }
 
 // A Pass hands one type-checked package to an Analyzer.
@@ -35,6 +53,26 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Sum is the current package's flow summary; Local carries its CFGs.
+	Sum   *summary.Package
+	Local *summary.Local
+	// Prog holds every dependency summary visible to this run (plus, in
+	// standalone mode, all previously analyzed packages).
+	Prog *summary.Program
+
+	report func(Diagnostic)
+}
+
+// A FinalPass hands the whole-program state to an Analyzer's Finalize.
+type FinalPass struct {
+	Analyzer *Analyzer
+	Prog     *summary.Program
+	// OwnPkgs is the set of import paths analyzed by this session (as
+	// opposed to loaded from dependency facts). Whole-program hooks
+	// attribute each diagnostic to exactly one owning package so `go vet`
+	// units do not multiply-report shared findings.
+	OwnPkgs map[string]bool
+
 	report func(Diagnostic)
 }
 
@@ -43,11 +81,20 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Pos
 	Message  string
+	// Site carries the position for whole-program diagnostics whose
+	// token.Pos is foreign (deserialized from facts); when File is
+	// non-empty it wins over Pos.
+	Site summary.Site
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportSite records a whole-program finding at a serialized site.
+func (p *FinalPass) ReportSite(site summary.Site, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Site: site, Message: fmt.Sprintf(format, args...)})
 }
 
 // InTestFile reports whether pos lies in a _test.go file. The
@@ -75,65 +122,40 @@ func (f Finding) String() string {
 // reason is mandatory — an unexplained suppression is itself reported.
 var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s*(.*)$`)
 
-type suppression struct {
-	analyzers string // comma-separated names, or "all"
-	reason    string
-	line      int // the comment's own line; it covers this line and the next
-	pos       token.Pos
+// A Suppression is one //lint:ignore site. It covers its own line and
+// the next. Exported so the -audit mode can inventory the tree's
+// suppressions with the same parser the filter uses.
+type Suppression struct {
+	File      string
+	Line      int
+	Analyzers string // comma-separated names, or "all"
+	Reason    string
+
+	pos token.Pos
 }
 
-// Run applies every analyzer to one type-checked package and returns
-// the surviving findings, sorted by position. Suppression comments are
-// honoured here so every entry point (go vet protocol, standalone
-// driver, the linttest harness) filters identically.
-func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
-	sups := collectSuppressions(fset, files)
-
-	var findings []Finding
-	add := func(d Diagnostic) {
-		pos := fset.Position(d.Pos)
-		for _, s := range sups {
-			if fset.Position(s.pos).Filename != pos.Filename {
-				continue
+// ScanSuppressions extracts every suppression comment from the files.
+func ScanSuppressions(fset *token.FileSet, files []*ast.File) []Suppression {
+	var out []Suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, Suppression{
+					File:      pos.Filename,
+					Line:      pos.Line,
+					Analyzers: m[1],
+					Reason:    strings.TrimSpace(m[2]),
+					pos:       c.Pos(),
+				})
 			}
-			if pos.Line != s.line && pos.Line != s.line+1 {
-				continue
-			}
-			if matchesAnalyzer(s.analyzers, d.Analyzer) {
-				return
-			}
-		}
-		findings = append(findings, Finding{Analyzer: d.Analyzer, Pos: pos, Message: d.Message})
-	}
-
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-			report:    add,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
-
-	// A suppression without a reason defeats the audit trail; flag it
-	// unconditionally (it cannot suppress itself).
-	for _, s := range sups {
-		if s.reason == "" {
-			findings = append(findings, Finding{
-				Analyzer: "suppress",
-				Pos:      fset.Position(s.pos),
-				Message:  "lint:ignore needs a reason: //lint:ignore <analyzer> <why this is safe>",
-			})
-		}
-	}
-
-	sortFindings(findings)
-	return findings, nil
+	return out
 }
 
 func matchesAnalyzer(list, name string) bool {
@@ -145,25 +167,185 @@ func matchesAnalyzer(list, name string) bool {
 	return false
 }
 
-func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
-	var out []suppression
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := ignoreRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				out = append(out, suppression{
-					analyzers: m[1],
-					reason:    strings.TrimSpace(m[2]),
-					line:      fset.Position(c.Pos()).Line,
-					pos:       c.Pos(),
-				})
-			}
+// A Session runs the suite over many packages and accumulates the
+// whole-program state. Safe for concurrent RunPackage calls as long as
+// the caller respects dependency order (a package runs only after its
+// in-module dependencies have).
+type Session struct {
+	Analyzers []*Analyzer
+	Prog      *summary.Program
+
+	mu       sync.Mutex
+	findings []Finding
+	sups     []Suppression
+	ownPkgs  map[string]bool
+}
+
+func NewSession(analyzers []*Analyzer) *Session {
+	return &Session{
+		Analyzers: analyzers,
+		Prog:      summary.NewProgram(),
+		ownPkgs:   map[string]bool{},
+	}
+}
+
+// AddFacts registers a dependency package's deserialized summaries.
+func (s *Session) AddFacts(pkg *summary.Package) {
+	if pkg != nil {
+		s.Prog.Add(pkg)
+	}
+}
+
+// Summarize computes and registers a package's summary without running
+// the analyzers — the VetxOnly path, and the dependency pre-pass of the
+// standalone driver.
+func (s *Session) Summarize(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *summary.Package {
+	sum, _ := summary.Build(fset, files, pkg, info, s.Prog)
+	s.Prog.Add(sum)
+	return sum
+}
+
+// RunPackage summarizes one type-checked package, runs every analyzer's
+// Run over it, and folds surviving findings into the session. Returns
+// the package summary (callers serialize it as vet facts).
+func (s *Session) RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) (*summary.Package, error) {
+	sum, local := summary.Build(fset, files, pkg, info, s.Prog)
+
+	sups := ScanSuppressions(fset, files)
+	var pkgFindings []Finding
+	add := func(d Diagnostic) {
+		pos := fset.Position(d.Pos)
+		if suppressed(sups, pos.Filename, pos.Line, d.Analyzer) {
+			return
+		}
+		pkgFindings = append(pkgFindings, Finding{Analyzer: d.Analyzer, Pos: pos, Message: d.Message})
+	}
+
+	for _, a := range s.Analyzers {
+		if a.Run == nil {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Sum:       sum,
+			Local:     local,
+			Prog:      s.Prog,
+			report:    add,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
+
+	// A suppression without a reason defeats the audit trail; flag it
+	// unconditionally (it cannot suppress itself).
+	for _, sp := range sups {
+		if sp.Reason == "" {
+			pkgFindings = append(pkgFindings, Finding{
+				Analyzer: "suppress",
+				Pos:      fset.Position(sp.pos),
+				Message:  "lint:ignore needs a reason: //lint:ignore <analyzer> <why this is safe>",
+			})
+		}
+	}
+
+	s.mu.Lock()
+	s.findings = append(s.findings, pkgFindings...)
+	s.sups = append(s.sups, sups...)
+	s.ownPkgs[pkg.Path()] = true
+	s.mu.Unlock()
+
+	// Publish the summary only after analysis so a package never
+	// consumes its own half-built state.
+	s.Prog.Add(sum)
+	return sum, nil
+}
+
+// Finalize runs every analyzer's whole-program hook and returns all
+// session findings, sorted. Finalize diagnostics are filtered against
+// the union of suppressions seen across the session's packages.
+func (s *Session) Finalize() ([]Finding, error) {
+	s.mu.Lock()
+	sups := append([]Suppression(nil), s.sups...)
+	own := make(map[string]bool, len(s.ownPkgs))
+	for k, v := range s.ownPkgs {
+		own[k] = v
+	}
+	s.mu.Unlock()
+
+	var finals []Finding
+	add := func(d Diagnostic) {
+		pos := token.Position{Filename: d.Site.File, Line: d.Site.Line}
+		if d.Site.File == "" {
+			pos = token.Position{}
+		}
+		if suppressed(sups, pos.Filename, pos.Line, d.Analyzer) {
+			return
+		}
+		finals = append(finals, Finding{Analyzer: d.Analyzer, Pos: pos, Message: d.Message})
+	}
+	for _, a := range s.Analyzers {
+		if a.Finalize == nil {
+			continue
+		}
+		fp := &FinalPass{Analyzer: a, Prog: s.Prog, OwnPkgs: own, report: add}
+		if err := a.Finalize(fp); err != nil {
+			return nil, fmt.Errorf("%s (finalize): %v", a.Name, err)
+		}
+	}
+
+	s.mu.Lock()
+	s.findings = append(s.findings, finals...)
+	out := append([]Finding(nil), s.findings...)
+	s.mu.Unlock()
+	sortFindings(out)
+	return out, nil
+}
+
+// Suppressions returns every //lint:ignore site seen across the
+// session's packages, in deterministic order.
+func (s *Session) Suppressions() []Suppression {
+	s.mu.Lock()
+	out := append([]Suppression(nil), s.sups...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
 	return out
+}
+
+func suppressed(sups []Suppression, file string, line int, analyzer string) bool {
+	for _, sp := range sups {
+		if sp.File != file {
+			continue
+		}
+		if line != sp.Line && line != sp.Line+1 {
+			continue
+		}
+		if matchesAnalyzer(sp.Analyzers, analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies analyzers to one package in a throwaway session — the
+// single-package convenience used by tests that do not need
+// whole-program state. Finalize hooks still run, over just this
+// package.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	s := NewSession(analyzers)
+	if _, err := s.RunPackage(fset, files, pkg, info); err != nil {
+		return nil, err
+	}
+	return s.Finalize()
 }
 
 func sortFindings(fs []Finding) {

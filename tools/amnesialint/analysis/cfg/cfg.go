@@ -1,0 +1,513 @@
+// Package cfg builds a lightweight per-function control-flow graph for
+// amnesialint's flow-sensitive analyzers. It is deliberately smaller
+// than golang.org/x/tools/go/cfg — blocks hold raw ast.Nodes and the
+// builder covers exactly the shapes the repo's invariants depend on:
+// if/else, for and range loops, switch/type-switch/select,
+// short-circuit && and || (condition operands land in distinct blocks,
+// so a lock taken in the left operand is visibly held in the right),
+// labeled break/continue, goto, fallthrough, panic, and defer (deferred
+// statements are collected in execution order and replayed LIFO at the
+// Exit block by consumers).
+//
+// The graph over-approximates: every path in the program corresponds
+// to a path in the graph, but not vice versa. That is the right
+// direction for the analyses built on it — may-hold lock sets and
+// may-be-recycled batch states err toward reporting.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Block is one straight-line run of statements: control enters at the
+// top, every node executes in order, and control leaves through one of
+// Succs.
+type Block struct {
+	Index int
+	// Nodes are the statements (and decomposed short-circuit condition
+	// operands) executed in this block, in order.
+	Nodes []ast.Node
+	Succs []*Block
+	// Kind is a debugging label ("entry", "exit", "if.then", "for.body",
+	// ...); analyses must not depend on it.
+	Kind string
+}
+
+func (b *Block) addSucc(s *Block) {
+	if s == nil {
+		return
+	}
+	for _, have := range b.Succs {
+		if have == s {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, s)
+}
+
+// A Graph is the CFG of one function body. Exit is the single synthetic
+// exit block: returns, panics and falling off the end all lead there.
+// Defers lists every defer statement encountered, in execution
+// (encounter) order; consumers model function exit by replaying it in
+// reverse.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	Defers []*ast.DeferStmt
+}
+
+// builder carries loop/label context during construction.
+type builder struct {
+	g *Graph
+	// break/continue targets for the innermost enclosing constructs.
+	breakTarget, continueTarget *Block
+	// labeled targets: label name -> (break, continue) blocks.
+	labelBreak    map[string]*Block
+	labelContinue map[string]*Block
+	// goto handling: label name -> first block of the labeled statement,
+	// plus unresolved jumps patched once the label is seen.
+	labelBlock map[string]*Block
+	gotoFixups map[string][]*Block
+	// fallTarget is the next case body, while building a switch clause.
+	fallTarget *Block
+}
+
+// New builds the CFG for one function body. A nil body yields a trivial
+// entry->exit graph.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{
+		g:             g,
+		labelBreak:    map[string]*Block{},
+		labelContinue: map[string]*Block{},
+		labelBlock:    map[string]*Block{},
+		gotoFixups:    map[string][]*Block{},
+	}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	cur := g.Entry
+	if body != nil {
+		cur = b.stmts(cur, body.List)
+	}
+	if cur != nil {
+		cur.addSucc(g.Exit)
+	}
+	// Unresolved gotos (labels later in the source were patched as they
+	// appeared; a label that never appears is a compile error upstream,
+	// but stay robust): route to exit.
+	for _, pend := range b.gotoFixups {
+		for _, blk := range pend {
+			blk.addSucc(g.Exit)
+		}
+	}
+	return g
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// stmts threads the statement list through cur; a nil return means the
+// list ended in a terminating statement (return, goto, panic, ...).
+func (b *builder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after a terminator still gets a block so its
+			// nodes are visible to syntactic passes, but nothing flows in.
+			cur = b.newBlock("dead")
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		thenB := b.newBlock("if.then")
+		var elseB *Block
+		after := b.newBlock("if.after")
+		if s.Else != nil {
+			elseB = b.newBlock("if.else")
+		} else {
+			elseB = after
+		}
+		b.cond(cur, s.Cond, thenB, elseB)
+		if out := b.stmts(thenB, s.Body.List); out != nil {
+			out.addSucc(after)
+		}
+		if s.Else != nil {
+			if out := b.stmt(elseB, s.Else); out != nil {
+				out.addSucc(after)
+			}
+		}
+		return after
+
+	case *ast.ForStmt:
+		return b.forStmt(cur, s, "")
+
+	case *ast.RangeStmt:
+		return b.rangeStmt(cur, s, "")
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(cur, s, "")
+
+	case *ast.TypeSwitchStmt:
+		return b.typeSwitchStmt(cur, s, "")
+
+	case *ast.SelectStmt:
+		return b.selectStmt(cur, s, "")
+
+	case *ast.LabeledStmt:
+		// The labeled statement's first block is the goto target.
+		head := b.newBlock("label." + s.Label.Name)
+		cur.addSucc(head)
+		b.labelBlock[s.Label.Name] = head
+		for _, pend := range b.gotoFixups[s.Label.Name] {
+			pend.addSucc(head)
+		}
+		delete(b.gotoFixups, s.Label.Name)
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt:
+			return b.forStmt(head, inner, s.Label.Name)
+		case *ast.RangeStmt:
+			return b.rangeStmt(head, inner, s.Label.Name)
+		case *ast.SwitchStmt:
+			return b.switchStmt(head, inner, s.Label.Name)
+		case *ast.TypeSwitchStmt:
+			return b.typeSwitchStmt(head, inner, s.Label.Name)
+		case *ast.SelectStmt:
+			return b.selectStmt(head, inner, s.Label.Name)
+		default:
+			return b.stmt(head, s.Stmt)
+		}
+
+	case *ast.BranchStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			t := b.breakTarget
+			if s.Label != nil {
+				t = b.labelBreak[s.Label.Name]
+			}
+			cur.addSucc(t)
+			return nil
+		case token.CONTINUE:
+			t := b.continueTarget
+			if s.Label != nil {
+				t = b.labelContinue[s.Label.Name]
+			}
+			cur.addSucc(t)
+			return nil
+		case token.GOTO:
+			if s.Label != nil {
+				if t, ok := b.labelBlock[s.Label.Name]; ok {
+					cur.addSucc(t)
+				} else {
+					b.gotoFixups[s.Label.Name] = append(b.gotoFixups[s.Label.Name], cur)
+				}
+			}
+			return nil
+		case token.FALLTHROUGH:
+			cur.addSucc(b.fallTarget)
+			return nil
+		}
+		return cur
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		cur.addSucc(b.g.Exit)
+		return nil
+
+	case *ast.DeferStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.g.Defers = append(b.g.Defers, s)
+		return cur
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if isPanicCall(s.X) {
+			cur.addSucc(b.g.Exit)
+			return nil
+		}
+		return cur
+
+	default:
+		// Assignments, sends, incdec, go, decl, empty: straight-line.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// cond wires a condition expression from cur to the two targets,
+// decomposing short-circuit operators so each operand evaluates in its
+// own block: in `a() && b()`, b's block is reachable only through a's
+// true edge.
+func (b *builder) cond(cur *Block, e ast.Expr, t, f *Block) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(cur, x.X, mid, f)
+			b.cond(mid, x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(cur, x.X, t, mid)
+			b.cond(mid, x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(cur, x.X, f, t)
+			return
+		}
+	}
+	cur.Nodes = append(cur.Nodes, e)
+	cur.addSucc(t)
+	cur.addSucc(f)
+}
+
+func (b *builder) forStmt(cur *Block, s *ast.ForStmt, label string) *Block {
+	if s.Init != nil {
+		cur.Nodes = append(cur.Nodes, s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	post := b.newBlock("for.post")
+	after := b.newBlock("for.after")
+	cur.addSucc(head)
+	if s.Cond != nil {
+		b.cond(head, s.Cond, body, after)
+	} else {
+		head.addSucc(body) // for {}: only break/goto leave
+	}
+	out := b.inLoop(after, post, label, func() *Block {
+		return b.stmts(body, s.Body.List)
+	})
+	if out != nil {
+		out.addSucc(post)
+	}
+	if s.Post != nil {
+		post.Nodes = append(post.Nodes, s.Post)
+	}
+	post.addSucc(head)
+	return after
+}
+
+func (b *builder) rangeStmt(cur *Block, s *ast.RangeStmt, label string) *Block {
+	head := b.newBlock("range.head")
+	head.Nodes = append(head.Nodes, s.X)
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.after")
+	cur.addSucc(head)
+	head.addSucc(body)
+	head.addSucc(after) // empty range
+	out := b.inLoop(after, head, label, func() *Block {
+		return b.stmts(body, s.Body.List)
+	})
+	if out != nil {
+		out.addSucc(head)
+	}
+	return after
+}
+
+// inLoop runs fn with break/continue targets installed (and the label's,
+// when the loop is labeled).
+func (b *builder) inLoop(brk, cont *Block, label string, fn func() *Block) *Block {
+	savedB, savedC := b.breakTarget, b.continueTarget
+	b.breakTarget, b.continueTarget = brk, cont
+	if label != "" {
+		b.labelBreak[label] = brk
+		b.labelContinue[label] = cont
+	}
+	out := fn()
+	b.breakTarget, b.continueTarget = savedB, savedC
+	if label != "" {
+		delete(b.labelBreak, label)
+		delete(b.labelContinue, label)
+	}
+	return out
+}
+
+func (b *builder) switchStmt(cur *Block, s *ast.SwitchStmt, label string) *Block {
+	if s.Init != nil {
+		cur.Nodes = append(cur.Nodes, s.Init)
+	}
+	if s.Tag != nil {
+		cur.Nodes = append(cur.Nodes, s.Tag)
+	}
+	return b.cases(cur, s.Body.List, label, true)
+}
+
+func (b *builder) typeSwitchStmt(cur *Block, s *ast.TypeSwitchStmt, label string) *Block {
+	if s.Init != nil {
+		cur.Nodes = append(cur.Nodes, s.Init)
+	}
+	cur.Nodes = append(cur.Nodes, s.Assign)
+	return b.cases(cur, s.Body.List, label, false)
+}
+
+// cases wires switch/type-switch clauses: every clause is entered from
+// the head, fallthrough (expression switches only) chains a clause body
+// into the next clause's body, and a missing default adds a head->after
+// edge.
+func (b *builder) cases(head *Block, clauses []ast.Stmt, label string, allowFall bool) *Block {
+	after := b.newBlock("switch.after")
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		bodies[i] = b.newBlock("case")
+		for _, e := range cc.List {
+			bodies[i].Nodes = append(bodies[i].Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		head.addSucc(bodies[i])
+	}
+	if !hasDefault {
+		head.addSucc(after)
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		savedFall := b.fallTarget
+		b.fallTarget = nil
+		if allowFall && i+1 < len(clauses) {
+			b.fallTarget = bodies[i+1]
+		}
+		out := b.inSwitch(after, label, func() *Block {
+			return b.stmts(bodies[i], cc.Body)
+		})
+		b.fallTarget = savedFall
+		if out != nil {
+			out.addSucc(after)
+		}
+	}
+	return after
+}
+
+func (b *builder) selectStmt(cur *Block, s *ast.SelectStmt, label string) *Block {
+	after := b.newBlock("select.after")
+	for _, c := range s.Body.List {
+		comm := c.(*ast.CommClause)
+		body := b.newBlock("select.case")
+		if comm.Comm != nil {
+			body.Nodes = append(body.Nodes, comm.Comm)
+		}
+		cur.addSucc(body)
+		out := b.inSwitch(after, label, func() *Block {
+			return b.stmts(body, comm.Body)
+		})
+		if out != nil {
+			out.addSucc(after)
+		}
+	}
+	if len(s.Body.List) == 0 {
+		// select {} blocks forever; nothing reaches after.
+		_ = after
+	}
+	return after
+}
+
+// inSwitch installs only the break target (continue passes through to
+// the enclosing loop).
+func (b *builder) inSwitch(brk *Block, label string, fn func() *Block) *Block {
+	saved := b.breakTarget
+	b.breakTarget = brk
+	if label != "" {
+		b.labelBreak[label] = brk
+	}
+	out := fn()
+	b.breakTarget = saved
+	if label != "" {
+		delete(b.labelBreak, label)
+	}
+	return out
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Reachable reports whether dst is reachable from src (inclusive).
+func (g *Graph) Reachable(src, dst *Block) bool {
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{src}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == dst {
+			return true
+		}
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+// BlockOf returns the block whose Nodes contain n, or nil.
+func (g *Graph) BlockOf(n ast.Node) *Block {
+	for _, b := range g.Blocks {
+		for _, have := range b.Nodes {
+			if have == n {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// Dump renders the graph compactly for tests: one line per block with
+// its kind, node kinds, and successor indices.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s [", b.Index, b.Kind)
+		for i, n := range b.Nodes {
+			if i > 0 {
+				sb.WriteString(" ")
+			}
+			sb.WriteString(nodeKind(n))
+		}
+		sb.WriteString("] ->")
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func nodeKind(n ast.Node) string {
+	s := fmt.Sprintf("%T", n)
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}

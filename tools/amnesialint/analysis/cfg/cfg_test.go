@@ -1,0 +1,316 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses a function body and returns its graph plus a lookup from
+// marker-call name (`a()`, `b()`, ...) to the block containing it.
+func build(t *testing.T, body string) (*Graph, map[string]*Block) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	g := New(fd.Body)
+	marks := map[string]*Block{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(c ast.Node) bool {
+				call, ok := c.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					marks[id.Name] = b
+				}
+				return true
+			})
+		}
+	}
+	return g, marks
+}
+
+// mustReach / mustNotReach assert path existence between marker blocks.
+func mustReach(t *testing.T, g *Graph, marks map[string]*Block, from, to string) {
+	t.Helper()
+	if marks[from] == nil || marks[to] == nil {
+		t.Fatalf("marker missing (%s=%v %s=%v)\n%s", from, marks[from], to, marks[to], g.Dump())
+	}
+	if !g.Reachable(marks[from], marks[to]) {
+		t.Errorf("no path %s -> %s\n%s", from, to, g.Dump())
+	}
+}
+
+func mustNotReach(t *testing.T, g *Graph, marks map[string]*Block, from, to string) {
+	t.Helper()
+	if marks[from] == nil || marks[to] == nil {
+		t.Fatalf("marker missing (%s=%v %s=%v)\n%s", from, marks[from], to, marks[to], g.Dump())
+	}
+	if g.Reachable(marks[from], marks[to]) {
+		t.Errorf("unexpected path %s -> %s\n%s", from, to, g.Dump())
+	}
+}
+
+// nextMarks walks forward from a block, skipping empty join blocks, and
+// returns the set of marker names in the first node-bearing blocks hit.
+func nextMarks(b *Block) map[string]bool {
+	out := map[string]bool{}
+	seen := map[*Block]bool{b: true}
+	var walk func(*Block)
+	walk = func(cur *Block) {
+		for _, s := range cur.Succs {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			if len(s.Nodes) == 0 {
+				walk(s)
+				continue
+			}
+			for _, n := range s.Nodes {
+				ast.Inspect(n, func(c ast.Node) bool {
+					if call, ok := c.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok {
+							out[id.Name] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	walk(b)
+	return out
+}
+
+func TestShortCircuitAnd(t *testing.T) {
+	g, m := build(t, `
+if a() && b() {
+	then()
+} else {
+	els()
+}
+after()`)
+	if m["a"] == m["b"] {
+		t.Errorf("&& operands share a block; the right operand must be separately guarded\n%s", g.Dump())
+	}
+	mustReach(t, g, m, "a", "els") // a false: b never runs
+	mustReach(t, g, m, "b", "then")
+	mustReach(t, g, m, "b", "els")
+	mustReach(t, g, m, "then", "after")
+	mustReach(t, g, m, "els", "after")
+	mustNotReach(t, g, m, "then", "els")
+}
+
+func TestShortCircuitOr(t *testing.T) {
+	g, m := build(t, `
+if a() || b() {
+	then()
+}
+after()`)
+	if m["a"] == m["b"] {
+		t.Errorf("|| operands share a block\n%s", g.Dump())
+	}
+	mustReach(t, g, m, "a", "then") // a true: straight in
+	mustReach(t, g, m, "b", "then")
+	mustReach(t, g, m, "a", "after")
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g, m := build(t, `
+outer:
+for c1() {
+	for c2() {
+		if esc() {
+			hit()
+			break outer
+		}
+		inner()
+	}
+	mid()
+}
+after()`)
+	mustReach(t, g, m, "hit", "after")
+	// break outer jumps straight out: the very next statements after hit
+	// are after(), not inner() or mid().
+	next := nextMarks(m["hit"])
+	if !next["after"] || next["inner"] || next["mid"] {
+		t.Errorf("break outer should land on after, got %v\n%s", next, g.Dump())
+	}
+}
+
+func TestLabeledContinue(t *testing.T) {
+	g, m := build(t, `
+outer:
+for c1() {
+	for c2() {
+		if esc() {
+			hit()
+			continue outer
+		}
+		inner()
+	}
+	mid()
+}
+after()`)
+	// continue outer re-tests the outer condition: c1 is next, not the
+	// rest of the inner body and not mid.
+	next := nextMarks(m["hit"])
+	if !next["c1"] || next["inner"] || next["mid"] {
+		t.Errorf("continue outer should land on c1, got %v\n%s", next, g.Dump())
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g, m := build(t, `
+a()
+goto done
+skipped()
+done:
+d()`)
+	mustReach(t, g, m, "a", "d")
+	next := nextMarks(m["a"])
+	if !next["d"] || next["skipped"] {
+		t.Errorf("goto done should land on d, got %v\n%s", next, g.Dump())
+	}
+	if g.Reachable(g.Entry, m["skipped"]) {
+		t.Errorf("skipped() is unreachable over the goto\n%s", g.Dump())
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g, m := build(t, `
+top:
+a()
+if c() {
+	goto top
+}
+after()`)
+	mustReach(t, g, m, "c", "a") // back edge through the label
+	mustReach(t, g, m, "c", "after")
+}
+
+func TestRangeLoop(t *testing.T) {
+	g, m := build(t, `
+pre()
+for range xs() {
+	body()
+}
+after()`)
+	mustReach(t, g, m, "pre", "body")
+	mustReach(t, g, m, "body", "body") // back edge
+	mustReach(t, g, m, "pre", "after") // zero-iteration path
+	mustReach(t, g, m, "body", "after")
+}
+
+func TestDeferOrdering(t *testing.T) {
+	g, m := build(t, `
+defer d1()
+if c() {
+	defer d2()
+}
+for c2() {
+	defer d3()
+}
+last()`)
+	_ = m
+	var names []string
+	for _, d := range g.Defers {
+		call := d.Call
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			names = append(names, id.Name)
+		}
+	}
+	// Encounter order; consumers replay it in reverse at Exit.
+	want := []string{"d1", "d2", "d3"}
+	if len(names) != len(want) {
+		t.Fatalf("defers = %v, want %v\n%s", names, want, g.Dump())
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("defers = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestPanicEndsPath(t *testing.T) {
+	g, m := build(t, `
+a()
+panic("boom")
+unreach()`)
+	if g.Reachable(g.Entry, m["unreach"]) {
+		t.Errorf("statements after panic must be unreachable\n%s", g.Dump())
+	}
+	if !g.Reachable(m["a"], g.Exit) {
+		t.Errorf("panic must lead to exit\n%s", g.Dump())
+	}
+}
+
+func TestPanicRecover(t *testing.T) {
+	g, _ := build(t, `
+defer func() {
+	if recover() != nil {
+		handled()
+	}
+}()
+a()
+panic("boom")`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("recover defer not collected\n%s", g.Dump())
+	}
+}
+
+func TestFallthrough(t *testing.T) {
+	g, m := build(t, `
+switch v() {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+case 3:
+	c()
+}
+after()`)
+	next := nextMarks(m["a"])
+	if !next["b"] || next["c"] || next["after"] {
+		t.Errorf("fallthrough from a should land on b only, got %v\n%s", next, g.Dump())
+	}
+	mustNotReach(t, g, m, "b", "c")
+	mustReach(t, g, m, "c", "after")
+}
+
+func TestSelectBranches(t *testing.T) {
+	g, m := build(t, `
+select {
+case <-ch1():
+	a()
+case <-ch2():
+	b()
+}
+after()`)
+	mustReach(t, g, m, "a", "after")
+	mustReach(t, g, m, "b", "after")
+	mustNotReach(t, g, m, "a", "b")
+}
+
+func TestBlockOf(t *testing.T) {
+	g, m := build(t, `
+a()
+b()`)
+	if m["a"] == nil {
+		t.Fatal("marker a missing")
+	}
+	for _, n := range m["a"].Nodes {
+		if g.BlockOf(n) != m["a"] {
+			t.Errorf("BlockOf disagrees with containing block")
+		}
+	}
+}

@@ -3,11 +3,15 @@ package analyzers
 import "amnesiadb/tools/amnesialint/analysis"
 
 // All returns the full amnesialint suite in the order findings are
-// reported.
+// reported. The flow-sensitive analyzers (lockorder, goroutinelife,
+// recycleflow) run alongside the syntactic ones; recycleflow subsumes
+// the retired batchlifecycle check.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Liveness,
-		BatchLifecycle,
+		LockOrder,
+		GoroutineLife,
+		RecycleFlow,
 		WALExhaustive,
 		CtxFlow,
 		SentErr,

@@ -14,8 +14,16 @@ func TestLiveness(t *testing.T) {
 	linttest.Run(t, "testdata/src/liveness", Liveness)
 }
 
-func TestBatchLifecycle(t *testing.T) {
-	linttest.Run(t, "testdata/src/batchlifecycle", BatchLifecycle)
+func TestRecycleFlow(t *testing.T) {
+	linttest.Run(t, "testdata/src/recycleflow", RecycleFlow)
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src/lockorder", LockOrder)
+}
+
+func TestGoroutineLife(t *testing.T) {
+	linttest.Run(t, "testdata/src/goroutinelife", GoroutineLife)
 }
 
 func TestWALExhaustive(t *testing.T) {

@@ -1,0 +1,192 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"amnesiadb/tools/amnesialint/analysis"
+	"amnesiadb/tools/amnesialint/analysis/summary"
+)
+
+// GoroutineLife enforces goroutine accountability below the server
+// layer: every `go` statement must either be the sched pool's own
+// dispatch or spawn a body whose termination is provable — it joins a
+// WaitGroup, closes a completion channel, or is a loop-free watcher
+// gated on a channel receive. On top of that, a looping body spawned
+// from a context-threaded function must be cancellable: it has to
+// reference the ctx or wait on a channel, and a condition-less loop
+// with no exit at all is flagged regardless. Bodies are resolved flow-
+// lessly but cross-package: function literals are inspected directly,
+// local `worker := func(){...}` bindings are chased, and named
+// functions use the shared summaries, so `go pkg.Run()` is checked
+// against Run's real shape.
+var GoroutineLife = &analysis.Analyzer{
+	Name: "goroutinelife",
+	Doc:  "goroutines below the server layer must be sched dispatches or provably joined/completion-signalled, and cancellable when spawned from a ctx-threaded function",
+	Run:  runGoroutineLife,
+}
+
+// goShape is the lifecycle evidence extracted from a spawned body.
+type goShape struct {
+	joins           bool
+	closesChan      bool
+	channelDriven   bool
+	unstoppableLoop bool
+	hasLoop         bool
+	waitsOnChan     bool
+	refsCtx         bool
+	resolved        bool
+}
+
+func runGoroutineLife(pass *analysis.Pass) error {
+	// Same boundary as ctxflow: binaries, examples and tooling own their
+	// goroutines' lifetimes, the server layer hands them to net/http,
+	// and sched *is* the dispatch mechanism this rule points at.
+	if ctxExemptPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	funcDecls(pass.Files, pass.Fset, func(fd *ast.FuncDecl) {
+		spawnerCtx := hasCtxParam(pass.TypesInfo, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkSpawn(pass, fd, gs, spawnerCtx)
+			return true
+		})
+	})
+	return nil
+}
+
+func checkSpawn(pass *analysis.Pass, fd *ast.FuncDecl, gs *ast.GoStmt, spawnerCtx bool) {
+	if pass.InTestFile(gs.Pos()) {
+		return
+	}
+	shape := resolveSpawn(pass, fd, gs.Call)
+	if !shape.resolved {
+		pass.Reportf(gs.Pos(),
+			"goroutine spawned in %s cannot be resolved to a body; route it through the sched pool or spawn a function the analyzer can see",
+			fd.Name.Name)
+		return
+	}
+	joined := shape.joins || shape.closesChan || shape.channelDriven
+	if !joined {
+		pass.Reportf(gs.Pos(),
+			"goroutine spawned in %s is neither joined (WaitGroup.Done) nor completion-signalled (close(ch) / channel-gated watcher); it can outlive its owner — dispatch via the sched pool or add a join",
+			fd.Name.Name)
+	}
+	if shape.unstoppableLoop {
+		pass.Reportf(gs.Pos(),
+			"goroutine spawned in %s loops forever with no select, channel receive, return or break; nothing can stop it",
+			fd.Name.Name)
+		return
+	}
+	if spawnerCtx && shape.hasLoop && !shape.refsCtx && !shape.waitsOnChan {
+		pass.Reportf(gs.Pos(),
+			"looping goroutine spawned from ctx-threaded %s neither references the ctx nor waits on a channel; cancellation cannot reach it",
+			fd.Name.Name)
+	}
+}
+
+// resolveSpawn finds the spawned body's lifecycle shape. Four shapes of
+// spawn are understood: `go func(){...}()`, `go worker()` where worker
+// is a local func-literal binding, `go f.m()` / `go f()` for named
+// functions (via summaries), and `go p.run()` where run is declared in
+// this package (direct body inspection, so unexported helpers work
+// before their summary exists).
+func resolveSpawn(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) goShape {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return shapeOfBody(pass, lit.Body)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if lit := localFuncLit(pass.TypesInfo, fd, id); lit != nil {
+			return shapeOfBody(pass, lit.Body)
+		}
+	}
+	if fn := calleeFunc(pass.TypesInfo, call); fn != nil {
+		// Same-package functions: inspect the declaration directly.
+		if body := declBody(pass, fn); body != nil {
+			return shapeOfBody(pass, body)
+		}
+		if sum := pass.Prog.Func(fn.FullName()); sum != nil {
+			return goShape{
+				joins:           sum.Joins,
+				closesChan:      sum.ClosesChan,
+				channelDriven:   sum.ChannelDriven,
+				unstoppableLoop: sum.UnstoppableLoop,
+				hasLoop:         sum.HasLoop,
+				waitsOnChan:     sum.WaitsOnChan,
+				refsCtx:         sum.RefsCtx,
+				resolved:        true,
+			}
+		}
+	}
+	return goShape{}
+}
+
+func shapeOfBody(pass *analysis.Pass, body *ast.BlockStmt) goShape {
+	return goShape{
+		joins:           summary.BodyJoins(pass.TypesInfo, body),
+		closesChan:      summary.BodyClosesChan(body),
+		channelDriven:   summary.BodyChannelDriven(body),
+		unstoppableLoop: summary.BodyHasUnstoppableLoop(body),
+		hasLoop:         summary.BodyHasLoop(body),
+		waitsOnChan:     summary.BodyWaitsOnChan(pass.TypesInfo, body),
+		refsCtx:         summary.BodyRefsCtx(pass.TypesInfo, body),
+		resolved:        true,
+	}
+}
+
+// localFuncLit chases `worker := func(){...}` bindings inside fd.
+func localFuncLit(info *types.Info, fd *ast.FuncDecl, id *ast.Ident) *ast.FuncLit {
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	var lit *ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			def := info.Defs[lid]
+			if def == nil {
+				def = info.Uses[lid]
+			}
+			if def != obj {
+				continue
+			}
+			if l, ok := as.Rhs[i].(*ast.FuncLit); ok {
+				lit = l
+			}
+		}
+		return true
+	})
+	return lit
+}
+
+// declBody finds fn's declaration body when fn is declared in the
+// package under analysis.
+func declBody(pass *analysis.Pass, fn *types.Func) *ast.BlockStmt {
+	if fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.TypesInfo.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"amnesiadb/tools/amnesialint/analysis"
 )
@@ -85,8 +86,14 @@ func isMutexType(t types.Type) bool {
 	if n == nil || n.Obj().Pkg() == nil {
 		return false
 	}
-	name := n.Obj().Name()
-	return n.Obj().Pkg().Path() == "sync" && (name == "Mutex" || name == "RWMutex")
+	path, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	if path == "sync" && (name == "Mutex" || name == "RWMutex") {
+		return true
+	}
+	// The engine's ranked locks are internal/lockrank wrappers; handle
+	// types declare them as their canonical mu field.
+	return strings.HasSuffix(path, "lockrank") &&
+		(name == "Catalog" || name == "Relation" || name == "Shard")
 }
 
 func checkLiveLocked(pass *analysis.Pass, fd *ast.FuncDecl, sites []lockSite) {

@@ -1,0 +1,183 @@
+package analyzers
+
+import (
+	"sort"
+	"strings"
+
+	"amnesiadb/tools/amnesialint/analysis"
+	"amnesiadb/tools/amnesialint/analysis/summary"
+)
+
+// LockOrder checks the whole-program lock-acquisition graph against the
+// engine's documented hierarchy (docs/LOCKING.md): catalog → relation
+// (name-ordered) → shard → sched. The per-package pass reports edges
+// that descend the hierarchy or nest same-rank locks outside the
+// relation name-order protocol; the finalize pass stitches every
+// package's edges together and reports cycles — potential deadlocks —
+// with the full acquisition path as the witness. Classes outside the
+// hierarchy (RankOther) participate in cycle detection only.
+var LockOrder = &analysis.Analyzer{
+	Name:     "lockorder",
+	Doc:      "lock acquisitions must follow the catalog → relation → shard → sched hierarchy (docs/LOCKING.md) and the global lock graph must be acyclic",
+	Run:      runLockOrder,
+	Finalize: finalizeLockOrder,
+}
+
+func runLockOrder(pass *analysis.Pass) error {
+	for _, e := range pass.Sum.Edges {
+		fr, to := e.From.RankOf(), e.To.RankOf()
+		if fr == summary.RankOther || to == summary.RankOther {
+			continue // unranked: cycle detection only
+		}
+		switch {
+		case fr < to:
+			// Ascending: legal.
+		case fr > to:
+			pass.Reportf(e.AtSite.Pos,
+				"lock order violation: %s acquired while holding %s — descending the lock hierarchy (catalog → relation → shard → sched, docs/LOCKING.md)\n\t%s",
+				e.To.Short(), e.From.Short(), strings.Join(e.Path, "\n\t"))
+		default: // equal rank
+			if fr == summary.RankRelation {
+				// Relation locks nest under the name-ordered protocol
+				// (docs/LOCKING.md §relation); liveness checks the order.
+				continue
+			}
+			pass.Reportf(e.AtSite.Pos,
+				"lock order violation: %s acquired while already holding %s of the same rank — no nesting protocol exists at rank %s (docs/LOCKING.md)\n\t%s",
+				e.To.Short(), e.From.Short(), fr, strings.Join(e.Path, "\n\t"))
+		}
+	}
+	return nil
+}
+
+// finalizeLockOrder reports every elementary cycle-carrying strongly
+// connected component of the whole-program lock graph. Edges that
+// already violate the rank order are excluded — their packages reported
+// them in the per-package pass — so a cycle here is one the hierarchy
+// check alone cannot see (it threads unranked classes or equal-rank
+// relation pairs in inconsistent order).
+func finalizeLockOrder(pass *analysis.FinalPass) error {
+	edges := pass.Prog.Edges()
+	adj := map[summary.ClassID][]summary.Edge{}
+	for _, e := range edges {
+		fr, to := e.From.RankOf(), e.To.RankOf()
+		if fr != summary.RankOther && to != summary.RankOther && fr >= to {
+			// Only strictly ascending ranked edges feed the cycle
+			// graph: descents and protocol-free same-rank nesting were
+			// reported per-package, and the sanctioned same-rank
+			// protocols (relation name order, owner-internal nesting)
+			// are serialized at finer granularity than lock classes, so
+			// their class-level cycles are not deadlocks. Every cycle
+			// left threads at least one unranked class.
+			continue
+		}
+		adj[e.From] = append(adj[e.From], e)
+	}
+
+	var classes []summary.ClassID
+	for c := range adj {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+
+	seen := map[string]bool{}
+	for _, start := range classes {
+		if cyc := findCycle(adj, start); cyc != nil {
+			key := cycleKey(cyc)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			reportCycle(pass, cyc)
+		}
+	}
+	return nil
+}
+
+// findCycle DFSes from start and returns the edges of the first cycle
+// passing through start, or nil.
+func findCycle(adj map[summary.ClassID][]summary.Edge, start summary.ClassID) []summary.Edge {
+	var path []summary.Edge
+	onPath := map[summary.ClassID]bool{start: true}
+	visited := map[summary.ClassID]bool{}
+	var dfs func(c summary.ClassID) bool
+	dfs = func(c summary.ClassID) bool {
+		for _, e := range adj[c] {
+			if e.To == start {
+				path = append(path, e)
+				return true
+			}
+			if onPath[e.To] || visited[e.To] {
+				continue
+			}
+			onPath[e.To] = true
+			path = append(path, e)
+			if dfs(e.To) {
+				return true
+			}
+			path = path[:len(path)-1]
+			onPath[e.To] = false
+		}
+		visited[c] = true
+		return false
+	}
+	if dfs(start) {
+		return path
+	}
+	return nil
+}
+
+// cycleKey canonicalizes a cycle (rotation-invariant) for dedup.
+func cycleKey(cyc []summary.Edge) string {
+	names := make([]string, len(cyc))
+	for i, e := range cyc {
+		names[i] = string(e.From)
+	}
+	min := 0
+	for i := range names {
+		if names[i] < names[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string(nil), names[min:]...), names[:min]...)
+	return strings.Join(rotated, "->")
+}
+
+// reportCycle positions the diagnostic at an edge owned by one of this
+// session's packages, so vet units sharing the program state report a
+// shared cycle exactly once (the owner of the smallest owned edge).
+func reportCycle(pass *analysis.FinalPass, cyc []summary.Edge) {
+	var at *summary.Edge
+	for i := range cyc {
+		e := &cyc[i]
+		if !pass.OwnPkgs[e.Owner] {
+			continue
+		}
+		if at == nil || edgeLess(e, at) {
+			at = e
+		}
+	}
+	if at == nil {
+		return // cycle lives wholly in dependencies; their units report it
+	}
+	var names []string
+	var witness []string
+	for _, e := range cyc {
+		names = append(names, e.From.Short())
+		witness = append(witness, e.Path...)
+	}
+	names = append(names, cyc[0].From.Short())
+	pass.ReportSite(at.AtSite,
+		"lock cycle (potential deadlock): %s — the lock graph must be acyclic (docs/LOCKING.md)\n\t%s",
+		strings.Join(names, " -> "), strings.Join(witness, "\n\t"))
+}
+
+func edgeLess(a, b *summary.Edge) bool {
+	if a.AtSite.File != b.AtSite.File {
+		return a.AtSite.File < b.AtSite.File
+	}
+	if a.AtSite.Line != b.AtSite.Line {
+		return a.AtSite.Line < b.AtSite.Line
+	}
+	return a.From < b.From
+}

@@ -1,0 +1,466 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"amnesiadb/tools/amnesialint/analysis"
+	"amnesiadb/tools/amnesialint/analysis/cfg"
+)
+
+// RecycleFlow tracks pooled engine.Batch values path-sensitively over
+// the CFG. It subsumes the retired syntactic batchlifecycle check: a
+// batch obtained from GetBatch (or any wrapper the summaries mark as
+// returning one) must reach PutBatch/RecycleChunk (or a summarized
+// recycling wrapper) exactly once on every path. Beyond the syntactic
+// rules it sees paths and aliases: a batch recycled on one branch and
+// used after the merge, a batch recycled twice through two names for
+// the same value, and a recycle inside a loop without reacquisition are
+// all reported with the earlier recycle site as the witness. A batch
+// that escapes (returned, stored, captured by a closure, handed to
+// another call) transfers ownership and is the consumer's
+// responsibility from that point.
+var RecycleFlow = &analysis.Analyzer{
+	Name: "recycleflow",
+	Doc:  "pooled engine.Batch values must reach PutBatch/RecycleChunk exactly once on every path, with no use after recycle and no double recycle through aliases",
+	Run:  runRecycleFlow,
+}
+
+func runRecycleFlow(pass *analysis.Pass) error {
+	funcDecls(pass.Files, pass.Fset, func(fd *ast.FuncDecl) {
+		checkRecycleFlow(pass, fd)
+	})
+	return nil
+}
+
+// Per-cell state bits: a cell is one acquisition site; on any given
+// path its value may be live, already recycled, or escaped.
+const (
+	stLive = 1 << iota
+	stRecycled
+	stEscaped
+)
+
+// rfState is the dataflow fact at a program point: which cells each
+// tracked variable may name, and each cell's may-state.
+type rfState struct {
+	env  map[types.Object]map[int]bool
+	bits map[int]uint8
+}
+
+func newRFState() *rfState {
+	return &rfState{env: map[types.Object]map[int]bool{}, bits: map[int]uint8{}}
+}
+
+func (s *rfState) clone() *rfState {
+	out := newRFState()
+	for obj, cells := range s.env {
+		cp := make(map[int]bool, len(cells))
+		for c := range cells {
+			cp[c] = true
+		}
+		out.env[obj] = cp
+	}
+	for c, b := range s.bits {
+		out.bits[c] = b
+	}
+	return out
+}
+
+// union merges o into s, reporting change.
+func (s *rfState) union(o *rfState) bool {
+	changed := false
+	for obj, cells := range o.env {
+		have := s.env[obj]
+		if have == nil {
+			have = map[int]bool{}
+			s.env[obj] = have
+		}
+		for c := range cells {
+			if !have[c] {
+				have[c] = true
+				changed = true
+			}
+		}
+	}
+	for c, b := range o.bits {
+		if s.bits[c]|b != s.bits[c] {
+			s.bits[c] |= b
+			changed = true
+		}
+	}
+	return changed
+}
+
+// rfChecker runs the analysis for one function.
+type rfChecker struct {
+	pass *analysis.Pass
+	fd   *ast.FuncDecl
+
+	cellOf   map[*ast.CallExpr]int // acquisition call -> cell index
+	acqIdent []*ast.Ident          // cell -> LHS ident of the acquisition
+	// recycleAt remembers a witness recycle line per cell for messages.
+	recycleAt map[int]int
+	// everReleased/everEscaped feed the leak check (any-path facts).
+	everReleased map[int]bool
+	everEscaped  map[int]bool
+
+	report   bool
+	reported map[string]bool
+}
+
+func checkRecycleFlow(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &rfChecker{
+		pass:         pass,
+		fd:           fd,
+		cellOf:       map[*ast.CallExpr]int{},
+		recycleAt:    map[int]int{},
+		everReleased: map[int]bool{},
+		everEscaped:  map[int]bool{},
+		reported:     map[string]bool{},
+	}
+	g := pass.Local.Graphs[fd]
+	if g == nil {
+		g = cfg.New(fd.Body)
+	}
+
+	// Pre-register every acquisition so cell indices are stable across
+	// fixpoint iterations.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !c.isSource(call) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		c.cellOf[call] = len(c.acqIdent)
+		c.acqIdent = append(c.acqIdent, id)
+		return true
+	})
+	if len(c.cellOf) == 0 {
+		return
+	}
+
+	// Fixpoint quietly, then one reporting pass over the stable states.
+	in := c.solve(g)
+	c.report = true
+	for _, blk := range g.Blocks {
+		st := in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			c.transfer(n, st)
+		}
+	}
+	exit := in[g.Exit.Index].clone()
+	for i := len(g.Defers) - 1; i >= 0; i-- {
+		c.walk(g.Defers[i].Call, exit)
+	}
+
+	// Leak: a cell never recycled and never escaped on any path.
+	for cell, id := range c.acqIdent {
+		if !c.everReleased[cell] && !c.everEscaped[cell] {
+			pass.Reportf(id.Pos(),
+				"pooled batch %s is never returned to the pool (PutBatch/RecycleChunk) and never escapes %s; every path leaks it",
+				id.Name, fd.Name.Name)
+		}
+	}
+}
+
+func (c *rfChecker) solve(g *cfg.Graph) []*rfState {
+	in := make([]*rfState, len(g.Blocks))
+	for i := range in {
+		in[i] = newRFState()
+	}
+	work := []*cfg.Block{g.Entry}
+	seen := make([]bool, len(g.Blocks))
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		seen[blk.Index] = true
+		out := in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			c.transfer(n, out)
+		}
+		for _, s := range blk.Succs {
+			if in[s.Index].union(out) || !seen[s.Index] {
+				work = append(work, s)
+			}
+		}
+	}
+	// Fold deferred calls into the exit state once so any-path
+	// release/escape facts include them.
+	exit := in[g.Exit.Index].clone()
+	for i := len(g.Defers) - 1; i >= 0; i-- {
+		c.walk(g.Defers[i].Call, exit)
+	}
+	return in
+}
+
+// transfer applies one CFG node. A defer statement's call is not
+// executed here — it runs at exit, where the driver replays Defers LIFO
+// against the exit state.
+func (c *rfChecker) transfer(n ast.Node, st *rfState) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	c.walk(n, st)
+}
+
+// walk visits n in source order, classifying every appearance of a
+// tracked value. Nested function literals are not descended into: a
+// batch captured by a closure escapes (the closure runs elsewhere, on
+// its own schedule).
+func (c *rfChecker) walk(n ast.Node, st *rfState) {
+	var stack []ast.Node
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if sub == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := sub.(*ast.FuncLit); ok {
+			c.escapeCaptured(lit, st)
+			return false
+		}
+		if _, ok := sub.(*ast.DeferStmt); ok && sub != n {
+			return false
+		}
+		switch x := sub.(type) {
+		case *ast.AssignStmt:
+			c.assign(x, st)
+		case *ast.CallExpr:
+			c.call(x, st)
+		case *ast.Ident:
+			c.use(x, st, stack)
+		}
+		stack = append(stack, sub)
+		return true
+	})
+}
+
+// escapeCaptured marks every tracked value referenced inside a closure
+// as escaped.
+func (c *rfChecker) escapeCaptured(lit *ast.FuncLit, st *rfState) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if cells := c.cellsOf(id, st); cells != nil {
+				c.escape(cells, st)
+			}
+		}
+		return true
+	})
+}
+
+// assign handles acquisitions, aliases, and killed bindings; reads of
+// tracked idents inside the RHS are classified by use().
+func (c *rfChecker) assign(as *ast.AssignStmt, st *rfState) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+		return
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name == "_" {
+		return
+	}
+	obj := c.objOf(lhs)
+	if obj == nil {
+		return
+	}
+	if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+		if cell, tracked := c.cellOf[call]; tracked {
+			// (Re)acquisition: strong update — the name now means a fresh
+			// batch, whatever earlier iterations did with the old one.
+			st.env[obj] = map[int]bool{cell: true}
+			st.bits[cell] = stLive
+			return
+		}
+	}
+	if rhs, ok := ast.Unparen(as.Rhs[0]).(*ast.Ident); ok {
+		if cells := c.cellsOf(rhs, st); cells != nil {
+			// Alias: both names now denote the same cells.
+			cp := make(map[int]bool, len(cells))
+			for cell := range cells {
+				cp[cell] = true
+			}
+			st.env[obj] = cp
+			return
+		}
+	}
+	// Rebinding a tracked name to something untracked kills the binding.
+	delete(st.env, obj)
+}
+
+// call applies a recycle sink: double-recycle detection plus the state
+// flip to recycled.
+func (c *rfChecker) call(call *ast.CallExpr, st *rfState) {
+	if !c.isSink(call) {
+		return
+	}
+	for _, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		cells := c.cellsOf(id, st)
+		for cell := range cells {
+			if st.bits[cell]&stEscaped != 0 {
+				continue
+			}
+			if st.bits[cell]&stRecycled != 0 {
+				c.reportf(call.Pos(), "double-recycle",
+					"pooled batch %s may already be recycled (a recycle at line %d reaches this one); the pool would hand the same backing arrays to two scans",
+					id.Name, c.recycleAt[cell])
+			}
+			st.bits[cell] = stRecycled
+			c.everReleased[cell] = true
+			if _, have := c.recycleAt[cell]; !have {
+				c.recycleAt[cell] = c.pass.Fset.Position(call.Pos()).Line
+			}
+		}
+	}
+}
+
+// use classifies one appearance of a tracked ident that is not an
+// assignment LHS (handled by assign) or a recycle argument (handled by
+// call).
+func (c *rfChecker) use(id *ast.Ident, st *rfState, stack []ast.Node) {
+	cells := c.cellsOf(id, st)
+	if cells == nil || len(stack) == 0 {
+		return
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == id {
+				return // binding, handled by assign
+			}
+		}
+		c.checkUse(id, cells, st) // RHS read (alias source): still a use
+		return
+	case *ast.SelectorExpr:
+		if p.X == id {
+			c.checkUse(id, cells, st) // field read b.Sel / b.Val
+		}
+		return
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if ast.Unparen(arg) == id {
+				if c.isSink(p) {
+					return // the recycle itself, handled by call
+				}
+				c.checkUse(id, cells, st)
+				// Handing the batch to any other call transfers ownership.
+				c.escape(cells, st)
+				return
+			}
+		}
+		return
+	}
+	// Returns, composite literals, channel sends, index exprs, ...: the
+	// batch leaves this function's custody.
+	c.checkUse(id, cells, st)
+	c.escape(cells, st)
+}
+
+func (c *rfChecker) checkUse(id *ast.Ident, cells map[int]bool, st *rfState) {
+	for cell := range cells {
+		b := st.bits[cell]
+		if b&stRecycled != 0 && b&stEscaped == 0 {
+			c.reportf(id.Pos(), "use-after-recycle",
+				"pooled batch %s may be used after being recycled (recycled on a path through line %d); the pool may have handed its arrays to another scan",
+				id.Name, c.recycleAt[cell])
+		}
+	}
+}
+
+func (c *rfChecker) escape(cells map[int]bool, st *rfState) {
+	for cell := range cells {
+		st.bits[cell] |= stEscaped
+		c.everEscaped[cell] = true
+	}
+}
+
+func (c *rfChecker) cellsOf(id *ast.Ident, st *rfState) map[int]bool {
+	obj := c.objOf(id)
+	if obj == nil {
+		return nil
+	}
+	return st.env[obj]
+}
+
+func (c *rfChecker) objOf(id *ast.Ident) types.Object {
+	if o := c.pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return c.pass.TypesInfo.Defs[id]
+}
+
+// reportf reports once per (kind, position), and only during the
+// reporting pass — the fixpoint runs quietly.
+func (c *rfChecker) reportf(pos token.Pos, kind, format string, args ...any) {
+	if !c.report {
+		return
+	}
+	key := fmt.Sprintf("%s@%d", kind, pos)
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// isSource reports a call handing out a pooled batch: engine.GetBatch
+// or a wrapper whose summary says it returns one.
+func (c *rfChecker) isSource(call *ast.CallExpr) bool {
+	if isFuncNamed(c.pass.TypesInfo, call, enginePath, "GetBatch") {
+		return true
+	}
+	fn := calleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if c.pass.Sum != nil {
+		if fs, ok := c.pass.Sum.Funcs[fn.FullName()]; ok {
+			return fs.ReturnsBatch
+		}
+	}
+	if c.pass.Prog != nil {
+		if fs := c.pass.Prog.Func(fn.FullName()); fs != nil {
+			return fs.ReturnsBatch
+		}
+	}
+	return false
+}
+
+// isSink reports a call recycling a pooled batch: the engine primitives
+// or a wrapper whose summary recycles a parameter.
+func (c *rfChecker) isSink(call *ast.CallExpr) bool {
+	if isFuncNamed(c.pass.TypesInfo, call, enginePath, "PutBatch") ||
+		isFuncNamed(c.pass.TypesInfo, call, enginePath, "RecycleChunk") {
+		return true
+	}
+	fn := calleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if c.pass.Sum != nil {
+		if fs, ok := c.pass.Sum.Funcs[fn.FullName()]; ok {
+			return len(fs.RecyclesParam) > 0
+		}
+	}
+	if c.pass.Prog != nil {
+		if fs := c.pass.Prog.Func(fn.FullName()); fs != nil {
+			return len(fs.RecyclesParam) > 0
+		}
+	}
+	return false
+}

@@ -1,0 +1,10 @@
+// Binaries own their goroutines' lifetimes: the same leak that fires
+// in the worker package is exempt under cmd/.
+package main
+
+func main() {
+	go func() {
+		for i := 0; i < 10; i++ {
+		}
+	}()
+}

@@ -1,0 +1,15 @@
+// Package lib provides cross-package spawn targets: the analyzer sees
+// these only through their summaries.
+package lib
+
+// Run is a channel-gated watcher: loop-free, ends when the channel is
+// served.
+func Run(stop chan struct{}) {
+	<-stop
+}
+
+// Spin loops forever with no exit.
+func Spin() {
+	for {
+	}
+}

@@ -1,0 +1,157 @@
+// Package worker exercises the goroutine-lifecycle rules in a
+// non-exempt package: every spawn must be provably joined or
+// completion-signalled, and looping bodies spawned from ctx-threaded
+// functions must be cancellable.
+package worker
+
+import (
+	"context"
+	"sync"
+
+	"fixture/lib"
+)
+
+func work() {}
+
+// leak spawns a body with no join and no completion signal.
+func leak() {
+	go func() { // want goroutinelife "neither joined"
+		work()
+	}()
+}
+
+// wgJoined signals completion through a WaitGroup: clean.
+func wgJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// closeSignalled signals completion by closing a channel: clean.
+func closeSignalled() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// watcher is a loop-free channel-gated body: it ends when the channel
+// is served, clean.
+func watcher(stop chan struct{}) {
+	go func() {
+		<-stop
+		work()
+	}()
+}
+
+// unstoppable loops forever with no select, receive, return or break:
+// unjoined and unkillable at once.
+func unstoppable() {
+	go func() { // want goroutinelife "neither joined" goroutinelife "loops forever"
+		for {
+		}
+	}()
+}
+
+// uncancellable is joined but spawned from a ctx-threaded function with
+// a loop that never consults the ctx or a channel.
+func uncancellable(ctx context.Context) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want goroutinelife "cancellation cannot reach it"
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			work()
+		}
+	}()
+	wg.Wait()
+	return ctx.Err()
+}
+
+// cancellable watches the ctx from inside the loop: clean.
+func cancellable(ctx context.Context) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// boundClean chases a local func-literal binding to a joined body:
+// clean.
+func boundClean() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	w := func() {
+		defer wg.Done()
+		work()
+	}
+	go w()
+	wg.Wait()
+}
+
+// boundLeak chases a local binding to an unjoined body.
+func boundLeak() {
+	w := func() {
+		work()
+	}
+	go w() // want goroutinelife "neither joined"
+}
+
+// spin loops forever; samePackageNamed resolves it by declaration.
+func spin() {
+	for {
+	}
+}
+
+func samePackageNamed() {
+	go spin() // want goroutinelife "neither joined" goroutinelife "loops forever"
+}
+
+// crossPackageClean resolves lib.Run through its summary: a channel
+// watcher, clean.
+func crossPackageClean(stop chan struct{}) {
+	go lib.Run(stop)
+}
+
+// crossPackageSpin resolves lib.Spin through its summary.
+func crossPackageSpin() {
+	go lib.Spin() // want goroutinelife "neither joined" goroutinelife "loops forever"
+}
+
+// unresolved spawns through a function value the analyzer cannot see
+// into.
+func unresolved(f func()) {
+	go f() // want goroutinelife "cannot be resolved"
+}
+
+var (
+	_ = leak
+	_ = wgJoined
+	_ = closeSignalled
+	_ = watcher
+	_ = unstoppable
+	_ = uncancellable
+	_ = cancellable
+	_ = boundClean
+	_ = boundLeak
+	_ = samePackageNamed
+	_ = crossPackageClean
+	_ = crossPackageSpin
+	_ = unresolved
+)

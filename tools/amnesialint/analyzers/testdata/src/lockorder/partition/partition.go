@@ -1,0 +1,13 @@
+// Package partition stubs the shard lock: classification falls back to
+// the owning package's name when the owner type has no catalog/relation
+// method shape.
+package partition
+
+import "sync"
+
+type Partition struct {
+	mu sync.Mutex
+}
+
+func (p *Partition) Lock()   { p.mu.Lock() }
+func (p *Partition) Unlock() { p.mu.Unlock() }

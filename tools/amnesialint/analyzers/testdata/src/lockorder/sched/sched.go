@@ -1,0 +1,11 @@
+// Package sched stubs the scheduler lock, the bottom of the hierarchy.
+package sched
+
+import "sync"
+
+type Pool struct {
+	mu sync.Mutex
+}
+
+func (s *Pool) Lock()   { s.mu.Lock() }
+func (s *Pool) Unlock() { s.mu.Unlock() }

@@ -1,4 +1,4 @@
-// Package analyzers holds amnesialint's six invariant checks. Each
+// Package analyzers holds amnesialint's invariant checks. Each
 // analyzer matches repo constructs structurally (by type shape, method
 // set and import path suffix) rather than by hard-coded file names, so
 // the same rules run against the real tree and against the test
@@ -218,3 +218,7 @@ func exclusiveBranches(stackA, stackB []ast.Node) bool {
 	}
 	return false
 }
+
+// enginePath is the import-path suffix of the engine package that owns
+// the pooled-batch primitives.
+const enginePath = "internal/engine"

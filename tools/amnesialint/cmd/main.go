@@ -3,16 +3,28 @@
 //
 //   - the `go vet -vettool` protocol (-V=full, -flags, unit .cfg files),
 //     so CI runs it as `go vet -vettool=$(pwd)/amnesialint ./...` with
-//     go's per-package caching;
+//     go's per-package caching; cross-package summaries travel as the
+//     unit's .vetx facts file;
 //   - a standalone mode over package patterns for local use:
-//     `go run ./tools/amnesialint/cmd ./...`.
+//     `go run ./tools/amnesialint/cmd ./...`. Packages are analyzed in
+//     parallel, dependency-ordered, with summaries shared in-process.
 //
-// Exit status is 1 when any finding survives suppression, 0 otherwise.
+// Standalone flags:
+//
+//	-json           emit findings as a JSON array on stdout
+//	-audit          print the //lint:ignore inventory as a markdown table
+//	-auditcheck F   fail unless F's lint-audit section matches the tree
+//	-budget D       exit 3 when the run exceeds wall-time budget D
+//	-p N            analysis parallelism (default GOMAXPROCS)
+//
+// Exit status is 1 when any finding survives suppression (or the audit
+// drifted), 2 on internal error, 3 on budget breach, 0 otherwise.
 package main
 
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -22,12 +34,23 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"amnesiadb/tools/amnesialint/analysis"
+	"amnesiadb/tools/amnesialint/analysis/summary"
 	"amnesiadb/tools/amnesialint/analyzers"
 	"amnesiadb/tools/amnesialint/internal/load"
 )
+
+// modulePrefix gates fact computation under `go vet`: dependency units
+// outside the repo module (the standard library) get empty facts
+// instead of a from-source type-check.
+const modulePrefix = "amnesiadb"
 
 func main() {
 	args := os.Args[1:]
@@ -67,7 +90,9 @@ func printVersion() {
 }
 
 // vetConfig is the JSON compilation-unit description `go vet` hands a
-// vettool (the unitchecker *.cfg contract).
+// vettool (the unitchecker *.cfg contract). PackageVetx maps each
+// dependency's import path to its facts file; VetxOutput is where this
+// unit's facts go.
 type vetConfig struct {
 	ID                        string
 	Compiler                  string
@@ -77,9 +102,15 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+func inModule(importPath string) bool {
+	return importPath == modulePrefix || strings.HasPrefix(importPath, modulePrefix+"/") ||
+		strings.HasPrefix(importPath, modulePrefix+" ") || strings.HasPrefix(importPath, modulePrefix+".")
 }
 
 func runVetUnit(cfgFile string) {
@@ -91,10 +122,10 @@ func runVetUnit(cfgFile string) {
 	if err := json.Unmarshal(data, cfg); err != nil {
 		fatal(fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err))
 	}
-	// Dependencies are analyzed only for facts; amnesialint keeps no
-	// facts, so just satisfy the protocol's output-file contract.
-	if cfg.VetxOnly {
-		writeVetx(cfg)
+	// Dependencies outside the module carry no summaries worth
+	// computing; satisfy the protocol's output-file contract and stop.
+	if cfg.VetxOnly && !inModule(cfg.ImportPath) {
+		writeVetx(cfg, nil)
 		os.Exit(0)
 	}
 
@@ -104,7 +135,7 @@ func runVetUnit(cfgFile string) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				writeVetx(cfg)
+				writeVetx(cfg, nil)
 				os.Exit(0)
 			}
 			fatal(err)
@@ -145,17 +176,39 @@ func runVetUnit(cfgFile string) {
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx(cfg)
+			writeVetx(cfg, nil)
 			os.Exit(0)
 		}
 		fatal(err)
 	}
 
-	findings, err := analysis.Run(fset, files, pkg, info, analyzers.All())
+	session := analysis.NewSession(analyzers.All())
+	loadFacts(session, cfg.PackageVetx)
+
+	// Facts-only pass for module dependencies: summarize, serialize, done.
+	if cfg.VetxOnly {
+		sum := session.Summarize(fset, files, pkg, info)
+		facts, err := summary.EncodePackage(sum)
+		if err != nil {
+			fatal(err)
+		}
+		writeVetx(cfg, facts)
+		os.Exit(0)
+	}
+
+	sum, err := session.RunPackage(fset, files, pkg, info)
 	if err != nil {
 		fatal(err)
 	}
-	writeVetx(cfg)
+	findings, err := session.Finalize()
+	if err != nil {
+		fatal(err)
+	}
+	facts, err := summary.EncodePackage(sum)
+	if err != nil {
+		fatal(err)
+	}
+	writeVetx(cfg, facts)
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f)
 	}
@@ -165,58 +218,342 @@ func runVetUnit(cfgFile string) {
 	os.Exit(0)
 }
 
+// loadFacts decodes dependency summaries from .vetx files; absent or
+// empty files (non-module deps, older tool runs) contribute nothing.
+func loadFacts(session *analysis.Session, vetx map[string]string) {
+	for _, file := range vetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		p, err := summary.DecodePackage(data)
+		if err != nil || p == nil {
+			continue
+		}
+		session.AddFacts(p)
+	}
+}
+
 type importerFunc func(path string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
-func writeVetx(cfg *vetConfig) {
+func writeVetx(cfg *vetConfig, data []byte) {
 	if cfg.VetxOutput == "" {
 		return
 	}
-	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	if data == nil {
+		data = []byte{}
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 		fatal(err)
 	}
 }
 
 // runStandalone analyzes package patterns (default ./...) using
 // `go list` metadata, for local `make lint` runs and tests.
-func runStandalone(patterns []string) {
+func runStandalone(args []string) {
+	fs := flag.NewFlagSet("amnesialint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	audit := fs.Bool("audit", false, "print the //lint:ignore inventory as a markdown table")
+	auditCheck := fs.String("auditcheck", "", "fail unless the file's lint-audit section matches the tree")
+	budget := fs.Duration("budget", 0, "exit 3 when the run exceeds this wall-time budget")
+	par := fs.Int("p", runtime.GOMAXPROCS(0), "analysis parallelism")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := Check(".", patterns...)
+
+	if *audit || *auditCheck != "" {
+		runAudit(".", patterns, *auditCheck)
+		return
+	}
+
+	start := time.Now()
+	findings, pkgs, err := check(".", patterns, *par)
 	if err != nil {
 		fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
+	elapsed := time.Since(start)
+	if *jsonOut {
+		emitJSON(findings)
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "amnesialint: %d packages in %s (parallelism %d)\n",
+		pkgs, elapsed.Round(time.Millisecond), *par)
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "amnesialint: run took %s, over the %s budget\n", elapsed.Round(time.Millisecond), *budget)
+		os.Exit(3)
 	}
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
 }
 
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func emitJSON(findings []analysis.Finding) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+			Analyzer: f.Analyzer, Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
 // Check runs the full suite over the patterns rooted at dir and returns
 // the surviving findings. Exposed for the tree-cleanliness test.
 func Check(dir string, patterns ...string) ([]analysis.Finding, error) {
+	findings, _, err := check(dir, patterns, runtime.GOMAXPROCS(0))
+	return findings, err
+}
+
+// check loads the patterns, analyzes every target package (and
+// summarizes in-module dependencies) in parallel dependency order, and
+// finalizes the whole-program passes.
+func check(dir string, patterns []string, par int) ([]analysis.Finding, int, error) {
 	units, targets, err := load.List(dir, patterns...)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	checker := load.NewChecker(units)
-	var findings []analysis.Finding
+	session := analysis.NewSession(analyzers.All())
+
+	// Work set: every listed non-standard unit with sources — targets
+	// get the analyzers, in-module dependencies contribute summaries.
+	isTarget := map[string]bool{}
 	for _, u := range targets {
-		checked, err := checker.Check(u)
-		if err != nil {
-			return nil, err
-		}
-		fs, err := analysis.Run(checked.Fset, checked.Files, checked.Pkg, checked.Info, analyzers.All())
-		if err != nil {
-			return nil, err
-		}
-		findings = append(findings, fs...)
+		isTarget[u.ImportPath] = true
 	}
-	return findings, nil
+	work := map[string]*load.Unit{}
+	for path, u := range units {
+		if u.Standard || len(u.GoFiles) == 0 {
+			continue
+		}
+		if u.Error != nil && u.Error.Err != "" && !isTarget[path] {
+			continue
+		}
+		work[path] = u
+	}
+
+	// Dependency counts restricted to the work set; a unit is ready when
+	// every in-set import has been processed.
+	waiting := map[string]int{}
+	dependents := map[string][]string{}
+	for path, u := range work {
+		n := 0
+		for _, imp := range u.Imports {
+			if _, ok := work[imp]; ok && imp != path {
+				n++
+				dependents[imp] = append(dependents[imp], path)
+			}
+		}
+		waiting[path] = n
+	}
+
+	if par < 1 {
+		par = 1
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		ready    = make(chan *load.Unit, len(work))
+		wg       sync.WaitGroup
+		pending  = len(work)
+	)
+	for path, n := range waiting {
+		if n == 0 {
+			ready <- work[path]
+		}
+	}
+	done := func(path string) {
+		mu.Lock()
+		defer mu.Unlock()
+		pending--
+		for _, dep := range dependents[path] {
+			waiting[dep]--
+			if waiting[dep] == 0 {
+				ready <- work[dep]
+			}
+		}
+		if pending == 0 {
+			close(ready)
+		}
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range ready {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if !stop {
+					if err := analyzeUnit(session, checker, u, isTarget[u.ImportPath]); err != nil {
+						fail(err)
+					}
+				}
+				done(u.ImportPath)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	findings, err := session.Finalize()
+	if err != nil {
+		return nil, 0, err
+	}
+	return findings, len(targets), nil
+}
+
+func analyzeUnit(session *analysis.Session, checker *load.Checker, u *load.Unit, target bool) error {
+	checked, err := checker.Check(u)
+	if err != nil {
+		if !target {
+			return nil // a dependency that cannot re-check from source just loses its summaries
+		}
+		return err
+	}
+	if target {
+		_, err = session.RunPackage(checked.Fset, checked.Files, checked.Pkg, checked.Info)
+		return err
+	}
+	session.Summarize(checked.Fset, checked.Files, checked.Pkg, checked.Info)
+	return nil
+}
+
+// ---- suppression audit ----
+
+const (
+	auditBegin = "<!-- lint-audit:begin -->"
+	auditEnd   = "<!-- lint-audit:end -->"
+)
+
+// runAudit prints (or verifies) the inventory of //lint:ignore sites.
+func runAudit(dir string, patterns []string, checkFile string) {
+	table, err := AuditTable(dir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	if checkFile == "" {
+		fmt.Print(table)
+		return
+	}
+	data, err := os.ReadFile(checkFile)
+	if err != nil {
+		fatal(err)
+	}
+	committed, ok := between(string(data), auditBegin, auditEnd)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "amnesialint: %s has no %s/%s section\n", checkFile, auditBegin, auditEnd)
+		os.Exit(1)
+	}
+	if strings.TrimSpace(committed) != strings.TrimSpace(table) {
+		fmt.Fprintf(os.Stderr, "amnesialint: suppression audit in %s is stale; regenerate with `go run ./tools/amnesialint/cmd -audit ./...` and paste between the markers\n", checkFile)
+		fmt.Fprintf(os.Stderr, "--- expected ---\n%s", table)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "amnesialint: suppression audit in %s is up to date\n", checkFile)
+}
+
+func between(s, begin, end string) (string, bool) {
+	i := strings.Index(s, begin)
+	if i < 0 {
+		return "", false
+	}
+	s = s[i+len(begin):]
+	j := strings.Index(s, end)
+	if j < 0 {
+		return "", false
+	}
+	return s[:j], true
+}
+
+// AuditTable renders the tree's //lint:ignore inventory as a markdown
+// table, one row per (file, analyzer, reason), with a site count. Rows
+// carry no line numbers so the committed table survives unrelated
+// edits. Exposed for the audit drift test.
+func AuditTable(dir string, patterns ...string) (string, error) {
+	_, targets, err := load.List(dir, patterns...)
+	if err != nil {
+		return "", err
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	type key struct{ file, analyzer, reason string }
+	count := map[key]int{}
+	fset := token.NewFileSet()
+	for _, u := range targets {
+		for _, name := range u.GoFiles {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(u.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return "", err
+			}
+			for _, sup := range analysis.ScanSuppressions(fset, []*ast.File{f}) {
+				rel, err := filepath.Rel(absDir, sup.File)
+				if err != nil {
+					rel = sup.File
+				}
+				for _, a := range strings.Split(sup.Analyzers, ",") {
+					count[key{filepath.ToSlash(rel), a, sup.Reason}]++
+				}
+			}
+		}
+	}
+	keys := make([]key, 0, len(count))
+	for k := range count {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.reason < b.reason
+	})
+	var sb strings.Builder
+	sb.WriteString("| File | Analyzer | Sites | Reason |\n")
+	sb.WriteString("|---|---|---|---|\n")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "| `%s` | %s | %d | %s |\n", k.file, k.analyzer, count[k], k.reason)
+	}
+	return sb.String(), nil
 }
 
 func fatal(err error) {

@@ -67,31 +67,37 @@ func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 }
 
 // analyze loads and checks every package of the fixture module and runs
-// the analyzers, returning the findings plus the fixture's source files.
+// the analyzers in one session (so cross-package summaries and
+// whole-program finalize passes behave exactly as in the drivers),
+// returning the findings plus the fixture's source files.
 func analyze(dir string, analyzers []*analysis.Analyzer) ([]analysis.Finding, []string, error) {
 	units, targets, err := load.List(dir, "./...")
 	if err != nil {
 		return nil, nil, err
 	}
 	checker := load.NewChecker(units)
-	var findings []analysis.Finding
+	session := analysis.NewSession(analyzers)
 	var files []string
+	// `go list -deps` order lists dependencies first, so summaries are
+	// always present before their consumers run.
 	for _, u := range targets {
 		checked, err := checker.Check(u)
 		if err != nil {
 			return nil, nil, err
 		}
-		fs, err := analysis.Run(checked.Fset, checked.Files, checked.Pkg, checked.Info, analyzers)
-		if err != nil {
+		if _, err := session.RunPackage(checked.Fset, checked.Files, checked.Pkg, checked.Info); err != nil {
 			return nil, nil, err
 		}
-		findings = append(findings, fs...)
 		for _, name := range u.GoFiles {
 			if !filepath.IsAbs(name) {
 				name = filepath.Join(u.Dir, name)
 			}
 			files = append(files, name)
 		}
+	}
+	findings, err := session.Finalize()
+	if err != nil {
+		return nil, nil, err
 	}
 	return findings, files, nil
 }

@@ -21,6 +21,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // A Unit is one `go list` package: a target to analyze (DepOnly false)
@@ -30,6 +31,7 @@ type Unit struct {
 	Dir        string
 	GoFiles    []string
 	Export     string
+	Imports    []string
 	DepOnly    bool
 	Standard   bool
 	Error      *struct{ Err string }
@@ -50,7 +52,7 @@ type Checked struct {
 func List(dir string, patterns ...string) (map[string]*Unit, []*Unit, error) {
 	args := append([]string{
 		"list", "-e", "-deps", "-export",
-		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Error",
+		"-json=ImportPath,Dir,GoFiles,Export,Imports,DepOnly,Standard,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -80,23 +82,39 @@ func List(dir string, patterns ...string) (map[string]*Unit, []*Unit, error) {
 
 // A Checker type-checks target units against the export data of every
 // listed unit. One Checker shares a FileSet and importer cache across
-// packages, so common dependencies are imported once.
+// packages, so common dependencies are imported once. Check may be
+// called from multiple goroutines: the FileSet is internally
+// synchronized and the export-data importer is wrapped with a mutex
+// (its package cache is a plain map).
 type Checker struct {
 	Fset  *token.FileSet
 	units map[string]*Unit
 	imp   types.Importer
 }
 
+// syncImporter serializes Import calls; the underlying gc importer's
+// cache map is not safe for concurrent use.
+type syncImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (s *syncImporter) Import(path string) (*types.Package, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.imp.Import(path)
+}
+
 func NewChecker(units map[string]*Unit) *Checker {
 	fset := token.NewFileSet()
 	c := &Checker{Fset: fset, units: units}
-	c.imp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	c.imp = &syncImporter{imp: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		u, ok := units[path]
 		if !ok || u.Export == "" {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(u.Export)
-	})
+	})}
 	return c
 }
 
