@@ -65,6 +65,7 @@ import (
 	"amnesiadb/internal/coldstore"
 	"amnesiadb/internal/durability"
 	"amnesiadb/internal/engine"
+	"amnesiadb/internal/engine/governor"
 	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/lockrank"
@@ -129,7 +130,53 @@ type Options struct {
 	// snapshotter rotates and truncates; zero means 64 MiB. Ignored by
 	// Open.
 	SegmentBytes int64
+	// MaxQueryBytes, when positive, is the per-query governed-memory
+	// budget: pooled scan chunks in flight, join build tables and sort
+	// runs all charge the query's quota, and a query that would exceed
+	// the budget is cancelled alone with ErrResourceExhausted (HTTP 413
+	// through the server) at its next morsel boundary. Zero (default)
+	// disables per-query budgets; the governor still meters usage for
+	// the process high-water mark and /healthz.
+	MaxQueryBytes int64
+	// MaxQueryDuration, when positive, is the per-query deadline:
+	// queries exceeding it are cancelled with ErrQueryDeadline (HTTP
+	// 408 through the server), enforced both through context
+	// cancellation and at morsel boundaries so teardown is prompt.
+	// Zero disables deadlines.
+	MaxQueryDuration time.Duration
+	// MemoryHighWater is the process-wide governed-bytes threshold past
+	// which the governor sheds the most expensive in-flight query
+	// instead of letting the process OOM. Zero (default) derives it
+	// from GOMEMLIMIT (half the runtime limit, headroom for the
+	// unmetered columns and caches; no GOMEMLIMIT means no shedding);
+	// negative disables shedding outright.
+	MemoryHighWater int64
+	// StallDetach is the spill-on-stall threshold for streaming
+	// value-only selects: a consumer idle past it has the pipeline's
+	// remaining chunks drained to a governed heap buffer, so producers
+	// exit and relation read locks release while the tail is served
+	// from the buffer, byte-identically. Zero (default) uses
+	// DefaultStallDetach; negative disables detaching.
+	StallDetach time.Duration
 }
+
+// DefaultStallDetach is the stall threshold applied when
+// Options.StallDetach is zero: long enough that a merely slow consumer
+// (network hiccup, scheduling) never triggers a spill, short enough
+// that a stalled streaming client cannot pin relation read locks — and
+// with them every writer — for more than about a second.
+const DefaultStallDetach = time.Second
+
+// ErrResourceExhausted is reported by queries cancelled by resource
+// governance: their Options.MaxQueryBytes budget ran out, or the
+// process-wide high-water mark shed them. The serving layer maps it to
+// HTTP 413.
+var ErrResourceExhausted = governor.ErrResourceExhausted
+
+// ErrQueryDeadline is reported by queries cancelled by the per-query
+// deadline (Options.MaxQueryDuration). The serving layer maps it to
+// HTTP 408.
+var ErrQueryDeadline = governor.ErrDeadlineExceeded
 
 // planCacheSize bounds the always-on parsed-plan LRU. Plans are tiny
 // (an AST, no data), so a few hundred hot statements cost nothing and
@@ -167,6 +214,14 @@ type DB struct {
 	results    *sql.ResultCache
 	maxQueries int
 
+	// gov is the process-side resource ledger; every non-cached query
+	// runs under one of its quotas. maxQueryBytes/maxQueryDur/stall are
+	// the resolved governance knobs from Options.
+	gov           *governor.Governor
+	maxQueryBytes int64
+	maxQueryDur   time.Duration
+	stallDetach   time.Duration
+
 	// dur is the durability wiring attached by OpenDir; nil for
 	// in-memory databases, which skip WAL logging entirely.
 	dur *durableState
@@ -200,14 +255,26 @@ func Open(opts Options) *DB {
 	if par < 0 {
 		par = 0
 	}
+	highWater := opts.MemoryHighWater
+	if highWater == 0 {
+		highWater = governor.HighWaterFromGOMEMLIMIT()
+	}
+	stall := opts.StallDetach
+	if stall == 0 {
+		stall = DefaultStallDetach
+	}
 	db := &DB{
-		src:        xrand.New(opts.Seed),
-		tables:     make(map[string]*Table),
-		parts:      make(map[string]*PartitionedTable),
-		par:        par,
-		plans:      sql.NewPlanCache(planCacheSize),
-		results:    sql.NewResultCache(opts.CacheEntries),
-		maxQueries: max(opts.MaxQueries, 0),
+		src:           xrand.New(opts.Seed),
+		tables:        make(map[string]*Table),
+		parts:         make(map[string]*PartitionedTable),
+		par:           par,
+		plans:         sql.NewPlanCache(planCacheSize),
+		results:       sql.NewResultCache(opts.CacheEntries),
+		maxQueries:    max(opts.MaxQueries, 0),
+		gov:           governor.New(highWater),
+		maxQueryBytes: max(opts.MaxQueryBytes, 0),
+		maxQueryDur:   max(opts.MaxQueryDuration, 0),
+		stallDetach:   max(stall, 0),
 	}
 	switch {
 	case opts.PoolSize > 0:
@@ -279,6 +346,12 @@ func (db *DB) CacheStats() CacheStats {
 // MaxQueries returns Options.MaxQueries: the advisory concurrent-query
 // admission limit the serving layer enforces. Zero means unlimited.
 func (db *DB) MaxQueries() int { return db.maxQueries }
+
+// GovernorStats snapshots the resource governor's live ledger: queries
+// with registered quotas, pooled bytes currently charged, the process
+// peak, the configured high-water mark (0 when pressure shedding is
+// off) and the cumulative count of queries shed under pressure.
+func (db *DB) GovernorStats() governor.Stats { return db.gov.Stats() }
 
 // CreateTable adds a table with the given columns. Every column stores
 // int64 values. It fails if the name is taken.
@@ -464,6 +537,11 @@ type QueryStream struct {
 
 	mu      sync.Mutex
 	release func()
+	// finish runs once when the stream ends (Close, which Next calls on
+	// drain or error): it unregisters the query's resource quota,
+	// sweeping any residual charge from an abandoned stream out of the
+	// process ledger.
+	finish func()
 
 	// cached marks a stream replaying a result-cache hit; no relation
 	// storage is read and no locks are held.
@@ -523,6 +601,21 @@ func (qs *QueryStream) Close() {
 		<-sd
 	}
 	qs.releaseLocks()
+	qs.finishQuota()
+}
+
+// finishQuota runs the stream-end hook exactly once; it must not run
+// before the producers have exited (pooled chunks still in flight carry
+// charges the quota's removal would otherwise sweep early), so only
+// Close — which waits on ScanDone — calls it.
+func (qs *QueryStream) finishQuota() {
+	qs.mu.Lock()
+	finish := qs.finish
+	qs.finish = nil
+	qs.mu.Unlock()
+	if finish != nil {
+		finish()
+	}
 }
 
 // releaseLocks drops the stream's read locks exactly once. Both Close
@@ -631,18 +724,33 @@ func (db *DB) QueryStreamCtx(ctx context.Context, q string) (*QueryStream, error
 			return &QueryStream{Columns: st.Columns, Ints: st.Ints, st: st, cached: true}, nil
 		}
 	}
+	// Each live query gets its own resource quota: pooled batches, join
+	// build tables and sort runs charge it, the budget (if any) bounds
+	// it, and the process-wide governor can kill it under memory
+	// pressure. The quota is removed — sweeping any residual charge —
+	// when the stream ends.
+	quota := db.gov.NewQuota(db.maxQueryBytes)
 	st, err := sql.ExecStream(sql.CatalogFunc(func(n string) (sql.Relation, error) {
 		r, ok := rels[n]
 		if !ok {
 			return nil, fmt.Errorf("amnesiadb: %w %q", ErrUnknownTable, n)
 		}
 		return r, nil
-	}), pq, sql.Opts{Parallelism: db.par, Ctx: ctx, Sched: db.pool})
+	}), pq, sql.Opts{
+		Parallelism: db.par,
+		Ctx:         ctx,
+		Sched:       db.pool,
+		Quota:       quota,
+		MaxDuration: db.maxQueryDur,
+		StallDetach: db.stallDetach,
+	})
 	if err != nil {
+		db.gov.Remove(quota)
 		release()
 		return nil, err
 	}
-	qs := &QueryStream{Columns: st.Columns, Ints: st.Ints, st: st, release: release}
+	qs := &QueryStream{Columns: st.Columns, Ints: st.Ints, st: st, release: release,
+		finish: func() { db.gov.Remove(quota) }}
 	if db.results != nil {
 		qs.cache, qs.cacheKey, qs.cacheSig, qs.recording = db.results, norm, sig, true
 	}

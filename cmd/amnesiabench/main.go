@@ -71,6 +71,7 @@ func main() {
 		serveRows  = flag.Int("serve", 0, "benchmark the HTTP serving stack closed-loop (mixed /query workload at concurrency 1/16/64/256, plus cold-vs-cached hot query) over this many rows")
 		recRows    = flag.Int("recover", 0, "benchmark the durability layer over this many rows: WAL insert-path overhead per fsync policy vs in-memory, plus cold-start recovery (snapshot restore + WAL replay)")
 		workers    = flag.Int("workers", 0, "parallelism knob for -scan/-join/-sqljoin/-partscan/-stream (0 = auto/GOMAXPROCS)")
+		maxQueryB  = flag.Int64("max-query-bytes", 0, "with -serve: per-query memory budget for the in-process server; over-budget queries answer 413 and count as errors (overload soak mode)")
 	)
 	flag.Parse()
 
@@ -105,7 +106,7 @@ func main() {
 		return
 	}
 	if *serveRows > 0 {
-		if err := runServeBench(*serveRows); err != nil {
+		if err := runServeBench(*serveRows, *maxQueryB); err != nil {
 			fatal(err)
 		}
 		return

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,13 +22,20 @@ const (
 	// sent no Retry-After.
 	retryBase = 2 * time.Millisecond
 	retryCap  = 500 * time.Millisecond
+	// retryBudget caps one logical request's total wall time across all
+	// attempts and backoffs. Without it a server answering Retry-After
+	// on every attempt could pin a bench worker for retryLimit times
+	// that hint — minutes — long after the measurement window closed.
+	retryBudget = 3 * time.Second
 )
 
 // retryClient posts JSON with bounded retry on 429 (admission shed) and
 // 503 (draining or durability-degraded): exponential backoff with full
-// jitter, honoring the server's Retry-After when present. Counters
-// accumulate across requests so benches can report how much of the
-// offered load was shed and retried.
+// jitter, honoring the server's Retry-After when present but never
+// exceeding the per-request wall-time budget, and abandoning the
+// attempt — including mid-backoff — the moment the caller's context is
+// done. Counters accumulate across requests so benches can report how
+// much of the offered load was shed and retried.
 type retryClient struct {
 	c *http.Client
 
@@ -55,13 +63,20 @@ func (rc *retryClient) jitter(d time.Duration) time.Duration {
 	return time.Duration(n) + time.Millisecond/4
 }
 
-// Post issues one logical request, retrying shed responses. The
-// returned response's body is unconsumed; any shed response consumed on
-// the way is drained and closed.
-func (rc *retryClient) Post(url string, body []byte) (*http.Response, error) {
+// Post issues one logical request, retrying shed responses until the
+// attempt limit, the retry wall-time budget, or ctx expires — whichever
+// comes first. The returned response's body is unconsumed; any shed
+// response consumed on the way is drained and closed.
+func (rc *retryClient) Post(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	deadline := time.Now().Add(retryBudget)
 	delay := retryBase
 	for attempt := 0; ; attempt++ {
-		resp, err := rc.c.Post(url, "application/json", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rc.c.Do(req)
 		if err != nil {
 			return nil, err
 		}
@@ -75,14 +90,24 @@ func (rc *retryClient) Post(url string, body []byte) (*http.Response, error) {
 		if attempt >= retryLimit {
 			return nil, fmt.Errorf("gave up after %d attempts: status %d", attempt+1, resp.StatusCode)
 		}
-		rc.Retries.Add(1)
 		sleep := delay
 		if s, err := strconv.Atoi(ra); err == nil && s > 0 {
 			// The server named its price; jitter below it so retries
 			// from many clients do not re-arrive in one thundering herd.
 			sleep = time.Duration(s) * time.Second
 		}
-		time.Sleep(rc.jitter(sleep))
+		sleep = rc.jitter(sleep)
+		if remain := time.Until(deadline); sleep >= remain {
+			return nil, fmt.Errorf("retry budget %v exhausted after %d attempts: status %d", retryBudget, attempt+1, resp.StatusCode)
+		}
+		rc.Retries.Add(1)
+		t := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
 		if delay *= 2; delay > retryCap {
 			delay = retryCap
 		}

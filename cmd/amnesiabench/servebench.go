@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -47,6 +48,11 @@ type serveResult struct {
 	// attempts (0 on an unsaturated server).
 	Retries  int64   `json:"retries"`
 	ShedRate float64 `json:"shed_rate"`
+	// BudgetKills counts 413 responses — queries the resource governor
+	// cancelled for exceeding -max-query-bytes. Always 0 without that
+	// flag; under an overload soak it is the shed traffic whose
+	// survivors the latency numbers describe.
+	BudgetKills int64 `json:"budget_kills,omitempty"`
 }
 
 // hotResult contrasts the first (scanning) execution of a hot query
@@ -71,8 +77,14 @@ type hotResult struct {
 // aggregate, a rotating set of aggregate variants, and a selective
 // projection. One JSON line per concurrency cell, plus one contrasting
 // cold-vs-cached latency on the hot statement.
-func runServeBench(n int) error {
-	db := amnesiadb.Open(amnesiadb.Options{Seed: 1, CacheEntries: 256})
+//
+// A non-zero maxQueryBytes turns the run into an overload soak: every
+// query gets that memory budget, over-budget ones answer 413 (counted
+// under Errors/BudgetKills), and the cell's numbers then describe the
+// surviving traffic — CI runs this under a low GOMEMLIMIT to prove the
+// governor sheds queries instead of the process OOMing.
+func runServeBench(n int, maxQueryBytes int64) error {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 1, CacheEntries: 256, MaxQueryBytes: maxQueryBytes})
 	defer db.Close()
 	t, err := db.CreateTable("big", "a", "b")
 	if err != nil {
@@ -99,6 +111,12 @@ func runServeBench(n int) error {
 	// selective projection that streams real rows.
 	statement := func(i int) string {
 		switch {
+		case maxQueryBytes > 0 && i%4 == 3:
+			// Soak mode: an unclustered ORDER BY whose sort working set
+			// (~8 bytes per qualifying row) dwarfs a tight budget, so the
+			// governor has something real to kill while the small
+			// statements around it keep answering.
+			return "SELECT a FROM big WHERE a < 524288 ORDER BY a LIMIT 100"
 		case i%2 == 0:
 			return "SELECT AVG(a) FROM big WHERE a < 524288"
 		case i%4 == 1:
@@ -107,10 +125,11 @@ func runServeBench(n int) error {
 			return "SELECT a, b FROM big WHERE a < 1024 LIMIT 100"
 		}
 	}
+	var budgetKills atomic.Int64
 	post := func(sqlText string) (time.Duration, error) {
 		body, _ := json.Marshal(map[string]string{"sql": sqlText})
 		start := time.Now()
-		resp, err := rc.Post(ts.URL+"/query", body)
+		resp, err := rc.Post(context.Background(), ts.URL+"/query", body)
 		if err != nil {
 			return 0, err
 		}
@@ -118,6 +137,9 @@ func runServeBench(n int) error {
 		resp.Body.Close()
 		if err != nil {
 			return 0, err
+		}
+		if resp.StatusCode == http.StatusRequestEntityTooLarge {
+			budgetKills.Add(1)
 		}
 		if resp.StatusCode != http.StatusOK {
 			return 0, fmt.Errorf("status %d", resp.StatusCode)
@@ -132,7 +154,7 @@ func runServeBench(n int) error {
 			reqs = 400
 		}
 		hits0, miss0 := cacheCounters(db)
-		retries0, shed0 := rc.Retries.Load(), rc.Shed.Load()
+		retries0, shed0, kills0 := rc.Retries.Load(), rc.Shed.Load(), budgetKills.Load()
 		lat := make([]time.Duration, reqs)
 		var next, errs atomic.Int64
 		var peak atomic.Int64
@@ -210,6 +232,7 @@ func runServeBench(n int) error {
 			Errors:         int(errs.Load()),
 			Retries:        cellRetries,
 			ShedRate:       shedRate,
+			BudgetKills:    budgetKills.Load() - kills0,
 		}); err != nil {
 			return err
 		}

@@ -16,8 +16,17 @@
 // replay) runs before the listener opens, every mutation is
 // acknowledged only after its WAL batch reaches disk per -fsync, and a
 // persistence failure degrades the instance to read-only (mutations
-// answer 503 + Retry-After, /healthz reports degraded) until restart.
-// Without -dir the database is in-memory, as before.
+// answer 503 + Retry-After, /healthz reports degraded). A background
+// probe re-verifies the WAL directory with exponential backoff and
+// restores write service without a restart once it is healthy; see
+// docs/ROBUSTNESS.md. Without -dir the database is in-memory, as
+// before.
+//
+// Per-query resource limits: -max-query-bytes budgets each query's
+// pooled memory (over-budget queries answer 413, neighbors unaffected)
+// and -max-query-ms bounds wall time (408). Under GOMEMLIMIT the
+// governor additionally sheds the most expensive in-flight query when
+// total charged bytes cross the high-water mark.
 //
 // Queries execute on a shared worker pool (GOMAXPROCS wide by default),
 // so engine concurrency stays bounded no matter how many clients
@@ -55,6 +64,9 @@ func main() {
 		queueDepth   = flag.Int("queue-depth", 0, "queued queries beyond which arrivals are shed with 429; 0 = 2x max-queries")
 		cacheEntries = flag.Int("cache-entries", 256, "result-cache capacity (small materialized results, invalidated by mutation epochs); 0 disables")
 		poolSize     = flag.Int("pool", 0, "engine worker-pool width: 0 = shared GOMAXPROCS pool, n>0 = dedicated pool of n workers, n<0 = per-query goroutines")
+		maxQueryB    = flag.Int64("max-query-bytes", 0, "per-query memory budget: pooled batches, join build tables and sort runs charge it; an over-budget query fails alone with 413 while its neighbors keep running; 0 = unlimited")
+		maxQueryMS   = flag.Int64("max-query-ms", 0, "per-query deadline in milliseconds, enforced at morsel boundaries (expired queries answer 408); 0 = none")
+		stallDetach  = flag.Duration("stall-detach", 0, "how long a streaming consumer may stall before its remaining chunks are spilled to a governed buffer and the query's table read locks are released; 0 = default (1s), negative = never")
 	)
 	flag.Parse()
 
@@ -65,11 +77,14 @@ func main() {
 	}
 
 	opts := amnesiadb.Options{
-		Seed:         *seed,
-		PoolSize:     *poolSize,
-		MaxQueries:   *maxQueries,
-		CacheEntries: *cacheEntries,
-		Fsync:        *fsync,
+		Seed:             *seed,
+		PoolSize:         *poolSize,
+		MaxQueries:       *maxQueries,
+		CacheEntries:     *cacheEntries,
+		Fsync:            *fsync,
+		MaxQueryBytes:    *maxQueryB,
+		MaxQueryDuration: time.Duration(*maxQueryMS) * time.Millisecond,
+		StallDetach:      *stallDetach,
 	}
 	var db *amnesiadb.DB
 	if *dir != "" {

@@ -7,9 +7,11 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"amnesiadb"
 	"amnesiadb/internal/durability/failpoint"
+	"amnesiadb/internal/engine/governor"
 )
 
 // relationFingerprint captures everything queries can observe about a
@@ -278,15 +280,18 @@ func TestDurableFsyncFailureDegradesToReadOnly(t *testing.T) {
 		t.Fatalf("healthy insert: %v", err)
 	}
 
+	// Block the healing probe too: degradation must stay latched — not
+	// self-heal — for as long as the probe keeps failing.
+	failpoint.Enable(governor.FailpointProbe, failpoint.Error(failpoint.ErrInjected))
 	failpoint.Enable("wal.fsync", failpoint.Error(failpoint.ErrInjected))
 	defer failpoint.DisableAll()
 	if err := tb.InsertColumn("v", []int64{4}); !errors.Is(err, amnesiadb.ErrReadOnly) {
 		t.Fatalf("insert during fsync failure: got %v, want ErrReadOnly", err)
 	}
-	failpoint.DisableAll()
+	failpoint.Disable("wal.fsync")
 
-	// Degradation is sticky: the disk being healthy again does not lift
-	// read-only mode, and every mutator sees it.
+	// Latched: the disk being healthy again does not lift read-only mode
+	// until a probe succeeds, and every mutator sees it.
 	if deg, cause := db.Degraded(); !deg || cause == nil {
 		t.Fatalf("Degraded() = %v, %v; want true with a cause", deg, cause)
 	}
@@ -302,6 +307,69 @@ func TestDurableFsyncFailureDegradesToReadOnly(t *testing.T) {
 	// Reads keep serving.
 	if _, err := db.Query("SELECT COUNT(*) FROM t"); err != nil {
 		t.Fatalf("read in degraded mode: %v", err)
+	}
+	st := db.DurabilityStatus()
+	if !st.Durable || !st.Degraded || st.Cause == "" || st.NextProbe.IsZero() {
+		t.Fatalf("DurabilityStatus during degradation = %+v, want degraded with cause and a scheduled probe", st)
+	}
+}
+
+// TestDurableDegradedModeSelfHeals pins the self-healing loop: a
+// transient fsync failure degrades the database, and once the probe
+// finds the directory healthy again the instance restores write
+// service — fresh segment, fresh snapshot — without a restart, and a
+// reopen recovers everything including post-heal writes.
+func TestDurableDegradedModeSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	db, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 7, Fsync: "always"})
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	defer db.Close()
+	tb, err := db.CreateTable("t", "v")
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if err := tb.InsertColumn("v", []int64{1, 2, 3}); err != nil {
+		t.Fatalf("healthy insert: %v", err)
+	}
+
+	failpoint.Enable("wal.fsync", failpoint.Error(failpoint.ErrInjected))
+	defer failpoint.DisableAll()
+	if err := tb.InsertColumn("v", []int64{4}); !errors.Is(err, amnesiadb.ErrReadOnly) {
+		t.Fatalf("insert during fsync failure: got %v, want ErrReadOnly", err)
+	}
+	failpoint.DisableAll()
+
+	// The disk is healthy again; the prober should clear the latch.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if deg, _ := db.Degraded(); !deg {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("still degraded after %v: %+v", 10*time.Second, db.DurabilityStatus())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := db.DurabilityStatus()
+	if st.Heals != 1 {
+		t.Fatalf("Heals = %d, want 1 (%+v)", st.Heals, st)
+	}
+
+	// Write service is restored and post-heal mutations are durable.
+	if err := tb.InsertColumn("v", []int64{10, 11}); err != nil {
+		t.Fatalf("insert after heal: %v", err)
+	}
+	want := relationFingerprint(t, db, "t")
+	db.Close()
+	re, err := amnesiadb.OpenDir(dir, amnesiadb.Options{Seed: 7, Fsync: "always"})
+	if err != nil {
+		t.Fatalf("reopen after heal: %v", err)
+	}
+	defer re.Close()
+	if got := relationFingerprint(t, re, "t"); got != want {
+		t.Fatalf("post-heal recovery diverged\n got %s\nwant %s", got, want)
 	}
 }
 

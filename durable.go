@@ -10,9 +10,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"amnesiadb/internal/durability"
+	"amnesiadb/internal/durability/failpoint"
 	"amnesiadb/internal/engine"
+	"amnesiadb/internal/engine/governor"
 	"amnesiadb/internal/partition"
 	"amnesiadb/internal/snapshot"
 	"amnesiadb/internal/wal"
@@ -24,16 +27,23 @@ import (
 var ErrReadOnly = errors.New("amnesiadb: read-only (durability degraded)")
 
 // durableState is the durability wiring OpenDir attaches to a DB: the
-// group-commit segment log, the background snapshotter, and the sticky
-// degraded flag.
+// group-commit segment log, the background snapshotter, the sticky
+// degraded flag, and the self-healing prober that clears it.
 type durableState struct {
 	dir  string
 	opts durability.Options
-	log  *durability.Log
+	// log is the live segment log. It is an atomic pointer because the
+	// healer swaps in a fresh log while committers may be reading it; a
+	// committer that loses the race enqueues into the old (closed) log
+	// and gets ErrClosed back, never a torn write.
+	log atomic.Pointer[durability.Log]
 
 	// degraded latches the first persistence failure; once set, every
-	// mutator returns ErrReadOnly and the server reports
-	// degraded:true. Recovery is a restart.
+	// mutator returns ErrReadOnly and the server reports degraded:true.
+	// The background prober re-verifies the WAL directory with
+	// exponential backoff and, once a probe succeeds, atomically
+	// restores write service (fresh segment + snapshot + manifest)
+	// without a restart.
 	degraded atomicErr
 
 	// snapMu serialises snapshots; seq (guarded by it) is the live
@@ -45,9 +55,27 @@ type durableState struct {
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	// Prober state. probeMu guards probing (a prober goroutine is live)
+	// and stopped (closeDurable ran; no new prober may start — the
+	// wg.Add would race its Wait). nextProbe is the unixnano of the next
+	// scheduled probe, 0 when none; heals counts successful recoveries;
+	// lastHeal and backoff0 implement flap suppression: a heal arriving
+	// within healFlapWindow of the previous one doubles the next
+	// degradation's initial backoff instead of resetting it, so a disk
+	// oscillating between healthy and broken converges to the slow
+	// probe cadence rather than thrashing segment creation.
+	probeMu   sync.Mutex
+	probing   bool
+	stopped   bool
+	nextProbe atomic.Int64
+	heals     atomic.Uint64
+	lastHeal  atomic.Int64
+	backoff0  atomic.Int64
 }
 
-// atomicErr is a set-once error slot; the first Store wins.
+// atomicErr is a latch-style error slot: the first Store wins and only
+// an explicit Clear (the healer, after restoring service) resets it.
 type atomicErr struct{ p atomic.Pointer[error] }
 
 func (a *atomicErr) Load() error {
@@ -58,6 +86,8 @@ func (a *atomicErr) Load() error {
 }
 
 func (a *atomicErr) Store(err error) { a.p.CompareAndSwap(nil, &err) }
+
+func (a *atomicErr) Clear() { a.p.Store(nil) }
 
 // OpenDir opens (or creates) a durable database rooted at dir.
 // Recovery runs first: the newest valid catalog snapshot is restored
@@ -110,10 +140,12 @@ func OpenDir(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	ds := &durableState{
-		dir: dir, opts: dopts, log: log, seq: nextSeq,
+		dir: dir, opts: dopts, seq: nextSeq,
 		snapCh: make(chan struct{}, 1),
 		stop:   make(chan struct{}),
 	}
+	ds.log.Store(log)
+	ds.backoff0.Store(int64(probeInitialBackoff))
 	db.dur = ds
 	// Snapshot the recovered state, paired with the fresh segment:
 	// recovery next time restores this snapshot and replays only the
@@ -160,10 +192,12 @@ func (db *DB) writable() error {
 	return nil
 }
 
-// degrade latches read-only mode on the first persistence failure.
+// degrade latches read-only mode on the first persistence failure and
+// starts the healing prober.
 func (db *DB) degrade(err error) {
 	if db.dur != nil {
 		db.dur.degraded.Store(err)
+		db.startProber()
 	}
 }
 
@@ -174,7 +208,7 @@ func (db *DB) logRecord(rec []byte) *durability.Pending {
 	if db.dur == nil {
 		return nil
 	}
-	return db.dur.log.Enqueue(rec)
+	return db.dur.log.Load().Enqueue(rec)
 }
 
 // commitWait blocks until every pending record's batch is fsynced (per
@@ -198,7 +232,7 @@ func (db *DB) commitWait(ps ...*durability.Pending) error {
 		db.degrade(err)
 		return fmt.Errorf("%w: %v", ErrReadOnly, err)
 	}
-	if db.dur.log.Size() > db.dur.opts.SegmentThreshold() {
+	if db.dur.log.Load().Size() > db.dur.opts.SegmentThreshold() {
 		select {
 		case db.dur.snapCh <- struct{}{}:
 		default:
@@ -242,7 +276,7 @@ func (db *DB) Snapshot() error {
 	defer db.dur.snapMu.Unlock()
 	seq := db.dur.seq + 1
 	unlock := db.lockCatalog()
-	if err := db.dur.log.Rotate(db.dur.dir, seq); err != nil {
+	if err := db.dur.log.Load().Rotate(db.dur.dir, seq); err != nil {
 		unlock()
 		db.degrade(err)
 		return fmt.Errorf("%w: %v", ErrReadOnly, err)
@@ -285,6 +319,206 @@ func (db *DB) writeSnapshot(seq int) error {
 		return err
 	}
 	return durability.RefreshManifest(db.dur.dir, seq)
+}
+
+// Probe cadence for the self-healing prober: exponential backoff from
+// probeInitialBackoff to probeMaxBackoff. A heal landing within
+// healFlapWindow of the previous one doubles the next degradation's
+// starting backoff (flap suppression).
+const (
+	probeInitialBackoff = 100 * time.Millisecond
+	probeMaxBackoff     = 30 * time.Second
+	healFlapWindow      = 5 * time.Second
+)
+
+// DurabilityStatus is the durable layer's health as reported by
+// DB.DurabilityStatus and surfaced on /healthz.
+type DurabilityStatus struct {
+	// Durable is false for in-memory databases; the remaining fields
+	// are then zero.
+	Durable bool
+	// Degraded reports read-only mode; Cause is the latched failure.
+	Degraded bool
+	Cause    string
+	// NextProbe is when the healing prober will next re-verify the WAL
+	// directory; zero when no probe is scheduled.
+	NextProbe time.Time
+	// Heals counts successful degraded-to-writable recoveries.
+	Heals uint64
+}
+
+// DurabilityStatus snapshots the durable layer's health.
+func (db *DB) DurabilityStatus() DurabilityStatus {
+	ds := db.dur
+	if ds == nil {
+		return DurabilityStatus{}
+	}
+	st := DurabilityStatus{Durable: true, Heals: ds.heals.Load()}
+	if err := ds.degraded.Load(); err != nil {
+		st.Degraded = true
+		st.Cause = err.Error()
+	}
+	if np := ds.nextProbe.Load(); np != 0 {
+		st.NextProbe = time.Unix(0, np)
+	}
+	return st
+}
+
+// startProber launches the healing prober unless one is already
+// running or the state is closed. Called on every degradation; the
+// probeMu/stopped handshake with closeDurable keeps the wg.Add ordered
+// before any Wait.
+func (db *DB) startProber() {
+	ds := db.dur
+	ds.probeMu.Lock()
+	defer ds.probeMu.Unlock()
+	if ds.stopped || ds.probing {
+		return
+	}
+	ds.probing = true
+	// Stamp the schedule before the goroutine exists so a status read
+	// immediately after degradation already sees a pending probe; the
+	// loop refines it each round.
+	backoff := time.Duration(ds.backoff0.Load())
+	if backoff < probeInitialBackoff {
+		backoff = probeInitialBackoff
+	}
+	ds.nextProbe.Store(time.Now().Add(backoff).UnixNano())
+	ds.wg.Add(1)
+	go db.probeLoop()
+}
+
+// probeLoop sleeps with exponential backoff, probing the WAL directory
+// each wake until a heal succeeds or the database closes.
+func (db *DB) probeLoop() {
+	ds := db.dur
+	defer ds.wg.Done()
+	backoff := time.Duration(ds.backoff0.Load())
+	if backoff < probeInitialBackoff {
+		backoff = probeInitialBackoff
+	}
+	for {
+		ds.nextProbe.Store(time.Now().Add(backoff).UnixNano())
+		select {
+		case <-ds.stop:
+			ds.nextProbe.Store(0)
+			return
+		case <-time.After(backoff):
+		}
+		if err := db.tryHeal(); err == nil {
+			break
+		}
+		backoff *= 2
+		if backoff > probeMaxBackoff {
+			backoff = probeMaxBackoff
+		}
+	}
+	ds.nextProbe.Store(0)
+	ds.probeMu.Lock()
+	ds.probing = false
+	stopped := ds.stopped
+	ds.probeMu.Unlock()
+	// A failure arriving between the heal and the probing=false store
+	// above saw probing=true and declined to start a prober; re-check so
+	// that degradation is not left unattended.
+	if !stopped && ds.degraded.Load() != nil {
+		db.startProber()
+	}
+}
+
+// tryHeal attempts one degraded-to-writable recovery. The probe first
+// verifies the WAL directory accepts durable writes (create + write +
+// fsync of a scratch file — the same syscalls a commit needs). On
+// success it builds a complete fresh generation BEFORE restoring
+// service: new segment at seq+1, a catalog snapshot encoded under the
+// full-catalog barrier (no mutations can race it — writers are still
+// fenced by the degraded latch), and a manifest refresh. Only once all
+// three are durable does it swap the live log and clear the latch; any
+// failure removes the partial generation so recovery after a crash
+// never sees a header-only segment masking the torn tail of the old
+// one. The old log is closed after the swap — late committers racing
+// the swap land on whichever log their load saw and either way get a
+// resolved error, never a torn write.
+func (db *DB) tryHeal() error {
+	ds := db.dur
+	if err := failpoint.Eval(governor.FailpointProbe); err != nil {
+		return err
+	}
+	if err := probeDir(ds.dir); err != nil {
+		return err
+	}
+	ds.snapMu.Lock()
+	defer ds.snapMu.Unlock()
+	if ds.degraded.Load() == nil {
+		return nil // already healed
+	}
+	seq := ds.seq + 1
+	newLog, err := durability.CreateLog(ds.dir, seq, ds.opts)
+	if err != nil {
+		return err
+	}
+	abort := func() {
+		newLog.Close()
+		os.Remove(durability.SegmentPath(ds.dir, seq))
+		os.Remove(durability.SnapshotPath(ds.dir, seq))
+	}
+	unlock := db.lockCatalog()
+	var buf bytes.Buffer
+	encErr := snapshot.WriteCatalog(&buf, db.buildCatalogLocked())
+	unlock()
+	if encErr != nil {
+		abort()
+		return encErr
+	}
+	if err := durability.WriteSnapshot(ds.dir, seq, buf.Bytes()); err != nil {
+		abort()
+		return err
+	}
+	if err := durability.RefreshManifest(ds.dir, seq); err != nil {
+		abort()
+		return err
+	}
+	old := ds.log.Swap(newLog)
+	ds.seq = seq
+	ds.degraded.Clear()
+	now := time.Now().UnixNano()
+	if last := ds.lastHeal.Swap(now); last != 0 && now-last < int64(healFlapWindow) {
+		b := ds.backoff0.Load() * 2
+		if b > int64(probeMaxBackoff) {
+			b = int64(probeMaxBackoff)
+		}
+		ds.backoff0.Store(b)
+	} else {
+		ds.backoff0.Store(int64(probeInitialBackoff))
+	}
+	ds.heals.Add(1)
+	if old != nil {
+		old.Close() // usually already broken; the error is the latched cause
+	}
+	durability.Prune(ds.dir)
+	log.Printf("amnesiadb: durability healed: writable again on segment %d", seq)
+	return nil
+}
+
+// probeDir verifies dir accepts durable writes: create, write, fsync
+// and remove a scratch file.
+func probeDir(dir string) error {
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("amnesiadb probe"))
+	serr := f.Sync()
+	cerr := f.Close()
+	os.Remove(name)
+	if werr != nil {
+		return werr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // lockCatalog takes db.mu plus every relation's exclusive lock in
@@ -661,8 +895,11 @@ func (db *DB) closeDurable() {
 		return
 	}
 	ds.closeOnce.Do(func() {
+		ds.probeMu.Lock()
+		ds.stopped = true
+		ds.probeMu.Unlock()
 		close(ds.stop)
 		ds.wg.Wait()
-		ds.log.Close()
+		ds.log.Load().Close()
 	})
 }

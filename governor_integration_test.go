@@ -1,0 +1,316 @@
+package amnesiadb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"amnesiadb"
+	"amnesiadb/internal/xrand"
+)
+
+// TestOverBudgetJoinFailsAlone pins per-query blast-radius isolation:
+// a join whose build-side working set exceeds -max-query-bytes dies
+// with ErrResourceExhausted, while concurrent small queries on the same
+// instance complete byte-identically to their serial runs.
+func TestOverBudgetJoinFailsAlone(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 11, MaxQueryBytes: 256 << 10})
+	defer db.Close()
+
+	mk := func(name string, n int, mod int64) {
+		t.Helper()
+		tab, err := db.CreateTable(name, "k", "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := xrand.New(uint64(n))
+		ks := make([]int64, n)
+		vs := make([]int64, n)
+		for i := range ks {
+			ks[i] = src.Int63n(mod)
+			vs[i] = int64(i)
+		}
+		if err := tab.Insert(map[string][]int64{"k": ks, "v": vs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The join sides: ~50k rows each means ~600 KB of pooled chunks per
+	// side just to gather the build input — far over the 256 KB budget.
+	mk("jl", 50_000, 1<<20)
+	mk("jr", 50_000, 1<<20)
+	// The bystander table is two batches; its queries stay well under
+	// budget.
+	mk("small", 2_000, 64)
+
+	smalls := []string{
+		"SELECT COUNT(*) FROM small",
+		"SELECT SUM(k) FROM small WHERE k < 32",
+		"SELECT v FROM small WHERE k < 4 LIMIT 50",
+		"SELECT AVG(k) FROM small",
+	}
+	serial := make([]*amnesiadb.QueryResult, len(smalls))
+	for i, q := range smalls {
+		r, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("serial %q: %v", q, err)
+		}
+		serial[i] = r
+	}
+
+	join := "SELECT jl.v, jr.v FROM jl JOIN jr ON jl.k = jr.k"
+	var wg sync.WaitGroup
+	joinErrs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := db.Query(join)
+			joinErrs <- err
+		}()
+	}
+	smallErrs := make(chan error, len(smalls)*8)
+	for round := 0; round < 8; round++ {
+		for i, q := range smalls {
+			wg.Add(1)
+			go func(i int, q string) {
+				defer wg.Done()
+				r, err := db.Query(q)
+				if err != nil {
+					smallErrs <- fmt.Errorf("%q: %w", q, err)
+					return
+				}
+				if !reflect.DeepEqual(r, serial[i]) {
+					smallErrs <- fmt.Errorf("%q diverged from serial run", q)
+					return
+				}
+				smallErrs <- nil
+			}(i, q)
+		}
+	}
+	wg.Wait()
+	close(joinErrs)
+	close(smallErrs)
+	for err := range joinErrs {
+		if !errors.Is(err, amnesiadb.ErrResourceExhausted) {
+			t.Fatalf("over-budget join: got %v, want ErrResourceExhausted", err)
+		}
+	}
+	for err := range smallErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The failed joins must not leak charges: the ledger drains to zero
+	// once no queries are live.
+	st := db.GovernorStats()
+	if st.ActiveQueries != 0 || st.UsedBytes != 0 {
+		t.Fatalf("governor ledger not drained: %+v", st)
+	}
+	if st.PeakBytes == 0 {
+		t.Fatal("governor never observed any usage")
+	}
+}
+
+// TestOverBudgetOrderByFails covers the sort path: the ORDER BY working
+// set charges the quota, so an unclustered sort over a big qualifying
+// set dies with ErrResourceExhausted instead of allocating its runs.
+func TestOverBudgetOrderByFails(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 12, MaxQueryBytes: 64 << 10})
+	defer db.Close()
+	tab, err := db.CreateTable("t", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := xrand.New(5)
+	n := 100_000
+	av := make([]int64, n)
+	bv := make([]int64, n)
+	for i := range av {
+		av[i] = src.Int63n(1 << 20)
+		bv[i] = int64(i)
+	}
+	if err := tab.Insert(map[string][]int64{"a": av, "b": bv}); err != nil {
+		t.Fatal(err)
+	}
+	// ~100k qualifying rows × 8 bytes of sort permutation ≈ 800 KB.
+	_, err = db.Query("SELECT a FROM t ORDER BY a LIMIT 10")
+	if !errors.Is(err, amnesiadb.ErrResourceExhausted) {
+		t.Fatalf("over-budget ORDER BY: got %v, want ErrResourceExhausted", err)
+	}
+	// A selective sort fits and still works on the same instance.
+	if _, err := db.Query("SELECT a FROM t WHERE a < 2048 ORDER BY a LIMIT 10"); err != nil {
+		t.Fatalf("small ORDER BY after kill: %v", err)
+	}
+}
+
+// TestQueryDeadlineExpires pins the per-query wall-clock bound: a query
+// running past MaxQueryDuration is cancelled at a morsel boundary with
+// the typed deadline error (or the context's own deadline, whichever
+// surfaces first) while an instance without the bound runs it fine.
+func TestQueryDeadlineExpires(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 13, MaxQueryDuration: time.Nanosecond})
+	defer db.Close()
+	tab, err := db.CreateTable("t", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := xrand.New(9)
+	n := 1 << 20
+	av := make([]int64, n)
+	for i := range av {
+		av[i] = src.Int63n(1 << 20)
+	}
+	if err := tab.InsertColumn("a", av); err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.Query("SELECT SUM(a) FROM t")
+	if err == nil {
+		t.Fatal("1ns deadline produced a full result")
+	}
+	if !errors.Is(err, amnesiadb.ErrQueryDeadline) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired query: got %v, want deadline error", err)
+	}
+}
+
+// TestStalledStreamSpillsAndReleasesLocks pins spill-on-stall: an
+// unselective value-only stream whose backlog far exceeds the
+// pipeline's bounded buffers normally holds its table read lock
+// hostage to the consumer. With StallDetach armed, a consumer idle past
+// the threshold gets its remaining chunks drained into a governed heap
+// buffer, the scan completes, the lock drops (writer makes progress),
+// and the tail is still delivered byte-identically.
+func TestStalledStreamSpillsAndReleasesLocks(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 14, StallDetach: 50 * time.Millisecond})
+	defer db.Close()
+	tab, err := db.CreateTable("big", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 262_144 // 256 chunks — far beyond the pipeline buffer
+	src := xrand.New(3)
+	av := make([]int64, n)
+	for i := range av {
+		av[i] = src.Int63n(1 << 18)
+	}
+	if err := tab.InsertColumn("a", av); err != nil {
+		t.Fatal(err)
+	}
+
+	// The expected rows, from a plain materialized run.
+	want, err := db.Query("SELECT a FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qs, err := db.QueryStream("SELECT a FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs.Close()
+	// Consume one chunk, then stall. The first Next also proves the
+	// pipeline was live before the detach.
+	first, err := qs.Next()
+	if err != nil || first == nil {
+		t.Fatalf("first chunk: %v %v", first, err)
+	}
+
+	// A writer must get through while the consumer stalls: the monitor
+	// spills the backlog, the scan finishes, the lock drops.
+	done := make(chan error, 1)
+	go func() { done <- tab.InsertColumn("a", []int64{1 << 19}) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("writer still blocked: stalled stream never spilled and released its lock")
+	}
+
+	// Drain the tail; rows must be byte-identical to the serial result.
+	got := make([][]float64, 0, n)
+	got = append(got, first...)
+	for {
+		rows, err := qs.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows == nil {
+			break
+		}
+		got = append(got, rows...)
+	}
+	if len(got) != len(want.Rows) {
+		t.Fatalf("spilled stream delivered %d rows, want %d", len(got), len(want.Rows))
+	}
+	if !reflect.DeepEqual(got, want.Rows) {
+		t.Fatal("spilled stream diverged from the serial result")
+	}
+
+	// Spilled buffers were recycled on drain: the ledger is empty.
+	if st := db.GovernorStats(); st.ActiveQueries != 0 || st.UsedBytes != 0 {
+		t.Fatalf("governor ledger not drained after spill: %+v", st)
+	}
+}
+
+// TestStalledOrderedStreamSpills runs the same stall through the
+// clustered-ascending ORDER BY path — the other early-release stream
+// shape that arms spill-on-stall.
+func TestStalledOrderedStreamSpills(t *testing.T) {
+	db := amnesiadb.Open(amnesiadb.Options{Seed: 15, StallDetach: 50 * time.Millisecond})
+	defer db.Close()
+	tab, err := db.CreateTable("big", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 131_072
+	av := make([]int64, n)
+	for i := range av {
+		av[i] = int64(i) // clustered ascending: ORDER BY streams without a sort
+	}
+	if err := tab.InsertColumn("a", av); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Query("SELECT a FROM big ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := db.QueryStream("SELECT a FROM big ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs.Close()
+	first, err := qs.Next()
+	if err != nil || first == nil {
+		t.Fatalf("first chunk: %v %v", first, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tab.InsertColumn("a", []int64{n}) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("writer still blocked behind a stalled ORDER BY stream")
+	}
+	got := append([][]float64{}, first...)
+	for {
+		rows, err := qs.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows == nil {
+			break
+		}
+		got = append(got, rows...)
+	}
+	if !reflect.DeepEqual(got, want.Rows) {
+		t.Fatalf("spilled ORDER BY stream diverged: %d rows vs %d", len(got), len(want.Rows))
+	}
+}

@@ -1,0 +1,127 @@
+package failpoint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestArmValidSpecs pins the spec grammar end to end: each clause arms
+// its site with the behavior the directive names, observable through
+// Eval/TornAt.
+func TestArmValidSpecs(t *testing.T) {
+	t.Cleanup(DisableAll)
+
+	DisableAll()
+	if err := Arm("wal.fsync=error"); err != nil {
+		t.Fatalf("Arm(error): %v", err)
+	}
+	if err := Eval("wal.fsync"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Eval after error directive = %v, want ErrInjected", err)
+	}
+
+	DisableAll()
+	if err := Arm("wal.fsync=error:after:2"); err != nil {
+		t.Fatalf("Arm(error:after:2): %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Eval("wal.fsync"); err != nil {
+			t.Fatalf("Eval %d under after:2 = %v, want nil", i, err)
+		}
+	}
+	if err := Eval("wal.fsync"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Eval 3 under after:2 = %v, want ErrInjected", err)
+	}
+
+	DisableAll()
+	if err := Arm("wal.write=torn:17"); err != nil {
+		t.Fatalf("Arm(torn:17): %v", err)
+	}
+	if off, ok := TornAt("wal.write"); !ok || off != 17 {
+		t.Fatalf("TornAt = %d, %v; want 17, true", off, ok)
+	}
+	// A torn directive never returns an error from Eval.
+	if err := Eval("wal.write"); err != nil {
+		t.Fatalf("Eval on torn site = %v, want nil", err)
+	}
+
+	DisableAll()
+	if err := Arm("wal.write=torn:7:after:1"); err != nil {
+		t.Fatalf("Arm(torn:7:after:1): %v", err)
+	}
+	if _, ok := TornAt("wal.write"); ok {
+		t.Fatal("TornAt fired before its after count")
+	}
+	if off, ok := TornAt("wal.write"); !ok || off != 7 {
+		t.Fatalf("TornAt = %d, %v; want 7, true", off, ok)
+	}
+
+	// Multiple clauses, whitespace and empty segments tolerated.
+	DisableAll()
+	if err := Arm(" wal.fsync=error ; governor.probe=error:after:1 ;; "); err != nil {
+		t.Fatalf("Arm(multi): %v", err)
+	}
+	if err := Eval("wal.fsync"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("multi-clause site 1 = %v, want ErrInjected", err)
+	}
+	if err := Eval("governor.probe"); err != nil {
+		t.Fatalf("governor.probe first eval = %v, want nil (after:1)", err)
+	}
+	if err := Eval("governor.probe"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("governor.probe second eval = %v, want ErrInjected", err)
+	}
+}
+
+// TestArmMalformedSpecsErrorLoudly pins the operator surface: a typo in
+// AMNESIADB_FAILPOINTS must fail with an error naming the bad clause —
+// never arm half a directive silently.
+func TestArmMalformedSpecsErrorLoudly(t *testing.T) {
+	t.Cleanup(DisableAll)
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"wal.fsync", "bad clause"},                        // no '='
+		{"wal.fsync=explode", "unknown directive"},         // unknown verb
+		{"wal.fsync=error:after:x", "bad after count"},     // non-numeric after
+		{"wal.fsync=error:later:3", "bad error directive"}, // wrong keyword
+		{"wal.fsync=error:3", "bad error directive"},       // missing 'after'
+		{"wal.write=torn", "torn needs an offset"},         // no offset
+		{"wal.write=torn:x", "bad torn offset"},            // non-numeric offset
+		{"wal.write=torn:-1", "bad torn offset"},           // negative offset
+		{"wal.write=torn:7:later:2", "torn needs an offset"},
+		{"wal.write=torn:7:after:x", "bad after count"},
+		{"wal.write=torn:7:after:-2", "bad after count"},
+		{"ok=error;bad", "bad clause"}, // failure names the bad clause
+	}
+	for _, tc := range cases {
+		DisableAll()
+		err := Arm(tc.spec)
+		if err == nil {
+			t.Errorf("Arm(%q) = nil, want error containing %q", tc.spec, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Arm(%q) = %v, want error containing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// TestArmFromEnv pins the environment entry point amnesiaserve uses: a
+// malformed variable must abort startup-arming with an error, not be
+// ignored.
+func TestArmFromEnv(t *testing.T) {
+	t.Cleanup(DisableAll)
+	t.Setenv(EnvVar, "wal.fsync=error")
+	if err := ArmFromEnv(); err != nil {
+		t.Fatalf("ArmFromEnv(valid): %v", err)
+	}
+	if err := Eval("wal.fsync"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Eval after ArmFromEnv = %v, want ErrInjected", err)
+	}
+	DisableAll()
+	t.Setenv(EnvVar, "wal.fsync=bogus")
+	if err := ArmFromEnv(); err == nil {
+		t.Fatal("ArmFromEnv(malformed) = nil, want loud error")
+	}
+}

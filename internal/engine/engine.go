@@ -71,6 +71,7 @@ import (
 
 	"amnesiadb/internal/bitvec"
 	"amnesiadb/internal/column"
+	"amnesiadb/internal/engine/governor"
 	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/table"
@@ -177,6 +178,12 @@ func (e *Exec) selectTouching(col string, pred expr.Expr, mode ScanMode, touch b
 type SelChunk struct {
 	Rows   []int32
 	Values []int64
+
+	// quota, when non-nil, holds the per-query resource account this
+	// chunk's pooled buffers are charged against; RecycleChunk releases
+	// the charge when the buffers return to the pool. Copies of the
+	// chunk carry the stamp, so whichever copy is recycled settles it.
+	quota *governor.Quota
 }
 
 // SelectChunks is Select without the final concatenation: the qualifying

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"amnesiadb/internal/engine/governor"
 	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 	"amnesiadb/internal/table"
@@ -98,7 +99,7 @@ func HashJoinSched(ctx context.Context, sp *sched.Pool, left *table.Table, leftC
 	}
 	workers := WorkersSched(sp, par, joinSize(left, mode)+joinSize(right, mode))
 	if workers <= 1 {
-		return hashJoinSerial(left, leftCol, right, rightCol, pred, mode, par)
+		return hashJoinSerial(ctx, left, leftCol, right, rightCol, pred, mode, par)
 	}
 
 	nparts := 1 << uint(bits.Len(uint(workers-1))) // next power of two >= workers
@@ -182,6 +183,20 @@ func HashJoinSched(ctx context.Context, sp *sched.Pool, left *table.Table, leftC
 		return nil, sideErr
 	}
 
+	// Both sides are about to be flattened (probe vector, build scatter
+	// or two-pass table): charge the flat copies against the query's
+	// quota for the duration of build+probe, on top of the chunk charges
+	// the side collections are still holding. An over-budget join dies
+	// here, before the big allocations, with only its own quota latched.
+	quota := governor.FromContext(ctx)
+	flatBytes := int64(sides[0].count+sides[1].count) * (4 + 8)
+	if err := quota.Acquire(flatBytes); err != nil {
+		recycleChunks(sides[0].chunks)
+		recycleChunks(sides[1].chunks)
+		return nil, err
+	}
+	defer quota.Release(flatBytes)
+
 	// The real build side is the smaller qualifying side — the same rule
 	// the serial join applies, so probe order (and with it the output)
 	// is identical at every parallelism.
@@ -220,6 +235,14 @@ func HashJoinSched(ctx context.Context, sp *sched.Pool, left *table.Table, leftC
 	for _, s := range slots {
 		total += len(s)
 	}
+	// The concatenated output is the join's last big allocation; charge
+	// it transiently so a fan-out join (many matches per key) cannot
+	// silently multiply past the budget during materialization.
+	outBytes := int64(total) * 16
+	if err := quota.Acquire(outBytes); err != nil {
+		return nil, err
+	}
+	defer quota.Release(outBytes)
 	out := &JoinResult{}
 	if total > 0 {
 		out.Rows = make([]JoinRow, 0, total)
@@ -233,7 +256,15 @@ func HashJoinSched(ctx context.Context, sp *sched.Pool, left *table.Table, leftC
 // hashJoinSerial is the unpipelined join small inputs take: collect both
 // sides, build a flat map on the smaller, probe in order. It is the
 // byte-identity reference for every pipelined path.
-func hashJoinSerial(left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, mode ScanMode, par int) (*JoinResult, error) {
+func hashJoinSerial(ctx context.Context, left *table.Table, leftCol string, right *table.Table, rightCol string, pred expr.Expr, mode ScanMode, par int) (*JoinResult, error) {
+	// Same resource accounting as the scheduled join: the flat side
+	// collections and the materialized output charge the query's quota
+	// transiently, so an over-budget join dies identically whether the
+	// pool granted it one worker or many.
+	quota := governor.FromContext(ctx)
+	if err := quota.Check(); err != nil {
+		return nil, err
+	}
 	collect := func(t *table.Table, colName string) (*Result, error) {
 		ex := NewSilent(t)
 		ex.SetParallelism(par)
@@ -247,6 +278,11 @@ func hashJoinSerial(left *table.Table, leftCol string, right *table.Table, right
 	if err != nil {
 		return nil, err
 	}
+	flatBytes := int64(l.Count()+r.Count()) * (4 + 8)
+	if err := quota.Acquire(flatBytes); err != nil {
+		return nil, err
+	}
+	defer quota.Release(flatBytes)
 
 	// Build on the smaller side.
 	swap := l.Count() > r.Count()
@@ -255,9 +291,13 @@ func hashJoinSerial(left *table.Table, leftCol string, right *table.Table, right
 		build, probe = r, l
 	}
 	ht := buildJoinTable(build.Values, build.Rows, 1)
-	out := &JoinResult{}
-	out.Rows = probeRange(ht, probe, 0, probe.Count(), swap)
-	return out, nil
+	rows := probeRange(ht, probe, 0, probe.Count(), swap)
+	outBytes := int64(len(rows)) * 16
+	if err := quota.Acquire(outBytes); err != nil {
+		return nil, err
+	}
+	quota.Release(outBytes)
+	return &JoinResult{Rows: rows}, nil
 }
 
 // chunksToResult flattens streamed scan chunks into the exact-size flat

@@ -9,6 +9,7 @@ import (
 
 	"amnesiadb/internal/bitvec"
 	"amnesiadb/internal/column"
+	"amnesiadb/internal/engine/governor"
 	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 )
@@ -47,6 +48,14 @@ const pipelineChunkBuf = 4
 // chunks to exist at once.
 func pipelineInflight(w int) int { return 2*w + 2 }
 
+// ChunkQuotaBytes is what one pooled chunk charges its query's resource
+// quota: a full batch's selection vector (int32) plus value vector
+// (int64), the fixed footprint the pool hands out regardless of how few
+// rows qualified. Charged at produce time, released by RecycleChunk —
+// so reorder slots, the bounded channel, spill buffers and consumer-held
+// chunks are all covered by one charge per chunk.
+const ChunkQuotaBytes = BatchSize * (4 + 8)
+
 // ChunkStream is the consumer handle of a pipelined scan: Next yields
 // chunks in deterministic order while producers are still scanning,
 // Close cancels the producers, and ScanDone reports when the pipeline
@@ -59,6 +68,11 @@ type ChunkStream struct {
 	cause    error
 	scanDone chan struct{}
 	stride   func() int
+
+	// sp, when armed via DetachOnStall, is the stall monitor that
+	// drains a stalled consumer's remaining chunks to a governed heap
+	// buffer so the producers can exit and release their locks.
+	sp *spillState
 
 	// err is written by the emitter or the janitor strictly before ch is
 	// closed; consumers read it only after observing the close, so the
@@ -75,8 +89,12 @@ func newChunkStream() *ChunkStream {
 }
 
 // Next returns the next chunk. ok is false once the stream is drained or
-// torn down; err then reports why (nil for a clean drain).
+// torn down; err then reports why (nil for a clean drain). With a stall
+// monitor armed, spilled chunks are served first, in emit order.
 func (s *ChunkStream) Next() (c SelChunk, ok bool, err error) {
+	if s.sp != nil {
+		return s.sp.next(s)
+	}
 	c, ok = <-s.ch
 	if ok {
 		return c, true, nil
@@ -87,7 +105,12 @@ func (s *ChunkStream) Next() (c SelChunk, ok bool, err error) {
 // Close cancels the pipeline: producers stop claiming work, buffered
 // chunks are recycled, and Next reports ErrStreamClosed once the channel
 // drains. Idempotent; safe to call after the stream completed normally.
-func (s *ChunkStream) Close() { s.closeWith(ErrStreamClosed) }
+func (s *ChunkStream) Close() {
+	s.closeWith(ErrStreamClosed)
+	if s.sp != nil {
+		s.sp.discard()
+	}
+}
 
 func (s *ChunkStream) closeWith(err error) {
 	s.stopOnce.Do(func() {
@@ -162,6 +185,18 @@ func runPipeline[T any](ctx context.Context, s *ChunkStream, sp *sched.Pool, wor
 		case <-ctx.Done():
 			s.closeWith(context.Cause(ctx))
 		default:
+		}
+	}
+	if q := governor.FromContext(ctx); q != nil {
+		// Morsel-boundary enforcement: a query killed by its budget, a
+		// process-level shed or its deadline stops before claiming the
+		// next task, on every pipeline (scans and shard fan-outs alike).
+		inner := produce
+		produce = func(t T) ([]SelChunk, error) {
+			if err := q.Check(); err != nil {
+				return nil, err
+			}
+			return inner(t)
 		}
 	}
 	inflight := pipelineInflight(workers)
@@ -383,11 +418,14 @@ func recycleChunks(chunks []SelChunk) {
 // consumer has projected it. Only pool-shaped chunks — full-capacity
 // position and value buffers, the kind the scan pipeline steals from the
 // pool — are recycled; partitioned shard chunks (nil positions,
-// arbitrary capacity) are left for the collector.
+// arbitrary capacity) are left for the collector. Recycling also
+// releases the chunk's resource-quota charge, closing the loop opened
+// at produce time.
 func RecycleChunk(c SelChunk) {
 	if c.Rows == nil || cap(c.Rows) != BatchSize || cap(c.Values) != BatchSize {
 		return
 	}
+	c.quota.Release(ChunkQuotaBytes)
 	PutBatch(&Batch{Sel: c.Rows[:BatchSize], Val: c.Values[:BatchSize]})
 }
 
@@ -563,6 +601,7 @@ func (e *Exec) SelectChunkStream(ctx context.Context, col string, pred expr.Expr
 	s := newChunkStream()
 	s.stride = cur.Stride
 
+	quota := governor.FromContext(ctx)
 	var touchMu sync.Mutex
 	var touched []int32
 	produce := func(r rowRange) ([]SelChunk, error) {
@@ -578,7 +617,20 @@ func (e *Exec) SelectChunkStream(ctx context.Context, col string, pred expr.Expr
 		}
 		chunks := make([]SelChunk, len(batches))
 		for i, b := range batches {
-			chunks[i] = SelChunk{Rows: b.Sel, Values: b.Val}
+			// Charge each pooled chunk the query keeps in flight before
+			// it enters the reorder stage; RecycleChunk releases the
+			// charge wherever the chunk's journey ends. On failure the
+			// morsel's batches go straight back to the pool — already
+			// charged chunks settle through their recycle — and the
+			// latched exhaustion tears the pipeline down.
+			if err := quota.Acquire(ChunkQuotaBytes); err != nil {
+				for _, bb := range batches[i:] {
+					PutBatch(bb)
+				}
+				recycleChunks(chunks[:i])
+				return nil, err
+			}
+			chunks[i] = SelChunk{Rows: b.Sel, Values: b.Val, quota: quota}
 		}
 		if touching {
 			touchMu.Lock()

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Spill-on-stall: a streaming consumer that stops calling Next — an
+// HTTP client that went away without closing, a serializer blocked on a
+// congested socket — leaves the pipeline's producers parked on the
+// bounded channel with the relation read locks still held, because
+// ScanDone (the lock-release signal) only closes once every producer
+// exits. DetachOnStall bounds that hostage time: a monitor watches
+// consumer activity, and once the consumer has been idle past the
+// threshold while the scan is still live, it drains every remaining
+// chunk into an ordered heap buffer. Unblocked, the producers finish,
+// ScanDone closes, the locks release — and the consumer, whenever it
+// comes back, is served the tail from the buffer in the exact order the
+// channel would have delivered it, so the output stays byte-identical.
+//
+// The buffer is governed memory: its chunks carry the per-query quota
+// charge from produce time until the consumer recycles them, so a
+// budgeted query cannot convert a stall into an unbounded heap — the
+// drain stops with ErrResourceExhausted like any other over-budget
+// production.
+//
+// Mutual exclusion between the monitor's drain and the consumer's
+// channel receive is the correctness heart: both go through spillState's
+// mutex-guarded handoff, so exactly one of them is ever receiving and
+// ordering is preserved. A consumer blocked inside a receive (slow
+// producer, not a stalled consumer) marks itself in flight, and the
+// monitor leaves an in-flight receive alone.
+
+// spillState is the stall monitor and buffer attached to a ChunkStream
+// by DetachOnStall.
+type spillState struct {
+	mu       sync.Mutex
+	buf      []SelChunk    // drained, not yet consumed; FIFO in emit order
+	drained  bool          // the underlying channel closed (by drain or consumer)
+	err      error         // the stream error observed at drain end
+	inNext   bool          // a consumer receive is in flight
+	closed   bool          // Close ran; buffer recycled
+	lastNext atomic.Int64  // unix nanos of the last consumer activity
+	detached atomic.Bool   // a stall drain ran (observable for tests/metrics)
+	done     chan struct{} // closed when the monitor goroutine exits
+}
+
+// DetachOnStall arms the stall monitor with the given idle threshold.
+// Must be called before the first Next, once, by the stream's owner.
+func (s *ChunkStream) DetachOnStall(threshold time.Duration) {
+	if threshold <= 0 || s.sp != nil {
+		return
+	}
+	sp := &spillState{done: make(chan struct{})}
+	sp.lastNext.Store(time.Now().UnixNano())
+	s.sp = sp
+	go sp.monitor(s, threshold)
+}
+
+// Detached reports whether a stall drain ran.
+func (s *ChunkStream) Detached() bool {
+	return s.sp != nil && s.sp.detached.Load()
+}
+
+// MonitorDone returns the stall monitor's completion signal: the
+// channel closes when the goroutine DetachOnStall spawned has exited
+// (scan finished, drain completed, or the stream closed). Nil when no
+// monitor is armed.
+func (s *ChunkStream) MonitorDone() <-chan struct{} {
+	if s.sp == nil {
+		return nil
+	}
+	return s.sp.done
+}
+
+// monitor polls consumer activity and triggers the drain after
+// threshold of consumer idleness while the scan is still running. It
+// exits as soon as the scan side is done — at that point the producers
+// hold nothing and the lock-release signal has already fired.
+func (sp *spillState) monitor(s *ChunkStream, threshold time.Duration) {
+	defer close(sp.done)
+	tick := threshold / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	timer := time.NewTimer(tick)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.scanDone:
+			return
+		case <-timer.C:
+		}
+		sp.mu.Lock()
+		idle := time.Since(time.Unix(0, sp.lastNext.Load()))
+		if sp.drained || sp.closed {
+			sp.mu.Unlock()
+			return
+		}
+		if sp.inNext || idle < threshold {
+			sp.mu.Unlock()
+			timer.Reset(tick)
+			continue
+		}
+		// Consumer stalled: take over the channel under the handoff
+		// mutex and drain to the buffer. A consumer waking mid-drain
+		// blocks on the mutex and then reads the buffer — never the
+		// channel — so order is preserved.
+		sp.detached.Store(true)
+		for {
+			c, ok := <-s.ch
+			if !ok {
+				sp.err = s.err
+				sp.drained = true
+				break
+			}
+			sp.buf = append(sp.buf, c)
+		}
+		sp.mu.Unlock()
+		return
+	}
+}
+
+// next is ChunkStream.Next when the monitor is armed: buffered chunks
+// first, then the channel, with the in-flight flag telling the monitor
+// a receive is active.
+func (sp *spillState) next(s *ChunkStream) (SelChunk, bool, error) {
+	sp.mu.Lock()
+	sp.lastNext.Store(time.Now().UnixNano())
+	if sp.closed {
+		sp.mu.Unlock()
+		return SelChunk{}, false, ErrStreamClosed
+	}
+	if len(sp.buf) > 0 {
+		c := sp.buf[0]
+		sp.buf = sp.buf[1:]
+		sp.mu.Unlock()
+		return c, true, nil
+	}
+	if sp.drained {
+		err := sp.err
+		sp.mu.Unlock()
+		return SelChunk{}, false, err
+	}
+	sp.inNext = true
+	sp.mu.Unlock()
+
+	c, ok := <-s.ch
+
+	sp.mu.Lock()
+	sp.inNext = false
+	sp.lastNext.Store(time.Now().UnixNano())
+	if !ok {
+		sp.drained = true
+		sp.err = s.err
+	}
+	sp.mu.Unlock()
+	if ok {
+		return c, true, nil
+	}
+	return SelChunk{}, false, s.err
+}
+
+// discard recycles any buffered chunks on Close — an abandoned stream
+// must hand its spilled batches (and their quota charges) back.
+func (sp *spillState) discard() {
+	sp.mu.Lock()
+	sp.closed = true
+	buf := sp.buf
+	sp.buf = nil
+	sp.mu.Unlock()
+	recycleChunks(buf)
+}

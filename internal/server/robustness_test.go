@@ -9,6 +9,7 @@ import (
 
 	"amnesiadb"
 	"amnesiadb/internal/durability/failpoint"
+	"amnesiadb/internal/engine/governor"
 )
 
 // TestHandlerPanicAnswers500 pins the recovery middleware: a panicking
@@ -72,6 +73,9 @@ func TestDegradedMutationsAnswer503(t *testing.T) {
 		t.Fatalf("healthy insert: %d %v", resp.StatusCode, out)
 	}
 
+	// Keep the healing probe failing too, so degradation stays latched
+	// for the duration of the assertions below instead of self-healing.
+	failpoint.Enable(governor.FailpointProbe, failpoint.Error(failpoint.ErrInjected))
 	failpoint.Enable("wal.fsync", failpoint.Error(failpoint.ErrInjected))
 	t.Cleanup(failpoint.DisableAll)
 	resp, _ = post(t, ts.URL+"/insert", map[string]any{
@@ -80,9 +84,10 @@ func TestDegradedMutationsAnswer503(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("insert during fsync failure = %d, want 503", resp.StatusCode)
 	}
-	failpoint.DisableAll()
+	failpoint.Disable("wal.fsync")
 
-	// Sticky: still 503 with Retry-After after the fault clears.
+	// Latched: still 503 with Retry-After after the fault clears (the
+	// probe — still failing — has not healed the instance yet).
 	resp, _ = post(t, ts.URL+"/insert", map[string]any{
 		"table": "t", "columns": map[string][]int64{"a": {5}},
 	})

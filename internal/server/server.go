@@ -29,6 +29,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,6 +39,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"amnesiadb"
 	"amnesiadb/internal/sql"
@@ -259,13 +261,20 @@ type queryHeader struct {
 
 // queryStatus maps a Query error to its HTTP status: malformed SQL is
 // the client's fault (400), a missing table is addressable but absent
-// (404), anything else is the server's problem (500).
+// (404), a query over its memory budget — or shed by the governor under
+// process-wide pressure — is a too-large request (413), a query past
+// its deadline timed out (408), anything else is the server's problem
+// (500).
 func queryStatus(err error) int {
 	switch {
 	case errors.Is(err, amnesiadb.ErrUnknownTable):
 		return http.StatusNotFound
 	case errors.Is(err, sql.ErrInvalid):
 		return http.StatusBadRequest
+	case errors.Is(err, amnesiadb.ErrResourceExhausted):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, amnesiadb.ErrQueryDeadline), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
 	default:
 		return http.StatusInternalServerError
 	}
@@ -347,13 +356,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthReport is the /healthz body: worker-pool saturation, admission
-// pressure and cache occupancy in one scrape-friendly object.
+// pressure, live resource-governor counters, durability health and
+// cache occupancy in one scrape-friendly object.
 type healthReport struct {
 	Status string `json:"status"` // "ok" | "draining" | "degraded"
 	// Degraded reports a latched durability failure: the instance
-	// serves reads but refuses mutations (503) until restarted.
+	// serves reads but refuses mutations (503) until the background
+	// probe heals it; NextProbe (RFC 3339) is when that next runs.
 	Degraded      bool                `json:"degraded"`
 	DegradedCause string              `json:"degraded_cause,omitempty"`
+	NextProbe     string              `json:"next_probe,omitempty"`
+	Heals         uint64              `json:"heals,omitempty"`
 	Pool          amnesiadb.PoolStats `json:"pool"`
 	Admission     struct {
 		MaxQueries int   `json:"max_queries"` // 0 = unlimited
@@ -361,6 +374,17 @@ type healthReport struct {
 		Queued     int64 `json:"queued"`
 		QueueDepth int64 `json:"queue_depth"`
 	} `json:"admission"`
+	// Resources is the governor's live ledger: queries with registered
+	// quotas, pooled/working-set bytes currently charged against them,
+	// the process peak, the configured high-water mark (0 = shedding
+	// off) and how many queries pressure shedding has killed.
+	Resources struct {
+		ActiveQueries int    `json:"active_queries"`
+		UsedBytes     int64  `json:"used_bytes"`
+		PeakBytes     int64  `json:"peak_bytes"`
+		HighWater     int64  `json:"high_water"`
+		Sheds         uint64 `json:"sheds"`
+	} `json:"resources"`
 	Cache amnesiadb.CacheStats `json:"cache"`
 }
 
@@ -381,11 +405,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		h.Status = "draining"
 	}
+	if ds := s.db.DurabilityStatus(); ds.Durable {
+		h.Heals = ds.Heals
+		if !ds.NextProbe.IsZero() {
+			h.NextProbe = ds.NextProbe.UTC().Format(time.RFC3339Nano)
+		}
+	}
 	h.Pool = s.db.PoolStats()
 	h.Admission.MaxQueries = cap(s.slots)
 	h.Admission.InFlight = len(s.slots)
 	h.Admission.Queued = s.queued.Load()
 	h.Admission.QueueDepth = s.queueDepth
+	gs := s.db.GovernorStats()
+	h.Resources.ActiveQueries = gs.ActiveQueries
+	h.Resources.UsedBytes = gs.UsedBytes
+	h.Resources.PeakBytes = gs.PeakBytes
+	h.Resources.HighWater = gs.HighWater
+	h.Resources.Sheds = gs.Sheds
 	h.Cache = s.db.CacheStats()
 	writeJSON(w, http.StatusOK, h)
 }

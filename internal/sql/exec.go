@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"time"
 
 	"amnesiadb/internal/engine"
+	"amnesiadb/internal/engine/governor"
 	"amnesiadb/internal/engine/sched"
 	"amnesiadb/internal/expr"
 )
@@ -43,6 +45,25 @@ type Opts struct {
 	// scans use the scheduler stamped on the relation itself. A forced
 	// Parallelism above the pool width is clamped to it.
 	Sched *sched.Pool
+	// Quota, when non-nil, is the query's resource account: every
+	// pooled chunk the pipeline keeps in flight, join build table and
+	// sort permutation charges it, and exhausting it cancels this query
+	// alone with governor.ErrResourceExhausted. The quota rides the
+	// execution context, so it reaches scans, joins and sorts without
+	// further plumbing. Lifecycle (registration with a process
+	// Governor, removal at stream end) is the caller's.
+	Quota *governor.Quota
+	// MaxDuration, when positive, is the query's deadline: execution is
+	// wrapped in a timeout context whose cancellation cause is
+	// governor.ErrDeadlineExceeded, and the same deadline is stamped on
+	// Quota so morsel-boundary checks fire even between channel waits.
+	MaxDuration time.Duration
+	// StallDetach, when positive, arms spill-on-stall on streaming
+	// value-only selects: a consumer idle past this threshold has the
+	// pipeline's remaining chunks drained to a governed heap buffer so
+	// the producers exit and relation read locks release, with the tail
+	// served from the buffer byte-identically.
+	StallDetach time.Duration
 }
 
 // context resolves the optional Ctx.
@@ -107,6 +128,46 @@ func badQueryf(format string, args ...any) error {
 // returned, so an error here is a rejected query; errors from the
 // stream's Next are mid-flight execution failures.
 func ExecStream(cat Catalog, q *Query, o Opts) (*ResultStream, error) {
+	o, cancel := o.arm()
+	st, err := execStream(cat, q, o)
+	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
+	if cancel != nil {
+		st.addCleanup(cancel)
+	}
+	return st, nil
+}
+
+// arm applies the governance knobs: the quota is threaded into the
+// execution context, and a MaxDuration wraps it in a timeout whose
+// cancellation cause is the typed deadline error. The returned cancel
+// (nil when no deadline) releases the timer; ExecStream hooks it into
+// the stream's cleanup.
+func (o Opts) arm() (Opts, context.CancelFunc) {
+	if o.Quota == nil && o.MaxDuration <= 0 {
+		return o, nil
+	}
+	ctx := o.context()
+	if o.Quota != nil {
+		ctx = governor.WithQuota(ctx, o.Quota)
+	}
+	var cancel context.CancelFunc
+	if o.MaxDuration > 0 {
+		// Stamp the quota too: the morsel-boundary Check fires even on
+		// compute-bound stretches between channel operations, keeping
+		// cancellation prompt.
+		o.Quota.SetDeadline(time.Now().Add(o.MaxDuration))
+		ctx, cancel = context.WithTimeoutCause(ctx, o.MaxDuration, governor.ErrDeadlineExceeded)
+	}
+	o.Ctx = ctx
+	return o, cancel
+}
+
+func execStream(cat Catalog, q *Query, o Opts) (*ResultStream, error) {
 	if q.Join != nil {
 		return execJoinStream(cat, q, o)
 	}
@@ -227,6 +288,12 @@ func execSelectStream(rel Relation, q *Query, o Opts) (*ResultStream, error) {
 	}
 	if orderCol != "" {
 		if rel.Clustered() && orderCol == scanCol && valueOnly {
+			if !q.OrderDesc && o.StallDetach > 0 {
+				// The ascending clustered sort streams shard by shard and
+				// releases locks at scan completion — the same stall
+				// exposure as the unordered pipeline, same remedy.
+				cs.DetachOnStall(o.StallDetach)
+			}
 			return clusteredOrderedStream(o.context(), headers, ints, len(cols), cs, q.OrderDesc, limit, o.Parallelism, o.Sched)
 		}
 		// The sort is a barrier: drain the pipeline, then sort.
@@ -240,6 +307,13 @@ func execSelectStream(rel Relation, q *Query, o Opts) (*ResultStream, error) {
 	// Unordered pipelined path: pull chunks off the bounded channel as
 	// the producers emit them, assembling up to StreamChunkRows projected
 	// rows per Next and counting the LIMIT down across chunks.
+	if valueOnly && o.StallDetach > 0 {
+		// Spill-on-stall applies exactly where early lock release does:
+		// a value-only stream whose locks drop at ScanDone. Lazily
+		// projecting streams must pin their relations until Close
+		// regardless, so detaching their scan would buy nothing.
+		cs.DetachOnStall(o.StallDetach)
+	}
 	cursor := &chunkCursor{cs: cs, rem: limit,
 		emit: func(out [][]float64, c engine.SelChunk, off, end int) ([][]float64, error) {
 			// Relations without global positions (partitioned sets)
@@ -532,6 +606,14 @@ func execAggregateStream(rel Relation, q *Query, o Opts) (*ResultStream, error) 
 	if q.HasLimit && q.Limit == 0 {
 		// LIMIT 0 caps even the aggregate's single row.
 		return emptyStream(headers, ints), nil
+	}
+	// The aggregate is one barrier computation inside the engine, with
+	// no morsel boundaries this layer can check mid-flight — so enforce
+	// the quota's deadline (and any pressure kill) at admission.
+	if gq := governor.FromContext(o.context()); gq != nil {
+		if err := gq.Check(); err != nil {
+			return nil, err
+		}
 	}
 	agg, err := rel.Aggregate(col, pred, o.Parallelism)
 	if errors.Is(err, engine.ErrNoRows) {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"amnesiadb/internal/engine"
+	"amnesiadb/internal/engine/governor"
 	"amnesiadb/internal/engine/sched"
 )
 
@@ -42,6 +43,17 @@ func orderPerm(ctx context.Context, keys []int64, desc bool, limit, par int, sp 
 	if k == 0 {
 		return nil, nil
 	}
+
+	// The sort's working set — per-run permutations plus the merged
+	// output — is charged against the query's quota for the barrier's
+	// duration, so an ORDER BY over an over-budget qualifying set dies
+	// here instead of allocating the runs.
+	quota := governor.FromContext(ctx)
+	sortBytes := int64(n+k) * 8
+	if err := quota.Acquire(sortBytes); err != nil {
+		return nil, err
+	}
+	defer quota.Release(sortBytes)
 
 	nRuns := (n + sortRunRows - 1) / sortRunRows
 	runs := make([][]int, nRuns) // per-run permutations of global indices

@@ -1,5 +1,7 @@
 package sql
 
+import "sync"
+
 // StreamChunkRows is the output granularity of a ResultStream: Next
 // assembles at most this many projected rows per call. Large enough to
 // amortise per-chunk serialization, small enough that the server's
@@ -43,6 +45,26 @@ type ResultStream struct {
 	// projections. Lazily gathering streams (multi-column projections,
 	// joins) keep it false and pin their relations until Close.
 	earlyRelease bool
+	// cleanup runs once when the stream ends — drained, errored or
+	// closed, whichever comes first. ExecStream hooks the deadline
+	// timer's cancel here so an early finish releases it.
+	cleanup     func()
+	cleanupOnce sync.Once
+}
+
+// addCleanup chains fn onto the stream-end hook.
+func (s *ResultStream) addCleanup(fn func()) {
+	if prev := s.cleanup; prev != nil {
+		s.cleanup = func() { prev(); fn() }
+		return
+	}
+	s.cleanup = fn
+}
+
+func (s *ResultStream) runCleanup() {
+	if s.cleanup != nil {
+		s.cleanupOnce.Do(s.cleanup)
+	}
 }
 
 // Close cancels the stream's producers, if it has live ones. Idempotent;
@@ -52,6 +74,7 @@ func (s *ResultStream) Close() {
 	if s.closeFn != nil {
 		s.closeFn()
 	}
+	s.runCleanup()
 }
 
 // ScanDone returns the scan-completion channel: closed once the
@@ -104,10 +127,12 @@ func (s *ResultStream) Next() ([][]float64, error) {
 	rows, err := s.next()
 	if err != nil {
 		s.done, s.err = true, err
+		s.runCleanup()
 		return nil, err
 	}
 	if len(rows) == 0 {
 		s.done = true
+		s.runCleanup()
 		return nil, nil
 	}
 	return rows, nil

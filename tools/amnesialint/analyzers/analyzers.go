@@ -12,6 +12,7 @@ func All() []*analysis.Analyzer {
 		LockOrder,
 		GoroutineLife,
 		RecycleFlow,
+		GovFlow,
 		WALExhaustive,
 		CtxFlow,
 		SentErr,

@@ -18,6 +18,10 @@ func TestRecycleFlow(t *testing.T) {
 	linttest.Run(t, "testdata/src/recycleflow", RecycleFlow)
 }
 
+func TestGovFlow(t *testing.T) {
+	linttest.Run(t, "testdata/src/govflow", GovFlow)
+}
+
 func TestLockOrder(t *testing.T) {
 	linttest.Run(t, "testdata/src/lockorder", LockOrder)
 }

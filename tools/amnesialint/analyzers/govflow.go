@@ -1,0 +1,440 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"amnesiadb/tools/amnesialint/analysis"
+	"amnesiadb/tools/amnesialint/analysis/cfg"
+)
+
+// GovFlow tracks resource-governor charges path-sensitively over the
+// CFG: every checked (*governor.Quota).Acquire must be balanced by a
+// Release on the same quota — matched by amount identifier when both
+// sides use one — on every path to function exit. The balance can be an
+// inline Release, a deferred Release (replayed at exit), or an
+// ownership handoff: stamping the quota into a struct literal (the
+// pipeline's SelChunk carries its charge to RecycleChunk), capturing it
+// in a closure, or passing it to another call all transfer the release
+// obligation to the consumer. The error branch of a checked Acquire is
+// exempt — a failed Acquire charges nothing. Each function literal is
+// analyzed as its own unit, since the engine charges inside pipeline
+// produce closures. A discarded Acquire error is reported too: the
+// latched kill must stop the caller at that boundary.
+var GovFlow = &analysis.Analyzer{
+	Name: "govflow",
+	Doc:  "every (*governor.Quota).Acquire charge must reach a matching Release (inline, deferred, or via ownership handoff) on all CFG paths, and its error must not be discarded",
+	Run:  runGovFlow,
+}
+
+// governorPath is the import-path suffix of the resource-governor
+// package whose Quota charges the rule tracks.
+const governorPath = "internal/engine/governor"
+
+func runGovFlow(pass *analysis.Pass) error {
+	funcDecls(pass.Files, pass.Fset, func(fd *ast.FuncDecl) {
+		g := pass.Local.Graphs[fd]
+		if g == nil {
+			g = cfg.New(fd.Body)
+		}
+		checkGovFlow(pass, fd.Name.Name, fd.Body, g)
+		// Function literals are their own analysis units: the pipeline
+		// charges inside its produce closures, and a charge acquired
+		// there must balance there (or hand off) — the enclosing
+		// function's paths say nothing about the closure's.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkGovFlow(pass, fd.Name.Name+" (func literal)", lit.Body, cfg.New(lit.Body))
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// gfCell is one Acquire site: the charge's receiver object, the amount
+// identifier when the amount is a simple name (flatBytes, sortBytes,
+// ChunkQuotaBytes), and the error-check branch whose exits are exempt.
+type gfCell struct {
+	call     *ast.CallExpr
+	recv     types.Object
+	recvName string
+	amt      types.Object   // nil when the amount is not an identifier
+	errBody  *ast.BlockStmt // nil when the call's error is not branch-checked
+}
+
+// gfState is the dataflow fact at a program point: which acquire sites
+// may have an outstanding (unreleased, un-handed-off) charge.
+type gfState struct {
+	charged map[int]bool
+}
+
+func newGFState() *gfState { return &gfState{charged: map[int]bool{}} }
+
+func (s *gfState) clone() *gfState {
+	out := newGFState()
+	for c, b := range s.charged {
+		if b {
+			out.charged[c] = true
+		}
+	}
+	return out
+}
+
+// union merges o into s (may-charged), reporting change.
+func (s *gfState) union(o *gfState) bool {
+	changed := false
+	for c, b := range o.charged {
+		if b && !s.charged[c] {
+			s.charged[c] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+type gfChecker struct {
+	pass  *analysis.Pass
+	body  *ast.BlockStmt
+	cells []gfCell
+}
+
+func checkGovFlow(pass *analysis.Pass, fname string, body *ast.BlockStmt, g *cfg.Graph) {
+	c := &gfChecker{pass: pass, body: body}
+	c.register()
+	if len(c.cells) == 0 {
+		return
+	}
+	in := c.solve(g)
+	exit := in[g.Exit.Index].clone()
+	for i := len(g.Defers) - 1; i >= 0; i-- {
+		c.walk(g.Defers[i].Call, exit)
+	}
+	for i, cell := range c.cells {
+		if exit.charged[i] {
+			pass.Reportf(cell.call.Pos(),
+				"charge from %s.Acquire may reach the exit of %s without a matching Release on some path; release it on every path, defer the release, or hand the quota off with the charged buffer",
+				cell.recvName, fname)
+		}
+	}
+}
+
+// register pre-collects every Acquire site in this unit (not descending
+// into nested function literals — they are their own units) so cell
+// indices are stable across fixpoint iterations, and reports discarded
+// Acquire errors on the way.
+func (c *gfChecker) register() {
+	var stack []ast.Node
+	ast.Inspect(c.body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv := quotaMethodRecv(c.pass.TypesInfo, call, "Acquire"); recv != nil {
+				c.registerAcquire(call, recv, stack)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func (c *gfChecker) registerAcquire(call *ast.CallExpr, recv *ast.Ident, stack []ast.Node) {
+	obj := infoObj(c.pass.TypesInfo, recv)
+	if obj == nil {
+		return
+	}
+	cell := gfCell{call: call, recv: obj, recvName: recv.Name}
+	if len(call.Args) == 1 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			cell.amt = infoObj(c.pass.TypesInfo, id)
+		}
+	}
+	if len(stack) > 0 {
+		switch p := stack[len(stack)-1].(type) {
+		case *ast.ExprStmt:
+			c.pass.Reportf(call.Pos(),
+				"the error from %s.Acquire is discarded; a failed Acquire latches the query's kill and the caller must stop at this boundary",
+				recv.Name)
+		case *ast.AssignStmt:
+			if len(p.Rhs) == 1 && p.Rhs[0] == call && len(p.Lhs) == 1 {
+				if lhs, ok := p.Lhs[0].(*ast.Ident); ok {
+					if lhs.Name == "_" {
+						c.pass.Reportf(call.Pos(),
+							"the error from %s.Acquire is discarded; a failed Acquire latches the query's kill and the caller must stop at this boundary",
+							recv.Name)
+					} else {
+						cell.errBody = errBranchOf(c.pass.TypesInfo, p, lhs, stack)
+					}
+				}
+			}
+		}
+	}
+	c.cells = append(c.cells, cell)
+}
+
+// errBranchOf finds the error-check branch of a checked Acquire: the
+// `if err := q.Acquire(n); err != nil { ... }` init form, or the
+// two-statement `err := q.Acquire(n)` / `if err != nil { ... }` form.
+// Exits inside that branch carry no charge — a failed Acquire charges
+// nothing.
+func errBranchOf(info *types.Info, as *ast.AssignStmt, lhs *ast.Ident, stack []ast.Node) *ast.BlockStmt {
+	errObj := infoObj(info, lhs)
+	if errObj == nil || len(stack) < 2 {
+		return nil
+	}
+	switch gp := stack[len(stack)-2].(type) {
+	case *ast.IfStmt:
+		if gp.Init == as && condIsErrNotNil(info, gp.Cond, errObj) {
+			return gp.Body
+		}
+	case *ast.BlockStmt:
+		for i, s := range gp.List {
+			if s != ast.Stmt(as) || i+1 >= len(gp.List) {
+				continue
+			}
+			if ifs, ok := gp.List[i+1].(*ast.IfStmt); ok && ifs.Init == nil &&
+				condIsErrNotNil(info, ifs.Cond, errObj) {
+				return ifs.Body
+			}
+		}
+	}
+	return nil
+}
+
+// condIsErrNotNil matches `err != nil` (either operand order) against
+// the given error object.
+func condIsErrNotNil(info *types.Info, cond ast.Expr, errObj types.Object) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	if isNil(info, be.Y) {
+		return identResolves(info, be.X, errObj)
+	}
+	if isNil(info, be.X) {
+		return identResolves(info, be.Y, errObj)
+	}
+	return false
+}
+
+func identResolves(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && infoObj(info, id) == obj
+}
+
+func (c *gfChecker) solve(g *cfg.Graph) []*gfState {
+	in := make([]*gfState, len(g.Blocks))
+	for i := range in {
+		in[i] = newGFState()
+	}
+	work := []*cfg.Block{g.Entry}
+	seen := make([]bool, len(g.Blocks))
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		seen[blk.Index] = true
+		out := in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			c.transfer(n, out)
+		}
+		for _, s := range blk.Succs {
+			if in[s.Index].union(out) || !seen[s.Index] {
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// transfer applies one CFG node. A defer statement's call is not
+// executed here — it runs at exit, where the driver replays Defers LIFO
+// against the exit state.
+func (c *gfChecker) transfer(n ast.Node, st *gfState) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	c.walk(n, st)
+}
+
+// walk visits n in source order, applying charges, releases, exempt
+// exits, and handoffs. Nested function literals are not descended into:
+// a quota captured by a closure hands its outstanding charges to the
+// closure (which is analyzed as its own unit).
+func (c *gfChecker) walk(n ast.Node, st *gfState) {
+	var stack []ast.Node
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if sub == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := sub.(*ast.FuncLit); ok {
+			c.handoffCaptured(lit, st)
+			return false
+		}
+		if _, ok := sub.(*ast.DeferStmt); ok && sub != n {
+			return false
+		}
+		switch x := sub.(type) {
+		case *ast.CallExpr:
+			c.call(x, st)
+		case *ast.ReturnStmt:
+			c.exempt(x, st)
+		case *ast.Ident:
+			c.use(x, st, stack)
+		}
+		stack = append(stack, sub)
+		return true
+	})
+}
+
+// call applies an Acquire (charge) or Release (settle) site; panic in
+// an error branch counts as that branch's exit.
+func (c *gfChecker) call(call *ast.CallExpr, st *gfState) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		c.exempt(call, st)
+		return
+	}
+	for i := range c.cells {
+		if c.cells[i].call == call {
+			st.charged[i] = true
+			return
+		}
+	}
+	if recv := quotaMethodRecv(c.pass.TypesInfo, call, "Release"); recv != nil {
+		c.release(call, recv, st)
+	}
+}
+
+// release settles charges on the same quota. When both the Acquire and
+// the Release name their amount with an identifier, amounts must match
+// — releasing outBytes does not settle flatBytes.
+func (c *gfChecker) release(call *ast.CallExpr, recv *ast.Ident, st *gfState) {
+	obj := infoObj(c.pass.TypesInfo, recv)
+	if obj == nil {
+		return
+	}
+	var amt types.Object
+	if len(call.Args) == 1 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			amt = infoObj(c.pass.TypesInfo, id)
+		}
+	}
+	for i, cell := range c.cells {
+		if cell.recv != obj {
+			continue
+		}
+		if amt != nil && cell.amt != nil && amt != cell.amt {
+			continue
+		}
+		st.charged[i] = false
+	}
+}
+
+// exempt clears charges whose error-check branch lexically contains
+// this exit: on that path the Acquire failed and charged nothing.
+func (c *gfChecker) exempt(n ast.Node, st *gfState) {
+	pos := n.Pos()
+	for i, cell := range c.cells {
+		if cell.errBody != nil && cell.errBody.Pos() <= pos && pos <= cell.errBody.End() {
+			st.charged[i] = false
+		}
+	}
+}
+
+// use classifies one appearance of a tracked quota. A method call on
+// the quota is neutral; a binding position is handled by walk; anything
+// else — struct literal stamp, call argument, return, channel send —
+// hands the outstanding charges to the consumer.
+func (c *gfChecker) use(id *ast.Ident, st *gfState, stack []ast.Node) {
+	obj := infoObj(c.pass.TypesInfo, id)
+	if obj == nil || !c.tracks(obj) || len(stack) == 0 {
+		return
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		if p.X == id && len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == p {
+				return // method call on the quota, not a handoff
+			}
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == id {
+				return // (re)binding the name
+			}
+		}
+	}
+	c.handoff(obj, st)
+}
+
+func (c *gfChecker) tracks(obj types.Object) bool {
+	for _, cell := range c.cells {
+		if cell.recv == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// handoff transfers all of a quota's outstanding charges to whatever
+// received the quota value: the release obligation leaves this unit.
+func (c *gfChecker) handoff(obj types.Object, st *gfState) {
+	for i, cell := range c.cells {
+		if cell.recv == obj {
+			st.charged[i] = false
+		}
+	}
+}
+
+// handoffCaptured hands every tracked quota referenced inside a closure
+// to that closure.
+func (c *gfChecker) handoffCaptured(lit *ast.FuncLit, st *gfState) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := infoObj(c.pass.TypesInfo, id); obj != nil && c.tracks(obj) {
+				c.handoff(obj, st)
+			}
+		}
+		return true
+	})
+}
+
+// quotaMethodRecv reports whether call invokes the named method on a
+// governor Quota receiver, returning the receiver identifier (nil when
+// it is not a plain name — such receivers are not tracked).
+func quotaMethodRecv(info *types.Info, call *ast.CallExpr, name string) *ast.Ident {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Name() != "Quota" || named.Obj().Pkg() == nil ||
+		!pkgPathHasSuffix(named.Obj().Pkg(), governorPath) {
+		return nil
+	}
+	id, _ := ast.Unparen(sel.X).(*ast.Ident)
+	return id
+}
+
+// infoObj resolves an identifier to its object through either Uses or
+// Defs.
+func infoObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
